@@ -1,0 +1,219 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§6),
+// one benchmark per figure/table, plus micro-benchmarks of the solver
+// and simulator substrates. Custom metrics carry the reproduced numbers:
+// speed-ups (speedup/*), the measured-to-predicted throughput ratio of
+// Fig. 6 (ratio), and solver statistics. Run with:
+//
+//	go test -bench=. -benchmem
+package cellstream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/experiments"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+	"cellstream/internal/sim"
+)
+
+// benchCfg keeps benchmark iterations affordable while preserving the
+// experiment structure; cmd/experiments runs the full-size versions.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Instances:  600,
+		SolveTime:  2 * time.Second,
+		LSIters:    4000,
+		LSRestarts: 1,
+		SPECounts:  []int{0, 4, 8},
+		CCRs:       []float64{0.775, 1.8, 4.6},
+	}
+}
+
+// BenchmarkFig6SteadyState regenerates Fig. 6: ramp-up of random graph 1
+// (CCR 0.775, 8 SPEs) to the steady state predicted by the program.
+func BenchmarkFig6SteadyState(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.Ratio
+	}
+	b.ReportMetric(ratio, "measured/predicted")
+}
+
+// BenchmarkFig7Speedup regenerates the three speed-up-vs-#SPEs plots of
+// Fig. 7, reporting the 8-SPE endpoint of every strategy.
+func BenchmarkFig7Speedup(b *testing.B) {
+	var rs []*experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for gi, r := range rs {
+		last := r.Rows[len(r.Rows)-1]
+		b.ReportMetric(last.LP, fmt.Sprintf("lp_speedup_g%d", gi+1))
+		b.ReportMetric(last.GreedyMem, fmt.Sprintf("gmem_speedup_g%d", gi+1))
+		b.ReportMetric(last.GreedyCPU, fmt.Sprintf("gcpu_speedup_g%d", gi+1))
+	}
+}
+
+// BenchmarkFig8CCR regenerates the speed-up-vs-CCR sweep of Fig. 8,
+// reporting the endpoints of graph 1.
+func BenchmarkFig8CCR(b *testing.B) {
+	var rs []*experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rs) > 0 && len(rs[0].Speedup) > 0 {
+		b.ReportMetric(rs[0].Speedup[0], "speedup_low_ccr")
+		b.ReportMetric(rs[0].Speedup[len(rs[0].Speedup)-1], "speedup_high_ccr")
+	}
+}
+
+// BenchmarkSolveTime measures the mapping computation on the three paper
+// graphs at the paper's 5 % gap (§6 reports ≈20 s CPLEX solves).
+func BenchmarkSolveTime(b *testing.B) {
+	for gi, g := range daggen.PaperGraphs(0.775) {
+		b.Run(fmt.Sprintf("graph%d", gi+1), func(b *testing.B) {
+			plat := platform.QS22()
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.LPMapping(g, plat, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "bb_nodes")
+		})
+	}
+}
+
+// BenchmarkAblationConstraints re-solves graph 1 with each constraint
+// family lifted (DESIGN.md ablation) and reports the analytic speed-ups.
+func BenchmarkAblationConstraints(b *testing.B) {
+	var rows []experiments.AblationRow
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Ablation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Graph == "paper-graph1-ccr0.775" {
+			b.ReportMetric(r.Speedup, r.Variant)
+		}
+	}
+}
+
+// BenchmarkLocalSearch measures the §7 "involved heuristic" extension:
+// hill climbing closing part of the greedy-to-LP gap.
+func BenchmarkLocalSearch(b *testing.B) {
+	g := daggen.PaperGraph1(0.775)
+	plat := platform.QS22()
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		m, rep, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
+			heuristics.LocalSearchOptions{MaxIters: 4000, Restarts: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m
+		base, _ := core.Evaluate(g, plat, core.AllOnPPE(g))
+		sp = base.Period / rep.Period
+	}
+	b.ReportMetric(sp, "speedup")
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkEvaluate measures the analytical period evaluator, the inner
+// loop of every heuristic and of the branch-and-bound search.
+func BenchmarkEvaluate(b *testing.B) {
+	g := daggen.PaperGraph2(0.775)
+	plat := platform.QS22()
+	m := heuristics.GreedyCPU(g, plat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(g, plat, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures simulated instances per wall-clock second.
+func BenchmarkSimulator(b *testing.B) {
+	g := daggen.PaperGraph1(0.775)
+	plat := platform.QS22()
+	m := heuristics.GreedyCPU(g, plat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(g, plat, m, 500, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPSimplex measures the dense bounded-variable simplex on the
+// compact formulation of a 12-task mapping LP (relaxation only).
+func BenchmarkLPSimplex(b *testing.B) {
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	f := core.FormulateCompact(g, plat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := lp.Solve(f.Problem.LP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkAssignBB measures the assignment branch-and-bound at the 5 %
+// gap on a mid-size graph.
+func BenchmarkAssignBB(b *testing.B) {
+	g := daggen.Generate(daggen.Params{Tasks: 30, Seed: 9, CCR: 1})
+	plat := platform.QS22()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 5 * time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyHeuristics measures the §6.3 reference strategies.
+func BenchmarkGreedyHeuristics(b *testing.B) {
+	g := daggen.PaperGraph2(0.775)
+	plat := platform.QS22()
+	b.Run("GreedyMem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.GreedyMem(g, plat)
+		}
+	})
+	b.Run("GreedyCPU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			heuristics.GreedyCPU(g, plat)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Command cellsched computes and evaluates mappings of a streaming task
+// graph onto a Cell platform, and optionally simulates their execution —
+// the command-line face of the scheduling framework of §6.1.
+//
+// Usage:
+//
+//	cellsched -graph app.json [-platform qs22|ps3] [-spes N]
+//	          [-strategy lp|milp|greedymem|greedycpu|roundrobin|localsearch]
+//	          [-simulate N] [-dot out.dot] [-v]
+//
+// The graph file is the JSON form produced by cmd/daggen or
+// graph.WriteJSON. The mapping, its analytical report, and (optionally)
+// the simulated throughput are printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/platform"
+	"cellstream/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cellsched: ")
+	graphPath := flag.String("graph", "", "path to the task-graph JSON (required)")
+	platName := flag.String("platform", "qs22", "platform preset: qs22 or ps3")
+	spes := flag.Int("spes", -1, "override the number of SPEs")
+	strategy := flag.String("strategy", "lp", "mapping strategy: lp, milp, greedymem, greedycpu, roundrobin, localsearch")
+	simulate := flag.Int("simulate", 0, "simulate this many stream instances (0 = no simulation)")
+	budget := flag.Duration("budget", 20*time.Second, "solver time budget for lp/milp")
+	dot := flag.String("dot", "", "write the mapped graph in Graphviz DOT form to this file")
+	schedule := flag.Int("schedule", 0, "print the first N periods of the periodic schedule (Fig. 3 style)")
+	verbose := flag.Bool("v", false, "print per-PE occupancies")
+	flag.Parse()
+
+	if *graphPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := graph.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var plat *platform.Platform
+	switch *platName {
+	case "qs22":
+		plat = platform.QS22()
+	case "ps3":
+		plat = platform.PlayStation3()
+	default:
+		log.Fatalf("unknown platform %q", *platName)
+	}
+	if *spes >= 0 {
+		plat = plat.WithSPEs(*spes)
+	}
+
+	m, how, err := computeMapping(g, plat, *strategy, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := core.Evaluate(g, plat, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph:     %v\n", g)
+	fmt.Printf("platform:  %v\n", plat)
+	fmt.Printf("strategy:  %s (%s)\n", *strategy, how)
+	fmt.Printf("period:    %.6g s  (throughput %.6g instances/s)\n", rep.Period, rep.Throughput())
+	fmt.Printf("bottleneck: %s\n", rep.Bottleneck)
+	fmt.Printf("feasible:  %v\n", rep.Feasible)
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speed-up:  %.3fx vs PPE-only\n", base.Period/rep.Period)
+	fmt.Print("mapping:\n")
+	perPE := make(map[int][]string)
+	for k, pe := range m {
+		perPE[pe] = append(perPE[pe], g.Tasks[k].Name)
+	}
+	for pe := 0; pe < plat.NumPE(); pe++ {
+		if tasks := perPE[pe]; tasks != nil {
+			fmt.Printf("  %-5s: %v\n", plat.PEName(pe), tasks)
+		}
+	}
+	if *verbose {
+		for pe := 0; pe < plat.NumPE(); pe++ {
+			fmt.Printf("  %-5s compute %.3gs in %.3gB out %.3gB buffers %dB dmaIn %d dmaToPPE %d\n",
+				plat.PEName(pe), rep.ComputeLoad[pe], rep.InBytes[pe], rep.OutBytes[pe],
+				rep.BufferBytes[pe], rep.DMAIn[pe], rep.DMAToPPE[pe])
+		}
+	}
+
+	if *schedule > 0 {
+		ps, err := core.BuildSchedule(g, plat, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ps.Validate(g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(ps.Gantt(g, plat, *schedule))
+	}
+
+	if *dot != "" {
+		ints := make([]int, len(m))
+		copy(ints, m)
+		if err := os.WriteFile(*dot, []byte(g.DOT(ints)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+
+	if *simulate > 0 {
+		res, err := sim.Run(g, plat, m, *simulate, sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("simulated: %d instances in %.6g s, steady throughput %.6g/s (%.1f%% of analytical)\n",
+			res.Instances, res.TotalTime, res.SteadyThroughput(),
+			100*res.SteadyThroughput()/rep.Throughput())
+	}
+}
+
+func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, budget time.Duration) (core.Mapping, string, error) {
+	switch strategy {
+	case "greedymem":
+		return heuristics.GreedyMem(g, plat), "greedy, memory-balancing (§6.3)", nil
+	case "greedycpu":
+		return heuristics.GreedyCPU(g, plat), "greedy, load-balancing (§6.3)", nil
+	case "roundrobin":
+		return heuristics.RoundRobin(g, plat), "cyclic baseline", nil
+	case "localsearch":
+		m, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
+			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 6})
+		return m, "hill climbing from GreedyCPU", err
+	case "lp":
+		seed, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
+			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 4})
+		if err != nil {
+			return nil, "", err
+		}
+		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget, Seed: seed})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Mapping, fmt.Sprintf("steady-state program, 5%% gap: bound %.3gs, %d nodes, proved=%v",
+			res.PeriodBound, res.Nodes, res.Proved), nil
+	case "milp":
+		res, err := core.SolveMILP(g, plat, core.SolveOptions{RelGap: 0.05, TimeLimit: budget})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), nil
+	default:
+		return nil, "", fmt.Errorf("unknown strategy %q", strategy)
+	}
+}

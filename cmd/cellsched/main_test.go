@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/platform"
+)
+
+func TestComputeMappingAllStrategies(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 6, CCR: 1})
+	plat := platform.Cell(1, 3)
+	for _, strat := range []string{"greedymem", "greedycpu", "roundrobin", "localsearch", "lp", "milp"} {
+		m, how, err := computeMapping(g, plat, strat, 3*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if how == "" {
+			t.Errorf("%s: empty description", strat)
+		}
+		if err := core.Mapping(m).Validate(g, plat); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+	if _, _, err := computeMapping(g, plat, "nope", time.Second); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

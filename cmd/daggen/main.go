@@ -1,0 +1,65 @@
+// Command daggen generates random streaming task graphs in the style of
+// the DagGen generator used by the paper (§6.2) and writes them as JSON
+// for cmd/cellsched.
+//
+// Usage:
+//
+//	daggen -tasks 50 [-fat 0.5] [-regularity 0.5] [-density 0.5]
+//	       [-jump 1] [-ccr 0.775] [-seed 1] [-o graph.json]
+//	daggen -paper 1|2|3 [-ccr 0.775] [-o graph.json]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daggen: ")
+	tasks := flag.Int("tasks", 50, "number of tasks")
+	fat := flag.Float64("fat", 0.5, "graph width parameter (0..~2)")
+	regularity := flag.Float64("regularity", 0.5, "layer-width regularity (0..1)")
+	density := flag.Float64("density", 0.5, "extra-edge probability (0..1)")
+	jump := flag.Int("jump", 1, "max layers an edge can skip")
+	ccr := flag.Float64("ccr", 0.775, "target communication-to-computation ratio")
+	seed := flag.Int64("seed", 1, "random seed")
+	paper := flag.Int("paper", 0, "emit paper graph 1, 2 or 3 instead of a custom one")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *paper {
+	case 0:
+		g = daggen.Generate(daggen.Params{
+			Tasks: *tasks, Fat: *fat, Regularity: *regularity,
+			Density: *density, Jump: *jump, CCR: *ccr, Seed: *seed,
+		})
+	case 1:
+		g = daggen.PaperGraph1(*ccr)
+	case 2:
+		g = daggen.PaperGraph2(*ccr)
+	case 3:
+		g = daggen.PaperGraph3(*ccr)
+	default:
+		log.Fatalf("-paper must be 1, 2 or 3 (got %d)", *paper)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%v (CCR %.3g)", g, g.CCR(daggen.DefaultElementBytes, 1/daggen.DefaultPPERate))
+}

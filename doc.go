@@ -1,0 +1,12 @@
+// Package cellstream reproduces "Scheduling complex streaming
+// applications on the Cell processor" (Gallet, Jacquelin, Marchal,
+// RR-LIP-2009-29 / IPPS 2010 workshops): steady-state scheduling of
+// streaming task graphs on the heterogeneous Cell BE processor.
+//
+// The root package only anchors the module; the library lives in the
+// internal packages (graph, platform, core, lp, milp, assign,
+// heuristics, sim, daggen, experiments) and is exercised by the
+// executables in cmd/ and the runnable examples in examples/.
+// See README.md for a guided tour and DESIGN.md for the system
+// inventory and per-experiment index.
+package cellstream

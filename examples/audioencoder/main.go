@@ -1,0 +1,122 @@
+// Audio encoder: the "real audio encoder" application family the paper
+// mentions in its abstract, modelled as an MP2/MP3-style encoding
+// pipeline. The psychoacoustic model peeks one frame ahead (bit-reservoir
+// style decisions need the next granule), making this a natural exercise
+// of the peek semantics and of the buffer sizing of §4.2.
+//
+// Run with:
+//
+//	go run ./examples/audioencoder
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/platform"
+	"cellstream/internal/sim"
+)
+
+// buildEncoder models one stereo MP2-style encoder frame pipeline.
+// Frame = 1152 samples × 2 channels × 2 bytes = 4608 B/channel.
+func buildEncoder() *graph.Graph {
+	g := &graph.Graph{Name: "audio-encoder"}
+	const frame = 1152 * 2 // bytes per channel per frame (16-bit PCM)
+
+	src := g.AddTask(graph.Task{Name: "pcm-in", WPPE: 2e-6, WSPE: 4e-6, ReadBytes: 2 * frame})
+	// Per-channel polyphase filterbank + MDCT: dense SIMD math,
+	// much faster on SPEs.
+	var mdct [2]graph.TaskID
+	for ch := 0; ch < 2; ch++ {
+		fb := g.AddTask(graph.Task{Name: fmt.Sprintf("filterbank%d", ch), WPPE: 45e-6, WSPE: 9e-6})
+		g.AddEdge(src, fb, frame)
+		m := g.AddTask(graph.Task{Name: fmt.Sprintf("mdct%d", ch), WPPE: 30e-6, WSPE: 6e-6})
+		g.AddEdge(fb, m, 32*36*4) // 32 subbands × 36 coefficients × float
+		mdct[ch] = m
+	}
+	// Psychoacoustic model: runs on both channels, branchy code that the
+	// PPE handles better, and it peeks one frame ahead.
+	psy := g.AddTask(graph.Task{Name: "psymodel", WPPE: 25e-6, WSPE: 40e-6, Peek: 1})
+	g.AddEdge(src, psy, 2*frame)
+	// Quantization per channel, guided by the psychoacoustic model.
+	var quant [2]graph.TaskID
+	for ch := 0; ch < 2; ch++ {
+		q := g.AddTask(graph.Task{Name: fmt.Sprintf("quantize%d", ch), WPPE: 22e-6, WSPE: 7e-6, Stateful: true})
+		g.AddEdge(mdct[ch], q, 32*36*4)
+		g.AddEdge(psy, q, 512)
+		quant[ch] = q
+	}
+	// Huffman/bit packing: sequential, stateful, PPE-friendly.
+	pack := g.AddTask(graph.Task{Name: "bitpack", WPPE: 12e-6, WSPE: 26e-6, Stateful: true})
+	g.AddEdge(quant[0], pack, 1200)
+	g.AddEdge(quant[1], pack, 1200)
+	mux := g.AddTask(graph.Task{Name: "mux-out", WPPE: 3e-6, WSPE: 6e-6, WriteBytes: 1044, Stateful: true})
+	g.AddEdge(pack, mux, 1044) // ~417 kbit/s stereo stream
+	return g
+}
+
+func main() {
+	g := buildEncoder()
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	plat := platform.QS22()
+	fmt.Printf("%v on %v\n\n", g, plat)
+
+	fp := core.FirstPeriods(g)
+	bufs := core.BufferSizes(g)
+	fmt.Println("firstPeriod / buffers (§4.2):")
+	for k, t := range g.Tasks {
+		fmt.Printf("  %-12s firstPeriod=%d\n", t.Name, fp[k])
+	}
+	var total int64
+	for _, b := range bufs {
+		total += b
+	}
+	fmt.Printf("  total buffer bytes across all edges: %d\n\n", total)
+
+	strategies := []struct {
+		name string
+		run  func() (core.Mapping, error)
+	}{
+		{"GreedyMem", func() (core.Mapping, error) { return heuristics.GreedyMem(g, plat), nil }},
+		{"GreedyCPU", func() (core.Mapping, error) { return heuristics.GreedyCPU(g, plat), nil }},
+		{"LP (5% gap)", func() (core.Mapping, error) {
+			res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 10 * time.Second})
+			if err != nil {
+				return nil, err
+			}
+			return res.Mapping, nil
+		}},
+	}
+	base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPE-only period: %.3g s (%.0f frames/s)\n\n", base.Period, base.Throughput())
+	for _, s := range strategies {
+		m, err := s.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := core.Evaluate(g, plat, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simRes, err := sim.Run(g, plat, m, 5000, sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s analytic %.2fx, measured %.2fx (%.0f frames/s), feasible=%v\n",
+			s.name, base.Period/rep.Period,
+			simRes.SteadyThroughput()*base.Period, simRes.SteadyThroughput(), rep.Feasible)
+	}
+	fmt.Println("\n(The 48 kHz frame rate an encoder must sustain is 41.7 frames/s —")
+	fmt.Println(" every mapping above encodes orders of magnitude faster than real time,")
+	fmt.Println(" which is why the paper can stream many encodings concurrently.)")
+}

@@ -1,0 +1,80 @@
+// Video pipeline: the motivating workload of the paper's introduction —
+// a video stream where every image flows through a DAG of filters
+// (de-noise, scale, color grade, overlay, encode) with a motion
+// estimator that peeks at future frames, deployed on a PlayStation 3.
+// Prints the ramp-up to steady state, the Fig. 6 experiment in miniature.
+//
+// Run with:
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+	"cellstream/internal/sim"
+)
+
+func buildPipeline() *graph.Graph {
+	g := &graph.Graph{Name: "video-pipeline"}
+	const tile = 16 * 1024 // one working tile of a frame per instance
+
+	capture := g.AddTask(graph.Task{Name: "capture", WPPE: 4e-6, WSPE: 8e-6, ReadBytes: tile})
+	denoise := g.AddTask(graph.Task{Name: "denoise", WPPE: 35e-6, WSPE: 7e-6})
+	scale := g.AddTask(graph.Task{Name: "scale", WPPE: 25e-6, WSPE: 5e-6})
+	grade := g.AddTask(graph.Task{Name: "grade", WPPE: 18e-6, WSPE: 4e-6})
+	overlay := g.AddTask(graph.Task{Name: "overlay", WPPE: 9e-6, WSPE: 6e-6})
+	// Motion estimation compares against the two upcoming frames.
+	motion := g.AddTask(graph.Task{Name: "motion", WPPE: 40e-6, WSPE: 11e-6, Peek: 2})
+	encode := g.AddTask(graph.Task{Name: "encode", WPPE: 22e-6, WSPE: 16e-6, Stateful: true, WriteBytes: tile / 8})
+
+	g.AddEdge(capture, denoise, tile)
+	g.AddEdge(denoise, scale, tile)
+	g.AddEdge(scale, grade, tile/2)
+	g.AddEdge(grade, overlay, tile/2)
+	g.AddEdge(capture, motion, tile)
+	g.AddEdge(motion, encode, 2048)
+	g.AddEdge(overlay, encode, tile/2)
+	return g
+}
+
+func main() {
+	g := buildPipeline()
+	if err := g.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	plat := platform.PlayStation3()
+	res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v on %v\n", g, plat)
+	fmt.Printf("mapping (period %.3g s, %.0f tiles/s):\n", res.Report.Period, res.Report.Throughput())
+	for k, pe := range res.Mapping {
+		fmt.Printf("  %-8s → %s\n", g.Tasks[k].Name, plat.PEName(pe))
+	}
+
+	simRes, err := sim.Run(g, plat, res.Mapping, 8000, sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nramp-up to steady state (cumulative throughput, %% of model):\n")
+	curve := simRes.RampCurve()
+	model := res.Report.Throughput()
+	for _, i := range []int{0, 9, 49, 99, 499, 999, 3999, 7999} {
+		if i >= len(curve) {
+			break
+		}
+		frac := curve[i] / model
+		bar := strings.Repeat("#", int(frac*50))
+		fmt.Printf("  after %5d instances: %6.0f/s %5.1f%% %s\n", i+1, curve[i], 100*frac, bar)
+	}
+	fmt.Printf("steady state: %.0f tiles/s = %.1f%% of the model prediction\n",
+		simRes.SteadyThroughput(), 100*simRes.SteadyThroughput()/model)
+}

@@ -1,0 +1,512 @@
+// Package assign solves the mapping problem with a branch-and-bound
+// search over task→PE assignments, specialized to the structure of the
+// Cell: one class of identical PPEs and one class of identical SPEs.
+//
+// It is the scalable companion of core.SolveMILP: the paper's graphs
+// (50–94 tasks) produce mixed programs whose LP relaxations are costly
+// to re-solve at every node with a dense simplex, so for those sizes we
+// branch directly in assignment space, in topological order, with
+// combinatorial lower bounds:
+//
+//   - per-PE fixed loads (compute, interface traffic of resolved edges),
+//   - an exact fractional relaxation of the remaining compute load onto
+//     the two machine classes (a two-resource greedy by wSPE/wPPE ratio),
+//   - early pruning of local-store and DMA-stack violations, which can
+//     only grow as more tasks are placed.
+//
+// SPE symmetry is broken by only ever branching on "used SPEs plus one
+// fresh SPE", and the search stops at the paper's 5 % relative gap.
+// Results are cross-checked against the exact MILP on small instances
+// by the test suite.
+package assign
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// Options tunes the search.
+type Options struct {
+	// RelGap is the relative optimality gap (0 selects the paper's 5 %).
+	RelGap float64
+	// Exact forces RelGap = 0.
+	Exact bool
+	// TimeLimit bounds the search (0 = 20 s).
+	TimeLimit time.Duration
+	// MaxNodes bounds explored nodes (0 = 5 million).
+	MaxNodes int
+	// Seed optionally provides an initial incumbent mapping.
+	Seed core.Mapping
+}
+
+// Result reports the outcome.
+type Result struct {
+	Mapping core.Mapping
+	Report  *core.Report
+	// PeriodBound is a proven lower bound on the optimal period.
+	PeriodBound float64
+	Gap         float64
+	Nodes       int
+	// Proved is true when the search ran to completion (the gap is
+	// proven); false when a limit stopped it early.
+	Proved    bool
+	SolveTime time.Duration
+}
+
+type searcher struct {
+	g    *graph.Graph
+	plat *platform.Platform
+	opt  Options
+
+	order []graph.TaskID // branching order (topological)
+	needs []int64        // buffer bytes per task
+	wppe  []float64
+	wspe  []float64
+	ratio []int // task IDs sorted by wSPE/wPPE descending (PPE-affine first)
+	inE   [][]int
+	outE  [][]int
+	n     int // PEs
+	nP    int
+
+	// node state (mutated with undo on the DFS path)
+	assigned []int // task → PE or -1
+	load     []float64
+	inBytes  []float64
+	outBytes []float64
+	memUsed  []int64
+	dmaIn    []int
+	dmaOut   []int
+	cnt      []int // tasks placed per PE
+	usedSPE  int
+	sumWPPE  float64 // total wPPE of unassigned tasks
+	sumWSPE  float64
+
+	best     core.Mapping
+	bestT    float64
+	bound    float64 // best lower bound among pruned frontier
+	nodes    int
+	deadline time.Time
+	maxNodes int
+	gapMul   float64 // prune when bound ≥ bestT*gapMul
+}
+
+// Solve runs the branch-and-bound search.
+func Solve(g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	relGap := opt.RelGap
+	if relGap == 0 && !opt.Exact {
+		relGap = 0.05
+	}
+	timeLimit := opt.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 20 * time.Second
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 5_000_000
+	}
+
+	s := &searcher{g: g, plat: plat, opt: opt,
+		n: plat.NumPE(), nP: plat.NumPPE,
+		deadline: time.Now().Add(timeLimit),
+		maxNodes: maxNodes,
+		gapMul:   1 - relGap,
+	}
+	var err error
+	s.order, err = g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s.needs = core.TaskBufferNeeds(g)
+	s.wppe = make([]float64, g.NumTasks())
+	s.wspe = make([]float64, g.NumTasks())
+	for k, t := range g.Tasks {
+		s.wppe[k] = t.WPPE
+		s.wspe[k] = t.WSPE
+		s.sumWPPE += t.WPPE
+		s.sumWSPE += t.WSPE
+	}
+	s.ratio = make([]int, g.NumTasks())
+	for k := range s.ratio {
+		s.ratio[k] = k
+	}
+	sort.Slice(s.ratio, func(a, b int) bool {
+		ra := ratioOf(s.wspe[s.ratio[a]], s.wppe[s.ratio[a]])
+		rb := ratioOf(s.wspe[s.ratio[b]], s.wppe[s.ratio[b]])
+		if ra != rb {
+			return ra > rb
+		}
+		return s.ratio[a] < s.ratio[b]
+	})
+	s.inE = g.Preds()
+	s.outE = g.Succs()
+
+	s.assigned = make([]int, g.NumTasks())
+	for k := range s.assigned {
+		s.assigned[k] = -1
+	}
+	s.load = make([]float64, s.n)
+	s.inBytes = make([]float64, s.n)
+	s.outBytes = make([]float64, s.n)
+	s.memUsed = make([]int64, s.n)
+	s.dmaIn = make([]int, s.n)
+	s.dmaOut = make([]int, s.n)
+	s.cnt = make([]int, s.n)
+
+	// Incumbent: the caller's seed if feasible, else all-on-PPE.
+	start := time.Now()
+	s.bestT = math.Inf(1)
+	s.bound = math.Inf(1)
+	trySeed := func(m core.Mapping) {
+		if m == nil {
+			return
+		}
+		rep, err := core.Evaluate(g, plat, m)
+		if err == nil && rep.Feasible && rep.Period < s.bestT {
+			s.best = m.Clone()
+			s.bestT = rep.Period
+		}
+	}
+	trySeed(opt.Seed)
+	trySeed(core.AllOnPPE(g))
+
+	proved := s.dfs(0)
+
+	rep, err := core.Evaluate(g, plat, s.best)
+	if err != nil {
+		return nil, err
+	}
+	bound := s.bound
+	if proved {
+		// The search proved no mapping beats bestT*gapMul.
+		if b := s.bestT * s.gapMul; b > bound || math.IsInf(bound, 1) {
+			bound = s.bestT * s.gapMul
+		}
+		if math.IsInf(bound, 1) {
+			bound = s.bestT
+		}
+	} else if math.IsInf(bound, 1) {
+		bound = 0
+	}
+	if bound > s.bestT {
+		bound = s.bestT
+	}
+	return &Result{
+		Mapping:     s.best,
+		Report:      rep,
+		PeriodBound: bound,
+		Gap:         (s.bestT - bound) / math.Max(s.bestT, 1e-300),
+		Nodes:       s.nodes,
+		Proved:      proved,
+		SolveTime:   time.Since(start),
+	}, nil
+}
+
+func ratioOf(ws, wp float64) float64 {
+	if wp == 0 {
+		if ws == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return ws / wp
+}
+
+// dfs explores assignments for order[d:]. It returns false when a limit
+// interrupted the search (so the result is not proven).
+func (s *searcher) dfs(d int) bool {
+	s.nodes++
+	lb := s.lowerBound(d)
+	if s.nodes >= s.maxNodes || (s.nodes&1023 == 0 && time.Now().After(s.deadline)) {
+		// Abandoned subtree: its root bound joins the frontier so the
+		// reported global bound stays valid.
+		if lb < s.bound {
+			s.bound = lb
+		}
+		return false
+	}
+
+	if lb >= s.bestT*s.gapMul {
+		if lb < s.bound {
+			s.bound = lb
+		}
+		return true
+	}
+
+	if d == len(s.order) {
+		// Complete assignment; capacity constraints were enforced
+		// incrementally, so it is feasible.
+		if lb < s.bestT {
+			s.bestT = lb
+			s.best = append(core.Mapping(nil), s.assigned...)
+		}
+		return true
+	}
+
+	k := int(s.order[d])
+	// Candidate PEs: all PPEs, used SPEs, and one fresh SPE.
+	maxSPE := s.nP + s.usedSPE
+	if maxSPE >= s.n {
+		maxSPE = s.n - 1
+	}
+	type cand struct {
+		pe int
+		lb float64
+	}
+	var cands []cand
+	for pe := 0; pe <= maxSPE; pe++ {
+		if ok := s.place(k, pe); !ok {
+			s.unplace(k, pe)
+			continue
+		}
+		cands = append(cands, cand{pe, s.lowerBound(d + 1)})
+		s.unplace(k, pe)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lb != cands[b].lb {
+			return cands[a].lb < cands[b].lb
+		}
+		return cands[a].pe < cands[b].pe
+	})
+	proved := true
+	for ci, c := range cands {
+		if c.lb >= s.bestT*s.gapMul {
+			if c.lb < s.bound {
+				s.bound = c.lb
+			}
+			continue
+		}
+		s.place(k, c.pe)
+		if !s.dfs(d + 1) {
+			proved = false
+		}
+		s.unplace(k, c.pe)
+		if !proved && (s.nodes >= s.maxNodes || time.Now().After(s.deadline)) {
+			// Unvisited siblings join the abandoned frontier.
+			for _, rest := range cands[ci+1:] {
+				if rest.lb < s.bound {
+					s.bound = rest.lb
+				}
+			}
+			return false
+		}
+	}
+	return proved
+}
+
+// place assigns task k to pe, updating incremental state; it returns
+// false when a hard capacity constraint is violated (caller must still
+// unplace).
+func (s *searcher) place(k, pe int) bool {
+	s.assigned[k] = pe
+	s.cnt[pe]++
+	spe := pe >= s.nP
+	t := &s.g.Tasks[k]
+	if spe {
+		s.load[pe] += s.wspe[k]
+		s.memUsed[pe] += s.needs[k]
+		if pe-s.nP == s.usedSPE {
+			s.usedSPE++
+		}
+	} else {
+		s.load[pe] += s.wppe[k]
+	}
+	s.sumWPPE -= s.wppe[k]
+	s.sumWSPE -= s.wspe[k]
+	s.inBytes[pe] += t.ReadBytes
+	s.outBytes[pe] += t.WriteBytes
+
+	ok := true
+	if spe && s.memUsed[pe] > s.plat.BufferCapacity() {
+		ok = false
+	}
+	// Resolve edges to already-assigned neighbours.
+	for _, ei := range s.inE[k] {
+		e := &s.g.Edges[ei]
+		src := s.assigned[e.From]
+		if src < 0 || src == pe {
+			continue
+		}
+		s.outBytes[src] += e.Bytes
+		s.inBytes[pe] += e.Bytes
+		if spe {
+			s.dmaIn[pe]++
+			if s.dmaIn[pe] > s.plat.MaxDMAIn {
+				ok = false
+			}
+		}
+		if src >= s.nP && !spe {
+			s.dmaOut[src]++
+			if s.dmaOut[src] > s.plat.MaxDMAFromPPE {
+				ok = false
+			}
+		}
+	}
+	for _, ei := range s.outE[k] {
+		e := &s.g.Edges[ei]
+		dst := s.assigned[e.To]
+		if dst < 0 || dst == pe {
+			continue
+		}
+		s.outBytes[pe] += e.Bytes
+		s.inBytes[dst] += e.Bytes
+		if dst >= s.nP {
+			s.dmaIn[dst]++
+			if s.dmaIn[dst] > s.plat.MaxDMAIn {
+				ok = false
+			}
+		}
+		if spe && dst < s.nP {
+			s.dmaOut[pe]++
+			if s.dmaOut[pe] > s.plat.MaxDMAFromPPE {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// unplace reverts place(k, pe).
+func (s *searcher) unplace(k, pe int) {
+	spe := pe >= s.nP
+	t := &s.g.Tasks[k]
+	for _, ei := range s.inE[k] {
+		e := &s.g.Edges[ei]
+		src := s.assigned[e.From]
+		if src < 0 || src == pe {
+			continue
+		}
+		s.outBytes[src] -= e.Bytes
+		s.inBytes[pe] -= e.Bytes
+		if spe {
+			s.dmaIn[pe]--
+		}
+		if src >= s.nP && !spe {
+			s.dmaOut[src]--
+		}
+	}
+	for _, ei := range s.outE[k] {
+		e := &s.g.Edges[ei]
+		dst := s.assigned[e.To]
+		if dst < 0 || dst == pe {
+			continue
+		}
+		s.outBytes[pe] -= e.Bytes
+		s.inBytes[dst] -= e.Bytes
+		if dst >= s.nP {
+			s.dmaIn[dst]--
+		}
+		if spe && dst < s.nP {
+			s.dmaOut[pe]--
+		}
+	}
+	s.inBytes[pe] -= t.ReadBytes
+	s.outBytes[pe] -= t.WriteBytes
+	s.sumWPPE += s.wppe[k]
+	s.sumWSPE += s.wspe[k]
+	if spe {
+		s.load[pe] -= s.wspe[k]
+		s.memUsed[pe] -= s.needs[k]
+	} else {
+		s.load[pe] -= s.wppe[k]
+	}
+	s.cnt[pe]--
+	if spe && pe-s.nP == s.usedSPE-1 && s.cnt[pe] == 0 {
+		s.usedSPE--
+	}
+	s.assigned[k] = -1
+}
+
+// lowerBound returns a valid lower bound on the period of any completion
+// of the current partial assignment (tasks order[d:] unassigned).
+func (s *searcher) lowerBound(d int) float64 {
+	lb := 0.0
+	for pe := 0; pe < s.n; pe++ {
+		if s.load[pe] > lb {
+			lb = s.load[pe]
+		}
+		if v := s.inBytes[pe] / s.plat.BW; v > lb {
+			lb = v
+		}
+		if v := s.outBytes[pe] / s.plat.BW; v > lb {
+			lb = v
+		}
+	}
+	if d == len(s.order) {
+		return lb
+	}
+	// Fractional relaxation of the remaining compute: binary-search the
+	// smallest T such that the unassigned work fits the spare capacity
+	// of the two machine classes, splitting each task greedily by its
+	// wSPE/wPPE ratio (exact for the fractional relaxation).
+	hi := lb
+	// Upper envelope: put everything on the least-loaded PPE.
+	minPPE := math.Inf(1)
+	for pe := 0; pe < s.nP; pe++ {
+		if s.load[pe] < minPPE {
+			minPPE = s.load[pe]
+		}
+	}
+	if v := minPPE + s.sumWPPE; v > hi {
+		hi = v
+	}
+	lo := lb
+	if s.fits(d, lo) {
+		return lo
+	}
+	for it := 0; it < 40 && hi-lo > 1e-12*(1+hi); it++ {
+		mid := (lo + hi) / 2
+		if s.fits(d, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// fits reports whether the unassigned work can fractionally fit within
+// period T given current fixed loads.
+func (s *searcher) fits(d int, T float64) bool {
+	var capP, capS float64
+	for pe := 0; pe < s.nP; pe++ {
+		if c := T - s.load[pe]; c > 0 {
+			capP += c
+		}
+	}
+	for pe := s.nP; pe < s.n; pe++ {
+		if c := T - s.load[pe]; c > 0 {
+			capS += c
+		}
+	}
+	// Greedy: tasks with the highest wSPE/wPPE ratio benefit most from
+	// the PPE; fill PPE capacity with them, overflow to SPEs.
+	needS := 0.0
+	for _, k := range s.ratio {
+		if s.assigned[k] >= 0 {
+			continue
+		}
+		if capP >= s.wppe[k] {
+			capP -= s.wppe[k]
+			continue
+		}
+		if capP > 0 && s.wppe[k] > 0 {
+			frac := capP / s.wppe[k]
+			capP = 0
+			needS += (1 - frac) * s.wspe[k]
+			continue
+		}
+		needS += s.wspe[k]
+	}
+	return needS <= capS+1e-12
+}

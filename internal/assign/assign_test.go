@@ -1,0 +1,210 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func randomGraph(rng *rand.Rand, k int) *graph.Graph {
+	g := &graph.Graph{Name: "rand"}
+	for i := 0; i < k; i++ {
+		g.AddTask(graph.Task{
+			WPPE: 1 + rng.Float64()*4,
+			WSPE: 0.5 + rng.Float64()*4,
+			Peek: rng.Intn(2),
+		})
+	}
+	for to := 1; to < k; to++ {
+		g.AddEdge(graph.TaskID(rng.Intn(to)), graph.TaskID(to), float64(1+rng.Intn(32))*1024)
+	}
+	return g
+}
+
+func bruteForce(t *testing.T, g *graph.Graph, plat *platform.Platform) float64 {
+	t.Helper()
+	n := plat.NumPE()
+	k := g.NumTasks()
+	bestT := math.Inf(1)
+	m := make(core.Mapping, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			rep, err := core.Evaluate(g, plat, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Feasible && rep.Period < bestT {
+				bestT = rep.Period
+			}
+			return
+		}
+		for pe := 0; pe < n; pe++ {
+			m[i] = pe
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return bestT
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 6)
+		plat := platform.Cell(1, 2)
+		plat.BW = 4096 // make communication matter
+		want := bruteForce(t, g, plat)
+		res, err := Solve(g, plat, Options{Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Proved {
+			t.Fatalf("trial %d: search not proved", trial)
+		}
+		if math.Abs(res.Report.Period-want) > 1e-9*(1+want) {
+			t.Errorf("trial %d: period %v, brute force %v", trial, res.Report.Period, want)
+		}
+		if res.PeriodBound > res.Report.Period+1e-9 {
+			t.Errorf("trial %d: bound %v above achieved %v", trial, res.PeriodBound, res.Report.Period)
+		}
+	}
+}
+
+func TestExactMatchesMILPOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 4; trial++ {
+		g := randomGraph(rng, 5)
+		plat := platform.Cell(1, 2)
+		plat.BW = 2048
+		resA, err := Solve(g, plat, Options{Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resM, err := core.SolveMILP(g, plat, core.SolveOptions{Exact: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(resA.Report.Period-resM.Report.Period) > 1e-6*(1+resM.Report.Period) {
+			t.Errorf("trial %d: assign %v != MILP %v", trial, resA.Report.Period, resM.Report.Period)
+		}
+	}
+}
+
+func TestGapIsHonored(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 30, Seed: 11, CCR: 1})
+	plat := platform.QS22()
+	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved && res.Gap > 0.05+1e-9 {
+		t.Errorf("proved but gap %v > 0.05", res.Gap)
+	}
+	if res.PeriodBound > res.Report.Period+1e-12 {
+		t.Errorf("bound %v exceeds achieved period %v", res.PeriodBound, res.Report.Period)
+	}
+	if !res.Report.Feasible {
+		t.Error("returned infeasible mapping")
+	}
+}
+
+func TestSymmetryBreakingStillOptimal(t *testing.T) {
+	// Many identical SPEs: symmetry breaking must not cut the optimum.
+	// 4 identical tasks, 4 SPEs, SPE twice as fast: optimum splits them
+	// one per SPE.
+	g := &graph.Graph{Name: "sym"}
+	for i := 0; i < 4; i++ {
+		g.AddTask(graph.Task{WPPE: 2e-6, WSPE: 1e-6})
+	}
+	plat := platform.Cell(1, 4)
+	res, err := Solve(g, plat, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Report.Period-1e-6) > 1e-12 {
+		t.Errorf("period %v, want 1e-6", res.Report.Period)
+	}
+}
+
+func TestSeedUsed(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 40, Seed: 17, CCR: 1.2})
+	plat := platform.QS22()
+	// With a 1-node budget the result must equal the (feasible) seed.
+	seed := core.AllOnPPE(g)
+	seed[0] = 1
+	if rep, _ := core.Evaluate(g, plat, seed); !rep.Feasible {
+		t.Skip("seed unexpectedly infeasible")
+	}
+	res, err := Solve(g, plat, Options{MaxNodes: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := core.Evaluate(g, plat, seed)
+	if res.Report.Period > rep.Period+1e-15 {
+		t.Errorf("result %v worse than seed %v", res.Report.Period, rep.Period)
+	}
+	if res.Proved {
+		t.Error("1-node search claims proof")
+	}
+}
+
+func TestInfeasibleSeedIgnored(t *testing.T) {
+	g := graph.UniformChain("fat", 4, 1e-6, 1e-6, 300*1024)
+	plat := platform.Cell(1, 2)
+	bad := core.Mapping{0, 1, 2, 0}
+	res, err := Solve(g, plat, Options{Exact: true, Seed: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Feasible {
+		t.Errorf("returned infeasible mapping: %v", res.Report.Violations)
+	}
+}
+
+func TestRespectsCapacityConstraints(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := daggen.Generate(daggen.Params{Tasks: 35, Seed: seed, CCR: 3})
+		plat := platform.QS22()
+		res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Report.Feasible {
+			t.Errorf("seed %d: infeasible result: %v", seed, res.Report.Violations)
+		}
+	}
+}
+
+func TestBetterThanGreedySeedOnPaperGraph(t *testing.T) {
+	g := daggen.PaperGraph1(0.775)
+	plat := platform.QS22()
+	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := core.Evaluate(g, plat, core.AllOnPPE(g))
+	speedup := base.Period / res.Report.Period
+	if speedup < 1.5 {
+		t.Errorf("speed-up %v on paper graph 1, want > 1.5", speedup)
+	}
+}
+
+func TestZeroSPEs(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 10, Seed: 2})
+	plat := platform.Cell(1, 0)
+	res, err := Solve(g, plat, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := core.Evaluate(g, plat, core.AllOnPPE(g))
+	if math.Abs(res.Report.Period-base.Period) > 1e-12 {
+		t.Errorf("period %v, want all-on-PPE %v", res.Report.Period, base.Period)
+	}
+}

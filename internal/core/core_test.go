@@ -1,0 +1,397 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func TestFirstPeriodsFig3(t *testing.T) {
+	g := graph.Fig3Example()
+	fp := FirstPeriods(g)
+	// firstPeriod(T1) = 0; T2 (peek 0): 0+0+2 = 2; T3 (peek 1): 0+1+2 = 3.
+	want := []int{0, 2, 3}
+	for i, w := range want {
+		if fp[i] != w {
+			t.Errorf("firstPeriod(T%d) = %d, want %d", i+1, fp[i], w)
+		}
+	}
+}
+
+func TestFirstPeriodsChain(t *testing.T) {
+	g := graph.UniformChain("chain", 4, 1, 1, 100)
+	fp := FirstPeriods(g)
+	want := []int{0, 2, 4, 6}
+	for i, w := range want {
+		if fp[i] != w {
+			t.Errorf("firstPeriod(%d) = %d, want %d", i, fp[i], w)
+		}
+	}
+}
+
+func TestFirstPeriodsPeekAccumulates(t *testing.T) {
+	g := &graph.Graph{Name: "peeks"}
+	a := g.AddTask(graph.Task{WPPE: 1, WSPE: 1})
+	b := g.AddTask(graph.Task{WPPE: 1, WSPE: 1, Peek: 3})
+	c := g.AddTask(graph.Task{WPPE: 1, WSPE: 1, Peek: 2})
+	g.AddEdge(a, b, 10)
+	g.AddEdge(b, c, 10)
+	fp := FirstPeriods(g)
+	if fp[a] != 0 || fp[b] != 5 || fp[c] != 9 {
+		t.Errorf("firstPeriods = %v, want [0 5 9]", fp)
+	}
+}
+
+func TestBufferSizes(t *testing.T) {
+	g := graph.Fig3Example() // edges T1->T2 (fp gap 2), T1->T3 (fp gap 3)
+	bufs := BufferSizes(g)
+	if bufs[0] != 2*1024 {
+		t.Errorf("buff(1,2) = %d, want %d", bufs[0], 2*1024)
+	}
+	if bufs[1] != 3*1024 {
+		t.Errorf("buff(1,3) = %d, want %d", bufs[1], 3*1024)
+	}
+}
+
+func TestEvaluateComputeBound(t *testing.T) {
+	// Two tasks, both on PPE0: period = sum of wPPE.
+	g := graph.UniformChain("c2", 2, 3, 1, 1024)
+	plat := platform.Cell(1, 2)
+	rep, err := Evaluate(g, plat, Mapping{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period != 6 {
+		t.Errorf("period = %v, want 6", rep.Period)
+	}
+	if !rep.Feasible {
+		t.Errorf("unexpected infeasibility: %v", rep.Violations)
+	}
+	// Split across PPE and SPE: period = max(3, 1, comm) = 3.
+	rep, err = Evaluate(g, plat, Mapping{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period != 3 {
+		t.Errorf("split period = %v, want 3", rep.Period)
+	}
+	if rep.Bottleneck != "compute(PPE0)" {
+		t.Errorf("bottleneck = %q", rep.Bottleneck)
+	}
+}
+
+func TestEvaluateCommBound(t *testing.T) {
+	// Huge edge crossing PEs: period limited by bw.
+	g := graph.UniformChain("c2", 2, 1e-9, 1e-9, 250e9) // 10 s at 25 GB/s
+	plat := platform.Cell(1, 1)
+	plat.LocalStore = 1 << 62 // lift the memory constraint for this test
+	rep, err := Evaluate(g, plat, Mapping{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Period-10) > 1e-9 {
+		t.Errorf("period = %v, want 10", rep.Period)
+	}
+}
+
+func TestEvaluateMemoryViolation(t *testing.T) {
+	// A single fat edge whose buffers exceed the local store.
+	g := graph.UniformChain("fat", 2, 1, 1, 200*1024) // buffer 2×200 kB > 208 kB
+	plat := platform.Cell(1, 1)
+	rep, err := Evaluate(g, plat, Mapping{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatalf("expected local-store violation, got feasible (buffers %v, cap %d)",
+			rep.BufferBytes, plat.BufferCapacity())
+	}
+}
+
+func TestEvaluateDMAInViolation(t *testing.T) {
+	// 17 producers on the PPE feeding one consumer on an SPE exceeds the
+	// 16-deep DMA stack.
+	g := &graph.Graph{Name: "fanin"}
+	var producers []graph.TaskID
+	for i := 0; i < 17; i++ {
+		producers = append(producers, g.AddTask(graph.Task{WPPE: 1, WSPE: 1}))
+	}
+	sink := g.AddTask(graph.Task{WPPE: 1, WSPE: 1})
+	for _, p := range producers {
+		g.AddEdge(p, sink, 8)
+	}
+	plat := platform.Cell(1, 1)
+	m := make(Mapping, g.NumTasks())
+	m[sink] = 1
+	rep, err := Evaluate(g, plat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.DMAIn[1] != 17 {
+		t.Errorf("feasible=%v DMAIn=%v, want violation with 17", rep.Feasible, rep.DMAIn)
+	}
+}
+
+func TestEvaluateDMAToPPEViolation(t *testing.T) {
+	// 9 tasks on one SPE each feeding a task on the PPE exceeds the
+	// 8-deep PPE-issued DMA stack.
+	g := &graph.Graph{Name: "fanout"}
+	var onSPE, onPPE []graph.TaskID
+	for i := 0; i < 9; i++ {
+		onSPE = append(onSPE, g.AddTask(graph.Task{WPPE: 1, WSPE: 1}))
+	}
+	for i := 0; i < 9; i++ {
+		to := g.AddTask(graph.Task{WPPE: 1, WSPE: 1})
+		onPPE = append(onPPE, to)
+		g.AddEdge(onSPE[i], to, 8)
+	}
+	plat := platform.Cell(1, 1)
+	m := make(Mapping, g.NumTasks())
+	for _, k := range onSPE {
+		m[k] = 1
+	}
+	rep, err := Evaluate(g, plat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible || rep.DMAToPPE[1] != 9 {
+		t.Errorf("feasible=%v DMAToPPE=%v, want violation with 9", rep.Feasible, rep.DMAToPPE)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	g := graph.UniformChain("c", 3, 1, 1, 1)
+	plat := platform.Cell(1, 1)
+	if err := (Mapping{0, 1}).Validate(g, plat); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if err := (Mapping{0, 1, 5}).Validate(g, plat); err == nil {
+		t.Error("out-of-range PE accepted")
+	}
+	if err := (Mapping{0, 1, 1}).Validate(g, plat); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+}
+
+// bruteForceMapping enumerates every mapping of g on plat and returns the
+// best feasible period.
+func bruteForceMapping(t *testing.T, g *graph.Graph, plat *platform.Platform) (Mapping, float64) {
+	t.Helper()
+	n := plat.NumPE()
+	k := g.NumTasks()
+	best := Mapping(nil)
+	bestT := math.Inf(1)
+	m := make(Mapping, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			rep, err := Evaluate(g, plat, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Feasible && rep.Period < bestT {
+				bestT = rep.Period
+				best = m.Clone()
+			}
+			return
+		}
+		for pe := 0; pe < n; pe++ {
+			m[i] = pe
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, bestT
+}
+
+func randomGraph(rng *rand.Rand, k int) *graph.Graph {
+	g := &graph.Graph{Name: "rand"}
+	for i := 0; i < k; i++ {
+		g.AddTask(graph.Task{
+			WPPE:       1 + rng.Float64()*4,
+			WSPE:       0.5 + rng.Float64()*4,
+			Peek:       rng.Intn(2),
+			ReadBytes:  float64(rng.Intn(2)) * 1024,
+			WriteBytes: float64(rng.Intn(2)) * 1024,
+		})
+	}
+	for to := 1; to < k; to++ {
+		// Ensure connectivity, then sprinkle extra edges.
+		from := rng.Intn(to)
+		g.AddEdge(graph.TaskID(from), graph.TaskID(to), float64(1+rng.Intn(32))*1024)
+		if extra := rng.Intn(to); extra != from && rng.Intn(2) == 0 {
+			g.AddEdge(graph.TaskID(extra), graph.TaskID(to), float64(1+rng.Intn(32))*1024)
+		}
+	}
+	return g
+}
+
+func TestSolveMILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(rng, 5)
+		plat := platform.Cell(1, 2)
+		// Slow the interfaces so communication actually matters.
+		plat.BW = 2048
+		_, wantT := bruteForceMapping(t, g, plat)
+		res, err := SolveMILP(g, plat, SolveOptions{Exact: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Report.Period-wantT) > 1e-6*(1+wantT) {
+			t.Errorf("trial %d: MILP period %v, brute force %v (mapping %v)",
+				trial, res.Report.Period, wantT, res.Mapping)
+		}
+	}
+}
+
+func TestLiteralMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 3; trial++ {
+		g := randomGraph(rng, 4)
+		plat := platform.Cell(1, 2)
+		plat.BW = 4096
+		resC, err := SolveMILP(g, plat, SolveOptions{Exact: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		resL, err := SolveMILP(g, plat, SolveOptions{Exact: true, Literal: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatalf("literal: %v", err)
+		}
+		if math.Abs(resC.Report.Period-resL.Report.Period) > 1e-6*(1+resC.Report.Period) {
+			t.Errorf("trial %d: compact period %v != literal period %v",
+				trial, resC.Report.Period, resL.Report.Period)
+		}
+	}
+}
+
+// TestNPReduction reproduces the construction of Theorem 1: a 2-machine
+// scheduling instance becomes a chain with zero communication; the
+// optimal period must equal the optimal makespan of the scheduling
+// instance (found by enumeration).
+func TestNPReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 4; trial++ {
+		n := 6
+		l1 := make([]float64, n)
+		l2 := make([]float64, n)
+		for i := range l1 {
+			l1[i] = float64(1 + rng.Intn(9))
+			l2[i] = float64(1 + rng.Intn(9))
+		}
+		// Brute-force 2-machine optimum.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			var m1, m2 float64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					m1 += l1[i]
+				} else {
+					m2 += l2[i]
+				}
+			}
+			if v := math.Max(m1, m2); v < best {
+				best = v
+			}
+		}
+		// Chain with zero-size data, wPPE = l1, wSPE = l2.
+		g := &graph.Graph{Name: "reduction"}
+		for i := 0; i < n; i++ {
+			g.AddTask(graph.Task{WPPE: l1[i], WSPE: l2[i]})
+		}
+		for i := 0; i+1 < n; i++ {
+			g.AddEdge(graph.TaskID(i), graph.TaskID(i+1), 0)
+		}
+		res, err := SolveMILP(g, platform.Cell(1, 1), SolveOptions{Exact: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Report.Period-best) > 1e-6 {
+			t.Errorf("trial %d: period %v, 2-machine optimum %v", trial, res.Report.Period, best)
+		}
+	}
+}
+
+func TestSolveRespectsGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := randomGraph(rng, 10)
+	plat := platform.Cell(1, 3)
+	plat.BW = 8192
+	res, err := SolveMILP(g, plat, SolveOptions{RelGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodBound > res.Report.Period+1e-9 {
+		t.Errorf("bound %v exceeds achieved period %v", res.PeriodBound, res.Report.Period)
+	}
+	if res.Gap > 0.05+1e-6 && res.Status.String() == "optimal" {
+		t.Errorf("claimed optimal with gap %v", res.Gap)
+	}
+}
+
+func TestEncodeMappingRoundTrip(t *testing.T) {
+	g := graph.Fig2bExample()
+	plat := platform.Cell(1, 3)
+	for _, kind := range []string{"compact", "literal"} {
+		var f *Formulation
+		if kind == "compact" {
+			f = FormulateCompact(g, plat)
+		} else {
+			f = FormulateLiteral(g, plat)
+		}
+		m := make(Mapping, g.NumTasks())
+		for k := range m {
+			m[k] = k % plat.NumPE()
+		}
+		x, err := f.EncodeMapping(m)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		got := f.DecodeMapping(x)
+		for k := range m {
+			if got[k] != m[k] {
+				t.Errorf("%s: task %d decoded to %d, want %d", kind, k, got[k], m[k])
+			}
+		}
+		rep, _ := Evaluate(g, plat, m)
+		if math.Abs(x[0]-rep.Period) > 1e-9 {
+			t.Errorf("%s: encoded T %v, want %v", kind, x[0], rep.Period)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	g := graph.UniformChain("c2", 2, 2, 1, 8)
+	plat := platform.Cell(1, 2)
+	rep, err := Evaluate(g, plat, Mapping{1, 2}) // both on SPEs
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Speedup(g, plat, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPE-only period 4, SPE split period = max(1, 1, comm≈0) = 1 → 4×.
+	if math.Abs(s-4) > 1e-6 {
+		t.Errorf("speedup = %v, want 4", s)
+	}
+}
+
+func TestAllOnPPEAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 12)
+		rep, err := Evaluate(g, platform.QS22(), AllOnPPE(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Feasible {
+			t.Errorf("all-on-PPE infeasible: %v", rep.Violations)
+		}
+	}
+}

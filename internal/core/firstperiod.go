@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+
+	"cellstream/internal/graph"
+)
+
+// FirstPeriods computes the firstPeriod(T_k) recurrence of §4.2: the
+// index of the period in which the first instance of each task is
+// processed in the canonical periodic schedule.
+//
+//	firstPeriod(T_k) = 0                                    if no predecessor
+//	                 = max_{D(j,k)} firstPeriod(T_j) + peek_k + 2  otherwise
+//
+// One period separates a task from its predecessors' results, peek_k
+// more periods wait for the look-ahead instances, and one period is
+// dedicated to the communication. (The worked example in the paper's
+// Fig. 3 prints firstPeriod(3) = 4 while this formula — the one the
+// paper states and uses for buffer sizing — yields 3; we follow the
+// formula.) The result is indexed by TaskID.
+func FirstPeriods(g *graph.Graph) []int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		// Validated graphs are acyclic; surface misuse loudly.
+		panic("core: FirstPeriods on cyclic graph: " + err.Error())
+	}
+	preds := g.Preds()
+	fp := make([]int, g.NumTasks())
+	for _, id := range order {
+		if len(preds[id]) == 0 {
+			fp[id] = 0
+			continue
+		}
+		max := 0
+		for _, ei := range preds[id] {
+			if v := fp[g.Edges[ei].From]; v > max {
+				max = v
+			}
+		}
+		fp[id] = max + g.Tasks[id].Peek + 2
+	}
+	return fp
+}
+
+// BufferSizes returns, for every edge D(k,l), the bytes of local store a
+// buffer for that data occupies:
+//
+//	buff(k,l) = data(k,l) × (firstPeriod(T_l) − firstPeriod(T_k))
+//
+// following §4.2: instances produced by T_k remain live until T_l has
+// consumed them, which happens firstPeriod(T_l) − firstPeriod(T_k)
+// periods later. The result is indexed like g.Edges.
+func BufferSizes(g *graph.Graph) []int64 {
+	fp := FirstPeriods(g)
+	out := make([]int64, g.NumEdges())
+	for i, e := range g.Edges {
+		gap := fp[e.To] - fp[e.From]
+		if gap < 1 {
+			gap = 1 // an edge always needs at least one slot
+		}
+		out[i] = int64(math.Ceil(e.Bytes * float64(gap)))
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+	"cellstream/internal/platform"
+)
+
+// Formulation is a mixed linear program whose optimum is a
+// throughput-optimal mapping, plus the bookkeeping needed to decode
+// solver output back into a Mapping and to encode warm starts.
+type Formulation struct {
+	Problem *milp.Problem
+	Kind    string // "compact" or "literal"
+
+	g    *graph.Graph
+	plat *platform.Platform
+	n    int // PEs
+	k    int // tasks
+	e    int // edges
+}
+
+// Variable indexing. T is variable 0; α^k_i follows, then the
+// formulation-specific communication variables.
+func (f *Formulation) tVar() int             { return 0 }
+func (f *Formulation) alphaVar(k, i int) int { return 1 + k*f.n + i }
+
+// compact layout: in(e,j), out(e,i), toPPE(e, speLocal)
+func (f *Formulation) inVar(e, j int) int  { return 1 + f.k*f.n + e*f.n + j }
+func (f *Formulation) outVar(e, i int) int { return 1 + f.k*f.n + f.e*f.n + e*f.n + i }
+func (f *Formulation) toPPEVar(e, s int) int {
+	return 1 + f.k*f.n + 2*f.e*f.n + e*f.plat.NumSPE + s
+}
+
+// literal layout: β(e,i,j)
+func (f *Formulation) betaVar(e, i, j int) int { return 1 + f.k*f.n + e*f.n*f.n + i*f.n + j }
+
+// FormulateCompact builds the compact formulation: instead of the n²
+// β^{k,l}_{i,j} transfer variables of the paper, it uses per-edge
+// cross-transfer indicators
+//
+//	in(e,j)  ≥ α^l_j − α^k_j   (edge e = D(k,l) arrives at PE j from elsewhere)
+//	out(e,i) ≥ α^k_i − α^l_i   (edge e leaves PE i for elsewhere)
+//	toPPE(e,s) ≥ α^k_s + Σ_{PPE j} α^l_j − 1   (SPE s sends e to a PPE)
+//
+// For integral α these indicators equal Σ_{i≠j} β^{k,l}_{i,j} (resp. the
+// symmetric sums), so every constraint of (1e)–(1k) rewrites exactly and
+// the two formulations have identical optima — a fact checked by tests.
+// The compact form has O(|E|·n) variables instead of O(|E|·n²).
+func FormulateCompact(g *graph.Graph, plat *platform.Platform) *Formulation {
+	f := &Formulation{Kind: "compact", g: g, plat: plat,
+		n: plat.NumPE(), k: g.NumTasks(), e: g.NumEdges()}
+	nVars := 1 + f.k*f.n + 2*f.e*f.n + f.e*plat.NumSPE
+	p := lp.New(nVars)
+	p.SetObj(f.tVar(), 1) // minimize the period T
+	p.SetBounds(f.tVar(), 0, math.Inf(1))
+
+	var ints []int
+	for k := 0; k < f.k; k++ {
+		for i := 0; i < f.n; i++ {
+			v := f.alphaVar(k, i)
+			p.SetBounds(v, 0, 1)
+			ints = append(ints, v)
+		}
+	}
+	for e := 0; e < f.e; e++ {
+		for i := 0; i < f.n; i++ {
+			p.SetBounds(f.inVar(e, i), 0, 1)
+			p.SetBounds(f.outVar(e, i), 0, 1)
+		}
+		for s := 0; s < plat.NumSPE; s++ {
+			p.SetBounds(f.toPPEVar(e, s), 0, 1)
+		}
+	}
+
+	// (1b) each task on exactly one PE.
+	for k := 0; k < f.k; k++ {
+		coefs := make([]lp.Coef, f.n)
+		for i := 0; i < f.n; i++ {
+			coefs[i] = lp.Coef{Var: f.alphaVar(k, i), Value: 1}
+		}
+		p.AddRow(coefs, lp.EQ, 1)
+	}
+
+	// Indicator definitions.
+	for e, ed := range g.Edges {
+		k, l := int(ed.From), int(ed.To)
+		for j := 0; j < f.n; j++ {
+			// in(e,j) − α^l_j + α^k_j ≥ 0
+			p.AddRow([]lp.Coef{
+				{Var: f.inVar(e, j), Value: 1},
+				{Var: f.alphaVar(l, j), Value: -1},
+				{Var: f.alphaVar(k, j), Value: 1},
+			}, lp.GE, 0)
+			// out(e,j) − α^k_j + α^l_j ≥ 0
+			p.AddRow([]lp.Coef{
+				{Var: f.outVar(e, j), Value: 1},
+				{Var: f.alphaVar(k, j), Value: -1},
+				{Var: f.alphaVar(l, j), Value: 1},
+			}, lp.GE, 0)
+		}
+		for s := 0; s < plat.NumSPE; s++ {
+			spe := plat.NumPPE + s
+			coefs := []lp.Coef{
+				{Var: f.toPPEVar(e, s), Value: 1},
+				{Var: f.alphaVar(k, spe), Value: -1},
+			}
+			for j := 0; j < plat.NumPPE; j++ {
+				coefs = append(coefs, lp.Coef{Var: f.alphaVar(l, j), Value: -1})
+			}
+			// toPPE ≥ α^k_spe + Σ α^l_ppe − 1
+			p.AddRow(coefs, lp.GE, -1)
+		}
+	}
+
+	f.addLoadRows(p, func(e, i int) []lp.Coef {
+		return []lp.Coef{{Var: f.inVar(e, i), Value: g.Edges[e].Bytes}}
+	}, func(e, i int) []lp.Coef {
+		return []lp.Coef{{Var: f.outVar(e, i), Value: g.Edges[e].Bytes}}
+	})
+
+	// (1j) DMA-in count per SPE.
+	for s := 0; s < plat.NumSPE; s++ {
+		spe := plat.NumPPE + s
+		var coefs []lp.Coef
+		for e := 0; e < f.e; e++ {
+			coefs = append(coefs, lp.Coef{Var: f.inVar(e, spe), Value: 1})
+		}
+		if coefs != nil {
+			p.AddRow(coefs, lp.LE, float64(plat.MaxDMAIn))
+		}
+	}
+	// (1k) DMA count toward PPEs per SPE.
+	for s := 0; s < plat.NumSPE; s++ {
+		var coefs []lp.Coef
+		for e := 0; e < f.e; e++ {
+			coefs = append(coefs, lp.Coef{Var: f.toPPEVar(e, s), Value: 1})
+		}
+		if coefs != nil {
+			p.AddRow(coefs, lp.LE, float64(plat.MaxDMAFromPPE))
+		}
+	}
+
+	f.Problem = &milp.Problem{LP: p, Integer: ints}
+	return f
+}
+
+// FormulateLiteral builds the formulation exactly as printed in §5 of
+// the paper: binary α^k_i placement variables and β^{k,l}_{i,j} transfer
+// variables with constraints (1a)–(1k). Only the α variables need to be
+// declared integral: once α is integral, (1c)/(1d) pin the β of every
+// edge to the transfer actually implied by the placement.
+func FormulateLiteral(g *graph.Graph, plat *platform.Platform) *Formulation {
+	f := &Formulation{Kind: "literal", g: g, plat: plat,
+		n: plat.NumPE(), k: g.NumTasks(), e: g.NumEdges()}
+	nVars := 1 + f.k*f.n + f.e*f.n*f.n
+	p := lp.New(nVars)
+	p.SetObj(f.tVar(), 1)
+	p.SetBounds(f.tVar(), 0, math.Inf(1))
+
+	var ints []int
+	for k := 0; k < f.k; k++ {
+		for i := 0; i < f.n; i++ {
+			v := f.alphaVar(k, i)
+			p.SetBounds(v, 0, 1)
+			ints = append(ints, v)
+		}
+	}
+	for e := 0; e < f.e; e++ {
+		for i := 0; i < f.n; i++ {
+			for j := 0; j < f.n; j++ {
+				p.SetBounds(f.betaVar(e, i, j), 0, 1)
+			}
+		}
+	}
+
+	// (1b)
+	for k := 0; k < f.k; k++ {
+		coefs := make([]lp.Coef, f.n)
+		for i := 0; i < f.n; i++ {
+			coefs[i] = lp.Coef{Var: f.alphaVar(k, i), Value: 1}
+		}
+		p.AddRow(coefs, lp.EQ, 1)
+	}
+	// (1c) the PE computing T_l receives D(k,l) from somewhere;
+	// (1d) only the PE computing T_k may send D(k,l).
+	for e, ed := range g.Edges {
+		k, l := int(ed.From), int(ed.To)
+		for j := 0; j < f.n; j++ {
+			coefs := []lp.Coef{{Var: f.alphaVar(l, j), Value: -1}}
+			for i := 0; i < f.n; i++ {
+				coefs = append(coefs, lp.Coef{Var: f.betaVar(e, i, j), Value: 1})
+			}
+			p.AddRow(coefs, lp.GE, 0)
+		}
+		for i := 0; i < f.n; i++ {
+			coefs := []lp.Coef{{Var: f.alphaVar(k, i), Value: -1}}
+			for j := 0; j < f.n; j++ {
+				coefs = append(coefs, lp.Coef{Var: f.betaVar(e, i, j), Value: 1})
+			}
+			p.AddRow(coefs, lp.LE, 0)
+		}
+	}
+
+	f.addLoadRows(p, func(e, i int) []lp.Coef {
+		var coefs []lp.Coef
+		for j := 0; j < f.n; j++ {
+			if j != i {
+				coefs = append(coefs, lp.Coef{Var: f.betaVar(e, j, i), Value: g.Edges[e].Bytes})
+			}
+		}
+		return coefs
+	}, func(e, i int) []lp.Coef {
+		var coefs []lp.Coef
+		for j := 0; j < f.n; j++ {
+			if j != i {
+				coefs = append(coefs, lp.Coef{Var: f.betaVar(e, i, j), Value: g.Edges[e].Bytes})
+			}
+		}
+		return coefs
+	})
+
+	// (1j)
+	for s := 0; s < plat.NumSPE; s++ {
+		spe := plat.NumPPE + s
+		var coefs []lp.Coef
+		for e := 0; e < f.e; e++ {
+			for i := 0; i < f.n; i++ {
+				if i != spe {
+					coefs = append(coefs, lp.Coef{Var: f.betaVar(e, i, spe), Value: 1})
+				}
+			}
+		}
+		if coefs != nil {
+			p.AddRow(coefs, lp.LE, float64(plat.MaxDMAIn))
+		}
+	}
+	// (1k)
+	for s := 0; s < plat.NumSPE; s++ {
+		spe := plat.NumPPE + s
+		var coefs []lp.Coef
+		for e := 0; e < f.e; e++ {
+			for j := 0; j < plat.NumPPE; j++ {
+				coefs = append(coefs, lp.Coef{Var: f.betaVar(e, spe, j), Value: 1})
+			}
+		}
+		if coefs != nil {
+			p.AddRow(coefs, lp.LE, float64(plat.MaxDMAFromPPE))
+		}
+	}
+
+	f.Problem = &milp.Problem{LP: p, Integer: ints}
+	return f
+}
+
+// addLoadRows adds the rows shared by both formulations: compute loads
+// (1e)/(1f), interface loads (1g)/(1h) with the formulation-specific
+// communication terms, and local-store capacity (1i).
+func (f *Formulation) addLoadRows(p *lp.Problem,
+	inTerm func(e, i int) []lp.Coef, outTerm func(e, i int) []lp.Coef) {
+
+	g, plat := f.g, f.plat
+	// Rows are normalized (communication rows divided by bw, the memory
+	// row by the local-store capacity) so that all coefficients stay
+	// within a few orders of magnitude of 1: the raw model mixes bytes
+	// (~1e5), bandwidths (~2.5e10) and periods (~1e-5), which is hostile
+	// to the dense simplex's tolerances.
+	// (1e)/(1f): Σ_k α^k_i w(T_k) − T ≤ 0.
+	for i := 0; i < f.n; i++ {
+		coefs := []lp.Coef{{Var: f.tVar(), Value: -1}}
+		for k, t := range g.Tasks {
+			w := t.WPPE
+			if plat.IsSPE(i) {
+				w = t.WSPE
+			}
+			coefs = append(coefs, lp.Coef{Var: f.alphaVar(k, i), Value: w})
+		}
+		p.AddRow(coefs, lp.LE, 0)
+	}
+	// (1g): reads + incoming edges ≤ T·bw, divided through by bw.
+	for i := 0; i < f.n; i++ {
+		coefs := []lp.Coef{{Var: f.tVar(), Value: -1}}
+		for k, t := range g.Tasks {
+			if t.ReadBytes != 0 {
+				coefs = append(coefs, lp.Coef{Var: f.alphaVar(k, i), Value: t.ReadBytes / plat.BW})
+			}
+		}
+		for e := 0; e < f.e; e++ {
+			for _, c := range inTerm(e, i) {
+				c.Value /= plat.BW
+				coefs = append(coefs, c)
+			}
+		}
+		p.AddRow(coefs, lp.LE, 0)
+	}
+	// (1h): writes + outgoing edges ≤ T·bw, divided through by bw.
+	for i := 0; i < f.n; i++ {
+		coefs := []lp.Coef{{Var: f.tVar(), Value: -1}}
+		for k, t := range g.Tasks {
+			if t.WriteBytes != 0 {
+				coefs = append(coefs, lp.Coef{Var: f.alphaVar(k, i), Value: t.WriteBytes / plat.BW})
+			}
+		}
+		for e := 0; e < f.e; e++ {
+			for _, c := range outTerm(e, i) {
+				c.Value /= plat.BW
+				coefs = append(coefs, c)
+			}
+		}
+		p.AddRow(coefs, lp.LE, 0)
+	}
+	// (1i): buffers fit in local stores, divided through by the capacity.
+	needs := TaskBufferNeeds(g)
+	capacity := float64(plat.BufferCapacity())
+	for s := 0; s < plat.NumSPE; s++ {
+		spe := plat.NumPPE + s
+		var coefs []lp.Coef
+		for k := range g.Tasks {
+			if needs[k] != 0 {
+				coefs = append(coefs, lp.Coef{Var: f.alphaVar(k, spe), Value: float64(needs[k]) / capacity})
+			}
+		}
+		if coefs != nil {
+			p.AddRow(coefs, lp.LE, 1)
+		}
+	}
+}
+
+// DecodeMapping extracts a Mapping from a solver solution vector.
+func (f *Formulation) DecodeMapping(x []float64) Mapping {
+	m := make(Mapping, f.k)
+	for k := 0; k < f.k; k++ {
+		best, bestV := 0, -1.0
+		for i := 0; i < f.n; i++ {
+			if v := x[f.alphaVar(k, i)]; v > bestV {
+				best, bestV = i, v
+			}
+		}
+		m[k] = best
+	}
+	return m
+}
+
+// EncodeMapping builds a full solution vector for the formulation from a
+// mapping, usable as a warm-start incumbent. The returned vector sets T
+// to the analytical period of the mapping and every communication
+// variable to its implied indicator value.
+func (f *Formulation) EncodeMapping(m Mapping) ([]float64, error) {
+	rep, err := Evaluate(f.g, f.plat, m)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Feasible {
+		return nil, fmt.Errorf("core: cannot warm-start from infeasible mapping: %v", rep.Violations)
+	}
+	x := make([]float64, f.Problem.LP.NumVars())
+	x[f.tVar()] = rep.Period
+	for k := 0; k < f.k; k++ {
+		x[f.alphaVar(k, m[k])] = 1
+	}
+	switch f.Kind {
+	case "compact":
+		for e, ed := range f.g.Edges {
+			src, dst := m[ed.From], m[ed.To]
+			if src != dst {
+				x[f.inVar(e, dst)] = 1
+				x[f.outVar(e, src)] = 1
+				if f.plat.IsSPE(src) && !f.plat.IsSPE(dst) {
+					x[f.toPPEVar(e, src-f.plat.NumPPE)] = 1
+				}
+			}
+		}
+	case "literal":
+		for e, ed := range f.g.Edges {
+			x[f.betaVar(e, m[ed.From], m[ed.To])] = 1
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown formulation kind %q", f.Kind)
+	}
+	return x, nil
+}

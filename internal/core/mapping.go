@@ -1,0 +1,215 @@
+// Package core implements the paper's primary contribution: steady-state
+// scheduling of streaming task graphs on the Cell processor.
+//
+// It provides (i) the mapping abstraction and an exact analytical
+// evaluator of the steady-state period of any mapping under the
+// bounded-multiport model of §2–§3, (ii) the firstPeriod recurrence and
+// buffer-size computation of §4.2, and (iii) the mixed linear program
+// (1a)–(1k) of §5 in two equivalent formulations, solved by the
+// lp/milp packages to produce throughput-optimal mappings.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// Mapping assigns every task (by ID) to a processing-element index
+// (0..n-1, PPEs first, then SPEs). This is the "simple mapping" scheme of
+// §3.1: every instance of a task is processed on the same PE.
+type Mapping []int
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping { return append(Mapping(nil), m...) }
+
+// AllOnPPE returns the baseline mapping that places every task on PPE 0.
+// The paper's speed-up metric normalizes throughput to this mapping.
+func AllOnPPE(g *graph.Graph) Mapping { return make(Mapping, g.NumTasks()) }
+
+// Report is the analytical steady-state evaluation of one mapping:
+// the period T (max occupancy over all resources), the per-resource
+// occupancies, and the feasibility of the capacity constraints
+// ((1i) local store, (1j)/(1k) DMA slots).
+type Report struct {
+	Mapping  Mapping
+	Period   float64 // seconds per instance in steady state
+	Feasible bool
+	// Violations lists every violated capacity constraint.
+	Violations []string
+
+	// Per-PE occupancies, each must be ≤ Period by construction:
+	ComputeLoad []float64 // seconds of compute per instance
+	InBytes     []float64 // bytes received per instance (edges + reads)
+	OutBytes    []float64 // bytes sent per instance (edges + writes)
+
+	// Capacity usages:
+	BufferBytes []int64 // local-store bytes for stream buffers (SPEs)
+	DMAIn       []int   // distinct incoming data per period (SPEs)
+	DMAToPPE    []int   // distinct data sent to PPEs per period (SPEs)
+
+	// Bottleneck names the resource that determines the period, e.g.
+	// "compute(SPE2)" or "in(PPE0)".
+	Bottleneck string
+}
+
+// Throughput returns instances per second (ρ = 1/T).
+func (r *Report) Throughput() float64 {
+	if r.Period <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / r.Period
+}
+
+// Validate checks that the mapping has the right arity and in-range PEs.
+func (m Mapping) Validate(g *graph.Graph, plat *platform.Platform) error {
+	if len(m) != g.NumTasks() {
+		return fmt.Errorf("core: mapping has %d entries for %d tasks", len(m), g.NumTasks())
+	}
+	for k, pe := range m {
+		if pe < 0 || pe >= plat.NumPE() {
+			return fmt.Errorf("core: task %s mapped to PE %d, platform has %d", g.Tasks[k].Name, pe, plat.NumPE())
+		}
+	}
+	return nil
+}
+
+// Evaluate computes the analytical steady-state report of a mapping.
+// The period is the maximum occupancy over every processing element and
+// every communication interface (constraints (1e)–(1h) read as
+// occupancies); feasibility additionally requires the local-store and
+// DMA-slot constraints (1i)–(1k).
+func Evaluate(g *graph.Graph, plat *platform.Platform, m Mapping) (*Report, error) {
+	if err := m.Validate(g, plat); err != nil {
+		return nil, err
+	}
+	n := plat.NumPE()
+	r := &Report{
+		Mapping:     m.Clone(),
+		Feasible:    true,
+		ComputeLoad: make([]float64, n),
+		InBytes:     make([]float64, n),
+		OutBytes:    make([]float64, n),
+		BufferBytes: make([]int64, n),
+		DMAIn:       make([]int, n),
+		DMAToPPE:    make([]int, n),
+	}
+
+	for k, t := range g.Tasks {
+		pe := m[k]
+		if plat.IsSPE(pe) {
+			r.ComputeLoad[pe] += t.WSPE
+		} else {
+			r.ComputeLoad[pe] += t.WPPE
+		}
+		// Main-memory traffic rides the PE's own interfaces (§2.1:
+		// "memory accesses have to be counted as communications").
+		r.InBytes[pe] += t.ReadBytes
+		r.OutBytes[pe] += t.WriteBytes
+	}
+
+	buffers := BufferSizes(g)
+	for k := range g.Tasks {
+		pe := m[k]
+		if plat.IsSPE(pe) {
+			// Both incoming and outgoing buffers live in the local
+			// store of the PE running the task, even for co-resident
+			// neighbours (§4.2).
+			r.BufferBytes[pe] += taskBufferNeed(g, buffers, graph.TaskID(k))
+		}
+	}
+
+	for _, e := range g.Edges {
+		src, dst := m[e.From], m[e.To]
+		if src == dst {
+			continue
+		}
+		r.OutBytes[src] += e.Bytes
+		r.InBytes[dst] += e.Bytes
+		if plat.IsSPE(dst) {
+			r.DMAIn[dst]++
+		}
+		if plat.IsSPE(src) && !plat.IsSPE(dst) {
+			r.DMAToPPE[src]++
+		}
+	}
+
+	// Period = max occupancy.
+	r.Period, r.Bottleneck = 0, "idle"
+	consider := func(v float64, name string) {
+		if v > r.Period {
+			r.Period = v
+			r.Bottleneck = name
+		}
+	}
+	for i := 0; i < n; i++ {
+		consider(r.ComputeLoad[i], "compute("+plat.PEName(i)+")")
+		consider(r.InBytes[i]/plat.BW, "in("+plat.PEName(i)+")")
+		consider(r.OutBytes[i]/plat.BW, "out("+plat.PEName(i)+")")
+	}
+
+	// Capacity constraints.
+	capBuf := plat.BufferCapacity()
+	for i := 0; i < n; i++ {
+		if !plat.IsSPE(i) {
+			continue
+		}
+		if r.BufferBytes[i] > capBuf {
+			r.Feasible = false
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"local store of %s: buffers need %d bytes, capacity %d",
+				plat.PEName(i), r.BufferBytes[i], capBuf))
+		}
+		if r.DMAIn[i] > plat.MaxDMAIn {
+			r.Feasible = false
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"%s receives %d distinct data per period, DMA stack holds %d",
+				plat.PEName(i), r.DMAIn[i], plat.MaxDMAIn))
+		}
+		if r.DMAToPPE[i] > plat.MaxDMAFromPPE {
+			r.Feasible = false
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"%s sends %d distinct data to PPEs per period, PPE DMA stack holds %d",
+				plat.PEName(i), r.DMAToPPE[i], plat.MaxDMAFromPPE))
+		}
+	}
+	return r, nil
+}
+
+// taskBufferNeed returns the local-store bytes task k requires: buffers
+// for all incoming and all outgoing data (§4.2).
+func taskBufferNeed(g *graph.Graph, buffers []int64, k graph.TaskID) int64 {
+	var need int64
+	for ei, e := range g.Edges {
+		if e.From == k || e.To == k {
+			need += buffers[ei]
+		}
+	}
+	return need
+}
+
+// TaskBufferNeeds returns, for every task, the local-store bytes its
+// buffers consume when it is mapped on an SPE. Indexed by TaskID.
+func TaskBufferNeeds(g *graph.Graph) []int64 {
+	buffers := BufferSizes(g)
+	out := make([]int64, g.NumTasks())
+	for k := range out {
+		out[k] = taskBufferNeed(g, buffers, graph.TaskID(k))
+	}
+	return out
+}
+
+// Speedup returns the throughput of the report normalized to the
+// PPE-only mapping of the same application, the speed-up metric of §6.4.
+func Speedup(g *graph.Graph, plat *platform.Platform, r *Report) (float64, error) {
+	base, err := Evaluate(g, plat, AllOnPPE(g))
+	if err != nil {
+		return 0, err
+	}
+	if r.Period == 0 {
+		return math.Inf(1), nil
+	}
+	return base.Period / r.Period, nil
+}

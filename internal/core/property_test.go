@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// Property tests over the analytical model: invariants any steady-state
+// evaluator must satisfy, checked with testing/quick over random graphs
+// and mappings.
+
+func quickGraph(seed int64, kRaw uint8) (*graph.Graph, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	k := int(kRaw%12) + 2
+	g := &graph.Graph{Name: "prop"}
+	for i := 0; i < k; i++ {
+		g.AddTask(graph.Task{
+			WPPE:       rng.Float64() * 1e-5,
+			WSPE:       rng.Float64() * 1e-5,
+			Peek:       rng.Intn(3),
+			ReadBytes:  float64(rng.Intn(3)) * 256,
+			WriteBytes: float64(rng.Intn(3)) * 256,
+		})
+	}
+	for to := 1; to < k; to++ {
+		g.AddEdge(graph.TaskID(rng.Intn(to)), graph.TaskID(to), float64(rng.Intn(8192)))
+	}
+	return g, rng
+}
+
+// The period never beats the two universal lower bounds: the heaviest
+// single task (on its faster PE) and the total work divided by an ideal
+// machine where every instance runs at its cheapest cost everywhere.
+func TestQuickPeriodLowerBounds(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g, rng := quickGraph(seed, kRaw)
+		plat := platform.Cell(1, 1+rng.Intn(7))
+		m := make(Mapping, g.NumTasks())
+		for i := range m {
+			m[i] = rng.Intn(plat.NumPE())
+		}
+		rep, err := Evaluate(g, plat, m)
+		if err != nil {
+			return false
+		}
+		// Bound 1: some PE holds at least one task (or the graph is
+		// empty); that PE's period covers the task's cost there.
+		for k, pe := range m {
+			w := g.Tasks[k].WPPE
+			if plat.IsSPE(pe) {
+				w = g.Tasks[k].WSPE
+			}
+			if rep.Period < w-1e-15 {
+				return false
+			}
+		}
+		// Bound 2: total cheapest work over all PEs.
+		var minWork float64
+		for _, task := range g.Tasks {
+			minWork += math.Min(task.WPPE, task.WSPE)
+		}
+		return rep.Period >= minWork/float64(plat.NumPE())-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling every compute cost by α ≥ 1 never decreases the period, and
+// with no communication it scales exactly.
+func TestQuickComputeScalingMonotone(t *testing.T) {
+	f := func(seed int64, kRaw uint8, aRaw uint8) bool {
+		g, rng := quickGraph(seed, kRaw)
+		alpha := 1 + float64(aRaw)/64
+		plat := platform.Cell(1, 3)
+		m := make(Mapping, g.NumTasks())
+		for i := range m {
+			m[i] = rng.Intn(plat.NumPE())
+		}
+		before, err := Evaluate(g, plat, m)
+		if err != nil {
+			return false
+		}
+		g2 := g.Clone()
+		g2.ScaleComputation(alpha)
+		after, err := Evaluate(g2, plat, m)
+		if err != nil {
+			return false
+		}
+		return after.Period >= before.Period-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Co-locating all tasks of a feasible mapping onto the PPE is always
+// feasible and removes all edge traffic.
+func TestQuickAllOnPPENoTraffic(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g, _ := quickGraph(seed, kRaw)
+		plat := platform.QS22()
+		rep, err := Evaluate(g, plat, AllOnPPE(g))
+		if err != nil || !rep.Feasible {
+			return false
+		}
+		// Only memory traffic on the PPE interfaces; none elsewhere.
+		for pe := 1; pe < plat.NumPE(); pe++ {
+			if rep.InBytes[pe] != 0 || rep.OutBytes[pe] != 0 || rep.BufferBytes[pe] != 0 {
+				return false
+			}
+		}
+		var reads, writes float64
+		for _, task := range g.Tasks {
+			reads += task.ReadBytes
+			writes += task.WriteBytes
+		}
+		return rep.InBytes[0] == reads && rep.OutBytes[0] == writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Increasing peek values never shrinks firstPeriods or buffers.
+func TestQuickPeekMonotone(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g, rng := quickGraph(seed, kRaw)
+		fp1 := FirstPeriods(g)
+		b1 := BufferSizes(g)
+		g2 := g.Clone()
+		bumped := rng.Intn(g2.NumTasks())
+		g2.Tasks[bumped].Peek += 1 + rng.Intn(3)
+		fp2 := FirstPeriods(g2)
+		b2 := BufferSizes(g2)
+		for i := range fp1 {
+			if fp2[i] < fp1[i] {
+				return false
+			}
+		}
+		for i := range b1 {
+			if b2[i] < b1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Buffer sizes scale linearly with edge payloads.
+func TestQuickBufferLinearInBytes(t *testing.T) {
+	f := func(seed int64, kRaw uint8, sRaw uint8) bool {
+		g, _ := quickGraph(seed, kRaw)
+		scale := float64(sRaw%7) + 2
+		b1 := BufferSizes(g)
+		g2 := g.Clone()
+		for e := range g2.Edges {
+			g2.Edges[e].Bytes *= scale
+		}
+		b2 := BufferSizes(g2)
+		for i := range b1 {
+			want := int64(math.Ceil(float64(b1[i]) * scale))
+			// Ceil of scaled vs scaled ceil can differ by rounding of the
+			// original; allow the scale as slack.
+			if math.Abs(float64(b2[i]-want)) > scale+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The report's period always equals the maximum of the resource
+// occupancies it itself reports, and the named bottleneck matches it.
+func TestQuickBottleneckConsistent(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g, rng := quickGraph(seed, kRaw)
+		plat := platform.Cell(1, 4)
+		m := make(Mapping, g.NumTasks())
+		for i := range m {
+			m[i] = rng.Intn(plat.NumPE())
+		}
+		rep, err := Evaluate(g, plat, m)
+		if err != nil {
+			return false
+		}
+		max := 0.0
+		for pe := 0; pe < plat.NumPE(); pe++ {
+			max = math.Max(max, rep.ComputeLoad[pe])
+			max = math.Max(max, rep.InBytes[pe]/plat.BW)
+			max = math.Max(max, rep.OutBytes[pe]/plat.BW)
+		}
+		return math.Abs(rep.Period-max) < 1e-15 && rep.Bottleneck != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

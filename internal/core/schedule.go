@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// PeriodicSchedule is the explicit steady-state schedule a mapping
+// induces (§3.1, Fig. 3): after an initialization phase, period p
+// processes instance p − Offset(T_k) of every task T_k, every period
+// lasts Period seconds, and all communications of a period overlap with
+// its computations under the bounded-multiport model.
+type PeriodicSchedule struct {
+	// Period is the duration T of one period; throughput is 1/T.
+	Period float64
+	// Offsets[k] is firstPeriod(T_k): the period index processing the
+	// first instance of task k.
+	Offsets []int
+	// PETasks[i] lists the tasks run by PE i during every period, in
+	// execution order (topological).
+	PETasks [][]graph.TaskID
+	// Startup is the number of periods before every task is active.
+	Startup int
+}
+
+// BuildSchedule constructs the periodic schedule of a mapping.
+func BuildSchedule(g *graph.Graph, plat *platform.Platform, m Mapping) (*PeriodicSchedule, error) {
+	rep, err := Evaluate(g, plat, m)
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &PeriodicSchedule{
+		Period:  rep.Period,
+		Offsets: FirstPeriods(g),
+		PETasks: make([][]graph.TaskID, plat.NumPE()),
+	}
+	for _, id := range order {
+		s.PETasks[m[id]] = append(s.PETasks[m[id]], id)
+	}
+	for _, off := range s.Offsets {
+		if off > s.Startup {
+			s.Startup = off
+		}
+	}
+	return s, nil
+}
+
+// Validate checks the steady-state precedence property: along every
+// edge D(k,l), the consumer runs peek_l + 2 periods after the producer
+// (one period for the producer, peek_l for lookahead, one for the
+// communication), i.e. Offset(l) − Offset(k) ≥ peek_l + 2.
+func (s *PeriodicSchedule) Validate(g *graph.Graph) error {
+	for _, e := range g.Edges {
+		gap := s.Offsets[e.To] - s.Offsets[e.From]
+		if need := g.Tasks[e.To].Peek + 2; gap < need {
+			return fmt.Errorf("core: schedule violates precedence on %d->%d: offset gap %d < %d",
+				e.From, e.To, gap, need)
+		}
+	}
+	return nil
+}
+
+// InstanceAt returns which instance of task k period p processes, or
+// -1 when the task is not yet active in period p.
+func (s *PeriodicSchedule) InstanceAt(k graph.TaskID, p int) int {
+	i := p - s.Offsets[k]
+	if i < 0 {
+		return -1
+	}
+	return i
+}
+
+// Gantt renders the first `periods` periods as an ASCII chart, one row
+// per processing element, listing "task#instance" entries per period —
+// the textual form of Fig. 3(b).
+func (s *PeriodicSchedule) Gantt(g *graph.Graph, plat *platform.Platform, periods int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "periodic schedule: T = %.4g s, startup %d periods\n", s.Period, s.Startup)
+	colW := 1
+	cells := make([][]string, plat.NumPE())
+	for pe := range cells {
+		cells[pe] = make([]string, periods)
+		for p := 0; p < periods; p++ {
+			var parts []string
+			for _, k := range s.PETasks[pe] {
+				if i := s.InstanceAt(k, p); i >= 0 {
+					parts = append(parts, fmt.Sprintf("%s#%d", g.Tasks[k].Name, i))
+				}
+			}
+			sort.Strings(parts)
+			cells[pe][p] = strings.Join(parts, " ")
+			if len(cells[pe][p]) > colW {
+				colW = len(cells[pe][p])
+			}
+		}
+	}
+	if colW > 24 {
+		colW = 24
+	}
+	b.WriteString("        ")
+	for p := 0; p < periods; p++ {
+		fmt.Fprintf(&b, "| p%-*d", colW-1, p)
+	}
+	b.WriteString("|\n")
+	for pe := 0; pe < plat.NumPE(); pe++ {
+		if len(s.PETasks[pe]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s", plat.PEName(pe))
+		for p := 0; p < periods; p++ {
+			c := cells[pe][p]
+			if len(c) > colW {
+				c = c[:colW-1] + "…"
+			}
+			fmt.Fprintf(&b, "|%-*s", colW, c)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func TestBuildScheduleFig3(t *testing.T) {
+	g := graph.Fig3Example()
+	plat := platform.Cell(1, 1)
+	s, err := BuildSchedule(g, plat, Mapping{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets follow firstPeriod: 0, 2, 3.
+	if s.Offsets[0] != 0 || s.Offsets[1] != 2 || s.Offsets[2] != 3 {
+		t.Errorf("offsets = %v", s.Offsets)
+	}
+	if s.Startup != 3 {
+		t.Errorf("startup = %d, want 3", s.Startup)
+	}
+	// Instance arithmetic.
+	if s.InstanceAt(0, 0) != 0 || s.InstanceAt(2, 2) != -1 || s.InstanceAt(2, 5) != 2 {
+		t.Errorf("InstanceAt wrong: %d %d %d",
+			s.InstanceAt(0, 0), s.InstanceAt(2, 2), s.InstanceAt(2, 5))
+	}
+}
+
+func TestScheduleGantt(t *testing.T) {
+	g := graph.Fig3Example()
+	plat := platform.Cell(1, 1)
+	s, err := BuildSchedule(g, plat, Mapping{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gantt := s.Gantt(g, plat, 5)
+	for _, want := range []string{"PPE0", "SPE0", "T1#0", "T1#4", "T3#1", "periodic schedule"} {
+		if !strings.Contains(gantt, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, gantt)
+		}
+	}
+	// T3 must not appear before period 3.
+	if strings.Contains(strings.SplitN(gantt, "p3", 2)[0], "T3#") {
+		t.Errorf("T3 scheduled before its offset:\n%s", gantt)
+	}
+}
+
+func TestScheduleValidateAlwaysHoldsOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 4+rng.Intn(12))
+		plat := platform.Cell(1, 3)
+		m := make(Mapping, g.NumTasks())
+		for k := range m {
+			m[k] = rng.Intn(plat.NumPE())
+		}
+		s, err := BuildSchedule(g, plat, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(g); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+		// Every task appears on exactly one PE's roster.
+		seen := make([]int, g.NumTasks())
+		for _, tasks := range s.PETasks {
+			for _, k := range tasks {
+				seen[k]++
+			}
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Errorf("trial %d: task %d on %d rosters", trial, k, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/milp"
+	"cellstream/internal/platform"
+)
+
+// SolveOptions tunes the MILP-based mapping computation.
+type SolveOptions struct {
+	// RelGap is the relative optimality gap; 0 selects the paper's 5 %
+	// CPLEX setting. Use Exact to force proven optimality.
+	RelGap float64
+	// Exact forces RelGap = 0.
+	Exact bool
+	// TimeLimit bounds the solve; 0 means 60 s, matching the paper's
+	// observation that resolutions stay below one minute.
+	TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes (0 = solver default).
+	MaxNodes int
+	// Literal selects the paper-literal β formulation instead of the
+	// compact one. Only sensible for small graphs.
+	Literal bool
+	// Seed optionally warm-starts the search with a feasible mapping
+	// (e.g. from a greedy heuristic). The all-on-PPE mapping is always
+	// added as a fallback incumbent.
+	Seed Mapping
+}
+
+// SolveResult is the outcome of SolveMILP.
+type SolveResult struct {
+	Mapping Mapping
+	Report  *Report
+	Status  milp.Status
+	// PeriodBound is a proven lower bound on the optimal period; the
+	// achieved period is within Gap of it.
+	PeriodBound float64
+	Gap         float64
+	Nodes       int
+	SolveTime   time.Duration
+}
+
+// SolveMILP computes a throughput-optimal (within the gap) mapping by
+// solving the mixed linear program of §5.
+func SolveMILP(g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*SolveResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	relGap := opt.RelGap
+	if relGap == 0 && !opt.Exact {
+		relGap = 0.05
+	}
+	timeLimit := opt.TimeLimit
+	if timeLimit == 0 {
+		timeLimit = 60 * time.Second
+	}
+
+	var f *Formulation
+	if opt.Literal {
+		f = FormulateLiteral(g, plat)
+	} else {
+		f = FormulateCompact(g, plat)
+	}
+
+	// Warm start: caller's seed if feasible, else all-on-PPE (always
+	// feasible: no cross transfers, no SPE buffers).
+	seed := opt.Seed
+	if seed != nil {
+		if rep, err := Evaluate(g, plat, seed); err != nil || !rep.Feasible {
+			seed = nil
+		}
+	}
+	if seed == nil {
+		seed = AllOnPPE(g)
+	}
+	inc, err := f.EncodeMapping(seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding warm start: %w", err)
+	}
+
+	start := time.Now()
+	res, err := milp.Solve(f.Problem, milp.Options{
+		RelGap:    relGap,
+		TimeLimit: timeLimit,
+		MaxNodes:  opt.MaxNodes,
+		Incumbent: inc,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: MILP solve: %w", err)
+	}
+	elapsed := time.Since(start)
+	if res.Status == milp.Infeasible || res.Status == milp.NoSolution {
+		return nil, fmt.Errorf("core: MILP returned %v for a problem with a trivial feasible mapping", res.Status)
+	}
+
+	m := f.DecodeMapping(res.X)
+	rep, err := Evaluate(g, plat, m)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Feasible {
+		// Decoding cannot produce an infeasible mapping from an integral
+		// solution; guard against solver tolerance artifacts by falling
+		// back to the seed.
+		m = seed
+		if rep, err = Evaluate(g, plat, m); err != nil {
+			return nil, err
+		}
+	}
+	return &SolveResult{
+		Mapping:     m,
+		Report:      rep,
+		Status:      res.Status,
+		PeriodBound: res.Bound,
+		Gap:         res.Gap,
+		Nodes:       res.Nodes,
+		SolveTime:   elapsed,
+	}, nil
+}

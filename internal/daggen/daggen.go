@@ -1,0 +1,291 @@
+// Package daggen generates random streaming task graphs in the style of
+// Suter's DagGen generator [19], which the paper uses to produce its
+// three evaluation graphs, plus per-graph variants with controlled
+// communication-to-computation ratio (CCR, §6.2).
+//
+// Graphs are built layer by layer: the number of parallel tasks per
+// layer follows the Fat parameter, its variation the Regularity
+// parameter, extra dependencies the Density parameter, and dependencies
+// may skip up to Jump layers. All randomness is seeded and deterministic.
+//
+// Cost model. Task compute costs follow the unrelated-machine model of
+// §2.1: every task draws a work amount in operations; the PPE executes
+// ops at PPERate. A fraction VectorProb of the tasks vectorize well and
+// run 2–6× faster on an SPE; the rest are control-heavy and run 1–2.5×
+// slower, so neither PE class dominates. Edge payloads are sized so the
+// whole application meets a target CCR, computed as in §6.2: total
+// transferred elements (ElementBytes each) divided by total operations.
+package daggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cellstream/internal/graph"
+)
+
+// Defaults for the cost model.
+const (
+	// DefaultPPERate is the effective PPE execution rate in ops/second.
+	DefaultPPERate = 1e9
+	// DefaultElementBytes is the size of one stream element (a float).
+	DefaultElementBytes = 4
+)
+
+// Params configures Generate.
+type Params struct {
+	Tasks      int     // number of tasks (≥ 1)
+	Fat        float64 // width: ~Fat·√Tasks parallel tasks per layer (default 0.5)
+	Regularity float64 // 0..1, uniformity of layer widths (default 0.5)
+	Density    float64 // 0..1, probability of extra in-edges (default 0.5)
+	Jump       int     // max layers an edge may skip (default 1)
+
+	PeekProb     float64 // probability a task peeks ahead (default 0.3)
+	PeekMax      int     // maximum peek value (default 2)
+	StatefulProb float64 // probability a task is stateful (default 0.2)
+
+	MinOps     float64 // minimum work per instance in operations (default 1e3)
+	MaxOps     float64 // maximum work per instance (default 3e4)
+	PPERate    float64 // PPE ops/second (default DefaultPPERate)
+	VectorProb float64 // fraction of SPE-friendly tasks (default 0.75)
+
+	// CCR is the target communication-to-computation ratio; 0 keeps the
+	// raw payloads (roughly CCR 1).
+	CCR float64
+	// ElementBytes sizes one element (default DefaultElementBytes).
+	ElementBytes float64
+	// MemIOProb is the probability that an interior task also reads or
+	// writes main memory (default 0.15); sources always read and sinks
+	// always write the stream.
+	MemIOProb float64
+
+	Seed int64
+}
+
+func (p *Params) fill() {
+	if p.Fat == 0 {
+		p.Fat = 0.5
+	}
+	if p.Regularity == 0 {
+		p.Regularity = 0.5
+	}
+	if p.Density == 0 {
+		p.Density = 0.5
+	}
+	if p.Jump == 0 {
+		p.Jump = 1
+	}
+	if p.PeekProb == 0 {
+		p.PeekProb = 0.3
+	}
+	if p.PeekMax == 0 {
+		p.PeekMax = 2
+	}
+	if p.StatefulProb == 0 {
+		p.StatefulProb = 0.2
+	}
+	if p.MinOps == 0 {
+		p.MinOps = 1e3
+	}
+	if p.MaxOps == 0 {
+		p.MaxOps = 3e4
+	}
+	if p.PPERate == 0 {
+		p.PPERate = DefaultPPERate
+	}
+	if p.VectorProb == 0 {
+		p.VectorProb = 0.75
+	}
+	if p.ElementBytes == 0 {
+		p.ElementBytes = DefaultElementBytes
+	}
+	if p.MemIOProb == 0 {
+		p.MemIOProb = 0.15
+	}
+}
+
+// Generate builds a random streaming application.
+func Generate(params Params) *graph.Graph {
+	p := params
+	p.fill()
+	if p.Tasks < 1 {
+		panic("daggen: Tasks must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &graph.Graph{Name: fmt.Sprintf("daggen-n%d-s%d", p.Tasks, p.Seed)}
+
+	// Layer widths.
+	avgWidth := math.Max(1, p.Fat*math.Sqrt(float64(p.Tasks)))
+	var layers [][]graph.TaskID
+	remaining := p.Tasks
+	for remaining > 0 {
+		w := avgWidth * (1 + (1-p.Regularity)*(rng.Float64()*2-1))
+		width := int(math.Max(1, math.Round(w)))
+		if width > remaining {
+			width = remaining
+		}
+		layer := make([]graph.TaskID, 0, width)
+		for i := 0; i < width; i++ {
+			ops := p.MinOps * math.Pow(p.MaxOps/p.MinOps, rng.Float64()) // log-uniform
+			wppe := ops / p.PPERate
+			var wspe float64
+			if rng.Float64() < p.VectorProb {
+				wspe = wppe / (2 + 4*rng.Float64())
+			} else {
+				wspe = wppe * (1 + 1.5*rng.Float64())
+			}
+			t := graph.Task{WPPE: wppe, WSPE: wspe}
+			if rng.Float64() < p.PeekProb {
+				t.Peek = 1 + rng.Intn(p.PeekMax)
+			}
+			if rng.Float64() < p.StatefulProb {
+				t.Stateful = true
+			}
+			layer = append(layer, g.AddTask(t))
+		}
+		layers = append(layers, layer)
+		remaining -= width
+	}
+
+	// Edges: every non-first-layer task gets one guaranteed predecessor
+	// from the previous layer, plus extra predecessors with probability
+	// Density from up to Jump layers back. Payload sizes are drawn
+	// independently of task work (a stage's data rate is not tied to its
+	// compute density), log-uniform across a 40× range around the mean
+	// task work, then rescaled to the target CCR. This spread is what
+	// makes mapping hard: the best mappings offload compute-heavy,
+	// thin-data tasks to the SPEs' small local stores.
+	avgOps := g.TotalComputePPE() * p.PPERate / float64(len(g.Tasks))
+	payload := func() float64 {
+		return avgOps * 0.15 * math.Pow(40, rng.Float64())
+	}
+	for li := 1; li < len(layers); li++ {
+		for _, id := range layers[li] {
+			base := layers[li-1][rng.Intn(len(layers[li-1]))]
+			g.AddEdge(base, id, payload())
+			for back := 1; back <= p.Jump && li-back >= 0; back++ {
+				if rng.Float64() >= p.Density/float64(back) {
+					continue
+				}
+				cand := layers[li-back][rng.Intn(len(layers[li-back]))]
+				if cand == base {
+					continue
+				}
+				if _, dup := g.EdgeBetween(cand, id); !dup {
+					g.AddEdge(cand, id, payload())
+				}
+			}
+		}
+	}
+
+	// Main-memory traffic: sources read the input stream, sinks write
+	// the output, some interior tasks touch memory too.
+	srcSet := map[graph.TaskID]bool{}
+	for _, s := range g.Sources() {
+		srcSet[s] = true
+	}
+	sinkSet := map[graph.TaskID]bool{}
+	for _, s := range g.Sinks() {
+		sinkSet[s] = true
+	}
+	for k := range g.Tasks {
+		id := graph.TaskID(k)
+		ops := g.Tasks[k].WPPE * p.PPERate
+		switch {
+		case srcSet[id]:
+			g.Tasks[k].ReadBytes = ops
+		case sinkSet[id]:
+			g.Tasks[k].WriteBytes = ops
+		case rng.Float64() < p.MemIOProb:
+			if rng.Intn(2) == 0 {
+				g.Tasks[k].ReadBytes = ops * 0.3
+			} else {
+				g.Tasks[k].WriteBytes = ops * 0.3
+			}
+		}
+	}
+
+	if p.CCR > 0 {
+		ScaleToCCR(g, p.CCR, p.ElementBytes, 1/p.PPERate)
+	}
+	if err := g.Validate(); err != nil {
+		panic("daggen: generated invalid graph: " + err.Error())
+	}
+	return g
+}
+
+// ScaleToCCR rescales every communication payload (edges and memory
+// traffic) so that g.CCR(elementBytes, opSeconds) equals target.
+func ScaleToCCR(g *graph.Graph, target, elementBytes, opSeconds float64) {
+	cur := g.CCR(elementBytes, opSeconds)
+	if cur == 0 || math.IsInf(cur, 0) || math.IsNaN(cur) {
+		return
+	}
+	g.ScaleCommunication(target / cur)
+}
+
+// The paper evaluates three DagGen graphs (§6.2): two branchy random
+// graphs of ≈50 and ≈94 tasks (Fig. 5) and a 50-task chain, each in six
+// CCR variants from 0.775 to 4.6.
+
+// PaperCCRs are the six CCR variants used in §6.2 (the paper names the
+// endpoints 0.775 and 4.6).
+var PaperCCRs = []float64{0.775, 1.2, 1.8, 2.6, 3.5, 4.6}
+
+// PaperGraph1 is the ≈50-task narrow random graph of Fig. 5(a).
+func PaperGraph1(ccr float64) *graph.Graph {
+	g := Generate(Params{Tasks: 50, Fat: 0.35, Regularity: 0.6, Density: 0.4, Jump: 2, Seed: 1, CCR: ccr})
+	g.Name = fmt.Sprintf("paper-graph1-ccr%.3g", ccr)
+	return g
+}
+
+// PaperGraph2 is the ≈94-task wider random graph of Fig. 5(b).
+func PaperGraph2(ccr float64) *graph.Graph {
+	g := Generate(Params{Tasks: 94, Fat: 0.55, Regularity: 0.4, Density: 0.18, Jump: 2, Seed: 2, CCR: ccr})
+	g.Name = fmt.Sprintf("paper-graph2-ccr%.3g", ccr)
+	return g
+}
+
+// PaperGraph3 is the 50-task chain.
+func PaperGraph3(ccr float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Chain("paper-graph3", 50,
+		func(int) float64 { return 0 }, // filled below
+		func(int) float64 { return 0 },
+		func(int) float64 { return 0 })
+	p := Params{}
+	p.fill()
+	for k := range g.Tasks {
+		ops := p.MinOps * math.Pow(p.MaxOps/p.MinOps, rng.Float64())
+		g.Tasks[k].WPPE = ops / p.PPERate
+		if rng.Float64() < p.VectorProb {
+			g.Tasks[k].WSPE = g.Tasks[k].WPPE / (2 + 4*rng.Float64())
+		} else {
+			g.Tasks[k].WSPE = g.Tasks[k].WPPE * (1 + 1.5*rng.Float64())
+		}
+		if rng.Float64() < p.PeekProb {
+			g.Tasks[k].Peek = 1 + rng.Intn(p.PeekMax)
+		}
+		if rng.Float64() < p.StatefulProb {
+			g.Tasks[k].Stateful = true
+		}
+	}
+	avgOps := g.TotalComputePPE() * p.PPERate / float64(len(g.Tasks))
+	for e := range g.Edges {
+		g.Edges[e].Bytes = avgOps * 0.15 * math.Pow(40, rng.Float64())
+	}
+	g.Tasks[0].ReadBytes = g.Tasks[0].WPPE * p.PPERate
+	last := g.NumTasks() - 1
+	g.Tasks[last].WriteBytes = g.Tasks[last].WPPE * p.PPERate
+	if ccr > 0 {
+		ScaleToCCR(g, ccr, p.ElementBytes, 1/p.PPERate)
+	}
+	g.Name = fmt.Sprintf("paper-graph3-ccr%.3g", ccr)
+	return g
+}
+
+// PaperGraphs returns the three evaluation graphs at the given CCR.
+func PaperGraphs(ccr float64) []*graph.Graph {
+	return []*graph.Graph{PaperGraph1(ccr), PaperGraph2(ccr), PaperGraph3(ccr)}
+}

@@ -1,0 +1,158 @@
+package daggen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cellstream/internal/graph"
+)
+
+func TestGenerateValidAndSized(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := Generate(Params{Tasks: 30, Seed: seed})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.NumTasks() != 30 {
+			t.Errorf("seed %d: %d tasks, want 30", seed, g.NumTasks())
+		}
+		if g.NumEdges() < 29 {
+			t.Errorf("seed %d: only %d edges (graph must be connected layer-to-layer)", seed, g.NumEdges())
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(Params{Tasks: 25, Seed: 42, CCR: 1.3})
+	b := Generate(Params{Tasks: 25, Seed: 42, CCR: 1.3})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ for identical seeds")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs", i)
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := Generate(Params{Tasks: 25, Seed: 43, CCR: 1.3})
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		same = false
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestCCRTargetHit(t *testing.T) {
+	for _, ccr := range PaperCCRs {
+		g := Generate(Params{Tasks: 40, Seed: 7, CCR: ccr})
+		got := g.CCR(DefaultElementBytes, 1/DefaultPPERate)
+		if math.Abs(got-ccr)/ccr > 1e-9 {
+			t.Errorf("CCR = %v, want %v", got, ccr)
+		}
+	}
+}
+
+func TestScaleToCCR(t *testing.T) {
+	g := graph.UniformChain("c", 4, 1e-6, 1e-6, 512)
+	ScaleToCCR(g, 2.5, 4, 1e-9)
+	if got := g.CCR(4, 1e-9); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("CCR = %v, want 2.5", got)
+	}
+	// Degenerate graphs must not panic or produce NaNs.
+	empty := &graph.Graph{Name: "e"}
+	empty.AddTask(graph.Task{})
+	ScaleToCCR(empty, 2, 4, 1e-9)
+}
+
+func TestUnrelatedMachineCosts(t *testing.T) {
+	g := Generate(Params{Tasks: 200, Seed: 3})
+	fast, slow := 0, 0
+	for _, task := range g.Tasks {
+		if task.WSPE < task.WPPE {
+			fast++
+		} else {
+			slow++
+		}
+		if task.WPPE <= 0 || task.WSPE <= 0 {
+			t.Fatalf("non-positive cost: %+v", task)
+		}
+	}
+	// ~75% SPE-friendly by default; both classes must exist.
+	if fast < 100 || slow < 10 {
+		t.Errorf("cost classes unbalanced: %d fast, %d slow on SPE", fast, slow)
+	}
+}
+
+func TestMemoryTrafficAtEndpoints(t *testing.T) {
+	g := Generate(Params{Tasks: 40, Seed: 9})
+	for _, s := range g.Sources() {
+		if g.Tasks[s].ReadBytes <= 0 {
+			t.Errorf("source %d reads nothing", s)
+		}
+	}
+	for _, s := range g.Sinks() {
+		if g.Tasks[s].WriteBytes <= 0 {
+			t.Errorf("sink %d writes nothing", s)
+		}
+	}
+}
+
+func TestPaperGraphShapes(t *testing.T) {
+	g1 := PaperGraph1(0.775)
+	if g1.NumTasks() != 50 {
+		t.Errorf("graph1: %d tasks", g1.NumTasks())
+	}
+	g2 := PaperGraph2(0.775)
+	if g2.NumTasks() != 94 {
+		t.Errorf("graph2: %d tasks", g2.NumTasks())
+	}
+	g3 := PaperGraph3(0.775)
+	if g3.NumTasks() != 50 || g3.NumEdges() != 49 || g3.Depth() != 50 {
+		t.Errorf("graph3 is not a 50-chain: %v", g3)
+	}
+	for _, g := range []*graph.Graph{g1, g2, g3} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if got := g.CCR(DefaultElementBytes, 1/DefaultPPERate); math.Abs(got-0.775) > 1e-6 {
+			t.Errorf("%s: CCR %v, want 0.775", g.Name, got)
+		}
+	}
+	if len(PaperGraphs(1.2)) != 3 {
+		t.Error("PaperGraphs must return the three evaluation graphs")
+	}
+}
+
+func TestFatControlsWidth(t *testing.T) {
+	narrow := Generate(Params{Tasks: 60, Fat: 0.2, Seed: 4})
+	wide := Generate(Params{Tasks: 60, Fat: 1.5, Seed: 4})
+	if narrow.Depth() <= wide.Depth() {
+		t.Errorf("narrow depth %d should exceed wide depth %d", narrow.Depth(), wide.Depth())
+	}
+}
+
+func TestQuickGeneratedGraphsAlwaysValid(t *testing.T) {
+	f := func(seed int64, nRaw, fatRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		fat := 0.1 + float64(fatRaw%20)/10
+		g := Generate(Params{Tasks: n, Fat: fat, Seed: seed, CCR: 0.5 + float64(nRaw%5)})
+		return g.Validate() == nil && g.NumTasks() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,432 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6): the steady-state ramp-up of Fig. 6, the speed-up versus number
+// of SPEs of Fig. 7, the speed-up versus communication-to-computation
+// ratio of Fig. 8, the solve-time observations of §6, plus the ablation
+// studies listed in DESIGN.md.
+//
+// Speed-ups follow the paper's definition (§6.4): achieved throughput
+// normalized to the throughput of the same application using only the
+// PPE, both measured on the simulated platform.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/platform"
+	"cellstream/internal/sim"
+)
+
+// Config tunes the experiment harness.
+type Config struct {
+	// Platform is the target (default: single Cell of a QS22, as §6.4).
+	Platform *platform.Platform
+	// Instances simulated for Fig. 7 (default 5000, as the paper);
+	// Fig. 6 and Fig. 8 use twice this value (the paper uses 10000).
+	Instances int
+	// SolveTime is the budget of the mapping search per instance
+	// (default 10 s; the paper reports ≈20 s CPLEX solves).
+	SolveTime time.Duration
+	// LSIters / LSRestarts tune the local-search seeding.
+	LSIters    int
+	LSRestarts int
+	// SPECounts are the x-axis of Fig. 7 (default 0..8).
+	SPECounts []int
+	// CCRs are the x-axis of Fig. 8 (default daggen.PaperCCRs).
+	CCRs []float64
+	// Quick shrinks everything for tests.
+	Quick bool
+	// Progress, when non-nil, receives one line per completed step.
+	Progress func(string)
+}
+
+func (c *Config) fill() {
+	if c.Platform == nil {
+		c.Platform = platform.QS22()
+	}
+	if c.Instances == 0 {
+		c.Instances = 5000
+	}
+	if c.SolveTime == 0 {
+		c.SolveTime = 10 * time.Second
+	}
+	if c.LSIters == 0 {
+		c.LSIters = 20000
+	}
+	if c.LSRestarts == 0 {
+		c.LSRestarts = 4
+	}
+	if c.SPECounts == nil {
+		c.SPECounts = []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	if c.CCRs == nil {
+		c.CCRs = daggen.PaperCCRs
+	}
+	if c.Quick {
+		c.Instances = 300
+		c.SolveTime = 1 * time.Second
+		c.LSIters = 1500
+		c.LSRestarts = 1
+		c.SPECounts = []int{0, 4, 8}
+		c.CCRs = []float64{0.775, 4.6}
+	}
+}
+
+func (c *Config) log(format string, args ...interface{}) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// LPMapping computes the paper's "Linear Programming" mapping: the
+// steady-state program solved to a 5 % gap. As MILP solvers do
+// internally, the branch-and-bound search is warm-started with the best
+// incumbent any cheap heuristic can produce (greedy, hill climbing,
+// simulated annealing), so the returned mapping dominates all of them.
+func LPMapping(g *graph.Graph, plat *platform.Platform, cfg Config) (*assign.Result, error) {
+	cfg.fill()
+	seed := heuristics.GreedyCPU(g, plat)
+	if alt := heuristics.GreedyMem(g, plat); betterSeed(g, plat, alt, seed) {
+		seed = alt
+	}
+	if improved, _, err := heuristics.Improve(g, plat, seed.Clone(), heuristics.LocalSearchOptions{
+		MaxIters: cfg.LSIters, Restarts: cfg.LSRestarts,
+	}); err == nil && betterSeed(g, plat, improved, seed) {
+		seed = improved
+	}
+	if annealed, _, err := heuristics.Anneal(g, plat, seed.Clone(), heuristics.AnnealOptions{
+		Iters: 2 * cfg.LSIters, Seed: 42,
+	}); err == nil && betterSeed(g, plat, annealed, seed) {
+		seed = annealed
+	}
+	return assign.Solve(g, plat, assign.Options{
+		RelGap:    0.05,
+		TimeLimit: cfg.SolveTime,
+		Seed:      seed,
+	})
+}
+
+func betterSeed(g *graph.Graph, plat *platform.Platform, a, b core.Mapping) bool {
+	ra, errA := core.Evaluate(g, plat, a)
+	rb, errB := core.Evaluate(g, plat, b)
+	if errA != nil || !ra.Feasible {
+		return false
+	}
+	if errB != nil || !rb.Feasible {
+		return true
+	}
+	return ra.Period < rb.Period
+}
+
+// measureSpeedup simulates the mapping and normalizes its steady
+// throughput to the simulated PPE-only baseline.
+func measureSpeedup(g *graph.Graph, plat *platform.Platform, m core.Mapping, instances int, base float64) (float64, error) {
+	res, err := sim.Run(g, plat, m, instances, sim.Config{})
+	if err != nil {
+		return 0, err
+	}
+	return res.SteadyThroughput() / base, nil
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+// Fig6Result is the ramp-up experiment: cumulative throughput versus
+// number of processed instances for random graph 1 (CCR 0.775, 8 SPEs),
+// against the throughput predicted by the steady-state program.
+type Fig6Result struct {
+	Graph       string
+	Instances   []int     // sampled instance counts
+	Cumulative  []float64 // measured cumulative throughput (instances/s)
+	Theoretical float64   // predicted steady-state throughput
+	Steady      float64   // measured steady-state throughput
+	Ratio       float64   // Steady / Theoretical (the paper reports ≈0.95)
+}
+
+// Fig6 runs the ramp-up experiment.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg.fill()
+	g := daggen.PaperGraph1(0.775)
+	plat := cfg.Platform
+	lp, err := LPMapping(g, plat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.log("fig6: LP mapping period=%.3gus gap=%.3g", lp.Report.Period*1e6, lp.Gap)
+	n := cfg.Instances * 2
+	res, err := sim.Run(g, plat, lp.Mapping, n, sim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	curve := res.RampCurve()
+	out := &Fig6Result{
+		Graph:       g.Name,
+		Theoretical: lp.Report.Throughput(),
+		Steady:      res.SteadyThroughput(),
+	}
+	out.Ratio = out.Steady / out.Theoretical
+	// Sample ~200 points along the curve.
+	step := len(curve) / 200
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(curve); i += step {
+		out.Instances = append(out.Instances, i+1)
+		out.Cumulative = append(out.Cumulative, curve[i])
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+// Fig7Row is one x-axis point of Fig. 7.
+type Fig7Row struct {
+	NumSPE    int
+	GreedyMem float64
+	GreedyCPU float64
+	LP        float64
+}
+
+// Fig7Result is the speed-up versus #SPEs sweep for one graph.
+type Fig7Result struct {
+	Graph string
+	Rows  []Fig7Row
+}
+
+// Fig7 reproduces the three speed-up plots of Fig. 7 (CCR 0.775).
+func Fig7(cfg Config) ([]*Fig7Result, error) {
+	cfg.fill()
+	var out []*Fig7Result
+	for _, g := range daggen.PaperGraphs(0.775) {
+		r := &Fig7Result{Graph: g.Name}
+		for _, nS := range cfg.SPECounts {
+			plat := cfg.Platform.WithSPEs(nS)
+			baseRes, err := sim.Run(g, plat, core.AllOnPPE(g), cfg.Instances, sim.Config{})
+			if err != nil {
+				return nil, err
+			}
+			base := baseRes.SteadyThroughput()
+			row := Fig7Row{NumSPE: nS}
+			if row.GreedyMem, err = measureSpeedup(g, plat, heuristics.GreedyMem(g, plat), cfg.Instances, base); err != nil {
+				return nil, err
+			}
+			if row.GreedyCPU, err = measureSpeedup(g, plat, heuristics.GreedyCPU(g, plat), cfg.Instances, base); err != nil {
+				return nil, err
+			}
+			lp, err := LPMapping(g, plat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if row.LP, err = measureSpeedup(g, plat, lp.Mapping, cfg.Instances, base); err != nil {
+				return nil, err
+			}
+			cfg.log("fig7 %s nS=%d: gmem %.2f gcpu %.2f lp %.2f", g.Name, nS, row.GreedyMem, row.GreedyCPU, row.LP)
+			r.Rows = append(r.Rows, row)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Result is the speed-up versus CCR sweep for one graph (LP mapping,
+// 8 SPEs).
+type Fig8Result struct {
+	Graph   string
+	CCR     []float64
+	Speedup []float64
+}
+
+// Fig8 reproduces the CCR sweep of Fig. 8.
+func Fig8(cfg Config) ([]*Fig8Result, error) {
+	cfg.fill()
+	builders := []func(float64) *graph.Graph{daggen.PaperGraph1, daggen.PaperGraph2, daggen.PaperGraph3}
+	var out []*Fig8Result
+	for _, build := range builders {
+		var r *Fig8Result
+		for _, ccr := range cfg.CCRs {
+			g := build(ccr)
+			if r == nil {
+				r = &Fig8Result{Graph: g.Name}
+			}
+			plat := cfg.Platform
+			baseRes, err := sim.Run(g, plat, core.AllOnPPE(g), cfg.Instances*2, sim.Config{})
+			if err != nil {
+				return nil, err
+			}
+			lp, err := LPMapping(g, plat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := measureSpeedup(g, plat, lp.Mapping, cfg.Instances*2, baseRes.SteadyThroughput())
+			if err != nil {
+				return nil, err
+			}
+			cfg.log("fig8 %s ccr=%.3g: lp %.2f", g.Name, ccr, sp)
+			r.CCR = append(r.CCR, ccr)
+			r.Speedup = append(r.Speedup, sp)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------ solve time
+
+// SolveTimeRow records one mapping-computation measurement (§6 reports
+// CPLEX solves staying under one minute at a 5 % gap).
+type SolveTimeRow struct {
+	Graph  string
+	Tasks  int
+	Edges  int
+	Nodes  int
+	Time   time.Duration
+	Gap    float64
+	Proved bool
+}
+
+// SolveTimes measures the mapping solver on the three paper graphs.
+func SolveTimes(cfg Config) ([]SolveTimeRow, error) {
+	cfg.fill()
+	var out []SolveTimeRow
+	for _, g := range daggen.PaperGraphs(0.775) {
+		res, err := LPMapping(g, cfg.Platform, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SolveTimeRow{
+			Graph: g.Name, Tasks: g.NumTasks(), Edges: g.NumEdges(),
+			Nodes: res.Nodes, Time: res.SolveTime, Gap: res.Gap, Proved: res.Proved,
+		})
+		cfg.log("solvetime %s: %v nodes=%d gap=%.3g", g.Name, res.SolveTime, res.Nodes, res.Gap)
+	}
+	return out, nil
+}
+
+// -------------------------------------------------------------- ablation
+
+// AblationRow reports the analytical LP speed-up of one platform variant.
+type AblationRow struct {
+	Graph   string
+	Variant string
+	Speedup float64
+}
+
+// Ablation quantifies how much each constraint family of the program
+// (1a)–(1k) costs: it re-solves the mapping with the local-store limit
+// lifted, the DMA stacks lifted, and the interfaces made infinitely
+// fast, and reports the analytical speed-up of each variant. This backs
+// the paper's observation that the SPEs' memory limitation is the
+// dominant constraint.
+func Ablation(cfg Config) ([]AblationRow, error) {
+	cfg.fill()
+	variants := []struct {
+		name   string
+		mutate func(*platform.Platform)
+	}{
+		{"full-model", func(*platform.Platform) {}},
+		{"no-memory-limit", func(p *platform.Platform) { p.LocalStore = 1 << 50 }},
+		{"no-dma-limits", func(p *platform.Platform) { p.MaxDMAIn = 1 << 30; p.MaxDMAFromPPE = 1 << 30 }},
+		{"infinite-bandwidth", func(p *platform.Platform) { p.BW = 1e30 }},
+	}
+	var out []AblationRow
+	for _, g := range daggen.PaperGraphs(0.775) {
+		for _, v := range variants {
+			plat := cfg.Platform.WithSPEs(cfg.Platform.NumSPE)
+			plat.Name = cfg.Platform.Name + "-" + v.name
+			v.mutate(plat)
+			res, err := LPMapping(g, plat, cfg)
+			if err != nil {
+				return nil, err
+			}
+			base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, AblationRow{
+				Graph: g.Name, Variant: v.name,
+				Speedup: base.Period / res.Report.Period,
+			})
+			cfg.log("ablation %s %s: %.2fx", g.Name, v.name, base.Period/res.Report.Period)
+		}
+	}
+	return out, nil
+}
+
+// --------------------------------------------------- strategy comparison
+
+// StrategyRow reports one (graph, strategy) pair of the extended
+// comparison: every mapper of the repository (the paper's two greedies,
+// the baselines, the §7-style improved heuristics, and the LP) measured
+// on the simulator.
+type StrategyRow struct {
+	Graph    string
+	Strategy string
+	// Speedup is the measured speed-up vs the simulated PPE-only run.
+	Speedup float64
+	// Feasible reports the analytical capacity check of the mapping.
+	Feasible bool
+}
+
+// CompareStrategies measures every mapping strategy on the three paper
+// graphs (CCR 0.775, full platform). An extension of Fig. 7's 8-SPE
+// endpoint to the whole strategy zoo.
+func CompareStrategies(cfg Config) ([]StrategyRow, error) {
+	cfg.fill()
+	plat := cfg.Platform
+	var out []StrategyRow
+	for _, g := range daggen.PaperGraphs(0.775) {
+		baseRes, err := sim.Run(g, plat, core.AllOnPPE(g), cfg.Instances, sim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		base := baseRes.SteadyThroughput()
+		strategies := []struct {
+			name string
+			run  func() (core.Mapping, error)
+		}{
+			{"roundrobin", func() (core.Mapping, error) { return heuristics.RoundRobin(g, plat), nil }},
+			{"greedymem", func() (core.Mapping, error) { return heuristics.GreedyMem(g, plat), nil }},
+			{"greedycpu", func() (core.Mapping, error) { return heuristics.GreedyCPU(g, plat), nil }},
+			{"localsearch", func() (core.Mapping, error) {
+				m, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
+					heuristics.LocalSearchOptions{MaxIters: cfg.LSIters, Restarts: cfg.LSRestarts})
+				return m, err
+			}},
+			{"anneal", func() (core.Mapping, error) {
+				m, _, err := heuristics.Anneal(g, plat, heuristics.GreedyCPU(g, plat),
+					heuristics.AnnealOptions{Iters: cfg.LSIters, Seed: 1})
+				return m, err
+			}},
+			{"lp", func() (core.Mapping, error) {
+				res, err := LPMapping(g, plat, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return res.Mapping, nil
+			}},
+		}
+		for _, s := range strategies {
+			m, err := s.run()
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.Evaluate(g, plat, m)
+			if err != nil {
+				return nil, err
+			}
+			sp := 0.0 // undeployable mappings score zero, like on hardware
+			if msp, err := measureSpeedup(g, plat, m, cfg.Instances, base); err == nil {
+				sp = msp
+			}
+			cfg.log("strategies %s %s: %.2fx feasible=%v", g.Name, s.name, sp, rep.Feasible)
+			out = append(out, StrategyRow{Graph: g.Name, Strategy: s.name, Speedup: sp, Feasible: rep.Feasible})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cellstream/internal/daggen"
+	"cellstream/internal/platform"
+)
+
+// The quick configuration shrinks everything so these tests double as an
+// end-to-end smoke test of the full experiment pipeline.
+
+func TestFig6Quick(t *testing.T) {
+	r, err := Fig6(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Theoretical <= 0 || r.Steady <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	// The measured steady state must be close to (and not above) the
+	// model prediction — the paper reports ≈95 %.
+	if r.Ratio < 0.85 || r.Ratio > 1.02 {
+		t.Errorf("measured/predicted ratio = %.3f, want ≈0.95", r.Ratio)
+	}
+	// Ramp-up: early cumulative throughput below late.
+	if len(r.Cumulative) < 10 {
+		t.Fatal("curve too short")
+	}
+	if r.Cumulative[0] >= r.Cumulative[len(r.Cumulative)-1] {
+		t.Error("no ramp-up visible")
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "instances,cumulative_throughput") {
+		t.Error("CSV header missing")
+	}
+	if plot := r.Plot(); !strings.Contains(plot, "Fig. 6") {
+		t.Error("plot missing title")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	rs, err := Fig7(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d graphs, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Rows) != 3 { // quick SPECounts = {0,4,8}
+			t.Fatalf("%s: %d rows", r.Graph, len(r.Rows))
+		}
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		// nS = 0: every strategy is the PPE-only mapping, speed-up ≈ 1.
+		for _, v := range []float64{first.GreedyMem, first.GreedyCPU, first.LP} {
+			if v < 0.9 || v > 1.1 {
+				t.Errorf("%s: speed-up with 0 SPEs = %v, want ≈1", r.Graph, v)
+			}
+		}
+		// The paper's headline: LP wins at 8 SPEs and beats both greedies.
+		if last.LP <= last.GreedyMem-0.05 || last.LP <= last.GreedyCPU-0.05 {
+			t.Errorf("%s: LP %.2f not ahead of greedies (%.2f, %.2f)",
+				r.Graph, last.LP, last.GreedyMem, last.GreedyCPU)
+		}
+		if last.LP < 1.2 {
+			t.Errorf("%s: LP speed-up %.2f at 8 SPEs, want > 1.2", r.Graph, last.LP)
+		}
+		var csv bytes.Buffer
+		if err := r.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if plot := r.Plot(); !strings.Contains(plot, "Linear Programming") {
+			t.Error("plot missing series")
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	rs, err := Fig8(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("%d graphs, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.CCR) != 2 { // quick CCRs = {0.775, 4.6}
+			t.Fatalf("%s: %d points", r.Graph, len(r.CCR))
+		}
+		// The paper's Fig. 8: higher CCR → lower speed-up.
+		if r.Speedup[len(r.Speedup)-1] >= r.Speedup[0] {
+			t.Errorf("%s: speed-up did not decay with CCR: %v", r.Graph, r.Speedup)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteFig8CSV(&csv, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "graph,ccr,lp_speedup") {
+		t.Error("CSV header missing")
+	}
+	if plot := PlotFig8(rs); !strings.Contains(plot, "Fig. 8") {
+		t.Error("plot missing title")
+	}
+}
+
+func TestSolveTimesQuick(t *testing.T) {
+	rows, err := SolveTimes(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper keeps solves under a minute; our quick budget is 1 s
+		// and the row must reflect a real search.
+		if r.Time.Seconds() > 30 {
+			t.Errorf("%s: solve took %v", r.Graph, r.Time)
+		}
+		if r.Nodes <= 0 {
+			t.Errorf("%s: no nodes explored", r.Graph)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteSolveTimesCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	rows, err := Ablation(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 3 graphs × 4 variants
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	byVariant := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byVariant[r.Graph] == nil {
+			byVariant[r.Graph] = map[string]float64{}
+		}
+		byVariant[r.Graph][r.Variant] = r.Speedup
+	}
+	for g, m := range byVariant {
+		// Lifting the memory limit can only help, and the paper observes
+		// it is the dominant constraint, so it must help noticeably on at
+		// least one graph (checked across graphs below).
+		if m["no-memory-limit"] < m["full-model"]-0.1 {
+			t.Errorf("%s: lifting memory reduced speed-up: %v < %v", g, m["no-memory-limit"], m["full-model"])
+		}
+	}
+	gain := 0.0
+	for _, m := range byVariant {
+		if d := m["no-memory-limit"] - m["full-model"]; d > gain {
+			gain = d
+		}
+	}
+	if gain < 0.2 {
+		t.Errorf("memory ablation gain %.2f too small — memory should be the binding constraint", gain)
+	}
+	var csv bytes.Buffer
+	if err := WriteAblationCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPMappingSeedsAndWins(t *testing.T) {
+	cfg := Config{Quick: true}
+	cfg.fill()
+	g := daggen.PaperGraph1(0.775)
+	plat := platform.QS22()
+	res, err := LPMapping(g, plat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Feasible {
+		t.Fatalf("LP mapping infeasible: %v", res.Report.Violations)
+	}
+}
+
+func TestCompareStrategiesQuick(t *testing.T) {
+	rows, err := CompareStrategies(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 { // 3 graphs × 6 strategies
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	best := map[string]float64{}
+	lp := map[string]float64{}
+	for _, r := range rows {
+		if r.Speedup > best[r.Graph] {
+			best[r.Graph] = r.Speedup
+		}
+		if r.Strategy == "lp" {
+			lp[r.Graph] = r.Speedup
+		}
+	}
+	for g := range best {
+		// The LP mapping must be at or near the top of the zoo.
+		if lp[g] < 0.9*best[g] {
+			t.Errorf("%s: LP %.2f well below best strategy %.2f", g, lp[g], best[g])
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteStrategiesCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "anneal") {
+		t.Error("CSV missing anneal rows")
+	}
+}

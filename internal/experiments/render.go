@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cellstream/internal/textplot"
+)
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteCSV emits the Fig. 6 curve.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Instances))
+	for i := range r.Instances {
+		rows[i] = []string{strconv.Itoa(r.Instances[i]), f(r.Cumulative[i]), f(r.Theoretical)}
+	}
+	return writeCSV(w, []string{"instances", "cumulative_throughput", "theoretical_throughput"}, rows)
+}
+
+// Plot renders the Fig. 6 curve as ASCII.
+func (r *Fig6Result) Plot() string {
+	xs := make([]float64, len(r.Instances))
+	for i, v := range r.Instances {
+		xs[i] = float64(v)
+	}
+	theory := textplot.Series{Name: "theoretical throughput",
+		X: []float64{xs[0], xs[len(xs)-1]},
+		Y: []float64{r.Theoretical, r.Theoretical}}
+	measured := textplot.Series{Name: "experimental throughput", X: xs, Y: r.Cumulative}
+	title := fmt.Sprintf("Fig. 6 — throughput vs instances (%s): steady %.1f/s = %.1f%% of predicted %.1f/s",
+		r.Graph, r.Steady, 100*r.Ratio, r.Theoretical)
+	return textplot.Plot(title, "instances", "instances/s", 70, 18,
+		[]textplot.Series{theory, measured})
+}
+
+// WriteCSV emits one Fig. 7 sweep.
+func (r *Fig7Result) WriteCSV(w io.Writer) error {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{strconv.Itoa(row.NumSPE), f(row.GreedyMem), f(row.GreedyCPU), f(row.LP)}
+	}
+	return writeCSV(w, []string{"num_spe", "greedymem_speedup", "greedycpu_speedup", "lp_speedup"}, rows)
+}
+
+// Plot renders one Fig. 7 sweep as ASCII.
+func (r *Fig7Result) Plot() string {
+	var xs, gm, gc, lp []float64
+	for _, row := range r.Rows {
+		xs = append(xs, float64(row.NumSPE))
+		gm = append(gm, row.GreedyMem)
+		gc = append(gc, row.GreedyCPU)
+		lp = append(lp, row.LP)
+	}
+	return textplot.Plot(
+		fmt.Sprintf("Fig. 7 — speed-up vs number of SPEs (%s)", r.Graph),
+		"number of SPEs", "speed-up vs PPE-only", 64, 16,
+		[]textplot.Series{
+			{Name: "Linear Programming", X: xs, Y: lp},
+			{Name: "GreedyMem", X: xs, Y: gm},
+			{Name: "GreedyCPU", X: xs, Y: gc},
+		})
+}
+
+// WriteCSV emits the Fig. 8 sweeps, one row per (graph, CCR).
+func WriteFig8CSV(w io.Writer, results []*Fig8Result) error {
+	var rows [][]string
+	for _, r := range results {
+		for i := range r.CCR {
+			rows = append(rows, []string{r.Graph, f(r.CCR[i]), f(r.Speedup[i])})
+		}
+	}
+	return writeCSV(w, []string{"graph", "ccr", "lp_speedup"}, rows)
+}
+
+// PlotFig8 renders the CCR sweeps of all graphs in one plot.
+func PlotFig8(results []*Fig8Result) string {
+	var series []textplot.Series
+	for _, r := range results {
+		series = append(series, textplot.Series{Name: r.Graph, X: r.CCR, Y: r.Speedup})
+	}
+	return textplot.Plot("Fig. 8 — speed-up vs CCR (LP mapping, 8 SPEs)",
+		"communication-to-computation ratio", "speed-up vs PPE-only", 64, 16, series)
+}
+
+// WriteSolveTimesCSV emits the solver measurements.
+func WriteSolveTimesCSV(w io.Writer, rows []SolveTimeRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Graph, strconv.Itoa(r.Tasks), strconv.Itoa(r.Edges),
+			strconv.Itoa(r.Nodes), f(r.Time.Seconds()), f(r.Gap), strconv.FormatBool(r.Proved)}
+	}
+	return writeCSV(w, []string{"graph", "tasks", "edges", "nodes", "seconds", "gap", "proved"}, out)
+}
+
+// WriteAblationCSV emits the ablation study.
+func WriteAblationCSV(w io.Writer, rows []AblationRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Graph, r.Variant, f(r.Speedup)}
+	}
+	return writeCSV(w, []string{"graph", "variant", "analytic_speedup"}, out)
+}
+
+// WriteStrategiesCSV emits the strategy comparison.
+func WriteStrategiesCSV(w io.Writer, rows []StrategyRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Graph, r.Strategy, f(r.Speedup), strconv.FormatBool(r.Feasible)}
+	}
+	return writeCSV(w, []string{"graph", "strategy", "measured_speedup", "feasible"}, out)
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "fmt"
+
+// Chain builds a linear pipeline of n tasks, the "simple streaming
+// application" of Fig. 2(a). Costs are filled from the cost functions,
+// which receive the task index; edge i->i+1 carries bytes(i) bytes.
+func Chain(name string, n int, wppe, wspe func(i int) float64, bytes func(i int) float64) *Graph {
+	g := &Graph{Name: name}
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Name: fmt.Sprintf("T%d", i+1), WPPE: wppe(i), WSPE: wspe(i)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(TaskID(i), TaskID(i+1), bytes(i))
+	}
+	return g
+}
+
+// UniformChain builds a chain of n tasks with identical costs.
+func UniformChain(name string, n int, wppe, wspe, bytes float64) *Graph {
+	return Chain(name, n,
+		func(int) float64 { return wppe },
+		func(int) float64 { return wspe },
+		func(int) float64 { return bytes })
+}
+
+// Fig3Example builds the 3-task application of Fig. 3 of the paper:
+// T1 feeds T2 and T3; T3 has peek = 1. With T1 and T2 on one PE and T3
+// on another, firstPeriod must evaluate to (0, 2, 4).
+func Fig3Example() *Graph {
+	g := &Graph{Name: "fig3"}
+	t1 := g.AddTask(Task{Name: "T1", WPPE: 1, WSPE: 1})
+	t2 := g.AddTask(Task{Name: "T2", WPPE: 1, WSPE: 1})
+	t3 := g.AddTask(Task{Name: "T3", WPPE: 1, WSPE: 1, Peek: 1})
+	g.AddEdge(t1, t2, 1024)
+	g.AddEdge(t1, t3, 1024)
+	return g
+}
+
+// Fig2bExample builds the 9-task application of Fig. 2(b): a diamond-ish
+// DAG used throughout the paper's exposition. Costs are illustrative.
+func Fig2bExample() *Graph {
+	g := &Graph{Name: "fig2b"}
+	ids := make([]TaskID, 10) // 1-based convenience
+	for i := 1; i <= 9; i++ {
+		ids[i] = g.AddTask(Task{Name: fmt.Sprintf("T%d", i), WPPE: 1, WSPE: 0.5})
+	}
+	edges := [][2]int{
+		{1, 3}, {1, 4}, {2, 5}, {3, 5}, {3, 6}, {4, 6}, {4, 7}, {5, 8}, {6, 8}, {6, 9}, {7, 9},
+	}
+	for _, e := range edges {
+		g.AddEdge(ids[e[0]], ids[e[1]], 4096)
+	}
+	return g
+}
+
+// ForkJoin builds a fork-join graph: one source fans out to width parallel
+// branches of the given depth, which all join into one sink. Useful for
+// exercising mappings where branches can run on distinct SPEs.
+func ForkJoin(name string, width, depth int, wppe, wspe, bytes float64) *Graph {
+	g := &Graph{Name: name}
+	src := g.AddTask(Task{Name: "src", WPPE: wppe, WSPE: wspe})
+	var lasts []TaskID
+	for b := 0; b < width; b++ {
+		prev := src
+		for d := 0; d < depth; d++ {
+			t := g.AddTask(Task{Name: fmt.Sprintf("b%dd%d", b, d), WPPE: wppe, WSPE: wspe})
+			g.AddEdge(prev, t, bytes)
+			prev = t
+		}
+		lasts = append(lasts, prev)
+	}
+	sink := g.AddTask(Task{Name: "sink", WPPE: wppe, WSPE: wspe})
+	for _, l := range lasts {
+		g.AddEdge(l, sink, bytes)
+	}
+	return g
+}

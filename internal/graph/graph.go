@@ -1,0 +1,357 @@
+// Package graph models streaming applications as directed acyclic task
+// graphs, following §2.2 of Gallet, Jacquelin and Marchal, "Scheduling
+// complex streaming applications on the Cell processor".
+//
+// A stream is an unbounded sequence of instances. Every instance must be
+// processed by every task of the graph; an edge D(k,l) carries, for each
+// instance, Bytes bytes produced by task k and consumed by task l.
+// A task l with Peek = p additionally needs the data of the p instances
+// following the current one before it can fire (video encoders that look
+// at future frames are the canonical example).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TaskID identifies a task inside one Graph. IDs are dense indices:
+// the i-th task of Graph.Tasks has ID i.
+type TaskID int
+
+// Task is one node of the application graph. Compute costs follow the
+// unrelated-machine model of the paper: WPPE and WSPE are the times (in
+// seconds) for one instance on a PPE and on an SPE respectively, and
+// neither dominates the other in general.
+type Task struct {
+	ID   TaskID `json:"id"`
+	Name string `json:"name"`
+
+	// WPPE and WSPE are seconds per instance on a PPE / SPE.
+	WPPE float64 `json:"wppe"`
+	WSPE float64 `json:"wspe"`
+
+	// Peek is the number of future instances of every input datum that
+	// must be present before an instance can be processed (peek_k in the
+	// paper). Zero for memoryless filters.
+	Peek int `json:"peek"`
+
+	// ReadBytes and WriteBytes are bytes exchanged with main memory per
+	// instance (read_k and write_k in the paper). They occupy the
+	// communication interfaces exactly like inter-task transfers.
+	ReadBytes  float64 `json:"read"`
+	WriteBytes float64 `json:"write"`
+
+	// Stateful marks tasks that carry internal state between instances.
+	// Stateful tasks cannot be replicated; since the paper restricts
+	// itself to simple mappings (every instance of a task on the same
+	// PE) the flag does not constrain the mapping, but the simulator
+	// serializes instances of a stateful task.
+	Stateful bool `json:"stateful,omitempty"`
+}
+
+// Edge is a dependency D(k,l): each instance of task To consumes Bytes
+// bytes produced by the same instance of task From.
+type Edge struct {
+	From  TaskID  `json:"from"`
+	To    TaskID  `json:"to"`
+	Bytes float64 `json:"bytes"`
+}
+
+// Graph is a complete streaming application: a DAG of tasks.
+// The zero value is an empty graph; use AddTask/AddEdge or the builders
+// in this package to populate it, then Validate.
+type Graph struct {
+	Name  string `json:"name"`
+	Tasks []Task `json:"tasks"`
+	Edges []Edge `json:"edges"`
+}
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.Tasks) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// AddTask appends a task and returns its ID. The ID field of the argument
+// is overwritten with the dense index.
+func (g *Graph) AddTask(t Task) TaskID {
+	t.ID = TaskID(len(g.Tasks))
+	if t.Name == "" {
+		t.Name = fmt.Sprintf("T%d", t.ID)
+	}
+	g.Tasks = append(g.Tasks, t)
+	return t.ID
+}
+
+// AddEdge appends a dependency from one task to another.
+func (g *Graph) AddEdge(from, to TaskID, bytes float64) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Bytes: bytes})
+}
+
+// Task returns the task with the given ID.
+func (g *Graph) Task(id TaskID) *Task { return &g.Tasks[id] }
+
+// Validate checks structural soundness: dense IDs, edge endpoints in
+// range, no self loops, no duplicate edges, non-negative costs and
+// acyclicity. It returns the first problem found.
+func (g *Graph) Validate() error {
+	for i, t := range g.Tasks {
+		if int(t.ID) != i {
+			return fmt.Errorf("graph %q: task %d has ID %d, want dense IDs", g.Name, i, t.ID)
+		}
+		if t.WPPE < 0 || t.WSPE < 0 {
+			return fmt.Errorf("graph %q: task %s has negative compute cost", g.Name, t.Name)
+		}
+		if math.IsNaN(t.WPPE) || math.IsNaN(t.WSPE) || math.IsInf(t.WPPE, 0) || math.IsInf(t.WSPE, 0) {
+			return fmt.Errorf("graph %q: task %s has non-finite compute cost", g.Name, t.Name)
+		}
+		if t.Peek < 0 {
+			return fmt.Errorf("graph %q: task %s has negative peek", g.Name, t.Name)
+		}
+		if t.ReadBytes < 0 || t.WriteBytes < 0 {
+			return fmt.Errorf("graph %q: task %s has negative memory traffic", g.Name, t.Name)
+		}
+	}
+	seen := make(map[[2]TaskID]bool, len(g.Edges))
+	for _, e := range g.Edges {
+		if e.From < 0 || int(e.From) >= len(g.Tasks) || e.To < 0 || int(e.To) >= len(g.Tasks) {
+			return fmt.Errorf("graph %q: edge %d->%d out of range", g.Name, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph %q: self loop on task %d", g.Name, e.From)
+		}
+		if e.Bytes < 0 || math.IsNaN(e.Bytes) || math.IsInf(e.Bytes, 0) {
+			return fmt.Errorf("graph %q: edge %d->%d has invalid size %v", g.Name, e.From, e.To, e.Bytes)
+		}
+		key := [2]TaskID{e.From, e.To}
+		if seen[key] {
+			return fmt.Errorf("graph %q: duplicate edge %d->%d", g.Name, e.From, e.To)
+		}
+		seen[key] = true
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Preds returns, for every task, the list of incoming edges (indices into
+// g.Edges). The slice is indexed by TaskID.
+func (g *Graph) Preds() [][]int {
+	preds := make([][]int, len(g.Tasks))
+	for i, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], i)
+	}
+	return preds
+}
+
+// Succs returns, for every task, the list of outgoing edges (indices into
+// g.Edges). The slice is indexed by TaskID.
+func (g *Graph) Succs() [][]int {
+	succs := make([][]int, len(g.Tasks))
+	for i, e := range g.Edges {
+		succs[e.From] = append(succs[e.From], i)
+	}
+	return succs
+}
+
+// Sources returns the IDs of tasks with no predecessor, in ID order.
+func (g *Graph) Sources() []TaskID {
+	indeg := make([]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	var out []TaskID
+	for i, d := range indeg {
+		if d == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Sinks returns the IDs of tasks with no successor, in ID order.
+func (g *Graph) Sinks() []TaskID {
+	outdeg := make([]int, len(g.Tasks))
+	for _, e := range g.Edges {
+		outdeg[e.From]++
+	}
+	var out []TaskID
+	for i, d := range outdeg {
+		if d == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the task IDs in a deterministic topological order
+// (Kahn's algorithm with a min-heap on IDs), or an error naming a cycle
+// participant if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	n := len(g.Tasks)
+	indeg := make([]int, n)
+	succs := g.Succs()
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	// Min-heap over ready IDs keeps the order deterministic.
+	ready := make([]TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, TaskID(i))
+		}
+	}
+	sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+	order := make([]TaskID, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest ID.
+		best := 0
+		for i := range ready {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, id)
+		for _, ei := range succs[id] {
+			to := g.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("graph %q: cycle through task %s", g.Name, g.Tasks[i].Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Depth returns the number of tasks on the longest path (1 for a single
+// task, 0 for an empty graph).
+func (g *Graph) Depth() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := make([]int, len(g.Tasks))
+	preds := g.Preds()
+	max := 0
+	for _, id := range order {
+		d := 1
+		for _, ei := range preds[id] {
+			if pd := depth[g.Edges[ei].From] + 1; pd > d {
+				d = pd
+			}
+		}
+		depth[id] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalComputePPE returns the total per-instance compute time if every
+// task ran on a PPE. This is the baseline period of the speed-up metric
+// used throughout the paper's evaluation (throughput normalized to the
+// PPE-only mapping).
+func (g *Graph) TotalComputePPE() float64 {
+	var s float64
+	for _, t := range g.Tasks {
+		s += t.WPPE
+	}
+	return s
+}
+
+// TotalComputeSPE returns the total per-instance compute time if every
+// task ran on a single SPE.
+func (g *Graph) TotalComputeSPE() float64 {
+	var s float64
+	for _, t := range g.Tasks {
+		s += t.WSPE
+	}
+	return s
+}
+
+// TotalBytes returns the total bytes moved per instance: all edge payloads
+// plus main-memory reads and writes.
+func (g *Graph) TotalBytes() float64 {
+	var s float64
+	for _, e := range g.Edges {
+		s += e.Bytes
+	}
+	for _, t := range g.Tasks {
+		s += t.ReadBytes + t.WriteBytes
+	}
+	return s
+}
+
+// CCR returns the communication-to-computation ratio of the application,
+// following §6.2 of the paper: the total number of transferred elements
+// divided by the number of operations on these elements. Elements are
+// measured with ElementBytes bytes each and operations with OpSeconds
+// seconds each, so that CCR is dimensionless and a "balanced" application
+// (CCR = 1) moves one element per operation. We use the PPE compute cost
+// as the operation count, matching the speed-up baseline.
+func (g *Graph) CCR(elementBytes, opSeconds float64) float64 {
+	ops := g.TotalComputePPE() / opSeconds
+	if ops == 0 {
+		return math.Inf(1)
+	}
+	return (g.TotalBytes() / elementBytes) / ops
+}
+
+// ScaleCommunication multiplies every edge payload and every memory
+// read/write by factor. Used to derive the CCR variants of §6.2 from a
+// base graph.
+func (g *Graph) ScaleCommunication(factor float64) {
+	for i := range g.Edges {
+		g.Edges[i].Bytes *= factor
+	}
+	for i := range g.Tasks {
+		g.Tasks[i].ReadBytes *= factor
+		g.Tasks[i].WriteBytes *= factor
+	}
+}
+
+// ScaleComputation multiplies every compute cost by factor.
+func (g *Graph) ScaleComputation(factor float64) {
+	for i := range g.Tasks {
+		g.Tasks[i].WPPE *= factor
+		g.Tasks[i].WSPE *= factor
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Name: g.Name}
+	out.Tasks = append([]Task(nil), g.Tasks...)
+	out.Edges = append([]Edge(nil), g.Edges...)
+	return out
+}
+
+// EdgeBetween returns the index of the edge from one task to another and
+// whether it exists.
+func (g *Graph) EdgeBetween(from, to TaskID) (int, bool) {
+	for i, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %q: %d tasks, %d edges, depth %d",
+		g.Name, len(g.Tasks), len(g.Edges), g.Depth())
+}

@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustValidate(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := &Graph{}
+	a := g.AddTask(Task{Name: "a"})
+	b := g.AddTask(Task{})
+	if a != 0 || b != 1 {
+		t.Errorf("IDs = %d, %d; want 0, 1", a, b)
+	}
+	if g.Tasks[1].Name != "T1" {
+		t.Errorf("auto name = %q, want T1", g.Tasks[1].Name)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	g := &Graph{Name: "cyc"}
+	a := g.AddTask(Task{})
+	b := g.AddTask(Task{})
+	c := g.AddTask(Task{})
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, c, 1)
+	g.AddEdge(c, a, 1)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestValidateCatchesSelfLoop(t *testing.T) {
+	g := &Graph{}
+	a := g.AddTask(Task{})
+	g.AddEdge(a, a, 1)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "self loop") {
+		t.Errorf("Validate = %v, want self loop error", err)
+	}
+}
+
+func TestValidateCatchesDuplicateEdge(t *testing.T) {
+	g := &Graph{}
+	a := g.AddTask(Task{})
+	b := g.AddTask(Task{})
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, b, 2)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Validate = %v, want duplicate error", err)
+	}
+}
+
+func TestValidateCatchesBadCosts(t *testing.T) {
+	for _, tc := range []Task{
+		{WPPE: -1, WSPE: 1},
+		{WPPE: 1, WSPE: math.NaN()},
+		{WPPE: math.Inf(1), WSPE: 1},
+		{WPPE: 1, WSPE: 1, Peek: -1},
+		{WPPE: 1, WSPE: 1, ReadBytes: -5},
+	} {
+		g := &Graph{}
+		g.AddTask(tc)
+		if err := g.Validate(); err == nil {
+			t.Errorf("task %+v accepted", tc)
+		}
+	}
+}
+
+func TestValidateCatchesOutOfRangeEdge(t *testing.T) {
+	g := &Graph{}
+	g.AddTask(Task{})
+	g.Edges = append(g.Edges, Edge{From: 0, To: 7, Bytes: 1})
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	g := Fig2bExample()
+	mustValidate(t, g)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[TaskID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d->%d violates topological order", e.From, e.To)
+		}
+	}
+	order2, _ := g.TopoOrder()
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("TopoOrder is not deterministic")
+		}
+	}
+}
+
+func TestSourcesSinksDepth(t *testing.T) {
+	g := Fig2bExample()
+	srcs := g.Sources()
+	if len(srcs) != 2 { // T1 and T2 have no predecessors in Fig2b
+		t.Errorf("sources = %v", srcs)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 2 { // T8 and T9
+		t.Errorf("sinks = %v", sinks)
+	}
+	if d := g.Depth(); d != 4 {
+		t.Errorf("depth = %d, want 4", d)
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	g := UniformChain("c", 5, 1, 2, 64)
+	mustValidate(t, g)
+	if g.NumTasks() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain: %d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if g.Depth() != 5 {
+		t.Errorf("depth = %d, want 5", g.Depth())
+	}
+	if got := g.TotalComputePPE(); got != 5 {
+		t.Errorf("TotalComputePPE = %v, want 5", got)
+	}
+	if got := g.TotalComputeSPE(); got != 10 {
+		t.Errorf("TotalComputeSPE = %v, want 10", got)
+	}
+	if got := g.TotalBytes(); got != 4*64 {
+		t.Errorf("TotalBytes = %v, want 256", got)
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin("fj", 3, 2, 1, 1, 8)
+	mustValidate(t, g)
+	if g.NumTasks() != 3*2+2 {
+		t.Errorf("tasks = %d, want 8", g.NumTasks())
+	}
+	if g.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", g.Depth())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Error("fork-join must have a single source and sink")
+	}
+}
+
+func TestCCRAndScaling(t *testing.T) {
+	g := UniformChain("c", 3, 1e-6, 1e-6, 400) // 2 edges × 400 B
+	// ops = 3e-6 s / 1e-9 s/op = 3000 ops; elements = 800/4 = 200.
+	ccr := g.CCR(4, 1e-9)
+	if math.Abs(ccr-200.0/3000.0) > 1e-12 {
+		t.Errorf("CCR = %v, want %v", ccr, 200.0/3000.0)
+	}
+	g.ScaleCommunication(3)
+	if got := g.CCR(4, 1e-9); math.Abs(got-3*ccr) > 1e-12 {
+		t.Errorf("scaled CCR = %v, want %v", got, 3*ccr)
+	}
+	g.ScaleComputation(2)
+	if got := g.CCR(4, 1e-9); math.Abs(got-1.5*ccr) > 1e-12 {
+		t.Errorf("after compute scaling CCR = %v, want %v", got, 1.5*ccr)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := UniformChain("c", 3, 1, 1, 10)
+	c := g.Clone()
+	c.Tasks[0].WPPE = 99
+	c.Edges[0].Bytes = 99
+	if g.Tasks[0].WPPE == 99 || g.Edges[0].Bytes == 99 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := Fig2bExample()
+	g.Tasks[3].Peek = 2
+	g.Tasks[4].Stateful = true
+	g.Tasks[5].ReadBytes = 123
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.NumTasks() != g.NumTasks() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", got, g)
+	}
+	for i := range g.Tasks {
+		if *got.Task(TaskID(i)) != *g.Task(TaskID(i)) {
+			t.Errorf("task %d: %+v != %+v", i, got.Tasks[i], g.Tasks[i])
+		}
+	}
+	for i := range g.Edges {
+		if got.Edges[i] != g.Edges[i] {
+			t.Errorf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","tasks":[{"id":0,"wppe":-1}]}`)); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := Fig3Example()
+	path := t.TempDir() + "/g.json"
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != 3 {
+		t.Errorf("loaded %d tasks", got.NumTasks())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Fig3Example()
+	dot := g.DOT([]int{0, 0, 1})
+	for _, want := range []string{"digraph", "t0 -> t1", "t0 -> t2", "peek: 1", "fillcolor"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if strings.Contains(g.DOT(nil), "fillcolor") {
+		t.Error("unmapped DOT should not color nodes")
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := Fig3Example()
+	if i, ok := g.EdgeBetween(0, 2); !ok || i != 1 {
+		t.Errorf("EdgeBetween(0,2) = %d,%v", i, ok)
+	}
+	if _, ok := g.EdgeBetween(2, 0); ok {
+		t.Error("reverse edge reported")
+	}
+}
+
+// Property: a randomly built layered DAG always validates, always
+// topo-sorts, and depth never exceeds task count.
+func TestQuickRandomDAGsValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := &Graph{Name: "q"}
+		for i := 0; i < n; i++ {
+			g.AddTask(Task{WPPE: rng.Float64(), WSPE: rng.Float64(), Peek: rng.Intn(3)})
+		}
+		for to := 1; to < n; to++ {
+			g.AddEdge(TaskID(rng.Intn(to)), TaskID(to), rng.Float64()*100)
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		return g.Depth() <= n && g.Depth() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ScaleCommunication by f multiplies TotalBytes by f and
+// leaves compute untouched.
+func TestQuickScaleCommunication(t *testing.T) {
+	f := func(seed int64, factRaw uint8) bool {
+		fact := 0.1 + float64(factRaw)/32
+		rng := rand.New(rand.NewSource(seed))
+		g := &Graph{}
+		for i := 0; i < 5; i++ {
+			g.AddTask(Task{WPPE: rng.Float64(), WSPE: rng.Float64(),
+				ReadBytes: rng.Float64() * 10, WriteBytes: rng.Float64() * 10})
+		}
+		for to := 1; to < 5; to++ {
+			g.AddEdge(TaskID(to-1), TaskID(to), rng.Float64()*100)
+		}
+		b0, c0 := g.TotalBytes(), g.TotalComputePPE()
+		g.ScaleCommunication(fact)
+		b1, c1 := g.TotalBytes(), g.TotalComputePPE()
+		return math.Abs(b1-b0*fact) < 1e-9*(1+b0) && c0 == c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSON serializes the graph in an indented, stable JSON form.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON parses a graph and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// SaveFile writes the graph as JSON to path.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSON graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+// DOT renders the graph in Graphviz DOT syntax, one node per task
+// annotated with its costs and peek, mirroring Fig. 5 of the paper.
+// If mapping is non-nil it colors nodes by processing element index
+// (mapping[taskID] = PE index).
+func (g *Graph) DOT(mapping []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box];\n", g.Name)
+	palette := []string{"lightblue", "palegreen", "lightsalmon", "khaki",
+		"plum", "lightcyan", "mistyrose", "wheat", "lavender", "honeydew"}
+	for _, t := range g.Tasks {
+		label := fmt.Sprintf("%s\\nppe: %.3g spe: %.3g\\npeek: %d", t.Name, t.WPPE, t.WSPE, t.Peek)
+		if t.Stateful {
+			label += "\\nstateful"
+		}
+		attr := ""
+		if mapping != nil && int(t.ID) < len(mapping) {
+			attr = fmt.Sprintf(", style=filled, fillcolor=%q", palette[mapping[t.ID]%len(palette)])
+		}
+		fmt.Fprintf(&b, "  t%d [label=\"%s\"%s];\n", t.ID, label, attr)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%.3g B\"];\n", e.From, e.To, e.Bytes)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// AnnealOptions tunes Anneal.
+type AnnealOptions struct {
+	// Iters is the number of proposals (0 = 50_000).
+	Iters int
+	// T0 and T1 are the initial and final temperatures as fractions of
+	// the starting period (0 = 0.2 and 0.001).
+	T0, T1 float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// Anneal runs simulated annealing over mappings: another instance of
+// the "more involved heuristics" the paper's conclusion calls for. The
+// neighbourhood is the same as Improve's (single-task moves and task
+// swaps); worse feasible neighbours are accepted with the Metropolis
+// probability exp(−Δ/T) under a geometric cooling schedule. The best
+// feasible mapping seen is returned.
+func Anneal(g *graph.Graph, plat *platform.Platform, start core.Mapping, opt AnnealOptions) (core.Mapping, *core.Report, error) {
+	iters := opt.Iters
+	if iters == 0 {
+		iters = 50_000
+	}
+	t0, t1 := opt.T0, opt.T1
+	if t0 == 0 {
+		t0 = 0.2
+	}
+	if t1 == 0 {
+		t1 = 0.001
+	}
+
+	cur := start.Clone()
+	curRep, err := core.Evaluate(g, plat, cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !curRep.Feasible {
+		cur = core.AllOnPPE(g)
+		if curRep, err = core.Evaluate(g, plat, cur); err != nil {
+			return nil, nil, err
+		}
+	}
+	best := cur.Clone()
+	bestRep := curRep
+
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	scale := curRep.Period
+	cool := math.Pow(t1/t0, 1/float64(iters))
+	temp := t0 * scale
+
+	k := g.NumTasks()
+	n := plat.NumPE()
+	for it := 0; it < iters; it++ {
+		temp *= cool
+		// Propose: 70% single-task move, 30% swap.
+		var undo func()
+		if rng.Float64() < 0.7 || k < 2 {
+			task := rng.Intn(k)
+			old := cur[task]
+			pe := rng.Intn(n)
+			if pe == old {
+				continue
+			}
+			cur[task] = pe
+			undo = func() { cur[task] = old }
+		} else {
+			a, b := rng.Intn(k), rng.Intn(k)
+			if a == b || cur[a] == cur[b] {
+				continue
+			}
+			cur[a], cur[b] = cur[b], cur[a]
+			undo = func() { cur[a], cur[b] = cur[b], cur[a] }
+		}
+		cand, err := core.Evaluate(g, plat, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		delta := cand.Period - curRep.Period
+		switch {
+		case !cand.Feasible:
+			undo()
+		case delta <= 0 || rng.Float64() < math.Exp(-delta/temp):
+			curRep = cand
+			if cand.Period < bestRep.Period {
+				best = cur.Clone()
+				bestRep = cand
+			}
+		default:
+			undo()
+		}
+	}
+	return best, bestRep, nil
+}

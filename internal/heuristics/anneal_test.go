@@ -1,0 +1,81 @@
+package heuristics
+
+import (
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func TestAnnealImprovesGreedy(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 30, Seed: 8, CCR: 1})
+	plat := platform.QS22()
+	start := GreedyCPU(g, plat)
+	startRep := evaluate(t, g, plat, start)
+	m, rep, err := Anneal(g, plat, start, AnnealOptions{Iters: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g, plat); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("annealed mapping infeasible: %v", rep.Violations)
+	}
+	if rep.Period > startRep.Period+1e-15 {
+		t.Errorf("anneal worsened: %v -> %v", startRep.Period, rep.Period)
+	}
+	if rep.Period > 0.95*startRep.Period {
+		t.Logf("anneal gain small: %v -> %v (acceptable but worth watching)", startRep.Period, rep.Period)
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 20, Seed: 4, CCR: 1.5})
+	plat := platform.Cell(1, 4)
+	m1, r1, err := Anneal(g, plat, GreedyMem(g, plat), AnnealOptions{Iters: 5000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, r2, err := Anneal(g, plat, GreedyMem(g, plat), AnnealOptions{Iters: 5000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Period != r2.Period {
+		t.Errorf("non-deterministic: %v vs %v", r1.Period, r2.Period)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("mappings differ for identical seeds")
+		}
+	}
+}
+
+func TestAnnealFromInfeasibleStart(t *testing.T) {
+	g := graph.UniformChain("fat", 4, 1e-6, 1e-6, 300*1024)
+	plat := platform.Cell(1, 2)
+	bad := core.Mapping{0, 1, 2, 0}
+	_, rep, err := Anneal(g, plat, bad, AnnealOptions{Iters: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Errorf("result infeasible: %v", rep.Violations)
+	}
+}
+
+func TestAnnealFindsObviousSplit(t *testing.T) {
+	g := &graph.Graph{Name: "two"}
+	g.AddTask(graph.Task{WPPE: 1e-3, WSPE: 1e-3})
+	g.AddTask(graph.Task{WPPE: 1e-3, WSPE: 1e-3})
+	plat := platform.Cell(1, 1)
+	_, rep, err := Anneal(g, plat, core.Mapping{0, 0}, AnnealOptions{Iters: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period > 1.1e-3 {
+		t.Errorf("period %v, want ~1e-3", rep.Period)
+	}
+}

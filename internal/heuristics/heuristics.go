@@ -1,0 +1,204 @@
+// Package heuristics implements the reference mapping strategies of §6.3
+// of the paper — GreedyMem and GreedyCPU — plus simple baselines and a
+// throughput-guided local-search improver (one of the "more involved
+// heuristics" the conclusion calls for).
+//
+// Both greedy strategies process tasks one after the other and never
+// revisit a decision. They reason only about SPE local-store capacity
+// (the paper found memory to be the dominant constraint) and, for
+// GreedyCPU, compute load; neither accounts for data transfers, which is
+// precisely why the paper's evaluation shows them plateauing while the
+// linear-programming mapping scales.
+package heuristics
+
+import (
+	"math/rand"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// GreedyMem maps tasks in topological order. For each task it considers
+// the SPEs whose remaining local store can host the task's buffers and
+// picks the one with the least loaded memory; if no SPE fits, the task
+// goes to the PPE (PPE 0).
+func GreedyMem(g *graph.Graph, plat *platform.Platform) core.Mapping {
+	needs := core.TaskBufferNeeds(g)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("heuristics: invalid graph: " + err.Error())
+	}
+	memUsed := make([]int64, plat.NumPE())
+	m := make(core.Mapping, g.NumTasks())
+	for _, k := range order {
+		best := -1
+		for i := plat.NumPPE; i < plat.NumPE(); i++ {
+			if memUsed[i]+needs[k] > plat.BufferCapacity() {
+				continue
+			}
+			if best < 0 || memUsed[i] < memUsed[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			m[k] = 0 // PPE
+			continue
+		}
+		m[k] = best
+		memUsed[best] += needs[k]
+	}
+	return m
+}
+
+// GreedyCPU maps tasks in topological order. For each task it considers
+// every processing element (PPEs and SPEs) with enough free memory and
+// picks the one with the smallest accumulated computation load.
+func GreedyCPU(g *graph.Graph, plat *platform.Platform) core.Mapping {
+	needs := core.TaskBufferNeeds(g)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("heuristics: invalid graph: " + err.Error())
+	}
+	memUsed := make([]int64, plat.NumPE())
+	load := make([]float64, plat.NumPE())
+	m := make(core.Mapping, g.NumTasks())
+	for _, k := range order {
+		t := g.Tasks[k]
+		best := -1
+		for i := 0; i < plat.NumPE(); i++ {
+			if plat.IsSPE(i) && memUsed[i]+needs[k] > plat.BufferCapacity() {
+				continue
+			}
+			if best < 0 || load[i] < load[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		m[k] = best
+		if plat.IsSPE(best) {
+			memUsed[best] += needs[k]
+			load[best] += t.WSPE
+		} else {
+			load[best] += t.WPPE
+		}
+	}
+	return m
+}
+
+// RoundRobin deals tasks to processing elements cyclically, ignoring
+// every constraint. A deliberately naive baseline.
+func RoundRobin(g *graph.Graph, plat *platform.Platform) core.Mapping {
+	m := make(core.Mapping, g.NumTasks())
+	for k := range m {
+		m[k] = k % plat.NumPE()
+	}
+	return m
+}
+
+// Random maps every task to a uniformly random PE.
+func Random(g *graph.Graph, plat *platform.Platform, rng *rand.Rand) core.Mapping {
+	m := make(core.Mapping, g.NumTasks())
+	for k := range m {
+		m[k] = rng.Intn(plat.NumPE())
+	}
+	return m
+}
+
+// LocalSearchOptions tunes Improve.
+type LocalSearchOptions struct {
+	// MaxIters bounds the number of accepted moves (0 = 10_000).
+	MaxIters int
+	// Restarts adds random restarts around the incumbent (0 = none).
+	Restarts int
+	// Seed makes the restart randomness reproducible.
+	Seed int64
+}
+
+// Improve runs first-improvement hill climbing from a starting mapping:
+// moves of one task to another PE and swaps of two tasks, accepting a
+// neighbour when it is feasible and strictly decreases the analytical
+// period. Returns the improved mapping and its report.
+func Improve(g *graph.Graph, plat *platform.Platform, start core.Mapping, opt LocalSearchOptions) (core.Mapping, *core.Report, error) {
+	maxIters := opt.MaxIters
+	if maxIters == 0 {
+		maxIters = 10_000
+	}
+	best := start.Clone()
+	bestRep, err := core.Evaluate(g, plat, best)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !bestRep.Feasible {
+		// Fall back to a known-feasible start.
+		best = core.AllOnPPE(g)
+		if bestRep, err = core.Evaluate(g, plat, best); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	climb := func(m core.Mapping, rep *core.Report) (core.Mapping, *core.Report) {
+		iters := 0
+		improved := true
+		for improved && iters < maxIters {
+			improved = false
+			for k := 0; k < g.NumTasks() && iters < maxIters; k++ {
+				// Move k to every other PE.
+				orig := m[k]
+				for pe := 0; pe < plat.NumPE(); pe++ {
+					if pe == orig {
+						continue
+					}
+					m[k] = pe
+					cand, err := core.Evaluate(g, plat, m)
+					if err == nil && cand.Feasible && cand.Period < rep.Period-1e-15 {
+						rep = cand
+						orig = pe
+						improved = true
+						iters++
+					} else {
+						m[k] = orig
+					}
+				}
+				// Swap k with a random other task.
+				o := rng.Intn(g.NumTasks())
+				if o != k && m[o] != m[k] {
+					m[k], m[o] = m[o], m[k]
+					cand, err := core.Evaluate(g, plat, m)
+					if err == nil && cand.Feasible && cand.Period < rep.Period-1e-15 {
+						rep = cand
+						improved = true
+						iters++
+					} else {
+						m[k], m[o] = m[o], m[k]
+					}
+				}
+			}
+		}
+		return m, rep
+	}
+
+	m, rep := climb(best.Clone(), bestRep)
+	if rep.Period < bestRep.Period {
+		best, bestRep = m, rep
+	}
+	for r := 0; r < opt.Restarts; r++ {
+		start := best.Clone()
+		// Perturb ~1/4 of the tasks.
+		for p := 0; p < g.NumTasks()/4+1; p++ {
+			start[rng.Intn(g.NumTasks())] = rng.Intn(plat.NumPE())
+		}
+		if rep, err := core.Evaluate(g, plat, start); err != nil || !rep.Feasible {
+			continue
+		}
+		repS, _ := core.Evaluate(g, plat, start)
+		m, rep := climb(start, repS)
+		if rep.Feasible && rep.Period < bestRep.Period {
+			best, bestRep = m, rep
+		}
+	}
+	return best, bestRep, nil
+}

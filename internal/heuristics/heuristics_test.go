@@ -1,0 +1,220 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func evaluate(t *testing.T, g *graph.Graph, plat *platform.Platform, m core.Mapping) *core.Report {
+	t.Helper()
+	rep, err := core.Evaluate(g, plat, m)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return rep
+}
+
+func TestGreedyMemRespectsMemory(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := daggen.Generate(daggen.Params{Tasks: 40, Seed: seed, CCR: 2})
+		plat := platform.QS22()
+		m := GreedyMem(g, plat)
+		rep := evaluate(t, g, plat, m)
+		for pe := plat.NumPPE; pe < plat.NumPE(); pe++ {
+			if rep.BufferBytes[pe] > plat.BufferCapacity() {
+				t.Errorf("seed %d: GreedyMem overfilled %s: %d > %d",
+					seed, plat.PEName(pe), rep.BufferBytes[pe], plat.BufferCapacity())
+			}
+		}
+	}
+}
+
+func TestGreedyMemPrefersSPEs(t *testing.T) {
+	// With loose memory every task must land on an SPE, none on the PPE.
+	g := graph.UniformChain("c", 8, 1e-6, 1e-6, 64)
+	plat := platform.QS22()
+	m := GreedyMem(g, plat)
+	for k, pe := range m {
+		if !plat.IsSPE(pe) {
+			t.Errorf("task %d on %s, want an SPE", k, plat.PEName(pe))
+		}
+	}
+}
+
+func TestGreedyMemBalancesMemory(t *testing.T) {
+	// Equal-size tasks across 4 SPEs: the memory spread must stay within
+	// one task's buffer need.
+	g := graph.UniformChain("c", 8, 1e-6, 1e-6, 1024)
+	plat := platform.Cell(1, 4)
+	m := GreedyMem(g, plat)
+	rep := evaluate(t, g, plat, m)
+	var min, max int64 = 1 << 62, 0
+	for pe := 1; pe < plat.NumPE(); pe++ {
+		if rep.BufferBytes[pe] < min {
+			min = rep.BufferBytes[pe]
+		}
+		if rep.BufferBytes[pe] > max {
+			max = rep.BufferBytes[pe]
+		}
+	}
+	if max-min > 3*2*1024*2 { // one task's worth of buffers
+		t.Errorf("memory spread %d..%d too wide", min, max)
+	}
+}
+
+func TestGreedyMemFallsBackToPPE(t *testing.T) {
+	// Buffers too big for any SPE: everything must go to the PPE.
+	g := graph.UniformChain("fat", 4, 1e-6, 1e-6, 300*1024)
+	plat := platform.Cell(1, 2)
+	m := GreedyMem(g, plat)
+	for k, pe := range m {
+		if pe != 0 {
+			t.Errorf("task %d on PE %d, want PPE 0", k, pe)
+		}
+	}
+}
+
+func TestGreedyCPUBalancesLoad(t *testing.T) {
+	// 8 identical tasks, no communication cost concern: loads across the
+	// 1 PPE + 3 SPEs should differ by at most one task.
+	g := graph.UniformChain("c", 8, 1e-6, 1e-6, 8)
+	plat := platform.Cell(1, 3)
+	m := GreedyCPU(g, plat)
+	counts := make([]int, plat.NumPE())
+	for _, pe := range m {
+		counts[pe]++
+	}
+	for pe, c := range counts {
+		if c == 0 {
+			t.Errorf("PE %d unused by GreedyCPU", pe)
+		}
+		if c > 3 {
+			t.Errorf("PE %d has %d tasks, want balanced", pe, c)
+		}
+	}
+}
+
+func TestGreedyCPUUsesRespectiveSpeeds(t *testing.T) {
+	// One task vastly faster on the PPE: with everything else equal,
+	// GreedyCPU should not pile other tasks onto the PPE afterwards.
+	g := &graph.Graph{Name: "mix"}
+	g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 100e-6})
+	for i := 0; i < 4; i++ {
+		g.AddTask(graph.Task{WPPE: 10e-6, WSPE: 10e-6})
+	}
+	plat := platform.Cell(1, 2)
+	m := GreedyCPU(g, plat)
+	rep := evaluate(t, g, plat, m)
+	if !rep.Feasible {
+		t.Fatalf("infeasible: %v", rep.Violations)
+	}
+	// The heavy-on-SPE task is processed first (topological order is ID
+	// order here since there are no edges... all sources); whatever the
+	// order, the final load must be reasonably balanced.
+	if rep.Period > 21e-6 {
+		t.Errorf("period %v too unbalanced", rep.Period)
+	}
+}
+
+func TestRoundRobinShape(t *testing.T) {
+	g := graph.UniformChain("c", 7, 1, 1, 1)
+	plat := platform.Cell(1, 2)
+	m := RoundRobin(g, plat)
+	want := core.Mapping{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("RoundRobin = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestRandomMappingValid(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 30, Seed: 5})
+	plat := platform.QS22()
+	rng := rand.New(rand.NewSource(1))
+	m := Random(g, plat, rng)
+	if err := m.Validate(g, plat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveNeverWorsens(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := daggen.Generate(daggen.Params{Tasks: 25, Seed: seed, CCR: 1.5})
+		plat := platform.Cell(1, 4)
+		start := GreedyCPU(g, plat)
+		startRep := evaluate(t, g, plat, start)
+		m, rep, err := Improve(g, plat, start, LocalSearchOptions{MaxIters: 500, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(g, plat); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Feasible {
+			t.Errorf("seed %d: Improve returned infeasible mapping", seed)
+		}
+		if startRep.Feasible && rep.Period > startRep.Period+1e-15 {
+			t.Errorf("seed %d: Improve worsened period %v -> %v", seed, startRep.Period, rep.Period)
+		}
+	}
+}
+
+func TestImproveFromInfeasibleStart(t *testing.T) {
+	// A start violating memory must be replaced by a feasible result.
+	g := graph.UniformChain("fat", 4, 1e-6, 1e-6, 300*1024)
+	plat := platform.Cell(1, 2)
+	bad := core.Mapping{0, 1, 2, 0} // buffers blow the local stores
+	if rep := evaluate(t, g, plat, bad); rep.Feasible {
+		t.Fatal("expected infeasible start")
+	}
+	m, rep, err := Improve(g, plat, bad, LocalSearchOptions{MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Errorf("result infeasible: %v (mapping %v)", rep.Violations, m)
+	}
+}
+
+func TestImproveFindsObviousWin(t *testing.T) {
+	// Two heavy independent tasks starting on the same PE: local search
+	// must separate them.
+	g := &graph.Graph{Name: "two"}
+	g.AddTask(graph.Task{WPPE: 1e-3, WSPE: 1e-3})
+	g.AddTask(graph.Task{WPPE: 1e-3, WSPE: 1e-3})
+	plat := platform.Cell(1, 1)
+	_, rep, err := Improve(g, plat, core.Mapping{0, 0}, LocalSearchOptions{MaxIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period > 1.1e-3 {
+		t.Errorf("period %v, want ~1e-3 (tasks split)", rep.Period)
+	}
+}
+
+func TestRestartsDeterministic(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 20, Seed: 3, CCR: 1})
+	plat := platform.Cell(1, 3)
+	m1, r1, err := Improve(g, plat, GreedyMem(g, plat), LocalSearchOptions{MaxIters: 300, Restarts: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, r2, err := Improve(g, plat, GreedyMem(g, plat), LocalSearchOptions{MaxIters: 300, Restarts: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Period != r2.Period {
+		t.Errorf("non-deterministic: %v vs %v", r1.Period, r2.Period)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("mappings differ across identical runs")
+		}
+	}
+}

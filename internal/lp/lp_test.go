@@ -1,0 +1,462 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTextbook2D(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+	p := New(2)
+	p.SetObj(0, -3)
+	p.SetObj(1, -5)
+	p.AddRow([]Coef{{0, 1}}, LE, 4)
+	p.AddRow([]Coef{{1, 2}}, LE, 12)
+	p.AddRow([]Coef{{0, 3}, {1, 2}}, LE, 18)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -36, 1e-6) {
+		t.Errorf("objective = %v, want -36", sol.Objective)
+	}
+	if !almost(sol.X[0], 2, 1e-6) || !almost(sol.X[1], 6, 1e-6) {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min -x - y s.t. x + y = 10, x ≤ 4 → obj -10, x=4, y=6.
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddRow([]Coef{{0, 1}}, LE, 4)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -10, 1e-6) {
+		t.Errorf("objective = %v, want -10", sol.Objective)
+	}
+	if !almost(sol.X[0]+sol.X[1], 10, 1e-6) {
+		t.Errorf("x+y = %v, want 10", sol.X[0]+sol.X[1])
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10 → 20 at (10, 0).
+	p := New(2)
+	p.SetObj(0, 2)
+	p.SetObj(1, 3)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, GE, 10)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(1)
+	p.AddRow([]Coef{{0, 1}}, GE, 5)
+	p.AddRow([]Coef{{0, 1}}, LE, 4)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := New(1)
+	p.SetBounds(0, 3, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := New(1)
+	p.SetObj(0, -1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestBoundFlips(t *testing.T) {
+	// min -x - 2y with 0 ≤ x,y ≤ 1 and a slack constraint: both at upper.
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -2)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, LE, 10)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -3, 1e-6) {
+		t.Errorf("objective = %v, want -3", sol.Objective)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x with x free, x ≥ -5 → -5.
+	p := New(1)
+	p.SetObj(0, 1)
+	p.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p.AddRow([]Coef{{0, 1}}, GE, -5)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -5, 1e-6) {
+		t.Errorf("objective = %v, want -5", sol.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x + y s.t. -x - y ≤ -4 (i.e. x + y ≥ 4) → 4.
+	p := New(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.AddRow([]Coef{{0, -1}, {1, -1}}, LE, -4)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 4, 1e-6) {
+		t.Errorf("objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestDuplicateCoefsMerged(t *testing.T) {
+	// 2x + 3x = 5x ≤ 10 with min -x → x = 2.
+	p := New(1)
+	p.SetObj(0, -1)
+	p.AddRow([]Coef{{0, 2}, {0, 3}}, LE, 10)
+	sol := solveOK(t, p)
+	if !almost(sol.X[0], 2, 1e-6) {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example; Dantzig's rule cycles without
+	// anti-cycling. We require termination at the known optimum -0.05.
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 ≤ 0
+	//      0.5 x1 - 90x2 - 0.02x3 + 3x4 ≤ 0
+	//      x3 ≤ 1
+	p := New(4)
+	p.SetObj(0, -0.75)
+	p.SetObj(1, 150)
+	p.SetObj(2, -0.02)
+	p.SetObj(3, 6)
+	p.AddRow([]Coef{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddRow([]Coef{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddRow([]Coef{{2, 1}}, LE, 1)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -0.05, 1e-6) {
+		t.Errorf("objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+// --- brute-force reference ------------------------------------------------
+
+// bruteForce enumerates all vertices of a small LP with finite variable
+// bounds: every choice of n active constraints among rows-as-equalities
+// and variable bounds, solved by Gaussian elimination, feasibility-checked.
+func bruteForce(p *Problem) (float64, bool) {
+	n := p.n
+	type hyperplane struct {
+		a   []float64
+		rhs float64
+	}
+	var planes []hyperplane
+	for _, r := range p.rows {
+		a := make([]float64, n)
+		for _, c := range r.coefs {
+			a[c.Var] += c.Value
+		}
+		planes = append(planes, hyperplane{a, r.rhs})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		planes = append(planes, hyperplane{a, p.lo[j]})
+		b := make([]float64, n)
+		b[j] = 1
+		planes = append(planes, hyperplane{b, p.up[j]})
+	}
+	best, found := math.Inf(1), false
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			// Solve the n×n system.
+			A := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				A[i] = append(append([]float64{}, planes[idx[i]].a...), planes[idx[i]].rhs)
+			}
+			x, ok := gauss(A)
+			if !ok {
+				return
+			}
+			if feasible(p, x) {
+				obj := 0.0
+				for j := 0; j < n; j++ {
+					obj += p.obj[j] * x[j]
+				}
+				if obj < best {
+					best = obj
+					found = true
+				}
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func gauss(A [][]float64) ([]float64, bool) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-9 {
+			return nil, false
+		}
+		A[col], A[piv] = A[piv], A[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := A[r][col] / A[col][col]
+			for c := col; c <= n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = A[i][n] / A[i][i]
+	}
+	return x, true
+}
+
+func feasible(p *Problem, x []float64) bool {
+	const tol = 1e-6
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lo[j]-tol || x[j] > p.up[j]+tol {
+			return false
+		}
+	}
+	for _, r := range p.rows {
+		lhs := 0.0
+		for _, c := range r.coefs {
+			lhs += c.Value * x[c.Var]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(2) // 2..3 variables
+		m := 1 + rng.Intn(4) // 1..4 rows
+		p := New(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, math.Round(rng.NormFloat64()*5))
+			p.SetBounds(j, 0, float64(1+rng.Intn(10)))
+		}
+		for i := 0; i < m; i++ {
+			var coefs []Coef
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) > 0 {
+					coefs = append(coefs, Coef{j, math.Round(rng.NormFloat64() * 3)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = []Coef{{0, 1}}
+			}
+			sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+			p.AddRow(coefs, sense, math.Round(rng.NormFloat64()*8))
+		}
+		want, wantFeasible := bruteForce(p)
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !wantFeasible {
+			if sol.Status == Optimal {
+				// The brute force only misses feasibility through
+				// degenerate non-vertex regions; verify the claim.
+				if !feasible(p, sol.X) {
+					t.Fatalf("trial %d: solver returned infeasible point %v", trial, sol.X)
+				}
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v, brute force found feasible optimum %v", trial, sol.Status, want)
+		}
+		if !feasible(p, sol.X) {
+			t.Fatalf("trial %d: returned point violates constraints: %v", trial, sol.X)
+		}
+		if !almost(sol.Objective, want, 1e-5*(1+math.Abs(want))) {
+			t.Fatalf("trial %d: objective %v, want %v (X=%v)", trial, sol.Objective, want, sol.X)
+		}
+	}
+}
+
+func TestLargeDense(t *testing.T) {
+	// A moderately large LP with known optimum: minimize Σ x_i subject to
+	// x_i + x_{i+1} ≥ 1 for a ring of 100 variables → optimum 50.
+	const n = 100
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, 1)
+		p.SetBounds(j, 0, 1)
+	}
+	for j := 0; j < n; j++ {
+		p.AddRow([]Coef{{j, 1}, {(j + 1) % n, 1}}, GE, 1)
+	}
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 50, 1e-5) {
+		t.Errorf("objective = %v, want 50", sol.Objective)
+	}
+}
+
+// --- robustness and scale tests -------------------------------------------
+
+func TestBadlyScaledProblem(t *testing.T) {
+	// Coefficients spanning 12 orders of magnitude, as in the mapping
+	// LPs (bytes ~1e5 against periods ~1e-6).
+	p := New(2)
+	p.SetObj(0, 1)
+	p.SetBounds(0, 0, math.Inf(1))
+	p.SetBounds(1, 0, 1)
+	// 1e5·y − 2.5e10·T ≤ 0 → T ≥ 4e-6 when y = 1; force y = 1.
+	p.AddRow([]Coef{{1, 1e5}, {0, -2.5e10}}, LE, 0)
+	p.AddRow([]Coef{{1, 1}}, GE, 1)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 4e-6, 1e-12) {
+		t.Errorf("objective = %v, want 4e-6", sol.Objective)
+	}
+}
+
+func TestManyEqualities(t *testing.T) {
+	// A chain of equalities x_i = x_{i+1}, x_0 = 3, minimize x_{n-1}.
+	const n = 40
+	p := New(n)
+	p.SetObj(n-1, 1)
+	for j := 0; j < n; j++ {
+		p.SetBounds(j, 0, 10)
+	}
+	p.AddRow([]Coef{{0, 1}}, EQ, 3)
+	for j := 0; j+1 < n; j++ {
+		p.AddRow([]Coef{{j, 1}, {j + 1, -1}}, EQ, 0)
+	}
+	sol := solveOK(t, p)
+	if !almost(sol.X[n-1], 3, 1e-6) {
+		t.Errorf("x[last] = %v, want 3", sol.X[n-1])
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate and implied rows must not break phase 1's basis repair.
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	for i := 0; i < 5; i++ {
+		p.AddRow([]Coef{{0, 1}, {1, 1}}, LE, 4)
+	}
+	p.AddRow([]Coef{{0, 2}, {1, 2}}, LE, 8) // implied by the above
+	p.AddRow([]Coef{{0, 1}, {1, 1}}, EQ, 4) // tight version
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, -4, 1e-6) {
+		t.Errorf("objective = %v, want -4", sol.Objective)
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	p := New(3)
+	p.SetObj(2, 1)
+	p.SetBounds(0, 2, 2) // fixed
+	p.SetBounds(1, 3, 3) // fixed
+	p.SetBounds(2, 0, math.Inf(1))
+	// z ≥ x + y
+	p.AddRow([]Coef{{2, 1}, {0, -1}, {1, -1}}, GE, 0)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 5, 1e-6) {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+}
+
+func TestIterLimitReported(t *testing.T) {
+	const n = 30
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, -1)
+		p.SetBounds(j, 0, 1)
+		p.AddRow([]Coef{{j, 1}, {(j + 1) % n, 1}}, LE, 1)
+	}
+	sol, err := SolveOpts(p, Options{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Errorf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	for s, want := range map[Sense]string{LE: "<=", GE: ">=", EQ: "="} {
+		if s.String() != want {
+			t.Errorf("sense string = %q, want %q", s.String(), want)
+		}
+	}
+}

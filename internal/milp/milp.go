@@ -1,0 +1,363 @@
+// Package milp solves mixed 0/1 integer linear programs by LP-based
+// branch-and-bound on top of package lp. Together they replace the role
+// of ILOG CPLEX in §6 of the paper, including its "stop within 5 % of
+// the optimum" mode that the authors used to keep resolution times under
+// a minute.
+//
+// The solver minimizes the LP objective subject to integrality of the
+// declared variables. Nodes are explored best-first (smallest parent
+// bound first) so the global lower bound is always the top of the heap;
+// branching selects the most fractional integer variable. A rounding
+// heuristic (fix integers to the nearest integral point, re-solve the LP
+// for the continuous variables) is used to find incumbents early.
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"cellstream/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal means the incumbent is within the requested gap of the
+	// best bound (with RelGap == 0 this is proven optimality).
+	Optimal Status = iota
+	// Feasible means an integral solution exists but the search stopped
+	// (node or time limit) before proving the gap.
+	Feasible
+	// Infeasible means no integral assignment satisfies the constraints.
+	Infeasible
+	// NoSolution means limits were hit before any integral solution was
+	// found.
+	NoSolution
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case NoSolution:
+		return "no-solution"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem couples an LP with the list of integer-constrained variables.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []int // variable indices required to be integral
+}
+
+// Options tunes the search.
+type Options struct {
+	// RelGap is the relative optimality gap at which the search stops,
+	// e.g. 0.05 reproduces the paper's CPLEX setting. 0 means prove
+	// optimality (up to tolerance).
+	RelGap float64
+	// MaxNodes bounds the number of explored nodes (0 = 1e6).
+	MaxNodes int
+	// TimeLimit bounds wall-clock time (0 = none).
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+	// Incumbent optionally warm-starts the search with a known feasible
+	// point (checked; ignored if not feasible/integral).
+	Incumbent []float64
+	// DisableRounding turns off the rounding heuristic (for tests and
+	// ablations).
+	DisableRounding bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64 // objective of X
+	Bound     float64 // global lower bound on the optimum
+	Nodes     int     // LP relaxations solved
+	Gap       float64 // (Objective - Bound) / max(|Objective|, eps)
+}
+
+type boundChange struct {
+	v      int
+	lo, up float64
+}
+
+type node struct {
+	bound   float64 // parent LP objective (lower bound for the subtree)
+	changes []boundChange
+	id      int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].id > h[j].id // prefer deeper/newer nodes on ties (DFS-ish)
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound.
+func Solve(p *Problem, opt Options) (*Result, error) {
+	intTol := opt.IntTol
+	if intTol == 0 {
+		intTol = 1e-6
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 1_000_000
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	isInt := make(map[int]bool, len(p.Integer))
+	for _, v := range p.Integer {
+		isInt[v] = true
+	}
+
+	// Save root bounds so we can restore the Problem after solving.
+	n := p.LP.NumVars()
+	rootLo := make([]float64, n)
+	rootUp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rootLo[j], rootUp[j] = p.LP.Bounds(j)
+	}
+	defer func() {
+		for j := 0; j < n; j++ {
+			p.LP.SetBounds(j, rootLo[j], rootUp[j])
+		}
+	}()
+
+	res := &Result{Status: NoSolution, Bound: math.Inf(-1), Objective: math.Inf(1)}
+
+	if opt.Incumbent != nil {
+		if obj, ok := checkIncumbent(p, opt.Incumbent, intTol); ok {
+			res.X = append([]float64(nil), opt.Incumbent...)
+			res.Objective = obj
+			res.Status = Feasible
+		}
+	}
+
+	applyAndSolve := func(changes []boundChange) (*lp.Solution, error) {
+		for j := 0; j < n; j++ {
+			p.LP.SetBounds(j, rootLo[j], rootUp[j])
+		}
+		for _, ch := range changes {
+			p.LP.SetBounds(ch.v, ch.lo, ch.up)
+		}
+		return lp.Solve(p.LP)
+	}
+
+	h := &nodeHeap{{bound: math.Inf(-1)}}
+	heap.Init(h)
+	nextID := 1
+
+	better := func(obj float64) bool { return obj < res.Objective-1e-9 }
+	gapClosed := func(bound float64) bool {
+		if math.IsInf(res.Objective, 1) {
+			return false
+		}
+		denom := math.Max(math.Abs(res.Objective), 1e-9)
+		return (res.Objective-bound)/denom <= opt.RelGap+1e-12
+	}
+
+	for h.Len() > 0 {
+		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		nd := heap.Pop(h).(*node)
+		// Global lower bound = min over open nodes and this node.
+		if nd.bound > res.Bound {
+			res.Bound = nd.bound
+		}
+		if gapClosed(nd.bound) {
+			res.Bound = nd.bound
+			res.Status = Optimal
+			res.Gap = gap(res.Objective, res.Bound)
+			return res, nil
+		}
+
+		sol, err := applyAndSolve(nd.changes)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes++
+		if sol.Status == lp.Infeasible {
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			// An unbounded relaxation at the root means the MILP is
+			// unbounded or needs explicit bounds; report via bound.
+			res.Bound = math.Inf(-1)
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			continue // iteration limit: treat as unpruned but unusable
+		}
+		if !better(sol.Objective) && !math.IsInf(res.Objective, 1) {
+			// Bound dominated by incumbent: prune (allowing gap).
+			denom := math.Max(math.Abs(res.Objective), 1e-9)
+			if (res.Objective-sol.Objective)/denom <= opt.RelGap+1e-12 {
+				continue
+			}
+		}
+
+		frac := mostFractional(sol.X, p.Integer, intTol)
+		if frac < 0 {
+			// Integral: candidate incumbent.
+			if better(sol.Objective) {
+				res.X = append([]float64(nil), sol.X...)
+				res.Objective = sol.Objective
+				res.Status = Feasible
+			}
+			continue
+		}
+
+		// Rounding heuristic: fix every integer to its nearest value and
+		// re-solve for the continuous variables.
+		if !opt.DisableRounding && res.Nodes%16 == 1 {
+			if x, obj, ok := roundAndRepair(p, sol.X, applyAndSolve, nd.changes, intTol); ok && better(obj) {
+				res.X = x
+				res.Objective = obj
+				res.Status = Feasible
+			}
+		}
+
+		v := frac
+		val := sol.X[v]
+		lo, up := rootLo[v], rootUp[v]
+		for _, ch := range nd.changes {
+			if ch.v == v {
+				lo, up = ch.lo, ch.up
+			}
+		}
+		down := append(append([]boundChange(nil), nd.changes...), boundChange{v, lo, math.Floor(val)})
+		upN := append(append([]boundChange(nil), nd.changes...), boundChange{v, math.Ceil(val), up})
+		heap.Push(h, &node{bound: sol.Objective, changes: down, id: nextID})
+		nextID++
+		heap.Push(h, &node{bound: sol.Objective, changes: upN, id: nextID})
+		nextID++
+	}
+
+	if h.Len() == 0 {
+		// Search exhausted: incumbent (if any) is optimal.
+		if res.Status == Feasible || res.Status == Optimal {
+			res.Status = Optimal
+			if res.Objective > res.Bound {
+				res.Bound = res.Objective
+			}
+			// Exhausted search proves optimality regardless of bound bookkeeping.
+			res.Bound = res.Objective
+		} else {
+			res.Status = Infeasible
+		}
+	} else if res.Status == Feasible {
+		// Stopped early: report the tightest open bound.
+		best := res.Bound
+		for _, nd := range *h {
+			if nd.bound < best || math.IsInf(best, -1) {
+				best = nd.bound
+			}
+		}
+		res.Bound = best
+	}
+	res.Gap = gap(res.Objective, res.Bound)
+	if res.Status == Feasible && gapClosed(res.Bound) {
+		res.Status = Optimal
+	}
+	return res, nil
+}
+
+func gap(obj, bound float64) float64 {
+	if math.IsInf(obj, 1) || math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	return (obj - bound) / math.Max(math.Abs(obj), 1e-9)
+}
+
+func mostFractional(x []float64, ints []int, tol float64) int {
+	best, bestDist := -1, tol
+	for _, v := range ints {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = v, dist
+		}
+	}
+	return best
+}
+
+func checkIncumbent(p *Problem, x []float64, tol float64) (float64, bool) {
+	if len(x) != p.LP.NumVars() {
+		return 0, false
+	}
+	for _, v := range p.Integer {
+		if math.Abs(x[v]-math.Round(x[v])) > tol {
+			return 0, false
+		}
+	}
+	// Feasibility is verified by fixing all variables and solving;
+	// cheaper: trust the caller for bounds/rows, verify objective only.
+	// We conservatively verify rows by re-solving with everything fixed
+	// in the caller (core does this); here compute the objective.
+	obj := 0.0
+	for j := 0; j < p.LP.NumVars(); j++ {
+		lo, up := p.LP.Bounds(j)
+		if x[j] < lo-1e-6 || x[j] > up+1e-6 {
+			return 0, false
+		}
+	}
+	for j := 0; j < p.LP.NumVars(); j++ {
+		obj += objCoef(p.LP, j) * x[j]
+	}
+	return obj, true
+}
+
+// objCoef extracts the objective coefficient of variable j.
+func objCoef(p *lp.Problem, j int) float64 { return p.ObjCoef(j) }
+
+func roundAndRepair(p *Problem, x []float64,
+	solve func([]boundChange) (*lp.Solution, error),
+	base []boundChange, tol float64) ([]float64, float64, bool) {
+
+	changes := append([]boundChange(nil), base...)
+	for _, v := range p.Integer {
+		r := math.Round(x[v])
+		changes = append(changes, boundChange{v, r, r})
+	}
+	sol, err := solve(changes)
+	if err != nil || sol.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	// Verify integrality survived (fixed bounds guarantee it).
+	for _, v := range p.Integer {
+		if math.Abs(sol.X[v]-math.Round(sol.X[v])) > tol {
+			return nil, 0, false
+		}
+	}
+	return append([]float64(nil), sol.X...), sol.Objective, true
+}

@@ -1,0 +1,223 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cellstream/internal/lp"
+)
+
+// knapsack builds max Σ v_i x_i s.t. Σ w_i x_i ≤ C, x binary
+// as a minimization problem (objective negated).
+func knapsack(values, weights []float64, capacity float64) *Problem {
+	n := len(values)
+	p := lp.New(n)
+	var ints []int
+	var coefs []lp.Coef
+	for j := 0; j < n; j++ {
+		p.SetObj(j, -values[j])
+		p.SetBounds(j, 0, 1)
+		coefs = append(coefs, lp.Coef{Var: j, Value: weights[j]})
+		ints = append(ints, j)
+	}
+	p.AddRow(coefs, lp.LE, capacity)
+	return &Problem{LP: p, Integer: ints}
+}
+
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w float64
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				v += values[j]
+				w += weights[j]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	p := knapsack(values, weights, 50)
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if got := -res.Objective; math.Abs(got-220) > 1e-6 {
+		t.Errorf("value = %v, want 220", got)
+	}
+}
+
+func TestKnapsackRandomVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for j := range values {
+			values[j] = float64(1 + rng.Intn(50))
+			weights[j] = float64(1 + rng.Intn(30))
+		}
+		cap := float64(10 + rng.Intn(80))
+		p := knapsack(values, weights, cap)
+		res, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKnapsack(values, weights, cap)
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		if got := -res.Objective; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: value %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestRelGapStopsEarly(t *testing.T) {
+	// With a 50% gap the solver may stop at any solution within 50% of
+	// the bound; verify the reported gap is within the request.
+	rng := rand.New(rand.NewSource(11))
+	n := 14
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for j := range values {
+		values[j] = float64(1 + rng.Intn(50))
+		weights[j] = float64(1 + rng.Intn(30))
+	}
+	p := knapsack(values, weights, 70)
+	res, err := Solve(p, Options{RelGap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal-within-gap", res.Status)
+	}
+	if res.Gap > 0.5+1e-9 {
+		t.Errorf("gap = %v, want ≤ 0.5", res.Gap)
+	}
+	// And the solution must still be genuinely feasible/integral.
+	for _, v := range p.Integer {
+		if math.Abs(res.X[v]-math.Round(res.X[v])) > 1e-6 {
+			t.Errorf("x[%d] = %v not integral", v, res.X[v])
+		}
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := lp.New(2)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	// x + y = 1.5 has fractional solutions only.
+	p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, lp.EQ, 1.5)
+	res, err := Solve(&Problem{LP: p, Integer: []int{0, 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 10 y, x continuous in [0, 3.7], y binary,
+	// s.t. x + 5y ≤ 6 → y=1, x=1, obj -11.
+	p := lp.New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -10)
+	p.SetBounds(0, 0, 3.7)
+	p.SetBounds(1, 0, 1)
+	p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 5}}, lp.LE, 6)
+	res, err := Solve(&Problem{LP: p, Integer: []int{1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-(-11)) > 1e-6 {
+		t.Errorf("objective = %v, want -11", res.Objective)
+	}
+}
+
+func TestWarmStartIncumbent(t *testing.T) {
+	values := []float64{60, 100, 120}
+	weights := []float64{10, 20, 30}
+	p := knapsack(values, weights, 50)
+	// Warm start with the optimal selection {1,2}: x = (0,1,1).
+	res, err := Solve(p, Options{Incumbent: []float64{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(-res.Objective-220) > 1e-6 {
+		t.Errorf("status=%v obj=%v, want optimal 220", res.Status, -res.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 18
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for j := range values {
+		values[j] = float64(1 + rng.Intn(1000))
+		weights[j] = float64(1 + rng.Intn(1000))
+	}
+	p := knapsack(values, weights, 3000)
+	res, err := Solve(p, Options{MaxNodes: 3, DisableRounding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes > 3 {
+		t.Errorf("nodes = %d, want ≤ 3", res.Nodes)
+	}
+	// Status must be NoSolution or Feasible, never claim Optimal
+	// unless the gap is really closed.
+	if res.Status == Optimal && res.Gap > 1e-9 {
+		t.Errorf("claimed optimal with gap %v", res.Gap)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 24
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for j := range values {
+		values[j] = float64(1 + rng.Intn(1000))
+		weights[j] = float64(1 + rng.Intn(1000))
+	}
+	p := knapsack(values, weights, 5000)
+	start := time.Now()
+	_, err := Solve(p, Options{TimeLimit: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("time limit not honored")
+	}
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	p := knapsack([]float64{1, 2}, []float64{1, 1}, 1)
+	lo0, up0 := p.LP.Bounds(0)
+	if _, err := Solve(p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	lo1, up1 := p.LP.Bounds(0)
+	if lo0 != lo1 || up0 != up1 {
+		t.Errorf("bounds changed by solve: (%v,%v) -> (%v,%v)", lo0, up0, lo1, up1)
+	}
+}

@@ -1,0 +1,208 @@
+// Package platform models the STI Cell Broadband Engine of §2.1 of the
+// paper: one or more PPE (Power) cores, up to eight SPE (Synergistic)
+// cores each with a 256 kB local store, and the Element Interconnect Bus
+// through which every component owns a bidirectional interface of
+// bandwidth bw in each direction.
+//
+// The theoretical model (Fig. 1(b)) abstracts the machine as a set of
+// processing elements, each with an input interface and an output
+// interface of capacity bw, communications overlappable with computation,
+// and unrelated-machine compute costs. Two platform-specific limits
+// constrain mappings: SPE local-store capacity and the DMA-call stacks
+// (at most 16 concurrent incoming DMA calls per SPE, at most 8 concurrent
+// PPE-issued calls per SPE).
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PEKind distinguishes the two classes of processing elements.
+type PEKind int
+
+const (
+	// PPE is the Power Processing Element: general purpose, transparent
+	// access to main memory, runs the OS.
+	PPE PEKind = iota
+	// SPE is the Synergistic Processing Element: 128-bit SIMD RISC core
+	// with a private 256 kB local store, reachable only by explicit DMA.
+	SPE
+)
+
+// String implements fmt.Stringer.
+func (k PEKind) String() string {
+	switch k {
+	case PPE:
+		return "PPE"
+	case SPE:
+		return "SPE"
+	default:
+		return fmt.Sprintf("PEKind(%d)", int(k))
+	}
+}
+
+// Default hardware constants of the Cell BE, from §2.1.
+const (
+	// DefaultLocalStore is the size of one SPE local store (256 kB).
+	DefaultLocalStore = 256 * 1024
+	// DefaultBW is the per-interface bandwidth in bytes/second
+	// (25 GB/s in each direction).
+	DefaultBW = 25e9
+	// DefaultEIB is the aggregated EIB ring bandwidth (200 GB/s).
+	DefaultEIB = 200e9
+	// DefaultMaxDMAIn is the maximum number of simultaneous DMA calls an
+	// SPE can issue (incoming data per period, constraint (1j)).
+	DefaultMaxDMAIn = 16
+	// DefaultMaxDMAFromPPE is the maximum number of simultaneous DMA
+	// calls issued by PPEs and handled by one SPE (constraint (1k)).
+	DefaultMaxDMAFromPPE = 8
+	// DefaultCodeSize is the footprint of the replicated application code
+	// in every local store; buffers must fit in LS - code. 48 kB is a
+	// typical footprint for the paper's scheduling framework plus task
+	// code.
+	DefaultCodeSize = 48 * 1024
+)
+
+// Platform describes one scheduling target.
+type Platform struct {
+	Name string `json:"name"`
+
+	// NumPPE and NumSPE are the processing-element counts (nP and nS).
+	NumPPE int `json:"num_ppe"`
+	NumSPE int `json:"num_spe"`
+
+	// LocalStore is the SPE local-store size in bytes and CodeSize the
+	// part of it consumed by replicated application code. Buffers of a
+	// mapping must fit into LocalStore - CodeSize (constraint (1i)).
+	LocalStore int64 `json:"local_store"`
+	CodeSize   int64 `json:"code_size"`
+
+	// BW is the per-interface bandwidth (bytes/second, each direction);
+	// EIB the aggregate ring bandwidth. The bounded-multiport model uses
+	// only BW; the simulator can optionally enforce EIB.
+	BW  float64 `json:"bw"`
+	EIB float64 `json:"eib"`
+
+	// MaxDMAIn bounds simultaneous incoming DMA calls per SPE;
+	// MaxDMAFromPPE bounds simultaneous PPE-issued calls per SPE.
+	MaxDMAIn      int `json:"max_dma_in"`
+	MaxDMAFromPPE int `json:"max_dma_from_ppe"`
+}
+
+// Cell returns a platform with nP PPEs and nS SPEs and default Cell BE
+// constants.
+func Cell(nP, nS int) *Platform {
+	return &Platform{
+		Name:          fmt.Sprintf("cell-%dppe-%dspe", nP, nS),
+		NumPPE:        nP,
+		NumSPE:        nS,
+		LocalStore:    DefaultLocalStore,
+		CodeSize:      DefaultCodeSize,
+		BW:            DefaultBW,
+		EIB:           DefaultEIB,
+		MaxDMAIn:      DefaultMaxDMAIn,
+		MaxDMAFromPPE: DefaultMaxDMAFromPPE,
+	}
+}
+
+// PlayStation3 returns the PS3 configuration: a single Cell with one PPE
+// and six usable SPEs.
+func PlayStation3() *Platform {
+	p := Cell(1, 6)
+	p.Name = "ps3"
+	return p
+}
+
+// QS22 returns the configuration used in the paper's experiments: a
+// single Cell processor of an IBM QS22 blade, one PPE and eight SPEs.
+// (The paper restricts itself to one of the two Cell chips.)
+func QS22() *Platform {
+	p := Cell(1, 8)
+	p.Name = "qs22"
+	return p
+}
+
+// QS22Dual returns both Cell processors of an IBM QS22 blade as one
+// platform: two PPEs and sixteen SPEs sharing main memory. The paper
+// leaves multi-Cell deployment as future work (§7) because of
+// inter-Cell contention; this preset models the optimistic
+// no-contention case (every interface still bounded by bw), which is
+// the natural first extension of the §2.1 model.
+func QS22Dual() *Platform {
+	p := Cell(2, 16)
+	p.Name = "qs22-dual"
+	return p
+}
+
+// NumPE returns the total number of processing elements n = nP + nS.
+// Processing elements are indexed 0..n-1 with PPEs first (0..nP-1) and
+// SPEs after (nP..n-1), as in the paper.
+func (p *Platform) NumPE() int { return p.NumPPE + p.NumSPE }
+
+// Kind returns the kind of processing element pe (by global index).
+func (p *Platform) Kind(pe int) PEKind {
+	if pe < p.NumPPE {
+		return PPE
+	}
+	return SPE
+}
+
+// IsSPE reports whether PE index pe is an SPE.
+func (p *Platform) IsSPE(pe int) bool { return pe >= p.NumPPE }
+
+// PEName returns a human-readable name such as "PPE0" or "SPE3".
+func (p *Platform) PEName(pe int) string {
+	if pe < p.NumPPE {
+		return fmt.Sprintf("PPE%d", pe)
+	}
+	return fmt.Sprintf("SPE%d", pe-p.NumPPE)
+}
+
+// BufferCapacity returns the local-store bytes available for stream
+// buffers on one SPE: LS - code.
+func (p *Platform) BufferCapacity() int64 { return p.LocalStore - p.CodeSize }
+
+// Validate checks that the platform parameters are usable.
+func (p *Platform) Validate() error {
+	switch {
+	case p.NumPPE < 0 || p.NumSPE < 0:
+		return fmt.Errorf("platform %q: negative PE count", p.Name)
+	case p.NumPE() == 0:
+		return fmt.Errorf("platform %q: no processing elements", p.Name)
+	case p.NumPPE == 0:
+		// Main memory is reachable only through PPE-side controllers in
+		// our model; SPE-only platforms cannot source the stream.
+		return fmt.Errorf("platform %q: at least one PPE is required", p.Name)
+	case p.LocalStore <= 0 && p.NumSPE > 0:
+		return fmt.Errorf("platform %q: non-positive local store", p.Name)
+	case p.CodeSize < 0 || (p.NumSPE > 0 && p.CodeSize >= p.LocalStore):
+		return fmt.Errorf("platform %q: code size %d leaves no buffer space in %d-byte local store",
+			p.Name, p.CodeSize, p.LocalStore)
+	case p.BW <= 0:
+		return fmt.Errorf("platform %q: non-positive interface bandwidth", p.Name)
+	case p.MaxDMAIn <= 0 || p.MaxDMAFromPPE <= 0:
+		return fmt.Errorf("platform %q: non-positive DMA limits", p.Name)
+	}
+	return nil
+}
+
+// WithSPEs returns a copy of the platform with the SPE count replaced;
+// used by the speed-up sweeps of Fig. 7.
+func (p *Platform) WithSPEs(nS int) *Platform {
+	q := *p
+	q.NumSPE = nS
+	q.Name = fmt.Sprintf("%s-%dspe", p.Name, nS)
+	return &q
+}
+
+// String summarizes the platform.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s: %d PPE + %d SPE, LS=%d kB (code %d kB), bw=%.3g GB/s",
+		p.Name, p.NumPPE, p.NumSPE, p.LocalStore/1024, p.CodeSize/1024, p.BW/1e9)
+}
+
+// MarshalIndent returns the platform as indented JSON.
+func (p *Platform) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}

@@ -1,0 +1,127 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	ps3 := PlayStation3()
+	if ps3.NumPPE != 1 || ps3.NumSPE != 6 {
+		t.Errorf("PS3 = %d PPE + %d SPE, want 1+6", ps3.NumPPE, ps3.NumSPE)
+	}
+	qs := QS22()
+	if qs.NumPPE != 1 || qs.NumSPE != 8 {
+		t.Errorf("QS22 = %d PPE + %d SPE, want 1+8", qs.NumPPE, qs.NumSPE)
+	}
+	for _, p := range []*Platform{ps3, qs, Cell(1, 0), Cell(2, 8)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestConstantsMatchPaper(t *testing.T) {
+	p := QS22()
+	if p.LocalStore != 256*1024 {
+		t.Errorf("local store = %d, want 256 kB", p.LocalStore)
+	}
+	if p.BW != 25e9 {
+		t.Errorf("bw = %v, want 25 GB/s", p.BW)
+	}
+	if p.EIB != 200e9 {
+		t.Errorf("EIB = %v, want 200 GB/s", p.EIB)
+	}
+	if p.MaxDMAIn != 16 || p.MaxDMAFromPPE != 8 {
+		t.Errorf("DMA limits = %d/%d, want 16/8", p.MaxDMAIn, p.MaxDMAFromPPE)
+	}
+}
+
+func TestIndexingAndKinds(t *testing.T) {
+	p := Cell(2, 3)
+	if p.NumPE() != 5 {
+		t.Fatalf("NumPE = %d", p.NumPE())
+	}
+	wantKinds := []PEKind{PPE, PPE, SPE, SPE, SPE}
+	wantNames := []string{"PPE0", "PPE1", "SPE0", "SPE1", "SPE2"}
+	for i := 0; i < p.NumPE(); i++ {
+		if p.Kind(i) != wantKinds[i] {
+			t.Errorf("Kind(%d) = %v, want %v", i, p.Kind(i), wantKinds[i])
+		}
+		if p.PEName(i) != wantNames[i] {
+			t.Errorf("PEName(%d) = %q, want %q", i, p.PEName(i), wantNames[i])
+		}
+		if p.IsSPE(i) != (wantKinds[i] == SPE) {
+			t.Errorf("IsSPE(%d) wrong", i)
+		}
+	}
+	if PPE.String() != "PPE" || SPE.String() != "SPE" {
+		t.Error("PEKind.String broken")
+	}
+}
+
+func TestBufferCapacity(t *testing.T) {
+	p := Cell(1, 1)
+	if got := p.BufferCapacity(); got != int64(256*1024-48*1024) {
+		t.Errorf("BufferCapacity = %d", got)
+	}
+}
+
+func TestWithSPEs(t *testing.T) {
+	p := QS22()
+	q := p.WithSPEs(3)
+	if q.NumSPE != 3 || p.NumSPE != 8 {
+		t.Errorf("WithSPEs mutated original or failed: %d, %d", q.NumSPE, p.NumSPE)
+	}
+	if q.BW != p.BW || q.LocalStore != p.LocalStore {
+		t.Error("WithSPEs lost parameters")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Platform){
+		func(p *Platform) { p.NumPPE = -1 },
+		func(p *Platform) { p.NumPPE, p.NumSPE = 0, 0 },
+		func(p *Platform) { p.NumPPE = 0 }, // SPE-only platform
+		func(p *Platform) { p.LocalStore = 0 },
+		func(p *Platform) { p.CodeSize = p.LocalStore },
+		func(p *Platform) { p.BW = 0 },
+		func(p *Platform) { p.MaxDMAIn = 0 },
+		func(p *Platform) { p.MaxDMAFromPPE = -1 },
+	}
+	for i, mutate := range cases {
+		p := QS22()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid platform accepted", i)
+		}
+	}
+}
+
+func TestStringAndJSON(t *testing.T) {
+	p := QS22()
+	s := p.String()
+	if !strings.Contains(s, "8 SPE") || !strings.Contains(s, "25 GB/s") {
+		t.Errorf("String() = %q", s)
+	}
+	b, err := p.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"num_spe": 8`) {
+		t.Errorf("JSON = %s", b)
+	}
+}
+
+func TestQS22Dual(t *testing.T) {
+	p := QS22Dual()
+	if p.NumPPE != 2 || p.NumSPE != 16 {
+		t.Errorf("dual = %d PPE + %d SPE, want 2+16", p.NumPPE, p.NumSPE)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PEName(1) != "PPE1" || p.PEName(2) != "SPE0" {
+		t.Errorf("indexing wrong: %s %s", p.PEName(1), p.PEName(2))
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// Gantt renders a trace window [from, to] (seconds) as an ASCII chart
+// with one row per processing element: task-instance completions are
+// marked with the task name, transfers with arrows. It requires a run
+// with Config.CollectTrace set; width is the number of character
+// columns of the time axis.
+func Gantt(g *graph.Graph, plat *platform.Platform, trace []Event, from, to float64, width int) string {
+	if width < 20 {
+		width = 60
+	}
+	if to <= from {
+		return "(empty trace window)\n"
+	}
+	col := func(t float64) int {
+		c := int((t - from) / (to - from) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rows := make([][]string, plat.NumPE())
+	for pe := range rows {
+		rows[pe] = make([]string, width)
+	}
+	put := func(pe, c int, s string) {
+		if pe < 0 || pe >= len(rows) {
+			return
+		}
+		if rows[pe][c] == "" {
+			rows[pe][c] = s
+		} else {
+			rows[pe][c] = "+" // collision marker: several events share a column
+		}
+	}
+	for _, ev := range trace {
+		if ev.Time < from || ev.Time > to {
+			continue
+		}
+		switch ev.Kind {
+		case EvCompute:
+			put(ev.PE, col(ev.Time), string(shortName(g, ev.Task)))
+		case EvTransferEnd:
+			put(ev.PE, col(ev.Time), "v") // data landed at ev.PE
+		case EvTransferStart:
+			put(ev.PE, col(ev.Time), ".")
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %.4g s .. %.4g s (one column ≈ %.3g s; letters: compute done, v: data in, .: DMA issued, +: several)\n",
+		from, to, (to-from)/float64(width))
+	for pe := 0; pe < plat.NumPE(); pe++ {
+		fmt.Fprintf(&b, "%-6s|", plat.PEName(pe))
+		for _, c := range rows[pe] {
+			if c == "" {
+				c = " "
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// shortName maps a task to a one-rune label (a-z, A-Z, then '#').
+func shortName(g *graph.Graph, id graph.TaskID) rune {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if int(id) < len(letters) {
+		return rune(letters[id])
+	}
+	return '#'
+}
+
+// UtilizationTable formats per-PE utilization and traffic of a Result.
+func (r *Result) UtilizationTable(plat *platform.Platform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %9s %12s %12s\n", "PE", "busy", "bytes in", "bytes out")
+	type row struct {
+		pe int
+	}
+	var pes []int
+	for pe := range r.Utilization {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		fmt.Fprintf(&b, "%-6s %8.1f%% %12.3g %12.3g\n",
+			plat.PEName(pe), 100*r.Utilization[pe], r.BytesIn[pe], r.BytesOut[pe])
+	}
+	fmt.Fprintf(&b, "%d transfers retired\n", r.Transfers)
+	return b.String()
+}

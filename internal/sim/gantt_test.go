@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func TestGanttRendersTrace(t *testing.T) {
+	g := graph.UniformChain("g", 3, 1e-5, 1e-5, 512)
+	plat := platform.Cell(1, 2)
+	res := run(t, g, plat, core.Mapping{0, 1, 2}, 10, Config{NoOverheads: true, CollectTrace: true})
+	out := Gantt(g, plat, res.Trace, 0, res.TotalTime, 60)
+	for _, want := range []string{"PPE0", "SPE0", "SPE1", "a", "v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGanttEmptyWindow(t *testing.T) {
+	g := graph.UniformChain("g", 2, 1e-6, 1e-6, 8)
+	plat := platform.Cell(1, 1)
+	if out := Gantt(g, plat, nil, 5, 5, 40); !strings.Contains(out, "empty") {
+		t.Errorf("empty window not handled: %q", out)
+	}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	g := graph.UniformChain("g", 2, 1e-5, 1e-5, 256)
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0, 1}, 20, Config{NoOverheads: true})
+	table := res.UtilizationTable(plat)
+	if !strings.Contains(table, "PPE0") || !strings.Contains(table, "transfers retired") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestShortNameFallback(t *testing.T) {
+	g := &graph.Graph{Name: "big"}
+	for i := 0; i < 60; i++ {
+		g.AddTask(graph.Task{WPPE: 1, WSPE: 1})
+	}
+	if shortName(g, 0) != 'a' || shortName(g, 26) != 'A' || shortName(g, 59) != '#' {
+		t.Error("shortName mapping wrong")
+	}
+}

@@ -1,0 +1,747 @@
+// Package sim is a discrete-event simulator of the Cell BE platform
+// model of §2.1, standing in for the PlayStation 3 / IBM QS22 hardware
+// of the paper's evaluation.
+//
+// It executes a mapped streaming application with the runtime semantics
+// of §6.1: every processing element alternates between a computation
+// phase (select a runnable task, process one instance) and a
+// communication phase (issue and retire asynchronous "Get" transfers).
+// Communications follow the bidirectional bounded-multiport model —
+// every PE owns an input and an output interface of bandwidth bw, and
+// concurrent transfers share interface bandwidth max-min fairly (fluid
+// model). SPE local stores bound the per-edge buffers, and the DMA-stack
+// limits of §4.1 bound concurrency: at most 16 in-flight incoming
+// transfers per SPE and at most 8 in-flight SPE→PPE transfers per SPE —
+// mappings that exceed them (as the greedy heuristics routinely do)
+// still run, but their extra transfers queue and throughput degrades,
+// exactly the failure mode the paper observes on hardware.
+//
+// Small calibrated overheads (per-instance dispatch, per-DMA setup)
+// reproduce the ≈95 % model accuracy reported around Fig. 6.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+// Config tunes the simulator.
+type Config struct {
+	// DMALatency is the fixed setup time of one transfer (seconds).
+	// Default 300 ns.
+	DMALatency float64
+	// DispatchOverhead is added to every task-instance execution
+	// (scheduler loop, DMA status polling; §6.1). Default 500 ns.
+	DispatchOverhead float64
+	// MemPrefetch is the number of main-memory reads a task may have in
+	// flight ahead of its next instance. Default 4.
+	MemPrefetch int
+	// EnforceEIB additionally caps the sum of all transfer rates by the
+	// aggregate EIB bandwidth (off by default: §2.1 argues the ring is
+	// never the bottleneck with ≤ 9 interfaces; an ablation turns it on).
+	EnforceEIB bool
+	// BufferSlack adds extra instances of capacity to every edge buffer
+	// beyond the firstPeriod-derived size. Default 0.
+	BufferSlack int
+	// NoOverheads zeroes both overheads (for tests that compare the
+	// simulator against the analytical period exactly).
+	NoOverheads bool
+	// CollectTrace records per-event traces (costly; off by default).
+	CollectTrace bool
+	// MaxSimTime aborts runs exceeding this simulated time (seconds);
+	// 0 means no limit. Used by deadlock/livelock guards in tests.
+	MaxSimTime float64
+	// IgnoreLocalStore skips the local-store admission check. By default
+	// a mapping whose buffers exceed an SPE local store is rejected: on
+	// real hardware such a deployment fails to allocate, unlike DMA-limit
+	// violations, which merely serialize transfers and are simulated.
+	IgnoreLocalStore bool
+}
+
+func (c *Config) fill() {
+	if c.NoOverheads {
+		c.DMALatency = 0
+		c.DispatchOverhead = 0
+	} else {
+		if c.DMALatency == 0 {
+			c.DMALatency = 300e-9
+		}
+		if c.DispatchOverhead == 0 {
+			c.DispatchOverhead = 500e-9
+		}
+	}
+	if c.MemPrefetch == 0 {
+		c.MemPrefetch = 4
+	}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Instances int
+	// FinishTimes[i] is the time at which every task had completed
+	// instance i (0-based).
+	FinishTimes []float64
+	// TotalTime is the completion time of the last instance.
+	TotalTime float64
+	// Utilization[pe] is the fraction of TotalTime PE pe spent computing.
+	Utilization []float64
+	// BytesIn[pe] and BytesOut[pe] are total bytes moved through each
+	// PE's interfaces; Transfers counts retired DMA transfers.
+	BytesIn   []float64
+	BytesOut  []float64
+	Transfers int
+	// Trace holds events when Config.CollectTrace was set.
+	Trace []Event
+}
+
+// Throughput returns overall instances per second.
+func (r *Result) Throughput() float64 {
+	if r.TotalTime == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.Instances) / r.TotalTime
+}
+
+// SteadyThroughput estimates the steady-state throughput from the slope
+// of the completion curve over its middle half [n/4, 3n/4), which
+// excludes both the ramp-up transient of Fig. 6 and the end-of-stream
+// drain (where the emptying pipeline completes instances faster than
+// the steady rate).
+func (r *Result) SteadyThroughput() float64 {
+	n := len(r.FinishTimes)
+	if n < 8 {
+		return r.Throughput()
+	}
+	i0, i1 := n/4, 3*n/4
+	dt := r.FinishTimes[i1] - r.FinishTimes[i0]
+	if dt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(i1-i0) / dt
+}
+
+// RampCurve returns the cumulative throughput after each instance:
+// point i is (i+1) / FinishTimes[i], the curve plotted in Fig. 6.
+func (r *Result) RampCurve() []float64 {
+	out := make([]float64, len(r.FinishTimes))
+	for i, t := range r.FinishTimes {
+		if t > 0 {
+			out[i] = float64(i+1) / t
+		}
+	}
+	return out
+}
+
+// EventKind labels trace events.
+type EventKind int
+
+const (
+	// EvCompute is the completion of one task instance.
+	EvCompute EventKind = iota
+	// EvTransferStart is the issue of a DMA transfer.
+	EvTransferStart
+	// EvTransferEnd is the retirement of a DMA transfer.
+	EvTransferEnd
+)
+
+// Event is one trace record.
+type Event struct {
+	Kind     EventKind
+	Time     float64
+	PE       int // executing or destination PE
+	Task     graph.TaskID
+	Instance int
+	Bytes    float64
+}
+
+// memNode is the pseudo-PE index of main memory.
+const memNode = -1
+
+// transfer is one in-flight communication.
+type transfer struct {
+	src, dst int // PE indices or memNode
+	bytes    float64
+	left     float64 // bytes still to move
+	activeAt float64 // setup (DMA latency) completes at this time
+	rate     float64
+
+	kind     int // 0: edge, 1: memory read, 2: memory write
+	edge     int // edge index for kind 0
+	task     graph.TaskID
+	instance int
+}
+
+// edgeState tracks the stream flowing along one edge.
+type edgeState struct {
+	produced int // instances computed by the producer
+	started  int // instances whose transfer has been issued
+	arrived  int // instances available at the consumer
+	released int // producer-side slots freed
+	capSlots int // consumer-side buffer capacity in instances
+	crossPE  bool
+	srcPE    int
+	dstPE    int
+}
+
+// taskState tracks one task's progress.
+type taskState struct {
+	pe           int
+	done         int // completed instances
+	computing    bool
+	endAt        float64
+	readsDone    int // completed memory reads
+	readsIssued  int
+	writesIssued int
+	writesDone   int
+	prio         int // topological position (schedule priority)
+}
+
+// Run simulates the processing of `instances` stream instances of g,
+// mapped by m onto plat.
+func Run(g *graph.Graph, plat *platform.Platform, m core.Mapping, instances int, cfg Config) (*Result, error) {
+	if err := m.Validate(g, plat); err != nil {
+		return nil, err
+	}
+	if instances <= 0 {
+		return nil, fmt.Errorf("sim: instances must be positive, got %d", instances)
+	}
+	cfg.fill()
+	if !cfg.IgnoreLocalStore {
+		rep, err := core.Evaluate(g, plat, m)
+		if err != nil {
+			return nil, err
+		}
+		for pe := 0; pe < plat.NumPE(); pe++ {
+			if plat.IsSPE(pe) && rep.BufferBytes[pe] > plat.BufferCapacity() {
+				return nil, fmt.Errorf("sim: mapping cannot be deployed: %s needs %d buffer bytes, local store holds %d",
+					plat.PEName(pe), rep.BufferBytes[pe], plat.BufferCapacity())
+			}
+		}
+	}
+
+	s := newState(g, plat, m, instances, cfg)
+	for !s.done() {
+		if err := s.step(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		Instances:   instances,
+		FinishTimes: s.finish,
+		TotalTime:   s.finish[instances-1],
+		Utilization: make([]float64, plat.NumPE()),
+		BytesIn:     s.bytesIn,
+		BytesOut:    s.bytesOut,
+		Transfers:   s.transfers,
+		Trace:       s.trace,
+	}
+	if res.TotalTime > 0 {
+		for pe := range res.Utilization {
+			res.Utilization[pe] = s.busy[pe] / res.TotalTime
+		}
+	}
+	return res, nil
+}
+
+type state struct {
+	g    *graph.Graph
+	plat *platform.Platform
+	m    core.Mapping
+	cfg  Config
+	n    int // instances target
+
+	now               float64
+	tasks             []taskState
+	edges             []edgeState
+	inEdges, outEdges [][]int // adjacency by edge index
+	active            []*transfer
+
+	busy      []float64 // compute-busy seconds per PE
+	bytesIn   []float64
+	bytesOut  []float64
+	transfers int
+
+	// per-instance completion bookkeeping
+	remainPerInstance []int
+	finish            []float64
+	completedAll      int // instances fully completed (prefix)
+
+	trace []Event
+}
+
+func newState(g *graph.Graph, plat *platform.Platform, m core.Mapping, instances int, cfg Config) *state {
+	s := &state{g: g, plat: plat, m: m, cfg: cfg, n: instances}
+	s.tasks = make([]taskState, g.NumTasks())
+	order, _ := g.TopoOrder()
+	for pos, id := range order {
+		s.tasks[id].prio = pos
+	}
+	for k := range s.tasks {
+		s.tasks[k].pe = m[k]
+	}
+	fp := core.FirstPeriods(g)
+	s.edges = make([]edgeState, g.NumEdges())
+	for ei, e := range g.Edges {
+		gap := fp[e.To] - fp[e.From]
+		if gap < 1 {
+			gap = 1
+		}
+		capSlots := gap + g.Tasks[e.To].Peek + cfg.BufferSlack
+		if min := g.Tasks[e.To].Peek + 2; capSlots < min {
+			capSlots = min
+		}
+		s.edges[ei] = edgeState{
+			capSlots: capSlots,
+			crossPE:  m[e.From] != m[e.To],
+			srcPE:    m[e.From],
+			dstPE:    m[e.To],
+		}
+	}
+	s.inEdges = g.Preds()
+	s.outEdges = g.Succs()
+	s.busy = make([]float64, plat.NumPE())
+	s.bytesIn = make([]float64, plat.NumPE())
+	s.bytesOut = make([]float64, plat.NumPE())
+	s.remainPerInstance = make([]int, instances)
+	// A task instance counts as done when its compute finishes and its
+	// memory write (if any) has retired.
+	for i := range s.remainPerInstance {
+		s.remainPerInstance[i] = g.NumTasks()
+	}
+	s.finish = make([]float64, instances)
+	s.schedule()
+	return s
+}
+
+func (s *state) done() bool { return s.completedAll >= s.n }
+
+// step advances the simulation to the next event.
+func (s *state) step() error {
+	s.recomputeRates()
+	dt := math.Inf(1)
+	for _, tr := range s.active {
+		if tr.activeAt > s.now {
+			dt = math.Min(dt, tr.activeAt-s.now)
+		} else if tr.rate > 0 {
+			dt = math.Min(dt, tr.left/tr.rate)
+		}
+	}
+	for k := range s.tasks {
+		if s.tasks[k].computing {
+			dt = math.Min(dt, s.tasks[k].endAt-s.now)
+		}
+	}
+	if math.IsInf(dt, 1) {
+		return fmt.Errorf("sim: deadlock at t=%.6gs: %d/%d instances complete", s.now, s.completedAll, s.n)
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	s.now += dt
+	if s.cfg.MaxSimTime > 0 && s.now > s.cfg.MaxSimTime {
+		return fmt.Errorf("sim: exceeded max simulated time %.3gs (%d/%d instances)", s.cfg.MaxSimTime, s.completedAll, s.n)
+	}
+
+	// Progress transfers.
+	var still []*transfer
+	for _, tr := range s.active {
+		if tr.activeAt <= s.now+1e-18 {
+			tr.left -= tr.rate * dt
+		}
+		if tr.left <= 1e-9 && tr.activeAt <= s.now+1e-18 {
+			s.completeTransfer(tr)
+		} else {
+			still = append(still, tr)
+		}
+	}
+	s.active = still
+
+	// Complete computations.
+	for k := range s.tasks {
+		ts := &s.tasks[k]
+		if ts.computing && ts.endAt <= s.now+1e-18 {
+			ts.computing = false
+			s.completeCompute(graph.TaskID(k))
+		}
+	}
+
+	s.schedule()
+	return nil
+}
+
+// completeCompute retires one task instance's computation.
+func (s *state) completeCompute(k graph.TaskID) {
+	ts := &s.tasks[k]
+	inst := ts.done // 0-based instance just finished
+	ts.done++
+	if s.cfg.CollectTrace {
+		s.trace = append(s.trace, Event{EvCompute, s.now, ts.pe, k, inst, 0})
+	}
+	for _, ei := range s.outEdges[k] {
+		es := &s.edges[ei]
+		es.produced++
+		if !es.crossPE {
+			es.arrived++
+			es.released++
+			es.started++
+		}
+	}
+	t := s.g.Tasks[k]
+	if t.WriteBytes > 0 {
+		// The memory write is issued by the scheduling pass (bounded
+		// queue); the instance completes when it lands.
+		_ = inst
+	} else {
+		s.instanceDone(inst)
+	}
+}
+
+// instanceDone decrements the per-instance counter.
+func (s *state) instanceDone(inst int) {
+	s.remainPerInstance[inst]--
+	for s.completedAll < s.n && s.remainPerInstance[s.completedAll] == 0 {
+		s.finish[s.completedAll] = s.now
+		s.completedAll++
+	}
+}
+
+// completeTransfer retires one transfer.
+func (s *state) completeTransfer(tr *transfer) {
+	if s.cfg.CollectTrace {
+		s.trace = append(s.trace, Event{EvTransferEnd, s.now, tr.dst, tr.task, tr.instance, tr.bytes})
+	}
+	s.transfers++
+	if tr.src != memNode {
+		s.bytesOut[tr.src] += tr.bytes
+	}
+	if tr.dst != memNode {
+		s.bytesIn[tr.dst] += tr.bytes
+	}
+	switch tr.kind {
+	case 0:
+		es := &s.edges[tr.edge]
+		es.arrived++
+		es.released++
+	case 1:
+		s.tasks[tr.task].readsDone++
+	case 2:
+		s.tasks[tr.task].writesDone++
+		s.instanceDone(tr.instance)
+	}
+}
+
+func (s *state) startTransfer(tr *transfer) {
+	tr.activeAt = s.now + s.cfg.DMALatency
+	s.active = append(s.active, tr)
+	if s.cfg.CollectTrace {
+		s.trace = append(s.trace, Event{EvTransferStart, s.now, tr.dst, tr.task, tr.instance, tr.bytes})
+	}
+}
+
+// dmaInCount returns in-flight incoming transfers at SPE pe (edges only,
+// matching constraint (1j)).
+func (s *state) dmaInCount(pe int) int {
+	c := 0
+	for _, tr := range s.active {
+		if tr.kind == 0 && tr.dst == pe {
+			c++
+		}
+	}
+	return c
+}
+
+// dmaToPPECount returns in-flight SPE→PPE transfers issued from SPE pe
+// (constraint (1k)).
+func (s *state) dmaToPPECount(pe int) int {
+	c := 0
+	for _, tr := range s.active {
+		if tr.kind == 0 && tr.src == pe && !s.plat.IsSPE(tr.dst) {
+			c++
+		}
+	}
+	return c
+}
+
+// schedule issues every transfer and computation that can start now.
+func (s *state) schedule() {
+	// 1. Communication phase: start edge transfers in instance order.
+	for ei := range s.edges {
+		es := &s.edges[ei]
+		if !es.crossPE {
+			continue
+		}
+		for es.started < es.produced {
+			// Consumer-side space: instances at or heading to the
+			// consumer minus consumed must fit the buffer.
+			consumed := s.consumedOf(ei)
+			if es.started-consumed >= es.capSlots {
+				break
+			}
+			// DMA-stack limits.
+			if s.plat.IsSPE(es.dstPE) && s.dmaInCount(es.dstPE) >= s.plat.MaxDMAIn {
+				break
+			}
+			if s.plat.IsSPE(es.srcPE) && !s.plat.IsSPE(es.dstPE) &&
+				s.dmaToPPECount(es.srcPE) >= s.plat.MaxDMAFromPPE {
+				break
+			}
+			bytes := s.g.Edges[ei].Bytes
+			inst := es.started
+			es.started++
+			if bytes <= 0 {
+				// Zero-size data: deliver instantly.
+				es.arrived++
+				es.released++
+				continue
+			}
+			s.startTransfer(&transfer{
+				src: es.srcPE, dst: es.dstPE, bytes: bytes, left: bytes,
+				kind: 0, edge: ei, task: s.g.Edges[ei].To, instance: inst,
+			})
+		}
+	}
+
+	// 2. Memory traffic: reads prefetch ahead of the next instance;
+	// writes drain completed instances, both through a bounded queue.
+	for k := range s.tasks {
+		ts := &s.tasks[k]
+		t := s.g.Tasks[k]
+		if t.ReadBytes > 0 {
+			for ts.readsIssued < s.n && ts.readsIssued < ts.done+s.cfg.MemPrefetch {
+				inst := ts.readsIssued
+				ts.readsIssued++
+				s.startTransfer(&transfer{
+					src: memNode, dst: ts.pe, bytes: t.ReadBytes, left: t.ReadBytes,
+					kind: 1, task: graph.TaskID(k), instance: inst,
+				})
+			}
+		}
+		if t.WriteBytes > 0 {
+			for ts.writesIssued < ts.done && ts.writesIssued-ts.writesDone < s.cfg.MemPrefetch {
+				inst := ts.writesIssued
+				ts.writesIssued++
+				s.startTransfer(&transfer{
+					src: ts.pe, dst: memNode, bytes: t.WriteBytes, left: t.WriteBytes,
+					kind: 2, task: graph.TaskID(k), instance: inst,
+				})
+			}
+		}
+	}
+
+	// 3. Computation phase: every idle PE picks its most-behind runnable
+	// task (ties broken by topological position).
+	for pe := 0; pe < s.plat.NumPE(); pe++ {
+		if s.peBusy(pe) {
+			continue
+		}
+		best := -1
+		for k := range s.tasks {
+			if s.tasks[k].pe != pe || s.tasks[k].computing {
+				continue
+			}
+			if !s.runnable(graph.TaskID(k)) {
+				continue
+			}
+			if best < 0 ||
+				s.tasks[k].done < s.tasks[best].done ||
+				(s.tasks[k].done == s.tasks[best].done && s.tasks[k].prio < s.tasks[best].prio) {
+				best = k
+			}
+		}
+		if best >= 0 {
+			s.fire(graph.TaskID(best))
+		}
+	}
+}
+
+func (s *state) peBusy(pe int) bool {
+	for k := range s.tasks {
+		if s.tasks[k].pe == pe && s.tasks[k].computing {
+			return true
+		}
+	}
+	return false
+}
+
+// consumedOf returns how many instances the consumer of edge ei has
+// consumed (its completed instance count).
+func (s *state) consumedOf(ei int) int {
+	return s.tasks[s.g.Edges[ei].To].done
+}
+
+// runnable reports whether task k can process its next instance now.
+func (s *state) runnable(k graph.TaskID) bool {
+	ts := &s.tasks[k]
+	if ts.done >= s.n {
+		return false
+	}
+	inst := ts.done // next 0-based instance
+	t := s.g.Tasks[k]
+	// Inputs present, including peek lookahead (except near stream end,
+	// where the tail needs no lookahead beyond the last instance).
+	for _, ei := range s.inEdges[k] {
+		need := inst + 1 + t.Peek
+		if need > s.n {
+			need = s.n
+		}
+		if s.edges[ei].arrived < need {
+			return false
+		}
+	}
+	// Memory read landed.
+	if t.ReadBytes > 0 && ts.readsDone < inst+1 {
+		return false
+	}
+	// Write queue not backed up.
+	if t.WriteBytes > 0 && ts.done-ts.writesDone >= s.cfg.MemPrefetch+2 {
+		return false
+	}
+	// Output buffer space on the producer side.
+	for _, ei := range s.outEdges[k] {
+		es := &s.edges[ei]
+		if es.crossPE {
+			if es.produced-es.released >= es.capSlots {
+				return false
+			}
+		} else {
+			if es.arrived-s.consumedOf(ei) >= es.capSlots {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fire starts computing the next instance of task k.
+func (s *state) fire(k graph.TaskID) {
+	ts := &s.tasks[k]
+	t := s.g.Tasks[k]
+	w := t.WPPE
+	if s.plat.IsSPE(ts.pe) {
+		w = t.WSPE
+	}
+	ts.computing = true
+	ts.endAt = s.now + w + s.cfg.DispatchOverhead
+	s.busy[ts.pe] += w + s.cfg.DispatchOverhead
+}
+
+// recomputeRates assigns max-min fair rates to active transfers under
+// the per-interface caps (and optionally the EIB aggregate cap).
+func (s *state) recomputeRates() {
+	type link struct {
+		cap  float64
+		free float64
+		n    int
+	}
+	nPE := s.plat.NumPE()
+	outL := make([]link, nPE)
+	inL := make([]link, nPE)
+	for i := range outL {
+		outL[i] = link{cap: s.plat.BW}
+		inL[i] = link{cap: s.plat.BW}
+	}
+	eib := link{cap: s.plat.EIB}
+
+	var flows []*transfer
+	for _, tr := range s.active {
+		if tr.activeAt > s.now+1e-18 {
+			tr.rate = 0
+			continue
+		}
+		flows = append(flows, tr)
+		if tr.src != memNode {
+			outL[tr.src].n++
+		}
+		if tr.dst != memNode {
+			inL[tr.dst].n++
+		}
+		eib.n++
+	}
+	for i := range outL {
+		outL[i].free = outL[i].cap
+		inL[i].free = inL[i].cap
+	}
+	eib.free = eib.cap
+
+	// Progressive filling.
+	fixed := make([]bool, len(flows))
+	remaining := len(flows)
+	for remaining > 0 {
+		// Find the tightest link.
+		tight := math.Inf(1)
+		linkShare := func(l *link) {
+			if l.n > 0 {
+				if sh := l.free / float64(l.n); sh < tight {
+					tight = sh
+				}
+			}
+		}
+		for i := range outL {
+			linkShare(&outL[i])
+			linkShare(&inL[i])
+		}
+		if s.cfg.EnforceEIB {
+			linkShare(&eib)
+		}
+		if math.IsInf(tight, 1) {
+			// Only memory↔memory flows remain (cannot happen) — or all
+			// remaining flows touch no capped link; give them the full
+			// interface bandwidth.
+			for fi, tr := range flows {
+				if !fixed[fi] {
+					tr.rate = s.plat.BW
+					remaining--
+				}
+			}
+			break
+		}
+		// Fix every flow crossing a tight link at the tight share.
+		progressed := false
+		for fi, tr := range flows {
+			if fixed[fi] {
+				continue
+			}
+			isTight := false
+			if tr.src != memNode && outL[tr.src].n > 0 && outL[tr.src].free/float64(outL[tr.src].n) <= tight+1e-12 {
+				isTight = true
+			}
+			if tr.dst != memNode && inL[tr.dst].n > 0 && inL[tr.dst].free/float64(inL[tr.dst].n) <= tight+1e-12 {
+				isTight = true
+			}
+			if s.cfg.EnforceEIB && eib.n > 0 && eib.free/float64(eib.n) <= tight+1e-12 {
+				isTight = true
+			}
+			if !isTight {
+				continue
+			}
+			tr.rate = tight
+			fixed[fi] = true
+			remaining--
+			progressed = true
+			if tr.src != memNode {
+				outL[tr.src].free -= tight
+				outL[tr.src].n--
+			}
+			if tr.dst != memNode {
+				inL[tr.dst].free -= tight
+				inL[tr.dst].n--
+			}
+			eib.free -= tight
+			eib.n--
+		}
+		if !progressed {
+			// Numerical stall: hand out the tight share to everything.
+			for fi, tr := range flows {
+				if !fixed[fi] {
+					tr.rate = tight
+					fixed[fi] = true
+					remaining--
+				}
+			}
+		}
+	}
+}

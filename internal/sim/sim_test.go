@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+)
+
+func run(t *testing.T, g *graph.Graph, plat *platform.Platform, m core.Mapping, n int, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(g, plat, m, n, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSingleTaskThroughput(t *testing.T) {
+	g := &graph.Graph{Name: "one"}
+	g.AddTask(graph.Task{WPPE: 1e-3, WSPE: 1e-3})
+	plat := platform.Cell(1, 0)
+	res := run(t, g, plat, core.Mapping{0}, 100, Config{NoOverheads: true})
+	if math.Abs(res.TotalTime-0.1) > 1e-9 {
+		t.Errorf("total = %v, want 0.1", res.TotalTime)
+	}
+	if st := res.SteadyThroughput(); math.Abs(st-1000) > 1 {
+		t.Errorf("steady = %v, want 1000", st)
+	}
+}
+
+func TestChainSamePEIsSequential(t *testing.T) {
+	g := graph.UniformChain("c", 3, 1e-3, 1e-3, 8)
+	plat := platform.Cell(1, 0)
+	res := run(t, g, plat, core.Mapping{0, 0, 0}, 50, Config{NoOverheads: true})
+	// One PE does 3 ms of work per instance.
+	if st := res.SteadyThroughput(); math.Abs(st-1000.0/3) > 2 {
+		t.Errorf("steady = %v, want ~333", st)
+	}
+}
+
+func TestChainSplitPipelines(t *testing.T) {
+	// Two 1 ms tasks on different PEs with tiny communication: the
+	// pipeline should deliver ~1000 instances/s, not 500.
+	g := graph.UniformChain("c", 2, 1e-3, 1e-3, 64)
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0, 1}, 200, Config{NoOverheads: true})
+	if st := res.SteadyThroughput(); math.Abs(st-1000) > 20 {
+		t.Errorf("steady = %v, want ~1000", st)
+	}
+}
+
+func TestCommBound(t *testing.T) {
+	// Edge of 25 MB at 25 GB/s = 1 ms per instance dominates the 1 µs
+	// compute; steady throughput ≈ 1000/s.
+	g := graph.UniformChain("c", 2, 1e-6, 1e-6, 25e6)
+	plat := platform.Cell(1, 1)
+	plat.LocalStore = 1 << 40 // lift memory so the mapping is valid
+	res := run(t, g, plat, core.Mapping{0, 1}, 100, Config{NoOverheads: true})
+	if st := res.SteadyThroughput(); math.Abs(st-1000) > 50 {
+		t.Errorf("steady = %v, want ~1000", st)
+	}
+}
+
+func TestMatchesAnalyticalModel(t *testing.T) {
+	// For feasible mappings with no overheads, the simulator's steady
+	// throughput must track core.Evaluate's 1/T within a few percent.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		g := &graph.Graph{Name: "m"}
+		k := 6 + rng.Intn(6)
+		for i := 0; i < k; i++ {
+			g.AddTask(graph.Task{
+				WPPE: (1 + 9*rng.Float64()) * 1e-6,
+				WSPE: (0.5 + 5*rng.Float64()) * 1e-6,
+				Peek: rng.Intn(2),
+			})
+		}
+		for to := 1; to < k; to++ {
+			g.AddEdge(graph.TaskID(rng.Intn(to)), graph.TaskID(to), float64(1+rng.Intn(2000)))
+		}
+		plat := platform.Cell(1, 3)
+		m := make(core.Mapping, k)
+		for i := range m {
+			m[i] = rng.Intn(plat.NumPE())
+		}
+		rep, err := core.Evaluate(g, plat, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Feasible {
+			continue
+		}
+		res := run(t, g, plat, m, 3000, Config{NoOverheads: true})
+		ratio := res.SteadyThroughput() / rep.Throughput()
+		if ratio < 0.9 || ratio > 1.05 {
+			t.Errorf("trial %d: sim/analytic = %.3f (steady %.1f, analytic %.1f)",
+				trial, ratio, res.SteadyThroughput(), rep.Throughput())
+		}
+	}
+}
+
+func TestOverheadsCostAFewPercent(t *testing.T) {
+	g := graph.UniformChain("c", 4, 20e-6, 10e-6, 4096)
+	plat := platform.Cell(1, 2)
+	m := core.Mapping{0, 1, 2, 0}
+	rep, err := core.Evaluate(g, plat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, g, plat, m, 2000, Config{})
+	ratio := res.SteadyThroughput() / rep.Throughput()
+	if ratio < 0.85 || ratio > 1.0+1e-9 {
+		t.Errorf("with default overheads sim/analytic = %.3f, want within [0.85, 1]", ratio)
+	}
+}
+
+func TestPeekDelaysButCompletes(t *testing.T) {
+	g := graph.Fig3Example() // T3 peeks 1 instance ahead
+	plat := platform.Cell(1, 2)
+	res := run(t, g, plat, core.Mapping{0, 1, 2}, 50, Config{NoOverheads: true})
+	if res.Instances != 50 {
+		t.Fatalf("completed %d instances", res.Instances)
+	}
+	for i := 1; i < len(res.FinishTimes); i++ {
+		if res.FinishTimes[i] < res.FinishTimes[i-1] {
+			t.Fatal("FinishTimes not monotonic")
+		}
+	}
+}
+
+func TestPeekLargerThanStream(t *testing.T) {
+	// peek = 5 with only 3 instances: lookahead truncates at the stream
+	// end and the run must still finish.
+	g := &graph.Graph{Name: "bigpeek"}
+	a := g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 1e-6})
+	b := g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 1e-6, Peek: 5})
+	g.AddEdge(a, b, 128)
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0, 1}, 3, Config{NoOverheads: true})
+	if res.Instances != 3 {
+		t.Errorf("completed %d, want 3", res.Instances)
+	}
+}
+
+func TestDMAViolatingMappingStillRuns(t *testing.T) {
+	// 20 PPE producers feeding one SPE consumer exceeds the 16-deep DMA
+	// stack; the simulator must serialize, not fail.
+	g := &graph.Graph{Name: "fanin"}
+	var prods []graph.TaskID
+	for i := 0; i < 20; i++ {
+		prods = append(prods, g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 1e-6}))
+	}
+	sink := g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 1e-6})
+	for _, p := range prods {
+		g.AddEdge(p, sink, 256)
+	}
+	plat := platform.Cell(1, 1)
+	m := make(core.Mapping, g.NumTasks())
+	m[sink] = 1
+	rep, _ := core.Evaluate(g, plat, m)
+	if rep.Feasible {
+		t.Fatal("mapping should violate DMA-in limit")
+	}
+	res := run(t, g, plat, m, 100, Config{})
+	if res.Instances != 100 {
+		t.Errorf("completed %d, want 100", res.Instances)
+	}
+}
+
+func TestMemoryTraffic(t *testing.T) {
+	// A single task that reads and writes memory: throughput bound by
+	// max(compute, read/bw, write/bw) = write/bw here.
+	g := &graph.Graph{Name: "memio"}
+	g.AddTask(graph.Task{WPPE: 1e-6, WSPE: 1e-6, ReadBytes: 1e4, WriteBytes: 25e5})
+	plat := platform.Cell(1, 0)
+	res := run(t, g, plat, core.Mapping{0}, 500, Config{NoOverheads: true})
+	want := plat.BW / 25e5 // = 1e4 instances/s
+	if st := res.SteadyThroughput(); math.Abs(st-want)/want > 0.05 {
+		t.Errorf("steady = %v, want ~%v", st, want)
+	}
+}
+
+func TestZeroByteEdges(t *testing.T) {
+	g := graph.UniformChain("z", 3, 1e-6, 1e-6, 0)
+	plat := platform.Cell(1, 2)
+	res := run(t, g, plat, core.Mapping{0, 1, 2}, 100, Config{NoOverheads: true})
+	if res.Instances != 100 {
+		t.Errorf("completed %d", res.Instances)
+	}
+}
+
+func TestRandomMappingsNeverDeadlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		k := 5 + rng.Intn(15)
+		g := &graph.Graph{Name: "dl"}
+		for i := 0; i < k; i++ {
+			g.AddTask(graph.Task{
+				WPPE: rng.Float64() * 1e-5, WSPE: rng.Float64() * 1e-5,
+				Peek:      rng.Intn(3),
+				ReadBytes: float64(rng.Intn(2)) * 512, WriteBytes: float64(rng.Intn(2)) * 512,
+			})
+		}
+		for to := 1; to < k; to++ {
+			g.AddEdge(graph.TaskID(rng.Intn(to)), graph.TaskID(to), float64(rng.Intn(4096)))
+			if rng.Intn(2) == 0 && to > 1 {
+				f := rng.Intn(to - 1)
+				if _, dup := g.EdgeBetween(graph.TaskID(f), graph.TaskID(to)); !dup {
+					g.AddEdge(graph.TaskID(f), graph.TaskID(to), float64(rng.Intn(4096)))
+				}
+			}
+		}
+		plat := platform.Cell(1, 1+rng.Intn(7))
+		m := make(core.Mapping, k)
+		for i := range m {
+			m[i] = rng.Intn(plat.NumPE())
+		}
+		res := run(t, g, plat, m, 60, Config{MaxSimTime: 10})
+		if res.Instances != 60 {
+			t.Fatalf("trial %d: %d instances", trial, res.Instances)
+		}
+	}
+}
+
+func TestRampCurveApproachesSteady(t *testing.T) {
+	g := graph.UniformChain("r", 5, 1e-5, 0.5e-5, 2048)
+	plat := platform.Cell(1, 4)
+	res := run(t, g, plat, core.Mapping{0, 1, 2, 3, 4}, 3000, Config{})
+	curve := res.RampCurve()
+	steady := res.SteadyThroughput()
+	// The cumulative throughput of the last instance must be close to
+	// steady state and well above the very first instances.
+	last := curve[len(curve)-1]
+	if last < 0.8*steady {
+		t.Errorf("final cumulative %.1f too far below steady %.1f", last, steady)
+	}
+	if curve[0] > last {
+		t.Errorf("ramp starts above final throughput: %v vs %v", curve[0], last)
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	g := graph.UniformChain("t", 2, 1e-6, 1e-6, 128)
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0, 1}, 5, Config{NoOverheads: true, CollectTrace: true})
+	var computes, starts, ends int
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case EvCompute:
+			computes++
+		case EvTransferStart:
+			starts++
+		case EvTransferEnd:
+			ends++
+		}
+	}
+	if computes != 10 { // 2 tasks × 5 instances
+		t.Errorf("compute events = %d, want 10", computes)
+	}
+	if starts != 5 || ends != 5 { // 1 cross edge × 5 instances
+		t.Errorf("transfer events = %d/%d, want 5/5", starts, ends)
+	}
+	res2 := run(t, g, plat, core.Mapping{0, 1}, 5, Config{NoOverheads: true})
+	if len(res2.Trace) != 0 {
+		t.Error("trace collected without CollectTrace")
+	}
+}
+
+func TestEnforceEIB(t *testing.T) {
+	// Aggregate EIB cap must not change results when few flows are
+	// active, and must bound them when many are.
+	g := graph.ForkJoin("fj", 8, 1, 1e-6, 1e-6, 1e6)
+	plat := platform.Cell(1, 8)
+	plat.LocalStore = 1 << 40
+	m := make(core.Mapping, g.NumTasks())
+	for i := range m {
+		m[i] = i % plat.NumPE()
+	}
+	resOff := run(t, g, plat, m, 50, Config{NoOverheads: true})
+	resOn := run(t, g, plat, m, 50, Config{NoOverheads: true, EnforceEIB: true})
+	if resOn.TotalTime < resOff.TotalTime-1e-12 {
+		t.Errorf("EIB enforcement sped things up: %v < %v", resOn.TotalTime, resOff.TotalTime)
+	}
+}
+
+func TestStatefulTasksSequential(t *testing.T) {
+	// Stateful or not, a single task's instances are serialized on one
+	// PE; verify instance i+1 never finishes before instance i.
+	g := &graph.Graph{Name: "st"}
+	g.AddTask(graph.Task{WPPE: 1e-5, WSPE: 1e-5, Stateful: true})
+	plat := platform.Cell(1, 0)
+	res := run(t, g, plat, core.Mapping{0}, 20, Config{NoOverheads: true, CollectTrace: true})
+	prev := -1.0
+	for _, ev := range res.Trace {
+		if ev.Kind == EvCompute {
+			if ev.Time <= prev {
+				t.Fatal("instances out of order")
+			}
+			prev = ev.Time
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := graph.UniformChain("c", 2, 1, 1, 1)
+	plat := platform.Cell(1, 1)
+	if _, err := Run(g, plat, core.Mapping{0}, 10, Config{}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := Run(g, plat, core.Mapping{0, 1}, 0, Config{}); err == nil {
+		t.Error("zero instances accepted")
+	}
+}
+
+func TestUtilizationStats(t *testing.T) {
+	// One task on the PPE, fully busy: utilization ≈ 1 for PPE, 0 for SPE.
+	g := &graph.Graph{Name: "busy"}
+	g.AddTask(graph.Task{WPPE: 1e-5, WSPE: 1e-5})
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0}, 100, Config{NoOverheads: true})
+	if res.Utilization[0] < 0.99 || res.Utilization[0] > 1.01 {
+		t.Errorf("PPE utilization = %v, want ~1", res.Utilization[0])
+	}
+	if res.Utilization[1] != 0 {
+		t.Errorf("idle SPE utilization = %v", res.Utilization[1])
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	g := graph.UniformChain("c", 2, 1e-6, 1e-6, 1000)
+	plat := platform.Cell(1, 1)
+	res := run(t, g, plat, core.Mapping{0, 1}, 50, Config{NoOverheads: true})
+	if res.Transfers != 50 {
+		t.Errorf("transfers = %d, want 50", res.Transfers)
+	}
+	if res.BytesOut[0] != 50*1000 {
+		t.Errorf("PPE out bytes = %v, want 50000", res.BytesOut[0])
+	}
+	if res.BytesIn[1] != 50*1000 {
+		t.Errorf("SPE in bytes = %v, want 50000", res.BytesIn[1])
+	}
+}
+
+func TestUndeployableMappingRejected(t *testing.T) {
+	// Buffers exceeding the local store cannot be allocated on hardware;
+	// the simulator must reject the deployment unless explicitly told to
+	// ignore the check.
+	g := graph.UniformChain("fat", 2, 1e-6, 1e-6, 300*1024)
+	plat := platform.Cell(1, 1)
+	if _, err := Run(g, plat, core.Mapping{0, 1}, 10, Config{}); err == nil {
+		t.Fatal("memory-infeasible mapping accepted")
+	}
+	if _, err := Run(g, plat, core.Mapping{0, 1}, 10, Config{IgnoreLocalStore: true}); err != nil {
+		t.Fatalf("IgnoreLocalStore did not bypass the check: %v", err)
+	}
+}

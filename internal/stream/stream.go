@@ -1,0 +1,325 @@
+// Package stream is an executable streaming runtime: the Go counterpart
+// of the paper's scheduling framework (§6.1), which runs a mapped task
+// graph over real data rather than simulating it.
+//
+// Every processing element of the mapping becomes one worker goroutine
+// that serializes the computation of the tasks mapped to it — exactly
+// like a core, which can only compute one task instance at a time. The
+// worker alternates the two phases of Fig. 4: a computation phase
+// (select a runnable task, process one instance) and a communication
+// phase (data movement, which Go channels perform for us with the
+// buffer capacities derived from the firstPeriod analysis of §4.2).
+// Peek semantics are honoured: a task with peek p sees instances
+// i..i+p of every input when processing instance i (truncated at the
+// end of the stream), and stateful tasks process instances in order by
+// construction.
+//
+// The runtime is for functional execution and correctness testing of
+// mappings on a host machine; package sim predicts the timing behaviour
+// on the Cell platform model.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+)
+
+// Msg is one instance of one data item flowing along an edge.
+type Msg struct {
+	Instance int
+	Data     []byte
+}
+
+// Ctx carries everything a task function needs to process one instance.
+type Ctx struct {
+	// Instance is the 0-based stream instance being processed.
+	Instance int
+	// In holds, for every incoming edge (indexed like the task's
+	// predecessor list, i.e. graph.Preds()[task]), the data of instances
+	// Instance..Instance+peek. In[e][0] is the current instance;
+	// In[e][j] peeks j instances ahead. Near the end of the stream the
+	// lookahead window shrinks.
+	In [][][]byte
+	// PE is the index of the processing element executing the task.
+	PE int
+}
+
+// Func computes one instance of a task: it receives the inputs (with
+// lookahead) and returns the payload to send along every outgoing edge
+// (indexed like graph.Succs()[task]). Source tasks receive an empty In;
+// sink tasks return outputs for zero edges (the returned slice may be
+// nil). Returning an error aborts the whole run.
+type Func func(ctx *Ctx) ([][]byte, error)
+
+// Options tunes the runtime.
+type Options struct {
+	// BufferSlack adds capacity (in instances) to every edge queue on
+	// top of the firstPeriod-derived sizing. Default 0.
+	BufferSlack int
+	// Timeout aborts a run that makes no progress (default 30 s).
+	Timeout time.Duration
+}
+
+// Runtime executes a mapped streaming application.
+type Runtime struct {
+	g     *graph.Graph
+	m     core.Mapping
+	funcs []Func
+	opt   Options
+
+	preds [][]int
+	succs [][]int
+	caps  []int // per-edge buffer capacity in instances
+	numPE int
+
+	// fail aborts the current run; installed by Run.
+	fail func(error)
+}
+
+// New builds a runtime for graph g with mapping m. funcs must provide a
+// Func for every task. numPE is the number of processing elements the
+// mapping refers to.
+func New(g *graph.Graph, numPE int, m core.Mapping, funcs map[graph.TaskID]Func, opt Options) (*Runtime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m) != g.NumTasks() {
+		return nil, fmt.Errorf("stream: mapping has %d entries for %d tasks", len(m), g.NumTasks())
+	}
+	fs := make([]Func, g.NumTasks())
+	for k := range fs {
+		pe := m[k]
+		if pe < 0 || pe >= numPE {
+			return nil, fmt.Errorf("stream: task %d mapped to PE %d of %d", k, pe, numPE)
+		}
+		f, ok := funcs[graph.TaskID(k)]
+		if !ok || f == nil {
+			return nil, fmt.Errorf("stream: no function for task %s", g.Tasks[k].Name)
+		}
+		fs[k] = f
+	}
+	if opt.Timeout == 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	fp := core.FirstPeriods(g)
+	caps := make([]int, g.NumEdges())
+	for ei, e := range g.Edges {
+		gap := fp[e.To] - fp[e.From]
+		c := gap + g.Tasks[e.To].Peek + opt.BufferSlack
+		if min := g.Tasks[e.To].Peek + 2; c < min {
+			c = min
+		}
+		caps[ei] = c
+	}
+	return &Runtime{
+		g: g, m: m.Clone(), funcs: fs, opt: opt,
+		preds: g.Preds(), succs: g.Succs(), caps: caps, numPE: numPE,
+	}, nil
+}
+
+// edgeQueue is a single-producer single-consumer bounded queue with a
+// peekable window. Only the producer's worker calls push; only the
+// consumer's worker calls window/pop — but producer and consumer may be
+// the same worker, so the implementation must not block.
+type edgeQueue struct {
+	mu  sync.Mutex
+	buf []Msg
+	cap int
+}
+
+func (q *edgeQueue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) >= q.cap
+}
+
+func (q *edgeQueue) push(m Msg) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) >= q.cap {
+		return false
+	}
+	q.buf = append(q.buf, m)
+	return true
+}
+
+// window returns the data of instances inst..inst+peek if all present
+// (peek truncated so inst+peek < n), or nil.
+func (q *edgeQueue) window(inst, peek, n int) [][]byte {
+	need := peek + 1
+	if inst+need > n {
+		need = n - inst
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) < need {
+		return nil
+	}
+	if q.buf[0].Instance != inst {
+		// The consumer pops exactly one instance per firing, so the head
+		// must be the current instance; anything else is a runtime bug.
+		panic(fmt.Sprintf("stream: edge head instance %d, consumer expects %d", q.buf[0].Instance, inst))
+	}
+	out := make([][]byte, need)
+	for j := 0; j < need; j++ {
+		out[j] = q.buf[j].Data
+	}
+	return out
+}
+
+func (q *edgeQueue) pop() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.buf = q.buf[1:]
+}
+
+// Result summarizes a run.
+type Result struct {
+	Instances int
+	Elapsed   time.Duration
+	// Fired[k] counts instances processed by task k (all equal to
+	// Instances on success).
+	Fired []int
+}
+
+// Run processes n stream instances through the graph and returns after
+// every task has processed all of them.
+func (r *Runtime) Run(n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: instances must be positive, got %d", n)
+	}
+	queues := make([]*edgeQueue, r.g.NumEdges())
+	for ei := range queues {
+		queues[ei] = &edgeQueue{cap: r.caps[ei]}
+	}
+	done := make([]int, r.g.NumTasks()) // instances fired per task (worker-local writes)
+
+	type peState struct {
+		tasks []int
+	}
+	pes := make([]peState, r.numPE)
+	for k := range r.g.Tasks {
+		pe := r.m[k]
+		pes[pe].tasks = append(pes[pe].tasks, k)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		runErr   error
+		abortAll = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			close(abortAll)
+		})
+	}
+	aborted := func() bool {
+		select {
+		case <-abortAll:
+			return true
+		default:
+			return false
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(r.opt.Timeout)
+
+	worker := func(pe int) {
+		defer wg.Done()
+		idle := 0
+		for !aborted() {
+			progressed := false
+			finished := true
+			for _, k := range pes[pe].tasks {
+				inst := done[k]
+				if inst >= n {
+					continue
+				}
+				finished = false
+				if r.fire(k, inst, n, queues, pe) {
+					done[k] = inst + 1
+					progressed = true
+				}
+			}
+			if finished {
+				return
+			}
+			if progressed {
+				idle = 0
+				continue
+			}
+			idle++
+			runtime.Gosched()
+			if idle%1024 == 0 {
+				if time.Now().After(deadline) {
+					fail(fmt.Errorf("stream: no progress before %v timeout (likely buffer deadlock)", r.opt.Timeout))
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+
+	r.fail = fail
+	for pe := 0; pe < r.numPE; pe++ {
+		wg.Add(1)
+		go worker(pe)
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{Instances: n, Elapsed: time.Since(start), Fired: done}, nil
+}
+
+// fire attempts to process instance inst of task k; it returns true on
+// success and false when inputs or output space are missing.
+func (r *Runtime) fire(k, inst, n int, queues []*edgeQueue, pe int) bool {
+	// Gather inputs with peek lookahead.
+	peek := r.g.Tasks[k].Peek
+	ins := make([][][]byte, len(r.preds[k]))
+	for i, ei := range r.preds[k] {
+		w := queues[ei].window(inst, peek, n)
+		if w == nil {
+			return false
+		}
+		ins[i] = w
+	}
+	// Reserve output space (single producer per edge: no race on full()).
+	for _, ei := range r.succs[k] {
+		if queues[ei].full() {
+			return false
+		}
+	}
+	out, err := r.funcs[k](&Ctx{Instance: inst, In: ins, PE: pe})
+	if err != nil {
+		r.fail(fmt.Errorf("stream: task %s instance %d: %w", r.g.Tasks[k].Name, inst, err))
+		return false
+	}
+	if len(out) != len(r.succs[k]) {
+		r.fail(fmt.Errorf("stream: task %s returned %d outputs for %d edges",
+			r.g.Tasks[k].Name, len(out), len(r.succs[k])))
+		return false
+	}
+	for i, ei := range r.succs[k] {
+		if !queues[ei].push(Msg{Instance: inst, Data: out[i]}) {
+			// Space was checked above and this worker is the only
+			// producer, so the push cannot fail.
+			r.fail(fmt.Errorf("stream: edge %d overflow on task %s", ei, r.g.Tasks[k].Name))
+			return false
+		}
+	}
+	// Consume the current instance of each input.
+	for _, ei := range r.preds[k] {
+		queues[ei].pop()
+	}
+	return true
+}

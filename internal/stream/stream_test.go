@@ -1,0 +1,350 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+)
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// pipelineFuncs builds a source → double → +7 → sink pipeline whose sink
+// records every result, so any mapping can be verified functionally.
+func pipelineFuncs(g *graph.Graph, results *sync.Map) map[graph.TaskID]Func {
+	return map[graph.TaskID]Func{
+		0: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(uint64(ctx.Instance))}, nil
+		},
+		1: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(getU64(ctx.In[0][0]) * 2)}, nil
+		},
+		2: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(getU64(ctx.In[0][0]) + 7)}, nil
+		},
+		3: func(ctx *Ctx) ([][]byte, error) {
+			results.Store(ctx.Instance, getU64(ctx.In[0][0]))
+			return nil, nil
+		},
+	}
+}
+
+func chain4() *graph.Graph {
+	return graph.UniformChain("pipe", 4, 1e-6, 1e-6, 8)
+}
+
+func verifyPipeline(t *testing.T, results *sync.Map, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v, ok := results.Load(i)
+		if !ok {
+			t.Fatalf("instance %d never reached the sink", i)
+		}
+		want := uint64(i)*2 + 7
+		if v.(uint64) != want {
+			t.Fatalf("instance %d: got %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPipelineCorrectSamePE(t *testing.T) {
+	g := chain4()
+	var results sync.Map
+	rt, err := New(g, 1, core.Mapping{0, 0, 0, 0}, pipelineFuncs(g, &results), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPipeline(t, &results, 200)
+	for k, f := range res.Fired {
+		if f != 200 {
+			t.Errorf("task %d fired %d times", k, f)
+		}
+	}
+}
+
+func TestPipelineCorrectAcrossPEs(t *testing.T) {
+	g := chain4()
+	var results sync.Map
+	rt, err := New(g, 4, core.Mapping{0, 1, 2, 3}, pipelineFuncs(g, &results), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	verifyPipeline(t, &results, 500)
+}
+
+func TestPeekWindowContents(t *testing.T) {
+	// A consumer with peek 2 must see instances i, i+1, i+2 of its input
+	// (truncated at the end of the stream).
+	g := &graph.Graph{Name: "peek"}
+	src := g.AddTask(graph.Task{Name: "src", WPPE: 1, WSPE: 1})
+	snk := g.AddTask(graph.Task{Name: "snk", WPPE: 1, WSPE: 1, Peek: 2})
+	g.AddEdge(src, snk, 8)
+	const n = 50
+	var mu sync.Mutex
+	windows := map[int][]uint64{}
+	funcs := map[graph.TaskID]Func{
+		src: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(uint64(ctx.Instance * 11))}, nil
+		},
+		snk: func(ctx *Ctx) ([][]byte, error) {
+			var w []uint64
+			for _, d := range ctx.In[0] {
+				w = append(w, getU64(d))
+			}
+			mu.Lock()
+			windows[ctx.Instance] = w
+			mu.Unlock()
+			return nil, nil
+		},
+	}
+	rt, err := New(g, 2, core.Mapping{0, 1}, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w := windows[i]
+		wantLen := 3
+		if i+wantLen > n {
+			wantLen = n - i
+		}
+		if len(w) != wantLen {
+			t.Fatalf("instance %d: window %v, want length %d", i, w, wantLen)
+		}
+		for j, v := range w {
+			if v != uint64((i+j)*11) {
+				t.Fatalf("instance %d window[%d] = %d, want %d", i, j, v, (i+j)*11)
+			}
+		}
+	}
+}
+
+func TestStatefulOrdering(t *testing.T) {
+	// A stateful accumulator must observe instances strictly in order.
+	g := graph.UniformChain("acc", 2, 1, 1, 8)
+	var sum uint64
+	var order []int
+	funcs := map[graph.TaskID]Func{
+		0: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(uint64(ctx.Instance))}, nil
+		},
+		1: func(ctx *Ctx) ([][]byte, error) {
+			sum += getU64(ctx.In[0][0])
+			order = append(order, ctx.Instance)
+			return nil, nil
+		},
+	}
+	rt, err := New(g, 2, core.Mapping{0, 1}, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	if _, err := rt.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(n * (n - 1) / 2); sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("instance %d processed at position %d", v, i)
+		}
+	}
+}
+
+func TestDiamondJoin(t *testing.T) {
+	// src fans out to two transforms that join: the join must pair data
+	// of the same instance from both branches.
+	g := &graph.Graph{Name: "diamond"}
+	src := g.AddTask(graph.Task{Name: "src", WPPE: 1, WSPE: 1})
+	a := g.AddTask(graph.Task{Name: "a", WPPE: 1, WSPE: 1})
+	b := g.AddTask(graph.Task{Name: "b", WPPE: 1, WSPE: 1})
+	join := g.AddTask(graph.Task{Name: "join", WPPE: 1, WSPE: 1})
+	g.AddEdge(src, a, 8)
+	g.AddEdge(src, b, 8)
+	g.AddEdge(a, join, 8)
+	g.AddEdge(b, join, 8)
+	var mu sync.Mutex
+	bad := 0
+	funcs := map[graph.TaskID]Func{
+		src: func(ctx *Ctx) ([][]byte, error) {
+			v := u64(uint64(ctx.Instance))
+			return [][]byte{v, v}, nil
+		},
+		a: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(getU64(ctx.In[0][0]) * 3)}, nil
+		},
+		b: func(ctx *Ctx) ([][]byte, error) {
+			return [][]byte{u64(getU64(ctx.In[0][0]) * 5)}, nil
+		},
+		join: func(ctx *Ctx) ([][]byte, error) {
+			x, y := getU64(ctx.In[0][0]), getU64(ctx.In[1][0])
+			if x != uint64(ctx.Instance)*3 || y != uint64(ctx.Instance)*5 {
+				mu.Lock()
+				bad++
+				mu.Unlock()
+			}
+			return nil, nil
+		},
+	}
+	for _, m := range []core.Mapping{{0, 0, 0, 0}, {0, 1, 2, 3}, {0, 1, 0, 1}} {
+		mu.Lock()
+		bad = 0
+		mu.Unlock()
+		rt, err := New(g, 4, m, funcs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(200); err != nil {
+			t.Fatalf("mapping %v: %v", m, err)
+		}
+		if bad != 0 {
+			t.Errorf("mapping %v: %d mispaired instances", m, bad)
+		}
+	}
+}
+
+func TestRandomGraphsRandomMappings(t *testing.T) {
+	// Property: for arbitrary DAGs and mappings, every task fires exactly
+	// n times and a content checksum is mapping-independent.
+	rng := rand.New(rand.NewSource(31))
+	var wantSum uint64
+	for trial := 0; trial < 6; trial++ {
+		k := 4 + rng.Intn(10)
+		g := &graph.Graph{Name: "rand"}
+		for i := 0; i < k; i++ {
+			g.AddTask(graph.Task{WPPE: 1, WSPE: 1, Peek: rng.Intn(3)})
+		}
+		for to := 1; to < k; to++ {
+			g.AddEdge(graph.TaskID(rng.Intn(to)), graph.TaskID(to), 8)
+		}
+		var mu sync.Mutex
+		var sum uint64
+		funcs := map[graph.TaskID]Func{}
+		succs := g.Succs()
+		for i := 0; i < k; i++ {
+			id := graph.TaskID(i)
+			nOut := len(succs[i])
+			funcs[id] = func(ctx *Ctx) ([][]byte, error) {
+				acc := uint64(ctx.Instance + 1)
+				for _, in := range ctx.In {
+					for _, d := range in {
+						acc = acc*31 + getU64(d)
+					}
+				}
+				mu.Lock()
+				sum += acc
+				mu.Unlock()
+				out := make([][]byte, nOut)
+				for j := range out {
+					out[j] = u64(acc + uint64(j))
+				}
+				return out, nil
+			}
+		}
+		numPE := 1 + rng.Intn(5)
+		m := make(core.Mapping, k)
+		for i := range m {
+			m[i] = rng.Intn(numPE)
+		}
+		rt, err := New(g, numPE, m, funcs, Options{Timeout: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(40)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, f := range res.Fired {
+			if f != 40 {
+				t.Fatalf("trial %d: task %d fired %d/40", trial, i, f)
+			}
+		}
+		// Re-run the same graph on a single PE: checksum must match.
+		mu.Lock()
+		wantSum = sum
+		sum = 0
+		mu.Unlock()
+		rt1, err := New(g, 1, make(core.Mapping, k), funcs, Options{Timeout: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt1.Run(40); err != nil {
+			t.Fatal(err)
+		}
+		if sum != wantSum {
+			t.Fatalf("trial %d: checksum differs across mappings: %d vs %d", trial, sum, wantSum)
+		}
+	}
+}
+
+func TestTaskErrorAborts(t *testing.T) {
+	g := graph.UniformChain("err", 2, 1, 1, 8)
+	funcs := map[graph.TaskID]Func{
+		0: func(ctx *Ctx) ([][]byte, error) {
+			if ctx.Instance == 5 {
+				return nil, fmt.Errorf("boom")
+			}
+			return [][]byte{u64(0)}, nil
+		},
+		1: func(ctx *Ctx) ([][]byte, error) { return nil, nil },
+	}
+	rt, err := New(g, 2, core.Mapping{0, 1}, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(100); err == nil {
+		t.Fatal("expected task error to abort the run")
+	}
+}
+
+func TestWrongOutputArityAborts(t *testing.T) {
+	g := graph.UniformChain("arity", 2, 1, 1, 8)
+	funcs := map[graph.TaskID]Func{
+		0: func(ctx *Ctx) ([][]byte, error) { return nil, nil }, // should return 1 output
+		1: func(ctx *Ctx) ([][]byte, error) { return nil, nil },
+	}
+	rt, err := New(g, 1, core.Mapping{0, 0}, funcs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(10); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := chain4()
+	var results sync.Map
+	funcs := pipelineFuncs(g, &results)
+	if _, err := New(g, 1, core.Mapping{0, 0}, funcs, Options{}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := New(g, 1, core.Mapping{0, 0, 0, 5}, funcs, Options{}); err == nil {
+		t.Error("out-of-range PE accepted")
+	}
+	delete(funcs, 2)
+	if _, err := New(g, 1, core.Mapping{0, 0, 0, 0}, funcs, Options{}); err == nil {
+		t.Error("missing task function accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package textplot renders simple ASCII line plots for the experiment
+// harness, so every figure of the paper can be regenerated and eyeballed
+// without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series into a width×height character grid with axes
+// and a legend. Width and height are the inner plot area; sensible
+// minimums are enforced.
+func Plot(title, xlabel, ylabel string, width, height int, series []Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// A little headroom on Y.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks.
+		for i := 0; i+1 < len(s.X); i++ {
+			x0, y0, x1, y1 := s.X[i], s.Y[i], s.X[i+1], s.Y[i+1]
+			steps := abs(toCol(x1)-toCol(x0)) + abs(toRow(y1)-toRow(y0)) + 1
+			for st := 0; st <= steps; st++ {
+				f := float64(st) / float64(steps)
+				r := toRow(y0 + (y1-y0)*f)
+				c := toCol(x0 + (x1-x0)*f)
+				if grid[r][c] == ' ' || st == 0 || st == steps {
+					grid[r][c] = mk
+				}
+			}
+		}
+		if len(s.X) == 1 {
+			grid[toRow(s.Y[0])][toCol(s.X[0])] = mk
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yFmt := func(v float64) string { return fmt.Sprintf("%9.3g", v) }
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			b.WriteString(yFmt(maxY))
+		case height - 1:
+			b.WriteString(yFmt(minY))
+		case height / 2:
+			b.WriteString(yFmt((minY + maxY) / 2))
+		default:
+			b.WriteString(strings.Repeat(" ", 9))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	left := fmt.Sprintf("%-10.4g", minX)
+	right := fmt.Sprintf("%10.4g", maxX)
+	gapW := width - len(left) - len(right) - len(xlabel)
+	if gapW < 2 {
+		gapW = 2
+	}
+	half := gapW / 2
+	fmt.Fprintf(&b, "%s%s%s%s%s\n", strings.Repeat(" ", 11), left,
+		strings.Repeat(" ", half)+xlabel+strings.Repeat(" ", gapW-half), right, "")
+	if ylabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", ylabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

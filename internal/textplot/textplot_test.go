@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	s := Plot("title", "xs", "ys", 40, 10, []Series{
+		{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	})
+	if !strings.Contains(s, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "* line") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(s, "xs") || !strings.Contains(s, "ys") {
+		t.Error("missing axis labels")
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("no points plotted")
+	}
+	lines := strings.Split(s, "\n")
+	// title + 10 rows + axis + xlabels + ylabel + legend.
+	if len(lines) < 14 {
+		t.Errorf("only %d lines", len(lines))
+	}
+}
+
+func TestPlotMultiSeriesMarkers(t *testing.T) {
+	s := Plot("t", "x", "y", 40, 8, []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	})
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("expected two distinct markers:\n%s", s)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	s := Plot("empty", "x", "y", 40, 8, nil)
+	if !strings.Contains(s, "no data") {
+		t.Errorf("empty plot = %q", s)
+	}
+}
+
+func TestPlotSinglePointAndFlatLine(t *testing.T) {
+	// Degenerate ranges must not panic or divide by zero.
+	s := Plot("p", "x", "y", 30, 6, []Series{
+		{Name: "pt", X: []float64{5}, Y: []float64{7}},
+	})
+	if !strings.Contains(s, "*") {
+		t.Error("single point not plotted")
+	}
+	s = Plot("flat", "x", "y", 30, 6, []Series{
+		{Name: "f", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}},
+	})
+	if !strings.Contains(s, "*") {
+		t.Error("flat line not plotted")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := Plot("t", "x", "y", 1, 1, []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+	})
+	if len(s) == 0 {
+		t.Error("empty output for tiny plot")
+	}
+}
