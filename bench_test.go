@@ -18,6 +18,7 @@ import (
 	"cellstream/internal/experiments"
 	"cellstream/internal/heuristics"
 	"cellstream/internal/lp"
+	"cellstream/internal/milp"
 	"cellstream/internal/platform"
 	"cellstream/internal/sim"
 )
@@ -171,8 +172,9 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
-// BenchmarkLPSimplex measures the dense bounded-variable simplex on the
-// compact formulation of a 12-task mapping LP (relaxation only).
+// BenchmarkLPSimplex measures the sparse revised simplex (the engine
+// behind lp.Solve) on the compact formulation of a 12-task mapping LP
+// (relaxation only). Compare against BenchmarkLPDenseTableau.
 func BenchmarkLPSimplex(b *testing.B) {
 	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
 	plat := platform.Cell(1, 3)
@@ -186,6 +188,56 @@ func BenchmarkLPSimplex(b *testing.B) {
 		if sol.Status != lp.Optimal {
 			b.Fatalf("status %v", sol.Status)
 		}
+	}
+}
+
+// BenchmarkLPDenseTableau measures the dense two-phase tableau simplex
+// (the reference implementation) on the same 12-task relaxation, to
+// quantify the revised-simplex speedup.
+func BenchmarkLPDenseTableau(b *testing.B) {
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	f := core.FormulateCompact(g, plat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := lp.SolveDense(f.Problem.LP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkMILPBranchAndBound measures the full mixed-program solve on
+// the compact formulation of a 10-task instance, serial versus the
+// worker-pool search (the parallel gain tracks GOMAXPROCS).
+func BenchmarkMILPBranchAndBound(b *testing.B) {
+	g := daggen.Generate(daggen.Params{Tasks: 10, Seed: 7, CCR: 1})
+	plat := platform.Cell(1, 2)
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			f := core.FormulateCompact(g, plat)
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				res, err := milp.Solve(f.Problem, milp.Options{
+					RelGap:  0.05,
+					Workers: cfg.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != milp.Optimal {
+					b.Fatalf("status %v", res.Status)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "bb_nodes")
+		})
 	}
 }
 

@@ -9,4 +9,37 @@
 // executables in cmd/ and the runnable examples in examples/.
 // See README.md for a guided tour and DESIGN.md for the system
 // inventory and per-experiment index.
+//
+// # Solver architecture
+//
+// The mixed linear program of §6 is solved by a three-layer stack:
+//
+//   - internal/lp: two interchangeable LP engines behind one model API.
+//     lp.Solve runs a sparse revised simplex — CSC constraint storage,
+//     a product-form (eta file) basis inverse with periodic
+//     refactorization, Devex pricing with a Bland's-rule fallback under
+//     degeneracy, Harris-style two-pass bounded-variable ratio tests,
+//     and an artificial-free composite phase 1. lp.SolveDense keeps the
+//     original dense two-phase tableau as an independent reference.
+//   - internal/milp: LP-based branch-and-bound over a pool of goroutine
+//     workers sharing one best-first node heap and one incumbent; each
+//     worker tightens bounds on its own clone of the problem.
+//     Cancellation and deadlines arrive via context.Context.
+//   - internal/assign: a combinatorial branch-and-bound in assignment
+//     space for paper-scale graphs, also context-cancellable.
+//
+// internal/lptest is the differential harness that keeps the two LP
+// engines honest: seeded random programs (including degenerate,
+// unbounded and infeasible shapes) plus the paper's own formulations
+// must produce identical statuses and objectives within 1e-6.
+//
+// # Test and benchmark suites
+//
+// "go test ./..." runs everything at full fidelity; "go test -short
+// ./..." shrinks instance counts and solver budgets to finish in a few
+// seconds. The differential suite lives in internal/lptest; solver
+// micro-benchmarks (sparse vs dense, serial vs parallel) are in
+// bench_test.go:
+//
+//	go test -bench 'BenchmarkLP|BenchmarkMILP' -benchtime=10x .
 package cellstream

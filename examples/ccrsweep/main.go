@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,12 +22,20 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny sweep with short solver budgets (smoke test)")
+	flag.Parse()
+	ccrs := []float64{0.5, 0.775, 1.2, 1.8, 2.6, 3.5, 4.6, 6.5}
+	tasks, budget := 40, 5*time.Second
+	if *quick {
+		ccrs = []float64{0.775, 4.6}
+		tasks, budget = 16, 500*time.Millisecond
+	}
 	plat := platform.QS22()
 	fmt.Printf("analytic speed-up vs CCR on %v\n", plat)
 	fmt.Printf("%8s %12s %12s %12s\n", "CCR", "GreedyMem", "GreedyCPU", "LP(5%)")
-	for _, ccr := range []float64{0.5, 0.775, 1.2, 1.8, 2.6, 3.5, 4.6, 6.5} {
+	for _, ccr := range ccrs {
 		g := daggen.Generate(daggen.Params{
-			Tasks: 40, Fat: 0.5, Density: 0.4, Jump: 2, Seed: 77, CCR: ccr,
+			Tasks: tasks, Fat: 0.5, Density: 0.4, Jump: 2, Seed: 77, CCR: ccr,
 		})
 		base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
 		if err != nil {
@@ -39,7 +48,7 @@ func main() {
 			}
 			return base.Period / rep.Period
 		}
-		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -23,18 +24,26 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "one graph with short solver budgets (smoke test)")
+	flag.Parse()
+	lsIters, budget, instances := 10000, 8*time.Second, 2000
+	graphs := daggen.PaperGraphs(0.775)
+	if *quick {
+		lsIters, budget, instances = 1000, 500*time.Millisecond, 400
+		graphs = graphs[:1]
+	}
 	single := platform.QS22()
 	dual := platform.QS22Dual()
 	fmt.Printf("single: %v\ndual:   %v\n\n", single, dual)
 	fmt.Printf("%-24s %14s %14s %8s\n", "graph", "1 Cell", "2 Cells", "gain")
-	for _, g := range daggen.PaperGraphs(0.775) {
+	for _, g := range graphs {
 		speedup := func(plat *platform.Platform) float64 {
 			seed, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
-				heuristics.LocalSearchOptions{MaxIters: 10000, Restarts: 2})
+				heuristics.LocalSearchOptions{MaxIters: lsIters, Restarts: 2})
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 8 * time.Second, Seed: seed})
+			res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget, Seed: seed})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -43,7 +52,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			simRes, err := sim.Run(g, plat, res.Mapping, 2000, sim.Config{})
+			simRes, err := sim.Run(g, plat, res.Mapping, instances, sim.Config{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module cellstream
+
+go 1.24

@@ -21,6 +21,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -90,13 +91,22 @@ type searcher struct {
 	bestT    float64
 	bound    float64 // best lower bound among pruned frontier
 	nodes    int
-	deadline time.Time
+	ctx      context.Context
+	canceled bool
 	maxNodes int
 	gapMul   float64 // prune when bound ≥ bestT*gapMul
 }
 
-// Solve runs the branch-and-bound search.
+// Solve runs the branch-and-bound search with a background context.
 func Solve(g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), g, plat, opt)
+}
+
+// SolveCtx runs the branch-and-bound search under ctx: cancellation or
+// a deadline stops it cleanly with the best incumbent and a valid
+// bound. opt.TimeLimit is applied as a context deadline (the earlier of
+// it and any ctx deadline wins) instead of wall-clock polling.
+func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,6 +121,9 @@ func Solve(g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error
 	if timeLimit == 0 {
 		timeLimit = 20 * time.Second
 	}
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithTimeout(ctx, timeLimit)
+	defer cancel()
 	maxNodes := opt.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 5_000_000
@@ -118,7 +131,7 @@ func Solve(g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error
 
 	s := &searcher{g: g, plat: plat, opt: opt,
 		n: plat.NumPE(), nP: plat.NumPPE,
-		deadline: time.Now().Add(timeLimit),
+		ctx:      ctx,
 		maxNodes: maxNodes,
 		gapMul:   1 - relGap,
 	}
@@ -227,7 +240,10 @@ func ratioOf(ws, wp float64) float64 {
 func (s *searcher) dfs(d int) bool {
 	s.nodes++
 	lb := s.lowerBound(d)
-	if s.nodes >= s.maxNodes || (s.nodes&1023 == 0 && time.Now().After(s.deadline)) {
+	if s.nodes&1023 == 0 && !s.canceled && s.ctx.Err() != nil {
+		s.canceled = true
+	}
+	if s.nodes >= s.maxNodes || s.canceled {
 		// Abandoned subtree: its root bound joins the frontier so the
 		// reported global bound stays valid.
 		if lb < s.bound {
@@ -291,7 +307,7 @@ func (s *searcher) dfs(d int) bool {
 			proved = false
 		}
 		s.unplace(k, c.pe)
-		if !proved && (s.nodes >= s.maxNodes || time.Now().After(s.deadline)) {
+		if !proved && (s.nodes >= s.maxNodes || s.canceled) {
 			// Unvisited siblings join the abandoned frontier.
 			for _, rest := range cands[ci+1:] {
 				if rest.lb < s.bound {

@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -97,10 +98,20 @@ func TestExactMatchesMILPOnSmallGraphs(t *testing.T) {
 	}
 }
 
+// budget shrinks a search time limit under -short so the suite stays
+// within a few seconds without deleting any scenario.
+func budget(t *testing.T, full time.Duration) time.Duration {
+	t.Helper()
+	if testing.Short() {
+		return full / 20
+	}
+	return full
+}
+
 func TestGapIsHonored(t *testing.T) {
 	g := daggen.Generate(daggen.Params{Tasks: 30, Seed: 11, CCR: 1})
 	plat := platform.QS22()
-	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 10 * time.Second})
+	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: budget(t, 10*time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +180,14 @@ func TestInfeasibleSeedIgnored(t *testing.T) {
 }
 
 func TestRespectsCapacityConstraints(t *testing.T) {
-	for seed := int64(0); seed < 5; seed++ {
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		g := daggen.Generate(daggen.Params{Tasks: 35, Seed: seed, CCR: 3})
 		plat := platform.QS22()
-		res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+		res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: budget(t, 5*time.Second)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +200,7 @@ func TestRespectsCapacityConstraints(t *testing.T) {
 func TestBetterThanGreedySeedOnPaperGraph(t *testing.T) {
 	g := daggen.PaperGraph1(0.775)
 	plat := platform.QS22()
-	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+	res, err := Solve(g, plat, Options{RelGap: 0.05, TimeLimit: budget(t, 5*time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,5 +221,44 @@ func TestZeroSPEs(t *testing.T) {
 	base, _ := core.Evaluate(g, plat, core.AllOnPPE(g))
 	if math.Abs(res.Report.Period-base.Period) > 1e-12 {
 		t.Errorf("period %v, want all-on-PPE %v", res.Report.Period, base.Period)
+	}
+}
+
+func TestSolveCtxCancel(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 60, Seed: 23, CCR: 2})
+	plat := platform.QS22()
+
+	// A pre-cancelled context must return promptly with the seed-level
+	// incumbent and a conservative bound rather than hang or error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := SolveCtx(ctx, g, plat, Options{Exact: true, TimeLimit: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled solve took %v", elapsed)
+	}
+	if !res.Report.Feasible {
+		t.Error("cancelled solve returned infeasible mapping")
+	}
+	if res.PeriodBound > res.Report.Period+1e-9 {
+		t.Errorf("bound %v above achieved %v", res.PeriodBound, res.Report.Period)
+	}
+
+	// A deadline shorter than the search must interrupt it mid-flight.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	res2, err := SolveCtx(ctx2, g, plat, Options{Exact: true, TimeLimit: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline solve took %v", elapsed)
+	}
+	if res2.Proved && res2.Gap > 1e-9 {
+		t.Logf("note: tiny instance proved before the deadline (gap %v)", res2.Gap)
 	}
 }

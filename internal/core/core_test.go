@@ -319,10 +319,18 @@ func TestNPReduction(t *testing.T) {
 
 func TestSolveRespectsGap(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
-	g := randomGraph(rng, 10)
+	tasks := 10
+	opt := SolveOptions{RelGap: 0.05}
+	if testing.Short() {
+		// The assertions below hold for interrupted searches too, so a
+		// tight budget keeps -short (and -race) runs fast.
+		tasks = 8
+		opt.TimeLimit = time.Second
+	}
+	g := randomGraph(rng, tasks)
 	plat := platform.Cell(1, 3)
 	plat.BW = 8192
-	res, err := SolveMILP(g, plat, SolveOptions{RelGap: 0.05})
+	res, err := SolveMILP(g, plat, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

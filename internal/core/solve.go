@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,8 +45,16 @@ type SolveResult struct {
 }
 
 // SolveMILP computes a throughput-optimal (within the gap) mapping by
-// solving the mixed linear program of §5.
+// solving the mixed linear program of §5 with a background context.
 func SolveMILP(g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*SolveResult, error) {
+	return SolveMILPCtx(context.Background(), g, plat, opt)
+}
+
+// SolveMILPCtx is SolveMILP under a context: cancellation or a deadline
+// stops the branch-and-bound cleanly, returning the best incumbent
+// found so far. opt.TimeLimit is combined with any ctx deadline (the
+// earlier one wins).
+func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*SolveResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,7 +94,7 @@ func SolveMILP(g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*Solv
 	}
 
 	start := time.Now()
-	res, err := milp.Solve(f.Problem, milp.Options{
+	res, err := milp.SolveCtx(ctx, f.Problem, milp.Options{
 		RelGap:    relGap,
 		TimeLimit: timeLimit,
 		MaxNodes:  opt.MaxNodes,

@@ -46,6 +46,29 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	// Quick fills only the fields the caller left unset, so tests and
+	// cmd/experiments can shrink individual knobs (e.g. -instances)
+	// below the quick defaults.
+	if c.Quick {
+		if c.Instances == 0 {
+			c.Instances = 300
+		}
+		if c.SolveTime == 0 {
+			c.SolveTime = 1 * time.Second
+		}
+		if c.LSIters == 0 {
+			c.LSIters = 1500
+		}
+		if c.LSRestarts == 0 {
+			c.LSRestarts = 1
+		}
+		if c.SPECounts == nil {
+			c.SPECounts = []int{0, 4, 8}
+		}
+		if c.CCRs == nil {
+			c.CCRs = []float64{0.775, 4.6}
+		}
+	}
 	if c.Platform == nil {
 		c.Platform = platform.QS22()
 	}
@@ -66,14 +89,6 @@ func (c *Config) fill() {
 	}
 	if c.CCRs == nil {
 		c.CCRs = daggen.PaperCCRs
-	}
-	if c.Quick {
-		c.Instances = 300
-		c.SolveTime = 1 * time.Second
-		c.LSIters = 1500
-		c.LSRestarts = 1
-		c.SPECounts = []int{0, 4, 8}
-		c.CCRs = []float64{0.775, 4.6}
 	}
 }
 

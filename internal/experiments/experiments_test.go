@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"cellstream/internal/daggen"
 	"cellstream/internal/platform"
@@ -12,8 +13,23 @@ import (
 // The quick configuration shrinks everything so these tests double as an
 // end-to-end smoke test of the full experiment pipeline.
 
+// testCfg returns the quick experiment configuration, shrunk further
+// under -short so the whole suite finishes in a few seconds without
+// dropping any experiment.
+func testCfg(t *testing.T) Config {
+	t.Helper()
+	cfg := Config{Quick: true}
+	if testing.Short() {
+		cfg.Instances = 25
+		cfg.SolveTime = 60 * time.Millisecond
+		cfg.LSIters = 20
+		cfg.SPECounts = []int{0, 8}
+	}
+	return cfg
+}
+
 func TestFig6Quick(t *testing.T) {
-	r, err := Fig6(Config{Quick: true})
+	r, err := Fig6(testCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,16 +61,18 @@ func TestFig6Quick(t *testing.T) {
 }
 
 func TestFig7Quick(t *testing.T) {
-	rs, err := Fig7(Config{Quick: true})
+	cfg := testCfg(t)
+	rs, err := Fig7(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.fill()
 	if len(rs) != 3 {
 		t.Fatalf("%d graphs, want 3", len(rs))
 	}
 	for _, r := range rs {
-		if len(r.Rows) != 3 { // quick SPECounts = {0,4,8}
-			t.Fatalf("%s: %d rows", r.Graph, len(r.Rows))
+		if len(r.Rows) != len(cfg.SPECounts) {
+			t.Fatalf("%s: %d rows, want %d", r.Graph, len(r.Rows), len(cfg.SPECounts))
 		}
 		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
 		// nS = 0: every strategy is the PPE-only mapping, speed-up ≈ 1.
@@ -82,16 +100,18 @@ func TestFig7Quick(t *testing.T) {
 }
 
 func TestFig8Quick(t *testing.T) {
-	rs, err := Fig8(Config{Quick: true})
+	cfg := testCfg(t)
+	rs, err := Fig8(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg.fill()
 	if len(rs) != 3 {
 		t.Fatalf("%d graphs, want 3", len(rs))
 	}
 	for _, r := range rs {
-		if len(r.CCR) != 2 { // quick CCRs = {0.775, 4.6}
-			t.Fatalf("%s: %d points", r.Graph, len(r.CCR))
+		if len(r.CCR) != len(cfg.CCRs) {
+			t.Fatalf("%s: %d points, want %d", r.Graph, len(r.CCR), len(cfg.CCRs))
 		}
 		// The paper's Fig. 8: higher CCR → lower speed-up.
 		if r.Speedup[len(r.Speedup)-1] >= r.Speedup[0] {
@@ -111,7 +131,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestSolveTimesQuick(t *testing.T) {
-	rows, err := SolveTimes(Config{Quick: true})
+	rows, err := SolveTimes(testCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +155,7 @@ func TestSolveTimesQuick(t *testing.T) {
 }
 
 func TestAblationQuick(t *testing.T) {
-	rows, err := Ablation(Config{Quick: true})
+	rows, err := Ablation(testCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +193,7 @@ func TestAblationQuick(t *testing.T) {
 }
 
 func TestLPMappingSeedsAndWins(t *testing.T) {
-	cfg := Config{Quick: true}
+	cfg := testCfg(t)
 	cfg.fill()
 	g := daggen.PaperGraph1(0.775)
 	plat := platform.QS22()
@@ -187,7 +207,7 @@ func TestLPMappingSeedsAndWins(t *testing.T) {
 }
 
 func TestCompareStrategiesQuick(t *testing.T) {
-	rows, err := CompareStrategies(Config{Quick: true})
+	rows, err := CompareStrategies(testCfg(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,537 @@
+package lp
+
+import (
+	"math"
+)
+
+// SolveDense optimizes the problem with the dense two-phase tableau
+// simplex and default options. It is kept as the reference
+// implementation for differential testing against the sparse revised
+// simplex behind Solve; production callers should prefer Solve.
+func SolveDense(p *Problem) (*Solution, error) { return SolveDenseOpts(p, Options{}) }
+
+// variable states (shared with the sparse solver)
+const (
+	atLower = iota
+	atUpper
+	basic
+	fixedOut // artificial removed after phase 1 / pinned column
+)
+
+type denseSimplex struct {
+	m, n     int // rows, total columns (structural + slack + artificial)
+	nStruct  int
+	tab      [][]float64 // m rows × n cols: current B^{-1}A
+	xB       []float64   // values of basic variables, per row
+	basis    []int       // column basic in each row
+	state    []int       // per column
+	lo, up   []float64   // per column
+	cost     []float64   // phase-2 cost per column
+	d        []float64   // reduced costs per column (current phase)
+	inPhase1 bool
+	tol      float64
+	iters    int
+	maxIter  int
+	// degeneracy bookkeeping
+	stall int
+	bland bool
+}
+
+// SolveDenseOpts optimizes the problem with the dense tableau simplex.
+func SolveDenseOpts(p *Problem, opt Options) (*Solution, error) {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if sol, err := p.precheck(tol); sol != nil || err != nil {
+		return sol, err
+	}
+
+	m := len(p.rows)
+	// Columns: structural | slack (one per LE/GE row) | artificial (one per row).
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	n := p.n + nSlack + m
+	s := &denseSimplex{
+		m: m, n: n, nStruct: p.n,
+		xB:    make([]float64, m),
+		basis: make([]int, m),
+		state: make([]int, n),
+		lo:    make([]float64, n),
+		up:    make([]float64, n),
+		cost:  make([]float64, n),
+		d:     make([]float64, n),
+		tol:   tol,
+	}
+	s.maxIter = opt.MaxIter
+	if s.maxIter == 0 {
+		s.maxIter = 200*(m+n) + 10000
+	}
+	s.tab = make([][]float64, m)
+	for i := range s.tab {
+		s.tab[i] = make([]float64, n)
+	}
+
+	copy(s.lo, p.lo)
+	copy(s.up, p.up)
+	copy(s.cost, p.obj)
+
+	// Nonbasic structural variables start at a finite bound.
+	for j := 0; j < p.n; j++ {
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			s.state[j] = atLower
+		case !math.IsInf(p.up[j], 1):
+			s.state[j] = atUpper
+		default:
+			// Free variable: model as at "lower" with value 0 by
+			// temporarily treating 0 as its resting value. We encode
+			// this by keeping state atLower and using valueOf which
+			// returns 0 for doubly-infinite bounds.
+			s.state[j] = atLower
+		}
+	}
+
+	// Fill the tableau with A, slacks and artificials; compute initial
+	// basic values b - A·x_N for the artificial basis.
+	slackIdx := p.n
+	for i, r := range p.rows {
+		for _, c := range r.coefs {
+			s.tab[i][c.Var] += c.Value
+		}
+		if r.sense != EQ {
+			sl := slackIdx
+			slackIdx++
+			s.tab[i][sl] = 1
+			s.lo[sl], s.up[sl] = 0, math.Inf(1)
+			if r.sense == GE {
+				// a·x + sl = b with sl ≤ 0.
+				s.lo[sl], s.up[sl] = math.Inf(-1), 0
+				s.state[sl] = atUpper
+			} else {
+				s.state[sl] = atLower
+			}
+		}
+		// Residual for the artificial variable.
+		resid := r.rhs
+		for _, c := range r.coefs {
+			resid -= c.Value * s.valueOf(c.Var)
+		}
+		// Keep the artificial basis at B = I: when the residual is
+		// negative, negate the whole row (a valid row operation) so the
+		// artificial enters with coefficient +1 and value |resid| ≥ 0.
+		art := p.n + nSlack + i
+		if resid < 0 {
+			for j := 0; j < art; j++ {
+				s.tab[i][j] = -s.tab[i][j]
+			}
+		}
+		s.tab[i][art] = 1
+		s.lo[art], s.up[art] = 0, math.Inf(1)
+		s.basis[i] = art
+		s.state[art] = basic
+		s.xB[i] = math.Abs(resid)
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	s.inPhase1 = true
+	phase1 := make([]float64, n)
+	for i := 0; i < m; i++ {
+		phase1[p.n+nSlack+i] = 1
+	}
+	s.computeReducedCosts(phase1)
+	st := s.iterate(phase1)
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+	}
+	if s.phaseObjective(phase1) > 1e-7*(1+math.Abs(sumAbs(phase1))) {
+		return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+	}
+	// Drive any artificial still basic (at value ~0) out of the basis,
+	// or fix it; then forbid artificials.
+	s.expelArtificials(p.n + nSlack)
+	for j := p.n + nSlack; j < n; j++ {
+		if s.state[j] != basic {
+			s.lo[j], s.up[j] = 0, 0
+			s.state[j] = fixedOut
+		}
+	}
+
+	// Phase 2: the real objective.
+	s.inPhase1 = false
+	s.computeReducedCosts(s.cost)
+	st = s.iterate(s.cost)
+	switch st {
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: s.iters}, nil
+	}
+
+	x := s.extract()
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: s.iters}, nil
+}
+
+func sumAbs(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// valueOf returns the current value of a nonbasic column.
+func (s *denseSimplex) valueOf(j int) float64 {
+	switch s.state[j] {
+	case atLower:
+		if math.IsInf(s.lo[j], -1) {
+			return 0 // free variable resting at zero
+		}
+		return s.lo[j]
+	case atUpper:
+		return s.up[j]
+	case fixedOut:
+		return 0
+	}
+	panic("lp: valueOf on basic column")
+}
+
+// extract reads the structural solution out of the basis.
+func (s *denseSimplex) extract() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if s.state[j] != basic {
+			x[j] = s.valueOf(j)
+		}
+	}
+	for i, bj := range s.basis {
+		if bj < s.nStruct {
+			x[bj] = s.xB[i]
+		}
+	}
+	// Clamp tiny violations to the bounds for downstream consumers.
+	for j := range x {
+		if x[j] < s.lo[j] && x[j] > s.lo[j]-1e-6 {
+			x[j] = s.lo[j]
+		}
+		if x[j] > s.up[j] && x[j] < s.up[j]+1e-6 {
+			x[j] = s.up[j]
+		}
+	}
+	return x
+}
+
+func (s *denseSimplex) phaseObjective(c []float64) float64 {
+	var v float64
+	for i, bj := range s.basis {
+		v += c[bj] * s.xB[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.state[j] != basic && c[j] != 0 {
+			v += c[j] * s.valueOf(j)
+		}
+	}
+	return v
+}
+
+// computeReducedCosts rebuilds d_j = c_j - c_B · B^{-1}A_j from scratch.
+func (s *denseSimplex) computeReducedCosts(c []float64) {
+	// y_i = c_{B(i)}; d_j = c_j - Σ_i y_i tab[i][j]
+	for j := 0; j < s.n; j++ {
+		d := c[j]
+		for i := 0; i < s.m; i++ {
+			cb := c[s.basis[i]]
+			if cb != 0 {
+				d -= cb * s.tab[i][j]
+			}
+		}
+		s.d[j] = d
+	}
+}
+
+// iterate runs simplex pivots for the objective c until optimality,
+// unboundedness or the iteration limit.
+func (s *denseSimplex) iterate(c []float64) Status {
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit
+		}
+		e, dir := s.chooseEntering()
+		if e < 0 {
+			return Optimal
+		}
+		st := s.pivot(e, dir, c)
+		if st != Optimal {
+			return st
+		}
+	}
+}
+
+// chooseEntering returns the entering column and its movement direction
+// (+1: increase from lower bound, -1: decrease from upper bound), or
+// (-1, 0) at optimality.
+func (s *denseSimplex) chooseEntering() (int, float64) {
+	bestJ, bestDir, bestScore := -1, 0.0, s.tol
+	for j := 0; j < s.n; j++ {
+		switch s.state[j] {
+		case basic, fixedOut:
+			continue
+		case atLower:
+			// Increasing improves if reduced cost negative.
+			if -s.d[j] > bestScore {
+				if s.bland {
+					return j, 1
+				}
+				bestJ, bestDir, bestScore = j, 1, -s.d[j]
+			}
+			// Free variable resting at zero may also decrease.
+			if math.IsInf(s.lo[j], -1) && s.d[j] > bestScore {
+				if s.bland {
+					return j, -1
+				}
+				bestJ, bestDir, bestScore = j, -1, s.d[j]
+			}
+		case atUpper:
+			if s.d[j] > bestScore {
+				if s.bland {
+					return j, -1
+				}
+				bestJ, bestDir, bestScore = j, -1, s.d[j]
+			}
+		}
+	}
+	return bestJ, bestDir
+}
+
+// pivot moves column e in direction dir, performing either a bound flip
+// or a basis change. c is the active objective (for the incremental
+// reduced-cost update).
+func (s *denseSimplex) pivot(e int, dir float64, c []float64) Status {
+	s.iters++
+	m := s.m
+	// Maximum step from e's own bounds.
+	tMax := math.Inf(1)
+	if !math.IsInf(s.lo[e], -1) && !math.IsInf(s.up[e], 1) {
+		tMax = s.up[e] - s.lo[e]
+	}
+	// Two-pass (Harris) ratio test over the basic variables: pass 1
+	// computes the step limit with every bound relaxed by a feasibility
+	// tolerance, pass 2 picks the numerically largest pivot among the
+	// rows that block within that limit. Entries below pivTol are noise
+	// left behind by earlier eliminations and must never pivot — a
+	// single 1e-11-scale pivot fills the tableau with 1e16-scale garbage
+	// and silently destroys primal feasibility.
+	const pivTol = 1e-8
+	const feasTol = 1e-9
+	tLim := tMax
+	for i := 0; i < m; i++ {
+		y := dir * s.tab[i][e]
+		if y < pivTol && y > -pivTol {
+			continue
+		}
+		bj := s.basis[i]
+		var t float64
+		if y > 0 {
+			// Basic variable decreases toward its lower bound.
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.xB[i] - s.lo[bj] + feasTol) / y
+		} else {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			t = (s.xB[i] - s.up[bj] - feasTol) / y // y<0 so t ≥ 0 when xB ≤ up
+		}
+		if t < tLim {
+			tLim = t
+		}
+	}
+	leave, tBest, pivAbs := -1, tMax, 0.0
+	leaveToUpper := false
+	for i := 0; i < m; i++ {
+		y := dir * s.tab[i][e]
+		if y < pivTol && y > -pivTol {
+			continue
+		}
+		bj := s.basis[i]
+		var t float64
+		var hitsUpper bool
+		if y > 0 {
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.xB[i] - s.lo[bj]) / y
+		} else {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			t = (s.xB[i] - s.up[bj]) / y
+			hitsUpper = true
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > tLim {
+			continue
+		}
+		pick := leave < 0
+		if !pick {
+			if s.bland {
+				// Bland's anti-cycling rule wants the smallest basis
+				// index among the minimum-ratio rows.
+				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+			} else {
+				pick = math.Abs(s.tab[i][e]) > pivAbs
+			}
+		}
+		if pick {
+			leave, tBest, pivAbs = i, t, math.Abs(s.tab[i][e])
+			leaveToUpper = hitsUpper
+		}
+	}
+
+	if leave < 0 && math.IsInf(tMax, 1) {
+		return Unbounded
+	}
+
+	// Degeneracy watchdog: after too many zero-step pivots switch to
+	// Bland's rule, which cannot cycle.
+	if tBest <= 1e-12 {
+		s.stall++
+		if s.stall > 2*(s.m+s.n) {
+			s.bland = true
+		}
+	} else {
+		s.stall = 0
+	}
+
+	if leave < 0 {
+		// Bound flip: e moves to its opposite bound; no basis change.
+		t := tMax
+		for i := 0; i < m; i++ {
+			s.xB[i] -= dir * t * s.tab[i][e]
+		}
+		if dir > 0 {
+			s.state[e] = atUpper
+		} else {
+			s.state[e] = atLower
+		}
+		return Optimal
+	}
+
+	// Basis change: entering value moves by dir*tBest from its bound.
+	enterVal := s.valueOf(e) + dir*tBest
+	for i := 0; i < m; i++ {
+		s.xB[i] -= dir * tBest * s.tab[i][e]
+	}
+	lj := s.basis[leave]
+	if leaveToUpper {
+		s.state[lj] = atUpper
+		s.xB[leave] = s.up[lj]
+	} else {
+		s.state[lj] = atLower
+		s.xB[leave] = s.lo[lj]
+	}
+
+	// Gaussian pivot on (leave, e).
+	piv := s.tab[leave][e]
+	invPiv := 1 / piv
+	rowL := s.tab[leave]
+	for j := 0; j < s.n; j++ {
+		rowL[j] *= invPiv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.tab[i][e]
+		if f == 0 {
+			continue
+		}
+		ri := s.tab[i]
+		for j := 0; j < s.n; j++ {
+			ri[j] -= f * rowL[j]
+		}
+	}
+	// Update reduced costs: d_j -= d_e * rowL_j (after normalization).
+	de := s.d[e]
+	if de != 0 {
+		for j := 0; j < s.n; j++ {
+			s.d[j] -= de * rowL[j]
+		}
+	}
+	s.d[e] = 0
+
+	s.basis[leave] = e
+	s.state[e] = basic
+	s.xB[leave] = enterVal
+
+	// Periodically rebuild reduced costs to fight drift.
+	if s.iters%512 == 0 {
+		s.computeReducedCosts(c)
+	}
+	return Optimal
+}
+
+// expelArtificials pivots still-basic artificial variables (necessarily
+// at value ≈ 0) out of the basis when a structural or slack column has a
+// nonzero entry in their row; rows that are all-zero are redundant and
+// the artificial is left basic at zero, pinned to [0,0].
+func (s *denseSimplex) expelArtificials(artStart int) {
+	for i := 0; i < s.m; i++ {
+		bj := s.basis[i]
+		if bj < artStart {
+			continue
+		}
+		// Find a non-artificial column with a usable pivot in row i.
+		found := -1
+		for j := 0; j < artStart; j++ {
+			if s.state[j] == basic {
+				continue
+			}
+			if math.Abs(s.tab[i][j]) > 1e-7 {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			s.lo[bj], s.up[bj] = 0, 0
+			continue
+		}
+		e := found
+		enterVal := s.valueOf(e) // xB_i ≈ 0 so the entering keeps its value
+		piv := s.tab[i][e]
+		invPiv := 1 / piv
+		rowI := s.tab[i]
+		for j := 0; j < s.n; j++ {
+			rowI[j] *= invPiv
+		}
+		for r := 0; r < s.m; r++ {
+			if r == i {
+				continue
+			}
+			f := s.tab[r][e]
+			if f == 0 {
+				continue
+			}
+			rr := s.tab[r]
+			for j := 0; j < s.n; j++ {
+				rr[j] -= f * rowI[j]
+			}
+		}
+		s.state[bj] = fixedOut
+		s.lo[bj], s.up[bj] = 0, 0
+		s.basis[i] = e
+		s.state[e] = basic
+		s.xB[i] = enterVal
+	}
+}

@@ -1,0 +1,826 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// The sparse revised simplex. Instead of carrying the full m×n tableau
+// B⁻¹A through every pivot (the dense reference in dense.go), it keeps
+//
+//   - the constraint matrix in compressed sparse column (CSC) form,
+//     one slack column per row so the initial slack basis is I;
+//   - the basis inverse as a product-form eta file, refactorized from
+//     the basic columns every refactorEvery pivots to bound fill-in and
+//     numerical drift;
+//   - Devex reference weights for pricing in phase 2, with the same
+//     Bland's-rule fallback as the dense solver under degeneracy;
+//   - a composite (artificial-free) phase 1 that minimizes the sum of
+//     bound violations of the basic variables directly.
+//
+// The mapping LPs of the paper touch only a handful of variables per
+// constraint, so one iteration costs O(nnz(A) + nnz(etas)) instead of
+// the dense solver's O(m·n).
+const (
+	refactorEvery = 64
+	pivTol        = 1e-8 // |alpha| below this never pivots or blocks (noise)
+	feasTol       = 1e-9 // per-step bound relaxation of the Harris ratio test
+)
+
+// statusFallback is an internal sentinel: the eta file hit a (numerically)
+// singular basis during refactorization, so the caller should re-solve
+// with the dense reference implementation.
+const statusFallback Status = -1
+
+type etaVec struct {
+	r   int32 // pivot row
+	piv float64
+	ind []int32 // off-pivot rows of the FTRANed entering column
+	val []float64
+}
+
+type revised struct {
+	m, n    int // rows, columns (structural + one slack per row)
+	nStruct int
+
+	// CSC storage of [A | I-ish slacks].
+	colPtr []int32
+	rowIdx []int32
+	vals   []float64
+
+	b      []float64
+	lo, up []float64
+	cost   []float64 // phase-2 objective per column
+	state  []int     // atLower / atUpper / basic
+	basis  []int     // row -> basic column
+	inRow  []int     // column -> row when basic, else -1
+	xB     []float64 // value of basis[i], per row
+
+	d []float64 // reduced costs of the current phase
+	w []float64 // Devex reference weights (phase 2)
+
+	etas      []etaVec
+	sinceFact int
+
+	tol     float64
+	iters   int
+	maxIter int
+	stall   int
+	bland   bool
+
+	alpha, rho, y []float64 // m-scratch vectors
+}
+
+func solveSparse(p *Problem, opt Options) (*Solution, error) {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if sol, err := p.precheck(tol); sol != nil || err != nil {
+		return sol, err
+	}
+
+	m := len(p.rows)
+	n := p.n + m
+	s := &revised{
+		m: m, n: n, nStruct: p.n,
+		b:     make([]float64, m),
+		lo:    make([]float64, n),
+		up:    make([]float64, n),
+		cost:  make([]float64, n),
+		state: make([]int, n),
+		basis: make([]int, m),
+		inRow: make([]int, n),
+		xB:    make([]float64, m),
+		d:     make([]float64, n),
+		w:     make([]float64, n),
+		alpha: make([]float64, m),
+		rho:   make([]float64, m),
+		y:     make([]float64, m),
+		tol:   tol,
+	}
+	s.maxIter = opt.MaxIter
+	if s.maxIter == 0 {
+		s.maxIter = 200*(m+n) + 10000
+	}
+
+	copy(s.lo, p.lo)
+	copy(s.up, p.up)
+	copy(s.cost, p.obj)
+
+	// CSC: structural columns from the rows, then one slack per row.
+	counts := make([]int32, n+1)
+	nnz := 0
+	for _, r := range p.rows {
+		for _, c := range r.coefs {
+			counts[c.Var+1]++
+			nnz++
+		}
+	}
+	for i := 0; i < m; i++ {
+		counts[p.n+i+1]++
+		nnz++
+	}
+	s.colPtr = make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		s.colPtr[j+1] = s.colPtr[j] + counts[j+1]
+	}
+	s.rowIdx = make([]int32, nnz)
+	s.vals = make([]float64, nnz)
+	fill := make([]int32, n)
+	copy(fill, s.colPtr[:n])
+	for i, r := range p.rows {
+		s.b[i] = r.rhs
+		for _, c := range r.coefs {
+			k := fill[c.Var]
+			fill[c.Var]++
+			s.rowIdx[k] = int32(i)
+			s.vals[k] = c.Value
+		}
+		sl := p.n + i
+		k := fill[sl]
+		fill[sl]++
+		s.rowIdx[k] = int32(i)
+		s.vals[k] = 1
+		switch r.sense {
+		case LE:
+			s.lo[sl], s.up[sl] = 0, math.Inf(1)
+		case GE:
+			s.lo[sl], s.up[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lo[sl], s.up[sl] = 0, 0
+		}
+	}
+
+	// Nonbasic structural variables rest at a finite bound (free ones at
+	// zero, as in the dense solver); slacks form the initial basis.
+	for j := 0; j < p.n; j++ {
+		switch {
+		case !math.IsInf(p.lo[j], -1):
+			s.state[j] = atLower
+		case !math.IsInf(p.up[j], 1):
+			s.state[j] = atUpper
+		default:
+			s.state[j] = atLower // free: rests at 0 via valueOf
+		}
+		s.inRow[j] = -1
+	}
+	for i := 0; i < m; i++ {
+		sl := p.n + i
+		s.state[sl] = basic
+		s.basis[i] = sl
+		s.inRow[sl] = i
+	}
+	s.computeXB()
+
+	st := s.phase1()
+	switch st {
+	case statusFallback:
+		return SolveDenseOpts(p, opt)
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+	case Infeasible:
+		return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+	}
+
+	st = s.phase2()
+	switch st {
+	case statusFallback:
+		return SolveDenseOpts(p, opt)
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: s.iters}, nil
+	}
+
+	x := s.extract()
+	obj := 0.0
+	for j := 0; j < p.n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: s.iters}, nil
+}
+
+// ---------------------------------------------------------------- linear algebra
+
+// ftran overwrites x with B⁻¹x by applying the eta file in order.
+func (s *revised) ftran(x []float64) {
+	for k := range s.etas {
+		e := &s.etas[k]
+		xr := x[e.r]
+		if xr == 0 {
+			continue
+		}
+		t := xr / e.piv
+		x[e.r] = t
+		for i, r := range e.ind {
+			x[r] -= e.val[i] * t
+		}
+	}
+}
+
+// btran overwrites z with zᵀB⁻¹ by applying the eta file in reverse.
+func (s *revised) btran(z []float64) {
+	for k := len(s.etas) - 1; k >= 0; k-- {
+		e := &s.etas[k]
+		sum := z[e.r]
+		for i, r := range e.ind {
+			if v := z[r]; v != 0 {
+				sum -= v * e.val[i]
+			}
+		}
+		z[e.r] = sum / e.piv
+	}
+}
+
+// loadCol writes column j of the CSC matrix into the dense scratch x.
+func (s *revised) loadCol(j int, x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+		x[s.rowIdx[k]] = s.vals[k]
+	}
+}
+
+// colDot returns column j of the CSC matrix dotted with the dense v.
+func (s *revised) colDot(j int, v []float64) float64 {
+	sum := 0.0
+	for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+		sum += s.vals[k] * v[s.rowIdx[k]]
+	}
+	return sum
+}
+
+// appendEta records the pivot (alpha, r) in the eta file.
+func (s *revised) appendEta(alpha []float64, r int) {
+	var ind []int32
+	var val []float64
+	for i := 0; i < s.m; i++ {
+		if i != r && alpha[i] != 0 {
+			ind = append(ind, int32(i))
+			val = append(val, alpha[i])
+		}
+	}
+	s.etas = append(s.etas, etaVec{r: int32(r), piv: alpha[r], ind: ind, val: val})
+	s.sinceFact++
+}
+
+// refactor rebuilds the eta file from the current basic columns
+// (product-form reinversion with partial pivoting, sparsest columns
+// first). It returns false when the basis is numerically singular.
+func (s *revised) refactor() bool {
+	s.etas = s.etas[:0]
+	s.sinceFact = 0
+	cols := append([]int(nil), s.basis...)
+	sort.Slice(cols, func(a, b int) bool {
+		na := s.colPtr[cols[a]+1] - s.colPtr[cols[a]]
+		nb := s.colPtr[cols[b]+1] - s.colPtr[cols[b]]
+		if na != nb {
+			return na < nb
+		}
+		return cols[a] < cols[b]
+	})
+	pivoted := make([]bool, s.m)
+	newBasis := make([]int, s.m)
+	for _, q := range cols {
+		s.loadCol(q, s.alpha)
+		s.ftran(s.alpha)
+		r, best := -1, 0.0
+		for i := 0; i < s.m; i++ {
+			if !pivoted[i] {
+				if a := math.Abs(s.alpha[i]); a > best {
+					r, best = i, a
+				}
+			}
+		}
+		if r < 0 || best == 0 {
+			return false
+		}
+		pivoted[r] = true
+		newBasis[r] = q
+		s.appendEta(s.alpha, r)
+	}
+	copy(s.basis, newBasis)
+	for i, q := range s.basis {
+		s.inRow[q] = i
+	}
+	s.sinceFact = 0
+	return true
+}
+
+// computeXB recomputes the basic values xB = B⁻¹(b − N·x_N) from scratch.
+func (s *revised) computeXB() {
+	x := s.alpha
+	copy(x, s.b)
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == basic {
+			continue
+		}
+		v := s.valueOf(j)
+		if v == 0 {
+			continue
+		}
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			x[s.rowIdx[k]] -= s.vals[k] * v
+		}
+	}
+	s.ftran(x)
+	copy(s.xB, x)
+}
+
+// computeD rebuilds the phase-2 reduced costs d = c − cᵀ_B B⁻¹A.
+func (s *revised) computeD() {
+	for i := 0; i < s.m; i++ {
+		s.y[i] = s.cost[s.basis[i]]
+	}
+	s.btran(s.y)
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == basic {
+			s.d[j] = 0
+			continue
+		}
+		s.d[j] = s.cost[j] - s.colDot(j, s.y)
+	}
+}
+
+// ---------------------------------------------------------------- shared steps
+
+// valueOf returns the current value of a nonbasic column.
+func (s *revised) valueOf(j int) float64 {
+	switch s.state[j] {
+	case atLower:
+		if math.IsInf(s.lo[j], -1) {
+			return 0 // free variable resting at zero
+		}
+		return s.lo[j]
+	case atUpper:
+		return s.up[j]
+	}
+	panic("lp: valueOf on basic column")
+}
+
+// chooseEntering scans the nonbasic columns for the most attractive
+// entering candidate under the current reduced costs: Devex-weighted in
+// phase 2, plain Dantzig in phase 1, first-index under Bland's rule.
+// It returns (-1, 0) at optimality.
+func (s *revised) chooseEntering(devex bool) (int, float64) {
+	bestJ, bestDir, bestScore := -1, 0.0, 0.0
+	tol := s.tol
+	for j := 0; j < s.n; j++ {
+		st := s.state[j]
+		if st == basic {
+			continue
+		}
+		if s.lo[j] == s.up[j] {
+			continue // fixed column can never move
+		}
+		dj := s.d[j]
+		var dir float64
+		switch st {
+		case atLower:
+			if dj < -tol {
+				dir = 1
+			} else if math.IsInf(s.lo[j], -1) && dj > tol {
+				dir = -1 // free variable may also decrease
+			} else {
+				continue
+			}
+		case atUpper:
+			if dj > tol {
+				dir = -1
+			} else {
+				continue
+			}
+		default:
+			continue
+		}
+		if s.bland {
+			return j, dir
+		}
+		score := dj * dj
+		if devex {
+			score /= s.w[j]
+		}
+		if score > bestScore {
+			bestJ, bestDir, bestScore = j, dir, score
+		}
+	}
+	return bestJ, bestDir
+}
+
+// ratioTest runs the bounded-variable two-pass (Harris) ratio test for
+// entering column e moving in direction dir with FTRANed column
+// s.alpha: pass 1 computes the step limit with bounds relaxed by
+// feasTol, pass 2 picks the numerically largest pivot among the rows
+// blocking within the limit, so noise-scale entries never pivot. It
+// returns the leaving row (-1 for a bound flip), the step, whether the
+// leaving variable exits at its upper bound, and Unbounded when nothing
+// blocks.
+func (s *revised) ratioTest(e int, dir float64) (int, float64, bool, Status) {
+	tMax := math.Inf(1)
+	if !math.IsInf(s.lo[e], -1) && !math.IsInf(s.up[e], 1) {
+		tMax = s.up[e] - s.lo[e]
+	}
+	tLim := tMax
+	for i := 0; i < s.m; i++ {
+		y := dir * s.alpha[i]
+		if y < pivTol && y > -pivTol {
+			continue
+		}
+		bj := s.basis[i]
+		var t float64
+		if y > 0 {
+			// Basic variable decreases toward its lower bound.
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.xB[i] - s.lo[bj] + feasTol) / y
+		} else {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			t = (s.xB[i] - s.up[bj] - feasTol) / y
+		}
+		if t < tLim {
+			tLim = t
+		}
+	}
+	leave, tBest, pivAbs := -1, tMax, 0.0
+	toUpper := false
+	for i := 0; i < s.m; i++ {
+		a := s.alpha[i]
+		y := dir * a
+		if y < pivTol && y > -pivTol {
+			continue
+		}
+		bj := s.basis[i]
+		var t float64
+		var hitsUpper bool
+		if y > 0 {
+			if math.IsInf(s.lo[bj], -1) {
+				continue
+			}
+			t = (s.xB[i] - s.lo[bj]) / y
+		} else {
+			if math.IsInf(s.up[bj], 1) {
+				continue
+			}
+			t = (s.xB[i] - s.up[bj]) / y
+			hitsUpper = true
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > tLim {
+			continue
+		}
+		pick := leave < 0
+		if !pick {
+			if s.bland {
+				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && bj < s.basis[leave])
+			} else {
+				pick = math.Abs(a) > pivAbs
+			}
+		}
+		if pick {
+			leave, tBest, pivAbs = i, t, math.Abs(a)
+			toUpper = hitsUpper
+		}
+	}
+	if leave < 0 && math.IsInf(tMax, 1) {
+		return -1, 0, false, Unbounded
+	}
+	if leave < 0 {
+		tBest = tMax
+	}
+	return leave, tBest, toUpper, Optimal
+}
+
+// applyStep executes the chosen step: a bound flip when leave < 0, a
+// basis change (including the eta-file append) otherwise.
+func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bool) {
+	s.iters++
+	if t <= 1e-12 {
+		s.stall++
+		if s.stall > 2*(s.m+s.n) {
+			s.bland = true
+		}
+	} else {
+		s.stall = 0
+	}
+	if leave < 0 {
+		for i := 0; i < s.m; i++ {
+			if a := s.alpha[i]; a != 0 {
+				s.xB[i] -= dir * t * a
+			}
+		}
+		if dir > 0 {
+			s.state[e] = atUpper
+		} else {
+			s.state[e] = atLower
+		}
+		return
+	}
+	enterVal := s.valueOf(e) + dir*t
+	for i := 0; i < s.m; i++ {
+		if a := s.alpha[i]; a != 0 {
+			s.xB[i] -= dir * t * a
+		}
+	}
+	lv := s.basis[leave]
+	if toUpper {
+		s.state[lv] = atUpper
+	} else {
+		s.state[lv] = atLower
+	}
+	s.inRow[lv] = -1
+	s.basis[leave] = e
+	s.inRow[e] = leave
+	s.state[e] = basic
+	s.xB[leave] = enterVal
+	s.appendEta(s.alpha, leave)
+}
+
+// extract reads the structural solution out of the basis.
+func (s *revised) extract() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if s.state[j] == basic {
+			x[j] = s.xB[s.inRow[j]]
+		} else {
+			x[j] = s.valueOf(j)
+		}
+	}
+	// Clamp tiny violations to the bounds for downstream consumers.
+	for j := range x {
+		if x[j] < s.lo[j] && x[j] > s.lo[j]-1e-6 {
+			x[j] = s.lo[j]
+		}
+		if x[j] > s.up[j] && x[j] < s.up[j]+1e-6 {
+			x[j] = s.up[j]
+		}
+	}
+	return x
+}
+
+// ---------------------------------------------------------------- phase 1
+
+// violTol is the per-variable feasibility tolerance of phase 1.
+func violTol(bound float64) float64 { return 1e-9 * (1 + math.Abs(bound)) }
+
+// infeasibility classifies basic variable bj at value v. It returns the
+// composite phase-1 cost (-1 below its lower bound, +1 above its upper
+// bound, 0 feasible) and the violation amount.
+func (s *revised) infeasibility(bj int, v float64) (float64, float64) {
+	if !math.IsInf(s.lo[bj], -1) {
+		if viol := s.lo[bj] - v; viol > violTol(s.lo[bj]) {
+			return -1, viol
+		}
+	}
+	if !math.IsInf(s.up[bj], 1) {
+		if viol := v - s.up[bj]; viol > violTol(s.up[bj]) {
+			return 1, viol
+		}
+	}
+	return 0, 0
+}
+
+// phase1 drives the basic variables inside their bounds by minimizing
+// the total bound violation (composite objective, no artificials). The
+// cost vector changes whenever the set of violated bounds changes, so
+// reduced costs are rebuilt every iteration via one BTRAN + one pass
+// over the nonzeros.
+func (s *revised) phase1() Status {
+	justRefactored := false
+	bMax := 0.0
+	for _, v := range s.b {
+		if a := math.Abs(v); a > bMax {
+			bMax = a
+		}
+	}
+	looseTol := 1e-7 * (1 + bMax)
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit
+		}
+		total := 0.0
+		for i := 0; i < s.m; i++ {
+			sign, viol := s.infeasibility(s.basis[i], s.xB[i])
+			s.y[i] = sign
+			total += viol
+		}
+		if total == 0 {
+			return Optimal // primal feasible
+		}
+		s.btran(s.y)
+		for j := 0; j < s.n; j++ {
+			if s.state[j] == basic {
+				s.d[j] = 0
+				continue
+			}
+			// Phase-1 costs of nonbasic columns are zero.
+			s.d[j] = -s.colDot(j, s.y)
+		}
+		e, dir := s.chooseEntering(false)
+		if e < 0 {
+			if total <= looseTol {
+				return Optimal // feasible up to tolerance
+			}
+			return Infeasible
+		}
+		s.loadCol(e, s.alpha)
+		s.ftran(s.alpha)
+		leave, t, toUpper, st := s.ratioTestPhase1(e, dir)
+		if st == Unbounded {
+			// A descent ray on a function bounded below is numerical
+			// noise: refactorize once and retry, then give up on the
+			// sparse path.
+			if justRefactored {
+				return statusFallback
+			}
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+			justRefactored = true
+			continue
+		}
+		justRefactored = false
+		s.applyStep(e, dir, leave, t, toUpper)
+		if s.sinceFact >= refactorEvery {
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+		}
+	}
+}
+
+// ratioTestPhase1 is the bounded ratio test of phase 1: feasible basic
+// variables block at the bound they would violate, infeasible ones block
+// at the violated bound they are moving toward (where they turn
+// feasible). The entering variable's own range participates as a bound
+// flip, like in phase 2.
+func (s *revised) ratioTestPhase1(e int, dir float64) (int, float64, bool, Status) {
+	tMax := math.Inf(1)
+	if !math.IsInf(s.lo[e], -1) && !math.IsInf(s.up[e], 1) {
+		tMax = s.up[e] - s.lo[e]
+	}
+	// blockAt returns the strict and relaxed blocking steps for row i,
+	// or ok=false when the row does not block this direction.
+	blockAt := func(i int) (t, tRelaxed float64, hitsUpper, ok bool) {
+		a := s.alpha[i]
+		if a < pivTol && a > -pivTol {
+			return 0, 0, false, false
+		}
+		delta := -dir * a // rate of change of xB[i] per unit step
+		bj := s.basis[i]
+		sign, _ := s.infeasibility(bj, s.xB[i])
+		switch {
+		case sign < 0: // below lower bound
+			if delta <= 0 {
+				return 0, 0, false, false // moving further down re-prices next iteration
+			}
+			t = (s.lo[bj] - s.xB[i]) / delta
+			tRelaxed = t + feasTol/delta
+		case sign > 0: // above upper bound
+			if delta >= 0 {
+				return 0, 0, false, false
+			}
+			t = (s.xB[i] - s.up[bj]) / -delta
+			tRelaxed = t + feasTol/-delta
+			hitsUpper = true
+		default: // feasible: standard blocking
+			if delta < 0 && !math.IsInf(s.lo[bj], -1) {
+				t = (s.xB[i] - s.lo[bj]) / -delta
+				tRelaxed = t + feasTol/-delta
+			} else if delta > 0 && !math.IsInf(s.up[bj], 1) {
+				t = (s.up[bj] - s.xB[i]) / delta
+				tRelaxed = t + feasTol/delta
+				hitsUpper = true
+			} else {
+				return 0, 0, false, false
+			}
+		}
+		if t < 0 {
+			t = 0
+		}
+		return t, tRelaxed, hitsUpper, true
+	}
+	tLim := tMax
+	for i := 0; i < s.m; i++ {
+		if _, tRelaxed, _, ok := blockAt(i); ok && tRelaxed < tLim {
+			tLim = tRelaxed
+		}
+	}
+	leave, tBest, pivAbs := -1, tMax, 0.0
+	toUpper := false
+	for i := 0; i < s.m; i++ {
+		t, _, hitsUpper, ok := blockAt(i)
+		if !ok || t > tLim {
+			continue
+		}
+		aAbs := math.Abs(s.alpha[i])
+		pick := leave < 0
+		if !pick {
+			if s.bland {
+				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+			} else {
+				pick = aAbs > pivAbs
+			}
+		}
+		if pick {
+			leave, tBest, pivAbs = i, t, aAbs
+			toUpper = hitsUpper
+		}
+	}
+	if leave < 0 && math.IsInf(tMax, 1) {
+		return -1, 0, false, Unbounded
+	}
+	if leave < 0 {
+		tBest = tMax
+	}
+	return leave, tBest, toUpper, Optimal
+}
+
+// ---------------------------------------------------------------- phase 2
+
+// phase2 optimizes the real objective with Devex pricing and incremental
+// reduced-cost updates, rebuilding everything at each refactorization.
+func (s *revised) phase2() Status {
+	s.computeD()
+	for j := range s.w {
+		s.w[j] = 1
+	}
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit
+		}
+		e, dir := s.chooseEntering(true)
+		if e < 0 {
+			return Optimal
+		}
+		s.loadCol(e, s.alpha)
+		s.ftran(s.alpha)
+		leave, t, toUpper, st := s.ratioTest(e, dir)
+		if st == Unbounded {
+			return Unbounded
+		}
+		if leave < 0 {
+			s.applyStep(e, dir, leave, t, toUpper)
+			continue // bound flip: reduced costs unchanged
+		}
+		piv := s.alpha[leave]
+		if math.Abs(piv) < 1e-9 && s.sinceFact > 0 {
+			// Pivot degraded by a long eta file: refactorize and retry.
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+			s.computeD()
+			continue
+		}
+		// Row `leave` of B⁻¹ drives the incremental reduced-cost and
+		// Devex weight updates: z_j = rho·A_j is the pivot-row entry of
+		// the tableau for column j.
+		for i := range s.rho {
+			s.rho[i] = 0
+		}
+		s.rho[leave] = 1
+		s.btran(s.rho)
+		de := s.d[e]
+		ratio := de / piv
+		we := s.w[e]
+		lv := s.basis[leave]
+		for j := 0; j < s.n; j++ {
+			if s.state[j] == basic || j == e {
+				continue
+			}
+			z := s.colDot(j, s.rho)
+			if z == 0 {
+				continue
+			}
+			s.d[j] -= ratio * z
+			rj := z / piv
+			if wj := rj * rj * we; wj > s.w[j] {
+				s.w[j] = wj
+			}
+		}
+		s.applyStep(e, dir, leave, t, toUpper)
+		s.d[lv] = -ratio
+		s.d[e] = 0
+		if wl := we / (piv * piv); wl > 1 {
+			s.w[lv] = wl
+		} else {
+			s.w[lv] = 1
+		}
+		if s.sinceFact >= refactorEvery {
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+			s.computeD()
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+)
+
+// TestDifferentialRandom runs both engines on ~200 seeded random LPs
+// and requires identical statuses and objectives within Tol. The seed
+// is fixed so failures reproduce.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	statusSeen := map[lp.Status]int{}
+	const trials = 220
+	for trial := 0; trial < trials; trial++ {
+		p := Random(rng)
+		if err := CheckAgreement(p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol, err := lp.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		statusSeen[sol.Status]++
+	}
+	t.Logf("status coverage over %d trials: %v", trials, statusSeen)
+	for _, st := range []lp.Status{lp.Optimal, lp.Infeasible, lp.Unbounded} {
+		if statusSeen[st] == 0 {
+			t.Errorf("random generator never produced a %v instance", st)
+		}
+	}
+}
+
+// TestDifferentialDegenerate pins classic hard shapes: Beale's cycling
+// example, heavy primal degeneracy, redundant rows, and fixed chains.
+func TestDifferentialDegenerate(t *testing.T) {
+	cases := map[string]func() *lp.Problem{
+		"beale": func() *lp.Problem {
+			p := lp.New(4)
+			p.SetObj(0, -0.75)
+			p.SetObj(1, 150)
+			p.SetObj(2, -0.02)
+			p.SetObj(3, 6)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 0.25}, {Var: 1, Value: -60}, {Var: 2, Value: -0.04}, {Var: 3, Value: 9}}, lp.LE, 0)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 0.5}, {Var: 1, Value: -90}, {Var: 2, Value: -0.02}, {Var: 3, Value: 3}}, lp.LE, 0)
+			p.AddRow([]lp.Coef{{Var: 2, Value: 1}}, lp.LE, 1)
+			return p
+		},
+		"degenerate-vertex": func() *lp.Problem {
+			// Many redundant constraints meeting at the origin.
+			p := lp.New(3)
+			for j := 0; j < 3; j++ {
+				p.SetObj(j, -1)
+				p.SetBounds(j, 0, 2)
+			}
+			for i := 0; i < 6; i++ {
+				p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, lp.LE, 3)
+			}
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: -1}}, lp.EQ, 0)
+			return p
+		},
+		"equality-chain": func() *lp.Problem {
+			const n = 25
+			p := lp.New(n)
+			p.SetObj(n-1, 1)
+			for j := 0; j < n; j++ {
+				p.SetBounds(j, 0, 10)
+			}
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}}, lp.EQ, 3)
+			for j := 0; j+1 < n; j++ {
+				p.AddRow([]lp.Coef{{Var: j, Value: 1}, {Var: j + 1, Value: -1}}, lp.EQ, 0)
+			}
+			return p
+		},
+		"unbounded-free": func() *lp.Problem {
+			p := lp.New(2)
+			p.SetObj(0, 1)
+			p.SetBounds(0, math.Inf(-1), math.Inf(1))
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, lp.LE, 5)
+			return p
+		},
+		"unbounded-ray": func() *lp.Problem {
+			p := lp.New(2)
+			p.SetObj(0, -1)
+			p.SetObj(1, -1)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: -1}}, lp.LE, 2)
+			return p
+		},
+		"infeasible-rows": func() *lp.Problem {
+			p := lp.New(2)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, lp.GE, 10)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, lp.LE, 4)
+			return p
+		},
+		"infeasible-eq": func() *lp.Problem {
+			p := lp.New(1)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}}, lp.EQ, 2)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 2}}, lp.EQ, 5)
+			return p
+		},
+		"badly-scaled": func() *lp.Problem {
+			p := lp.New(2)
+			p.SetObj(0, 1)
+			p.SetBounds(0, 0, math.Inf(1))
+			p.SetBounds(1, 0, 1)
+			p.AddRow([]lp.Coef{{Var: 1, Value: 1e5}, {Var: 0, Value: -2.5e10}}, lp.LE, 0)
+			p.AddRow([]lp.Coef{{Var: 1, Value: 1}}, lp.GE, 1)
+			return p
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := CheckAgreement(build()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialFormulations compares the engines on the paper's
+// actual mapping programs: LP relaxations of both the compact and the
+// literal formulation over generated task graphs and Cell platforms.
+func TestDifferentialFormulations(t *testing.T) {
+	type inst struct {
+		tasks int
+		seed  int64
+		ccr   float64
+		nPPE  int
+		nSPE  int
+	}
+	insts := []inst{
+		{tasks: 6, seed: 1, ccr: 0.775, nPPE: 1, nSPE: 2},
+		{tasks: 9, seed: 2, ccr: 1.8, nPPE: 1, nSPE: 3},
+		{tasks: 12, seed: 5, ccr: 1, nPPE: 1, nSPE: 3},
+	}
+	if !testing.Short() {
+		insts = append(insts,
+			inst{tasks: 16, seed: 11, ccr: 4.6, nPPE: 1, nSPE: 4},
+			inst{tasks: 20, seed: 3, ccr: 0.775, nPPE: 2, nSPE: 4},
+		)
+	}
+	for _, in := range insts {
+		g := daggen.Generate(daggen.Params{Tasks: in.tasks, Seed: in.seed, CCR: in.ccr})
+		plat := platform.Cell(in.nPPE, in.nSPE)
+		for _, f := range []*core.Formulation{
+			core.FormulateCompact(g, plat),
+			core.FormulateLiteral(g, plat),
+		} {
+			if err := CheckAgreement(f.Problem.LP); err != nil {
+				t.Errorf("%s/%s (%d tasks, %d PEs): %v", g.Name, f.Kind, in.tasks, plat.NumPE(), err)
+			}
+		}
+	}
+}
+
+// TestDifferentialRelaxationBounds re-checks that the sparse engine's
+// relaxation value is a valid lower bound for the integral optimum
+// found by the exact MILP search on a small instance.
+func TestDifferentialRelaxationBounds(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 7, Seed: 4, CCR: 0.775})
+	plat := platform.Cell(1, 2)
+	f := core.FormulateCompact(g, plat)
+	relax, err := lp.Solve(f.Problem.LP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relax.Status != lp.Optimal {
+		t.Fatalf("relaxation status %v", relax.Status)
+	}
+	res, err := core.SolveMILP(g, plat, core.SolveOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relax.Objective > res.Report.Period+1e-6 {
+		t.Errorf("LP relaxation %.9g exceeds integral optimum %.9g",
+			relax.Objective, res.Report.Period)
+	}
+}

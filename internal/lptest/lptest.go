@@ -1,0 +1,141 @@
+// Package lptest is the differential-test harness for the two LP
+// engines of package lp: the sparse revised simplex behind lp.Solve and
+// the dense tableau reference behind lp.SolveDense. It generates seeded
+// random programs — including degenerate, unbounded and infeasible
+// shapes — and asserts that both engines agree on status and, at
+// optimality, on the objective within Tol, with both solution points
+// satisfying every constraint.
+//
+// The harness is a plain library so that other packages (e.g. the
+// formulation tests in internal/core) can reuse the agreement check on
+// their own programs.
+package lptest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cellstream/internal/lp"
+)
+
+// Tol is the objective agreement tolerance between the two engines.
+const Tol = 1e-6
+
+// FeasTol is the constraint-satisfaction tolerance for solution points.
+const FeasTol = 1e-6
+
+// CheckAgreement solves p with both engines and returns an error
+// describing the first disagreement: mismatched status, objectives
+// further apart than Tol (scaled), or an "optimal" point that violates
+// a constraint or bound.
+func CheckAgreement(p *lp.Problem) error {
+	dense, err := lp.SolveDense(p)
+	if err != nil {
+		return fmt.Errorf("dense solver error: %w", err)
+	}
+	sparse, err := lp.Solve(p)
+	if err != nil {
+		return fmt.Errorf("sparse solver error: %w", err)
+	}
+	if dense.Status != sparse.Status {
+		return fmt.Errorf("status mismatch: dense=%v sparse=%v", dense.Status, sparse.Status)
+	}
+	if dense.Status != lp.Optimal {
+		return nil
+	}
+	if v := Violation(p, dense.X); v > FeasTol {
+		return fmt.Errorf("dense point violates constraints by %g", v)
+	}
+	if v := Violation(p, sparse.X); v > FeasTol {
+		return fmt.Errorf("sparse point violates constraints by %g", v)
+	}
+	scale := 1 + math.Abs(dense.Objective)
+	if diff := math.Abs(dense.Objective - sparse.Objective); diff > Tol*scale {
+		return fmt.Errorf("objective mismatch: dense=%.12g sparse=%.12g (diff %g)",
+			dense.Objective, sparse.Objective, diff)
+	}
+	return nil
+}
+
+// Violation returns the largest constraint or bound violation of x, 0
+// when x is feasible.
+func Violation(p *lp.Problem, x []float64) float64 {
+	worst := 0.0
+	for j := 0; j < p.NumVars(); j++ {
+		lo, up := p.Bounds(j)
+		if v := lo - x[j]; v > worst {
+			worst = v
+		}
+		if v := x[j] - up; v > worst {
+			worst = v
+		}
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coefs, sense, rhs := p.Row(i)
+		lhs := 0.0
+		for _, c := range coefs {
+			lhs += c.Value * x[c.Var]
+		}
+		var v float64
+		switch sense {
+		case lp.LE:
+			v = lhs - rhs
+		case lp.GE:
+			v = rhs - lhs
+		case lp.EQ:
+			v = math.Abs(lhs - rhs)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Random generates a seeded random LP exercising the full model
+// surface: mixed senses, finite/infinite/fixed bounds, free variables,
+// empty-ish rows and duplicate coefficients. Coefficients are rounded
+// so status boundaries (feasible vs not, bounded vs not) are
+// numerically robust for differential testing.
+func Random(rng *rand.Rand) *lp.Problem {
+	n := 2 + rng.Intn(6) // 2..7 variables
+	m := 1 + rng.Intn(8) // 1..8 rows
+	p := lp.New(n)
+	for j := 0; j < n; j++ {
+		if rng.Intn(4) > 0 { // leave some zero objective entries
+			p.SetObj(j, math.Round(rng.NormFloat64()*5))
+		}
+		switch rng.Intn(6) {
+		case 0: // free
+			p.SetBounds(j, math.Inf(-1), math.Inf(1))
+		case 1: // one-sided below
+			p.SetBounds(j, -float64(rng.Intn(5)), math.Inf(1))
+		case 2: // one-sided above
+			p.SetBounds(j, math.Inf(-1), float64(rng.Intn(5)))
+		case 3: // fixed
+			v := math.Round(rng.NormFloat64() * 2)
+			p.SetBounds(j, v, v)
+		default: // boxed
+			lo := -float64(rng.Intn(3))
+			p.SetBounds(j, lo, lo+float64(1+rng.Intn(10)))
+		}
+	}
+	for i := 0; i < m; i++ {
+		var coefs []lp.Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) > 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Value: math.Round(rng.NormFloat64() * 3)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = []lp.Coef{{Var: rng.Intn(n), Value: 1}}
+		}
+		if rng.Intn(8) == 0 { // duplicate coefficient, merged by AddRow
+			coefs = append(coefs, lp.Coef{Var: coefs[0].Var, Value: math.Round(rng.NormFloat64() * 2)})
+		}
+		sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		p.AddRow(coefs, sense, math.Round(rng.NormFloat64()*8))
+	}
+	return p
+}

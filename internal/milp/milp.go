@@ -5,16 +5,24 @@
 // a minute.
 //
 // The solver minimizes the LP objective subject to integrality of the
-// declared variables. Nodes are explored best-first (smallest parent
-// bound first) so the global lower bound is always the top of the heap;
-// branching selects the most fractional integer variable. A rounding
-// heuristic (fix integers to the nearest integral point, re-solve the LP
-// for the continuous variables) is used to find incumbents early.
+// declared variables. The search runs on a pool of goroutine workers
+// sharing one best-first node heap (smallest parent bound first, so the
+// global lower bound is always near the top) and one incumbent guarded
+// by a mutex; each worker re-solves LP relaxations on its own clone of
+// the problem, so bound tightening never races. Branching selects the
+// most fractional integer variable. A rounding heuristic (fix integers
+// to the nearest integral point, re-solve the LP for the continuous
+// variables) finds incumbents early. Cancellation and deadlines arrive
+// through a context.Context; SolveCtx returns the best incumbent and a
+// proven global bound when interrupted.
 package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"cellstream/internal/lp"
@@ -28,7 +36,7 @@ const (
 	// best bound (with RelGap == 0 this is proven optimality).
 	Optimal Status = iota
 	// Feasible means an integral solution exists but the search stopped
-	// (node or time limit) before proving the gap.
+	// (node or time limit, or cancellation) before proving the gap.
 	Feasible
 	// Infeasible means no integral assignment satisfies the constraints.
 	Infeasible
@@ -67,7 +75,8 @@ type Options struct {
 	RelGap float64
 	// MaxNodes bounds the number of explored nodes (0 = 1e6).
 	MaxNodes int
-	// TimeLimit bounds wall-clock time (0 = none).
+	// TimeLimit bounds wall-clock time (0 = none). It is implemented as
+	// a context deadline; prefer passing a context to SolveCtx.
 	TimeLimit time.Duration
 	// IntTol is the integrality tolerance (0 = 1e-6).
 	IntTol float64
@@ -77,6 +86,9 @@ type Options struct {
 	// DisableRounding turns off the rounding heuristic (for tests and
 	// ablations).
 	DisableRounding bool
+	// Workers is the number of concurrent branch-and-bound workers.
+	// 0 picks min(GOMAXPROCS, 8); 1 forces the serial search.
+	Workers int
 }
 
 // Result is the outcome of Solve.
@@ -119,8 +131,42 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-// Solve runs branch-and-bound.
+// Solve runs branch-and-bound with a background context. Unlike older
+// revisions it does not mutate p.LP: every worker operates on a clone.
 func Solve(p *Problem, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// search is the state shared by the branch-and-bound workers.
+type search struct {
+	p      *Problem
+	n      int
+	intTol float64
+	relGap float64
+
+	rootLo, rootUp []float64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	heap     nodeHeap
+	inflight int // nodes popped but not yet fully processed
+	nodes    int // LP relaxations solved in the main loop
+	nextID   int
+	maxNodes int
+
+	incObj    float64 // +Inf until an incumbent exists
+	incX      []float64
+	haveInc   bool
+	prunedMin float64 // min bound among nodes discarded without branching
+	stopped   bool
+	err       error
+}
+
+// SolveCtx runs branch-and-bound until optimality (within RelGap), a
+// limit, or ctx is done — whichever comes first. On early stop it
+// returns the incumbent (Status Feasible/NoSolution) and the tightest
+// proven bound.
+func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	intTol := opt.IntTol
 	if intTol == 0 {
 		intTol = 1e-6
@@ -129,127 +175,202 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	if maxNodes == 0 {
 		maxNodes = 1_000_000
 	}
-	deadline := time.Time{}
-	if opt.TimeLimit > 0 {
-		deadline = time.Now().Add(opt.TimeLimit)
-	}
-
-	isInt := make(map[int]bool, len(p.Integer))
-	for _, v := range p.Integer {
-		isInt[v] = true
-	}
-
-	// Save root bounds so we can restore the Problem after solving.
-	n := p.LP.NumVars()
-	rootLo := make([]float64, n)
-	rootUp := make([]float64, n)
-	for j := 0; j < n; j++ {
-		rootLo[j], rootUp[j] = p.LP.Bounds(j)
-	}
-	defer func() {
-		for j := 0; j < n; j++ {
-			p.LP.SetBounds(j, rootLo[j], rootUp[j])
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
 		}
-	}()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if opt.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+		defer cancel()
+	}
 
-	res := &Result{Status: NoSolution, Bound: math.Inf(-1), Objective: math.Inf(1)}
+	n := p.LP.NumVars()
+	s := &search{
+		p: p, n: n, intTol: intTol, relGap: opt.RelGap,
+		rootLo:    make([]float64, n),
+		rootUp:    make([]float64, n),
+		maxNodes:  maxNodes,
+		incObj:    math.Inf(1),
+		prunedMin: math.Inf(1),
+		nextID:    1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for j := 0; j < n; j++ {
+		s.rootLo[j], s.rootUp[j] = p.LP.Bounds(j)
+	}
 
 	if opt.Incumbent != nil {
 		if obj, ok := checkIncumbent(p, opt.Incumbent, intTol); ok {
-			res.X = append([]float64(nil), opt.Incumbent...)
-			res.Objective = obj
-			res.Status = Feasible
+			s.incX = append([]float64(nil), opt.Incumbent...)
+			s.incObj = obj
+			s.haveInc = true
 		}
 	}
 
-	applyAndSolve := func(changes []boundChange) (*lp.Solution, error) {
-		for j := 0; j < n; j++ {
-			p.LP.SetBounds(j, rootLo[j], rootUp[j])
+	s.heap = nodeHeap{{bound: math.Inf(-1)}}
+	heap.Init(&s.heap)
+
+	// A watcher flips stopped when the context ends so that sleeping
+	// workers wake up promptly. It is joined before finish() reads the
+	// shared state so its write can never race the result assembly.
+	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
+	go func() {
+		defer close(watcherExited)
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker(ctx, opt)
+		}()
+	}
+	wg.Wait()
+	close(watchDone)
+	<-watcherExited
+
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.finish(), nil
+}
+
+// worker pops nodes, solves their LP relaxations on a private clone of
+// the problem, and pushes children, until the heap drains or a limit or
+// cancellation stops the search.
+func (s *search) worker(ctx context.Context, opt Options) {
+	prob := s.p.LP.Clone()
+	solveWith := func(changes []boundChange) (*lp.Solution, error) {
+		for j := 0; j < s.n; j++ {
+			prob.SetBounds(j, s.rootLo[j], s.rootUp[j])
 		}
 		for _, ch := range changes {
-			p.LP.SetBounds(ch.v, ch.lo, ch.up)
+			prob.SetBounds(ch.v, ch.lo, ch.up)
 		}
-		return lp.Solve(p.LP)
+		return lp.Solve(prob)
 	}
 
-	h := &nodeHeap{{bound: math.Inf(-1)}}
-	heap.Init(h)
-	nextID := 1
+	for {
+		s.mu.Lock()
+		for len(s.heap) == 0 && s.inflight > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped || len(s.heap) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		nd := heap.Pop(&s.heap).(*node)
+		s.inflight++
+		incObj := s.incObj
+		s.mu.Unlock()
 
-	better := func(obj float64) bool { return obj < res.Objective-1e-9 }
-	gapClosed := func(bound float64) bool {
-		if math.IsInf(res.Objective, 1) {
-			return false
-		}
-		denom := math.Max(math.Abs(res.Objective), 1e-9)
-		return (res.Objective-bound)/denom <= opt.RelGap+1e-12
-	}
-
-	for h.Len() > 0 {
-		if res.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
-			break
-		}
-		nd := heap.Pop(h).(*node)
-		// Global lower bound = min over open nodes and this node.
-		if nd.bound > res.Bound {
-			res.Bound = nd.bound
-		}
-		if gapClosed(nd.bound) {
-			res.Bound = nd.bound
-			res.Status = Optimal
-			res.Gap = gap(res.Objective, res.Bound)
-			return res, nil
+		if ctx.Err() != nil {
+			// Push the node back so its bound stays accounted for.
+			s.mu.Lock()
+			heap.Push(&s.heap, nd)
+			s.inflight--
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
 		}
 
-		sol, err := applyAndSolve(nd.changes)
-		if err != nil {
-			return nil, err
-		}
-		res.Nodes++
-		if sol.Status == lp.Infeasible {
+		if s.gapClosed(incObj, nd.bound) {
+			s.retire(nd.bound)
 			continue
 		}
-		if sol.Status == lp.Unbounded {
+
+		// Reserve a node slot before solving so the LP-relaxation count
+		// never exceeds MaxNodes even with many concurrent workers.
+		s.mu.Lock()
+		if s.nodes >= s.maxNodes {
+			heap.Push(&s.heap, nd)
+			s.inflight--
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.nodes++
+		nodeSeq := s.nodes
+		s.mu.Unlock()
+
+		sol, err := solveWith(nd.changes)
+		if err != nil {
+			s.mu.Lock()
+			s.err = err
+			s.stopped = true
+			s.inflight--
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+
+		s.mu.Lock()
+		incObj = s.incObj
+		s.mu.Unlock()
+
+		switch sol.Status {
+		case lp.Infeasible:
+			s.retire(math.Inf(1))
+			continue
+		case lp.Unbounded:
 			// An unbounded relaxation at the root means the MILP is
 			// unbounded or needs explicit bounds; report via bound.
-			res.Bound = math.Inf(-1)
+			s.retire(math.Inf(-1))
+			continue
+		case lp.IterLimit:
+			// Unusable relaxation: drop the node but keep its parent
+			// bound in the frontier accounting.
+			s.retire(nd.bound)
 			continue
 		}
-		if sol.Status != lp.Optimal {
-			continue // iteration limit: treat as unpruned but unusable
-		}
-		if !better(sol.Objective) && !math.IsInf(res.Objective, 1) {
+
+		if !s.better(sol.Objective, incObj) && !math.IsInf(incObj, 1) {
 			// Bound dominated by incumbent: prune (allowing gap).
-			denom := math.Max(math.Abs(res.Objective), 1e-9)
-			if (res.Objective-sol.Objective)/denom <= opt.RelGap+1e-12 {
+			denom := math.Max(math.Abs(incObj), 1e-9)
+			if (incObj-sol.Objective)/denom <= s.relGap+1e-12 {
+				s.retire(sol.Objective)
 				continue
 			}
 		}
 
-		frac := mostFractional(sol.X, p.Integer, intTol)
+		frac := mostFractional(sol.X, s.p.Integer, s.intTol)
 		if frac < 0 {
-			// Integral: candidate incumbent.
-			if better(sol.Objective) {
-				res.X = append([]float64(nil), sol.X...)
-				res.Objective = sol.Objective
-				res.Status = Feasible
-			}
+			// Integral: candidate incumbent; subtree is fully explored.
+			s.offerIncumbent(sol.X, sol.Objective)
+			s.retire(sol.Objective)
 			continue
 		}
 
 		// Rounding heuristic: fix every integer to its nearest value and
 		// re-solve for the continuous variables.
-		if !opt.DisableRounding && res.Nodes%16 == 1 {
-			if x, obj, ok := roundAndRepair(p, sol.X, applyAndSolve, nd.changes, intTol); ok && better(obj) {
-				res.X = x
-				res.Objective = obj
-				res.Status = Feasible
+		if !opt.DisableRounding && nodeSeq%16 == 1 {
+			if x, obj, ok := roundAndRepair(s.p, sol.X, solveWith, nd.changes, s.intTol); ok {
+				s.offerIncumbent(x, obj)
 			}
 		}
 
 		v := frac
 		val := sol.X[v]
-		lo, up := rootLo[v], rootUp[v]
+		lo, up := s.rootLo[v], s.rootUp[v]
 		for _, ch := range nd.changes {
 			if ch.v == v {
 				lo, up = ch.lo, ch.up
@@ -257,39 +378,95 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 		}
 		down := append(append([]boundChange(nil), nd.changes...), boundChange{v, lo, math.Floor(val)})
 		upN := append(append([]boundChange(nil), nd.changes...), boundChange{v, math.Ceil(val), up})
-		heap.Push(h, &node{bound: sol.Objective, changes: down, id: nextID})
-		nextID++
-		heap.Push(h, &node{bound: sol.Objective, changes: upN, id: nextID})
-		nextID++
+		s.mu.Lock()
+		heap.Push(&s.heap, &node{bound: sol.Objective, changes: down, id: s.nextID})
+		s.nextID++
+		heap.Push(&s.heap, &node{bound: sol.Objective, changes: upN, id: s.nextID})
+		s.nextID++
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
+}
 
-	if h.Len() == 0 {
-		// Search exhausted: incumbent (if any) is optimal.
-		if res.Status == Feasible || res.Status == Optimal {
+// retire finishes a popped node without branching; bound is the tightest
+// lower bound proven for its subtree (±Inf allowed).
+func (s *search) retire(bound float64) {
+	s.mu.Lock()
+	if bound < s.prunedMin {
+		s.prunedMin = bound
+	}
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// offerIncumbent installs x as the incumbent if it improves.
+func (s *search) offerIncumbent(x []float64, obj float64) {
+	s.mu.Lock()
+	if obj < s.incObj-1e-9 {
+		s.incX = append(s.incX[:0], x...)
+		s.incObj = obj
+		s.haveInc = true
+	}
+	s.mu.Unlock()
+}
+
+func (s *search) better(obj, incObj float64) bool { return obj < incObj-1e-9 }
+
+func (s *search) gapClosed(incObj, bound float64) bool {
+	if math.IsInf(incObj, 1) {
+		return false
+	}
+	denom := math.Max(math.Abs(incObj), 1e-9)
+	return (incObj-bound)/denom <= s.relGap+1e-12
+}
+
+// finish assembles the Result after all workers have exited.
+func (s *search) finish() *Result {
+	res := &Result{Status: NoSolution, Bound: math.Inf(-1), Objective: math.Inf(1)}
+	if s.haveInc {
+		res.X = append([]float64(nil), s.incX...)
+		res.Objective = s.incObj
+		res.Status = Feasible
+	}
+	// Workers push their node back before exiting on cancellation or the
+	// node limit, so an empty heap with nothing in flight can only mean
+	// the search space was genuinely exhausted — even if the context
+	// happened to fire at the same instant.
+	exhausted := len(s.heap) == 0 && s.inflight == 0
+
+	if exhausted {
+		if res.Status == Feasible {
+			// Every subtree was either explored or pruned within the
+			// gap: the incumbent is optimal (within RelGap).
 			res.Status = Optimal
-			if res.Objective > res.Bound {
-				res.Bound = res.Objective
-			}
-			// Exhausted search proves optimality regardless of bound bookkeeping.
 			res.Bound = res.Objective
 		} else {
 			res.Status = Infeasible
 		}
-	} else if res.Status == Feasible {
-		// Stopped early: report the tightest open bound.
-		best := res.Bound
-		for _, nd := range *h {
-			if nd.bound < best || math.IsInf(best, -1) {
+	} else {
+		// Stopped early: the global bound is the tightest open node.
+		best := math.Inf(1)
+		for _, nd := range s.heap {
+			if nd.bound < best {
 				best = nd.bound
 			}
+		}
+		if s.prunedMin < best {
+			best = s.prunedMin
+		}
+		if math.IsInf(best, 1) {
+			best = math.Inf(-1)
 		}
 		res.Bound = best
 	}
 	res.Gap = gap(res.Objective, res.Bound)
-	if res.Status == Feasible && gapClosed(res.Bound) {
+	if res.Status == Feasible && s.gapClosed(res.Objective, res.Bound) {
 		res.Status = Optimal
 	}
-	return res, nil
+	res.Nodes = s.nodes
+	return res
 }
 
 func gap(obj, bound float64) float64 {
@@ -320,10 +497,6 @@ func checkIncumbent(p *Problem, x []float64, tol float64) (float64, bool) {
 			return 0, false
 		}
 	}
-	// Feasibility is verified by fixing all variables and solving;
-	// cheaper: trust the caller for bounds/rows, verify objective only.
-	// We conservatively verify rows by re-solving with everything fixed
-	// in the caller (core does this); here compute the objective.
 	obj := 0.0
 	for j := 0; j < p.LP.NumVars(); j++ {
 		lo, up := p.LP.Bounds(j)
@@ -332,13 +505,10 @@ func checkIncumbent(p *Problem, x []float64, tol float64) (float64, bool) {
 		}
 	}
 	for j := 0; j < p.LP.NumVars(); j++ {
-		obj += objCoef(p.LP, j) * x[j]
+		obj += p.LP.ObjCoef(j) * x[j]
 	}
 	return obj, true
 }
-
-// objCoef extracts the objective coefficient of variable j.
-func objCoef(p *lp.Problem, j int) float64 { return p.ObjCoef(j) }
 
 func roundAndRepair(p *Problem, x []float64,
 	solve func([]boundChange) (*lp.Solution, error),

@@ -1,0 +1,132 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSerial proves that the worker-pool search finds the
+// same optimum as the serial search on a batch of random knapsacks.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 6 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for j := range values {
+			values[j] = float64(1 + rng.Intn(50))
+			weights[j] = float64(1 + rng.Intn(30))
+		}
+		p := knapsack(values, weights, float64(20+rng.Intn(100)))
+		serial, err := Solve(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := Solve(p, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Status != serial.Status {
+				t.Fatalf("trial %d workers=%d: status %v, serial %v",
+					trial, workers, par.Status, serial.Status)
+			}
+			if serial.Status == Optimal && math.Abs(par.Objective-serial.Objective) > 1e-6 {
+				t.Fatalf("trial %d workers=%d: objective %v, serial %v",
+					trial, workers, par.Objective, serial.Objective)
+			}
+		}
+	}
+}
+
+// TestSolveCtxCancel verifies that cancellation stops the search quickly
+// and that a pre-cancelled context still returns a valid (if unproven)
+// result instead of hanging.
+func TestSolveCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 26
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for j := range values {
+		values[j] = float64(1 + rng.Intn(1000))
+		weights[j] = float64(1 + rng.Intn(1000))
+	}
+	p := knapsack(values, weights, 6000)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done before the solve starts
+	start := time.Now()
+	res, err := SolveCtx(ctx, p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled solve took %v", elapsed)
+	}
+	if res.Status == Optimal && res.Gap > 1e-9 {
+		t.Errorf("cancelled solve claimed optimality with gap %v", res.Gap)
+	}
+
+	// A short deadline must also interrupt an in-flight search.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	if _, err := SolveCtx(ctx2, p, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline solve took %v", elapsed)
+	}
+}
+
+// TestParallelNodeLimit pins the reservation semantics: the number of LP
+// relaxations never exceeds MaxNodes, no matter how many workers race.
+func TestParallelNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 18
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for j := range values {
+		values[j] = float64(1 + rng.Intn(1000))
+		weights[j] = float64(1 + rng.Intn(1000))
+	}
+	p := knapsack(values, weights, 3000)
+	for _, workers := range []int{2, 8} {
+		res, err := Solve(p, Options{MaxNodes: 5, Workers: workers, DisableRounding: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Nodes > 5 {
+			t.Errorf("workers=%d: nodes = %d, want ≤ 5", workers, res.Nodes)
+		}
+	}
+}
+
+// TestSolveDoesNotMutateProblem replaces the old restore-bounds contract:
+// the parallel solver works on clones, so the caller's LP must be
+// untouched even while solves run concurrently.
+func TestSolveDoesNotMutateProblem(t *testing.T) {
+	p := knapsack([]float64{3, 5, 7, 9}, []float64{2, 3, 4, 5}, 9)
+	type b struct{ lo, up float64 }
+	before := make([]b, p.LP.NumVars())
+	for j := range before {
+		before[j].lo, before[j].up = p.LP.Bounds(j)
+	}
+	if _, err := Solve(p, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for j := range before {
+		lo, up := p.LP.Bounds(j)
+		if lo != before[j].lo || up != before[j].up {
+			t.Errorf("bounds of var %d mutated: (%v,%v) -> (%v,%v)",
+				j, before[j].lo, before[j].up, lo, up)
+		}
+	}
+}
