@@ -63,7 +63,7 @@ func main() {
 		plat = plat.WithSPEs(*spes)
 	}
 
-	m, how, err := computeMapping(g, plat, *strategy, *budget)
+	m, how, solverStats, err := computeMapping(g, plat, *strategy, *budget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,6 +102,9 @@ func main() {
 				plat.PEName(pe), rep.ComputeLoad[pe], rep.InBytes[pe], rep.OutBytes[pe],
 				rep.BufferBytes[pe], rep.DMAIn[pe], rep.DMAToPPE[pe])
 		}
+		if solverStats != "" {
+			fmt.Printf("solver:    %s\n", solverStats)
+		}
 	}
 
 	if *schedule > 0 {
@@ -135,37 +138,46 @@ func main() {
 	}
 }
 
-func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, budget time.Duration) (core.Mapping, string, error) {
+// computeMapping returns the mapping, a one-line description of how it
+// was obtained, and (for the solver-backed strategies) a solver
+// statistics line printed under -v.
+func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, budget time.Duration) (core.Mapping, string, string, error) {
 	switch strategy {
 	case "greedymem":
-		return heuristics.GreedyMem(g, plat), "greedy, memory-balancing (§6.3)", nil
+		return heuristics.GreedyMem(g, plat), "greedy, memory-balancing (§6.3)", "", nil
 	case "greedycpu":
-		return heuristics.GreedyCPU(g, plat), "greedy, load-balancing (§6.3)", nil
+		return heuristics.GreedyCPU(g, plat), "greedy, load-balancing (§6.3)", "", nil
 	case "roundrobin":
-		return heuristics.RoundRobin(g, plat), "cyclic baseline", nil
+		return heuristics.RoundRobin(g, plat), "cyclic baseline", "", nil
 	case "localsearch":
 		m, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
 			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 6})
-		return m, "hill climbing from GreedyCPU", err
+		return m, "hill climbing from GreedyCPU", "", err
 	case "lp":
 		seed, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
 			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 4})
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
 		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget, Seed: seed})
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
+		stats := fmt.Sprintf("root LP bound %.3gs, search bound %.3gs, %d nodes",
+			res.RootLPBound, res.PeriodBound, res.Nodes)
 		return res.Mapping, fmt.Sprintf("steady-state program, 5%% gap: bound %.3gs, %d nodes, proved=%v",
-			res.PeriodBound, res.Nodes, res.Proved), nil
+			res.PeriodBound, res.Nodes, res.Proved), stats, nil
 	case "milp":
 		res, err := core.SolveMILP(g, plat, core.SolveOptions{RelGap: 0.05, TimeLimit: budget})
 		if err != nil {
-			return nil, "", err
+			return nil, "", "", err
 		}
-		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), nil
+		st := res.LPStats
+		stats := fmt.Sprintf("%d LP pivots (%d dual) over %d nodes, %d refactorizations, warm %d / fell back %d, presolved %d cols %d rows",
+			st.LPIterations, st.DualIterations, res.Nodes, st.Refactorizations,
+			st.WarmSolves, st.WarmFallbacks, st.PresolvedCols, st.PresolvedRows)
+		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), stats, nil
 	default:
-		return nil, "", fmt.Errorf("unknown strategy %q", strategy)
+		return nil, "", "", fmt.Errorf("unknown strategy %q", strategy)
 	}
 }

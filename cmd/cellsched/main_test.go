@@ -13,7 +13,7 @@ func TestComputeMappingAllStrategies(t *testing.T) {
 	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 6, CCR: 1})
 	plat := platform.Cell(1, 3)
 	for _, strat := range []string{"greedymem", "greedycpu", "roundrobin", "localsearch", "lp", "milp"} {
-		m, how, err := computeMapping(g, plat, strat, 3*time.Second)
+		m, how, _, err := computeMapping(g, plat, strat, 3*time.Second)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -24,7 +24,7 @@ func TestComputeMappingAllStrategies(t *testing.T) {
 			t.Errorf("%s: %v", strat, err)
 		}
 	}
-	if _, _, err := computeMapping(g, plat, "nope", time.Second); err == nil {
+	if _, _, _, err := computeMapping(g, plat, "nope", time.Second); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

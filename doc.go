@@ -21,12 +21,46 @@
 //     degeneracy, Harris-style two-pass bounded-variable ratio tests,
 //     and an artificial-free composite phase 1. lp.SolveDense keeps the
 //     original dense two-phase tableau as an independent reference.
+//
+//     Warm starts flow through lp.Basis: every optimal sparse solve
+//     snapshots its basis (Solution.Basis), and Options.WarmStart
+//     restores one — a reinversion revalidates it — then repairs
+//     primal feasibility with a bounded-variable dual simplex
+//     (lp/dual.go) instead of a phase-1 restart; a stale, singular or
+//     cycling warm path silently falls back to the cold primal
+//     phases. lp.Solver is the reusable context on top: it keeps the
+//     CSC matrix and the factorization alive across re-solves of one
+//     problem whose bounds change, so a re-solve from the context's
+//     own last basis skips the reinversion too. Options.Presolve adds
+//     fixed-variable and empty-row elimination (lp/presolve.go) with
+//     postsolve un-crush: solutions and bases are mapped back to the
+//     original column space, so warm bases survive presolve in both
+//     directions. Solution.Stats reports pivots, dual pivots,
+//     refactorizations, warm-start outcomes and presolve reductions.
+//
 //   - internal/milp: LP-based branch-and-bound over a pool of goroutine
 //     workers sharing one best-first node heap and one incumbent; each
-//     worker tightens bounds on its own clone of the problem.
+//     worker tightens bounds on its own clone of the problem through a
+//     persistent lp.Solver. Nodes are bound-deltas against the root
+//     carrying their parent's Basis, so a child re-solve warm-starts
+//     through the dual simplex (cold solves — the root and the
+//     rounding heuristic — use presolve instead, which strips the
+//     columns the delta chain has fixed). Options.ColdStart restores
+//     the old cold-solve-every-node behavior for ablations;
+//     Result.Stats aggregates the lp counters across the search.
 //     Cancellation and deadlines arrive via context.Context.
+//
 //   - internal/assign: a combinatorial branch-and-bound in assignment
-//     space for paper-scale graphs, also context-cancellable.
+//     space for paper-scale graphs, also context-cancellable. Before
+//     searching it solves the LP relaxation of the cached compact
+//     formulation as a root bound: a seed incumbent already within the
+//     gap proves out immediately.
+//
+// core.CachedFormulation memoizes Formulation construction per
+// (graph, platform, kind), so repeated solves of one instance — the
+// Fig. 6/7/8 sweeps, CompareStrategies, heuristic seeding, warm-vs-cold
+// benchmarks — share the constraint rows and only mutate bounds inside
+// worker-local clones.
 //
 // internal/lptest is the differential harness that keeps the two LP
 // engines honest: seeded random programs (including degenerate,
@@ -38,8 +72,8 @@
 // "go test ./..." runs everything at full fidelity; "go test -short
 // ./..." shrinks instance counts and solver budgets to finish in a few
 // seconds. The differential suite lives in internal/lptest; solver
-// micro-benchmarks (sparse vs dense, serial vs parallel) are in
-// bench_test.go:
+// micro-benchmarks (sparse vs dense, serial vs parallel, warm vs cold
+// branch-and-bound) are in bench_test.go:
 //
 //	go test -bench 'BenchmarkLP|BenchmarkMILP' -benchtime=10x .
 package cellstream

@@ -28,6 +28,7 @@ import (
 
 	"cellstream/internal/core"
 	"cellstream/internal/graph"
+	"cellstream/internal/lp"
 	"cellstream/internal/platform"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	MaxNodes int
 	// Seed optionally provides an initial incumbent mapping.
 	Seed core.Mapping
+	// DisableRootLP turns off the LP-relaxation root bound (solved on
+	// the cached compact formulation before the combinatorial search;
+	// when the seed incumbent is already within the gap of it, the
+	// search is skipped entirely).
+	DisableRootLP bool
 }
 
 // Result reports the outcome.
@@ -51,10 +57,15 @@ type Result struct {
 	Report  *core.Report
 	// PeriodBound is a proven lower bound on the optimal period.
 	PeriodBound float64
+	// RootLPBound is the LP-relaxation bound computed at the root on
+	// the cached compact formulation (0 when skipped or not solved).
+	RootLPBound float64
 	Gap         float64
 	Nodes       int
-	// Proved is true when the search ran to completion (the gap is
-	// proven); false when a limit stopped it early.
+	// Proved is true when the gap is proven — either the search ran to
+	// completion, or the root LP bound already certified the seed
+	// incumbent (in which case Nodes is 0 and no search ran); false
+	// when a limit stopped the search early.
 	Proved    bool
 	SolveTime time.Duration
 }
@@ -193,7 +204,30 @@ func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt 
 	trySeed(opt.Seed)
 	trySeed(core.AllOnPPE(g))
 
-	proved := s.dfs(0)
+	// Root LP bound: the relaxation of the cached compact formulation
+	// lower-bounds every mapping's period. When the seed incumbent is
+	// already within the gap of it, the whole tree would prune at the
+	// root — skip the search and report the LP bound. The solve is
+	// skipped when the budget is too tight to spend on it (the LP has
+	// no mid-solve cancellation).
+	rootLB := 0.0
+	if !opt.DisableRootLP && ctx.Err() == nil {
+		runLP := true
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 2*time.Second {
+			runLP = false
+		}
+		if runLP {
+			f := core.CachedFormulation(g, plat, false)
+			if sol, lerr := lp.SolveOpts(f.Problem.LP, lp.Options{MaxIter: 20000, Presolve: true}); lerr == nil && sol.Status == lp.Optimal {
+				rootLB = sol.Objective
+			}
+		}
+	}
+
+	proved := true
+	if !(rootLB > 0 && rootLB >= s.bestT*s.gapMul-1e-12*s.bestT) {
+		proved = s.dfs(0)
+	}
 
 	rep, err := core.Evaluate(g, plat, s.best)
 	if err != nil {
@@ -211,6 +245,9 @@ func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt 
 	} else if math.IsInf(bound, 1) {
 		bound = 0
 	}
+	if rootLB > bound {
+		bound = rootLB // the LP bound holds whether or not the search ran
+	}
 	if bound > s.bestT {
 		bound = s.bestT
 	}
@@ -218,6 +255,7 @@ func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt 
 		Mapping:     s.best,
 		Report:      rep,
 		PeriodBound: bound,
+		RootLPBound: rootLB,
 		Gap:         (s.bestT - bound) / math.Max(s.bestT, 1e-300),
 		Nodes:       s.nodes,
 		Proved:      proved,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cellstream/internal/graph"
 	"cellstream/internal/lp"
@@ -22,6 +23,66 @@ type Formulation struct {
 	n    int // PEs
 	k    int // tasks
 	e    int // edges
+}
+
+// Formulation construction is pure in (graph, platform, kind), and a
+// Formulation is never mutated by a solve (branch-and-bound workers
+// clone the LP before tightening bounds), so repeated solves of the
+// same instance — Fig. 6/7/8 sweeps, CompareStrategies, heuristic
+// seeding, warm-vs-cold ablations — can share one Formulation and its
+// constraint rows instead of rebuilding them. CachedFormulation keys
+// on the (graph, platform) pointer identities: callers must not mutate
+// a graph or platform after formulating it (the experiment harness
+// builds fresh objects per variant, so identity keying is exact there).
+const formCacheCap = 64
+
+type formKey struct {
+	g       *graph.Graph
+	plat    *platform.Platform
+	literal bool
+}
+
+var (
+	formMu    sync.Mutex
+	formCache = map[formKey]*Formulation{}
+	formOrder []formKey // FIFO eviction order
+)
+
+// CachedFormulation returns the memoized Formulation for the pair,
+// building it on the first request. The cache holds at most
+// formCacheCap entries and evicts oldest-first.
+func CachedFormulation(g *graph.Graph, plat *platform.Platform, literal bool) *Formulation {
+	key := formKey{g: g, plat: plat, literal: literal}
+	formMu.Lock()
+	if f, ok := formCache[key]; ok {
+		formMu.Unlock()
+		return f
+	}
+	formMu.Unlock()
+
+	// Build outside the lock: formulation is pure, and a duplicate
+	// build on a race is cheaper than serializing every solve.
+	var f *Formulation
+	if literal {
+		f = FormulateLiteral(g, plat)
+	} else {
+		f = FormulateCompact(g, plat)
+	}
+
+	formMu.Lock()
+	if prev, ok := formCache[key]; ok {
+		formMu.Unlock()
+		return prev
+	}
+	if len(formOrder) >= formCacheCap {
+		oldest := formOrder[0]
+		formOrder = formOrder[1:]
+		delete(formCache, oldest)
+	}
+	formCache[key] = f
+	formOrder = append(formOrder, key)
+	formMu.Unlock()
+	return f
 }
 
 // Variable indexing. T is variable 0; α^k_i follows, then the

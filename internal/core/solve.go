@@ -29,6 +29,9 @@ type SolveOptions struct {
 	// (e.g. from a greedy heuristic). The all-on-PPE mapping is always
 	// added as a fallback incumbent.
 	Seed Mapping
+	// ColdStart disables basis reuse and presolve inside the
+	// branch-and-bound (for ablations and benchmarks).
+	ColdStart bool
 }
 
 // SolveResult is the outcome of SolveMILP.
@@ -42,10 +45,18 @@ type SolveResult struct {
 	Gap         float64
 	Nodes       int
 	SolveTime   time.Duration
+	// LPStats aggregates LP-solver counters (pivots, warm-start hits,
+	// presolve reductions) across every node re-solve.
+	LPStats milp.Stats
 }
 
 // SolveMILP computes a throughput-optimal (within the gap) mapping by
 // solving the mixed linear program of §5 with a background context.
+//
+// Formulations are memoized per (graph, platform) pointer pair, so the
+// graph and platform must not be mutated between solves that reuse the
+// same objects — mutate a copy (e.g. platform.WithSPEs) instead, as the
+// experiment harness does.
 func SolveMILP(g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*SolveResult, error) {
 	return SolveMILPCtx(context.Background(), g, plat, opt)
 }
@@ -70,12 +81,11 @@ func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, 
 		timeLimit = 60 * time.Second
 	}
 
-	var f *Formulation
-	if opt.Literal {
-		f = FormulateLiteral(g, plat)
-	} else {
-		f = FormulateCompact(g, plat)
-	}
+	// Formulations are cached per (graph, platform): repeated solves of
+	// the same instance (sweeps, strategy comparisons, warm-vs-cold
+	// runs) reuse the constraint rows and only the bounds move inside
+	// the branch-and-bound workers' clones.
+	f := CachedFormulation(g, plat, opt.Literal)
 
 	// Warm start: caller's seed if feasible, else all-on-PPE (always
 	// feasible: no cross transfers, no SPE buffers).
@@ -99,6 +109,7 @@ func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, 
 		TimeLimit: timeLimit,
 		MaxNodes:  opt.MaxNodes,
 		Incumbent: inc,
+		ColdStart: opt.ColdStart,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: MILP solve: %w", err)
@@ -130,5 +141,6 @@ func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, 
 		Gap:         res.Gap,
 		Nodes:       res.Nodes,
 		SolveTime:   elapsed,
+		LPStats:     res.Stats,
 	}, nil
 }

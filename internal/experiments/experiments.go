@@ -119,11 +119,17 @@ func LPMapping(g *graph.Graph, plat *platform.Platform, cfg Config) (*assign.Res
 	}); err == nil && betterSeed(g, plat, annealed, seed) {
 		seed = annealed
 	}
-	return assign.Solve(g, plat, assign.Options{
+	res, err := assign.Solve(g, plat, assign.Options{
 		RelGap:    0.05,
 		TimeLimit: cfg.SolveTime,
 		Seed:      seed,
 	})
+	if err == nil {
+		cfg.log("lpmapping %s: period=%.3gus bound=%.3gus rootLP=%.3gus nodes=%d proved=%v",
+			g.Name, res.Report.Period*1e6, res.PeriodBound*1e6, res.RootLPBound*1e6,
+			res.Nodes, res.Proved)
+	}
+	return res, err
 }
 
 func betterSeed(g *graph.Graph, plat *platform.Platform, a, b core.Mapping) bool {

@@ -1,0 +1,237 @@
+package lp
+
+import "math"
+
+// The dual simplex phase behind warm starts. After branch-and-bound
+// tightens one variable bound, the parent's optimal basis stays dual
+// feasible (reduced costs are untouched by bound changes) but the basic
+// values may step outside their bounds. Instead of discarding the basis
+// and re-running the composite phase 1, dualPhase pivots the violated
+// basic variables out — leaving row first, entering column by a dual
+// ratio test on the reduced costs — restoring primal feasibility while
+// preserving dual feasibility, typically in a handful of iterations.
+//
+// Selection rules: the leaving row has the largest bound violation;
+// the entering column minimizes |d_j|/|w_j| over the sign-compatible
+// nonbasic columns of the pivot row w = e_r B⁻¹ A, with a Harris-style
+// two-pass relaxation so noise-scale reduced costs never force a tiny
+// pivot. A stall counter bails out (statusFallback) under prolonged
+// dual degeneracy, and a dual ray is re-verified on a fresh
+// factorization before the solve is declared Infeasible.
+
+// dualTol is the dual-feasibility tolerance on reduced costs.
+const dualTol = 1e-7
+
+// dualFeasible reports whether every nonbasic column prices out
+// correctly for its status, i.e. the current basis is dual feasible.
+func (s *revised) dualFeasible() bool {
+	for j := 0; j < s.n; j++ {
+		if s.lo[j] == s.up[j] {
+			continue // fixed column: can never enter, any sign is fine
+		}
+		switch s.state[j] {
+		case basic:
+			continue
+		case atLower:
+			if math.IsInf(s.lo[j], -1) && math.IsInf(s.up[j], 1) {
+				// Free variable resting at zero: needs d ≈ 0.
+				if math.Abs(s.d[j]) > dualTol {
+					return false
+				}
+				continue
+			}
+			if s.d[j] < -dualTol {
+				return false
+			}
+		case atUpper:
+			if s.d[j] > dualTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dualPhase runs the bounded-variable dual simplex from the current
+// basis until primal feasibility (Optimal), a proven dual ray
+// (Infeasible), the iteration budget (IterLimit), or numerical/cycling
+// trouble (statusFallback, caller falls back to the primal phases).
+func (s *revised) dualPhase() Status {
+	s.computeD()
+	if !s.dualFeasible() {
+		return statusFallback
+	}
+	justRefactored := false
+	degen := 0
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit
+		}
+
+		// Leaving row: the basic variable with the largest violation.
+		r, sign, worst := -1, 0.0, 0.0
+		for i := 0; i < s.m; i++ {
+			sg, viol := s.infeasibility(s.basis[i], s.xB[i])
+			if sg != 0 && viol > worst {
+				r, sign, worst = i, sg, viol
+			}
+		}
+		if r < 0 {
+			return Optimal // primal feasible
+		}
+
+		// Pivot row w_j = (B⁻¹A)_{r,j} for every nonbasic column.
+		for i := range s.rho {
+			s.rho[i] = 0
+		}
+		s.rho[r] = 1
+		s.btran(s.rho)
+		for j := 0; j < s.n; j++ {
+			if s.state[j] == basic {
+				s.wr[j] = 0
+				continue
+			}
+			s.wr[j] = s.colDot(j, s.rho)
+		}
+
+		// Entering column: two-pass dual ratio test over the
+		// sign-compatible candidates. A column moving away from its
+		// bound changes xB[r] by -w_j·t; sign·w_j > 0 means an
+		// atLower column (t > 0) pushes xB[r] toward its violated
+		// bound, sign·w_j < 0 the same for an atUpper column (t < 0).
+		// Free columns may move either way.
+		candidate := func(j int) (float64, bool) {
+			if s.state[j] == basic || s.lo[j] == s.up[j] {
+				return 0, false
+			}
+			w := s.wr[j]
+			if w < pivTol && w > -pivTol {
+				return 0, false
+			}
+			if math.IsInf(s.lo[j], -1) && math.IsInf(s.up[j], 1) {
+				return w, true // free: both directions admissible
+			}
+			if s.state[j] == atLower {
+				if sign*w > 0 {
+					return w, true
+				}
+				return 0, false
+			}
+			if sign*w < 0 {
+				return w, true
+			}
+			return 0, false
+		}
+		thMax := math.Inf(1)
+		for j := 0; j < s.n; j++ {
+			if w, ok := candidate(j); ok {
+				if rel := (math.Abs(s.d[j]) + dualTol) / math.Abs(w); rel < thMax {
+					thMax = rel
+				}
+			}
+		}
+		e, bestW := -1, 0.0
+		for j := 0; j < s.n; j++ {
+			if w, ok := candidate(j); ok {
+				aw := math.Abs(w)
+				if math.Abs(s.d[j])/aw <= thMax && aw > bestW {
+					e, bestW = j, aw
+				}
+			}
+		}
+		if e < 0 {
+			// Dual ray: the primal is infeasible — but only trust the
+			// certificate on a fresh factorization.
+			if !justRefactored && s.sinceFact > 0 {
+				if !s.refactor() {
+					return statusFallback
+				}
+				s.computeXB()
+				s.computeD()
+				justRefactored = true
+				continue
+			}
+			return Infeasible
+		}
+		justRefactored = false
+
+		// FTRAN the entering column; its pivot-row entry re-measures
+		// wr[e] through the (possibly long) eta file.
+		s.loadCol(e, s.alpha)
+		s.ftran(s.alpha)
+		we := s.alpha[r]
+		if math.Abs(we) < pivTol || we*s.wr[e] < 0 {
+			// BTRAN and FTRAN disagree: factorization has drifted.
+			if s.sinceFact == 0 {
+				return statusFallback
+			}
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+			s.computeD()
+			continue
+		}
+
+		// Step: the leaving variable lands exactly on its violated
+		// bound; the entering variable absorbs the displacement.
+		lv := s.basis[r]
+		target := s.lo[lv]
+		leaveState := atLower
+		if sign > 0 {
+			target = s.up[lv]
+			leaveState = atUpper
+		}
+		t := (s.xB[r] - target) / we
+		theta := s.d[e] / we
+		enterVal := s.valueOf(e) + t
+		for i := 0; i < s.m; i++ {
+			if a := s.alpha[i]; a != 0 {
+				s.xB[i] -= t * a
+			}
+		}
+		s.state[lv] = leaveState
+		s.inRow[lv] = -1
+		s.basis[r] = e
+		s.inRow[e] = r
+		s.state[e] = basic
+		s.xB[r] = enterVal
+		s.appendEta(s.alpha, r)
+		s.iters++
+		s.nDual++
+
+		// Reduced-cost update from the pivot row: d_j -= θ·w_j.
+		if theta != 0 {
+			for j := 0; j < s.n; j++ {
+				if s.state[j] == basic {
+					continue
+				}
+				if w := s.wr[j]; w != 0 {
+					s.d[j] -= theta * w
+				}
+			}
+		}
+		s.d[lv] = -theta
+		s.d[e] = 0
+
+		// Anti-cycling: prolonged dual degeneracy (θ ≈ 0 pivots) hands
+		// the solve back to the primal phases, whose Bland fallback is
+		// finite.
+		if math.Abs(theta) <= dualTol {
+			degen++
+			if degen > 2*(s.m+s.n) {
+				return statusFallback
+			}
+		} else {
+			degen = 0
+		}
+
+		if s.sinceFact >= refactorEvery {
+			if !s.refactor() {
+				return statusFallback
+			}
+			s.computeXB()
+			s.computeD()
+		}
+	}
+}

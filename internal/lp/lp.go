@@ -187,12 +187,69 @@ func (p *Problem) Clone() *Problem {
 	return cp
 }
 
+// Basis is a snapshot of a simplex basis: the basic/nonbasic status of
+// every column (structural variables followed by one slack per row). It
+// is produced by the sparse solver on optimal solves (Solution.Basis)
+// and consumed through Options.WarmStart, so branch-and-bound can
+// re-solve a child node from its parent's basis with a dual simplex
+// phase instead of a cold phase-1 restart. The eta/refactorization
+// state is not stored: restoring a Basis triggers one reinversion from
+// the basic column set, which also revalidates it numerically.
+//
+// A Basis is immutable once returned and safe to share across
+// goroutines; it stays valid under bound changes (the textbook B&B
+// delta) but is rejected — with a silent cold fallback — when the
+// problem's row/column structure differs.
+type Basis struct {
+	status  []int8 // per column: atLower, atUpper or basic
+	nStruct int
+	m       int
+}
+
+// NumBasic returns the number of basic columns (== rows when healthy).
+func (b *Basis) NumBasic() int {
+	c := 0
+	for _, st := range b.status {
+		if st == basic {
+			c++
+		}
+	}
+	return c
+}
+
+// Stats carries per-solve solver statistics, for observability and for
+// the warm-vs-cold benchmarks.
+type Stats struct {
+	// Iterations is the total number of simplex pivots (all phases).
+	Iterations int
+	// DualIterations counts the pivots taken by the warm-start dual
+	// simplex phase (a subset of Iterations).
+	DualIterations int
+	// Refactorizations counts basis reinversions (including the one
+	// that restores a warm basis).
+	Refactorizations int
+	// Warm is true when a WarmStart basis was accepted and restored.
+	Warm bool
+	// WarmFellBack is true when a warm start was requested but the
+	// solve had to fall back to the cold primal path (stale or
+	// singular basis, lost dual feasibility, or a cycling dual phase).
+	WarmFellBack bool
+	// PresolvedCols and PresolvedRows count the fixed columns and
+	// empty rows eliminated by presolve.
+	PresolvedCols, PresolvedRows int
+}
+
 // Solution is the result of a solve.
 type Solution struct {
 	Status     Status
 	X          []float64 // values of the structural variables
 	Objective  float64   // c·x at X (meaningful when Status == Optimal)
 	Iterations int       // total simplex pivots (both phases)
+	// Basis is the final basis on Optimal solves from the sparse
+	// engine (nil otherwise), reusable via Options.WarmStart.
+	Basis *Basis
+	// Stats reports solver counters for this solve.
+	Stats Stats
 }
 
 // Options tunes the solver.
@@ -202,6 +259,15 @@ type Options struct {
 	MaxIter int
 	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
 	Tol float64
+	// WarmStart, when non-nil, restores the given basis (typically the
+	// parent node's Solution.Basis after a single bound change) and
+	// tries a dual simplex phase before falling back to the cold
+	// primal path. Ignored when incompatible with the problem.
+	WarmStart *Basis
+	// Presolve enables fixed-variable and empty-row elimination with
+	// postsolve un-crush; the returned Basis is expressed in the
+	// original (un-presolved) column space so it stays reusable.
+	Presolve bool
 }
 
 // Solve optimizes the problem with the sparse revised simplex and

@@ -1,0 +1,235 @@
+package lp
+
+import "math"
+
+// Presolve: fixed-variable and empty-row elimination, the two
+// reductions that matter for the paper's formulations (branch-and-bound
+// fixes binary columns; the literal formulation's β rows collapse once
+// their endpoints are pinned). The crush direction substitutes fixed
+// values into the rows and drops rows left without coefficients; the
+// postsolve direction re-inserts the fixed values into the solution
+// vector and un-crushes the final basis into the original column space,
+// so a warm basis taken from a presolved solve stays reusable — and a
+// warm basis given to a presolved solve is crushed when compatible
+// (every eliminated column nonbasic, every eliminated row's slack
+// basic) and silently dropped otherwise.
+
+// presolved records one reduction for postsolve.
+type presolved struct {
+	reduced  *Problem
+	fixedVal []float64 // per original variable; NaN when kept
+	colMap   []int     // original var -> reduced var, -1 when eliminated
+	keptRows []int     // reduced row -> original row
+	rowMap   []int     // original row -> reduced row, -1 when eliminated
+	objConst float64   // objective contribution of the fixed variables
+	nOrig    int       // original structural variables
+	mOrig    int       // original rows
+}
+
+// presolveProblem applies the reductions. It returns (nil, sol) when an
+// empty row is inconsistent (the model is infeasible without a solve)
+// and (nil, nil) when there is nothing to eliminate.
+func presolveProblem(p *Problem) (*presolved, *Solution) {
+	ps := &presolved{
+		fixedVal: make([]float64, p.n),
+		colMap:   make([]int, p.n),
+		rowMap:   make([]int, len(p.rows)),
+		nOrig:    p.n,
+		mOrig:    len(p.rows),
+	}
+	nFixed := 0
+	nKept := 0
+	for j := 0; j < p.n; j++ {
+		if p.lo[j] == p.up[j] {
+			ps.fixedVal[j] = p.lo[j]
+			ps.colMap[j] = -1
+			ps.objConst += p.obj[j] * p.lo[j]
+			nFixed++
+		} else {
+			ps.fixedVal[j] = math.NaN()
+			ps.colMap[j] = nKept
+			nKept++
+		}
+	}
+
+	// First pass over the rows: substitute fixed values and classify.
+	type redRow struct {
+		coefs []Coef
+		rhs   float64
+	}
+	kept := make([]redRow, 0, len(p.rows))
+	for i, r := range p.rows {
+		rhs := r.rhs
+		var coefs []Coef
+		for _, c := range r.coefs {
+			if jr := ps.colMap[c.Var]; jr >= 0 {
+				coefs = append(coefs, Coef{Var: jr, Value: c.Value})
+			} else {
+				rhs -= c.Value * ps.fixedVal[c.Var]
+			}
+		}
+		if len(coefs) == 0 {
+			// Empty row: consistent → drop, inconsistent → infeasible.
+			ftol := 1e-9 * (1 + math.Abs(r.rhs))
+			bad := false
+			switch r.sense {
+			case LE:
+				bad = rhs < -ftol
+			case GE:
+				bad = rhs > ftol
+			case EQ:
+				bad = math.Abs(rhs) > ftol
+			}
+			if bad {
+				return nil, &Solution{Status: Infeasible}
+			}
+			ps.rowMap[i] = -1
+			continue
+		}
+		ps.rowMap[i] = len(kept)
+		ps.keptRows = append(ps.keptRows, i)
+		kept = append(kept, redRow{coefs: coefs, rhs: rhs})
+	}
+
+	if nFixed == 0 && len(kept) == len(p.rows) {
+		return nil, nil // nothing to do
+	}
+
+	rp := New(nKept)
+	for j := 0; j < p.n; j++ {
+		if jr := ps.colMap[j]; jr >= 0 {
+			rp.SetObj(jr, p.obj[j])
+			rp.SetBounds(jr, p.lo[j], p.up[j])
+		}
+	}
+	for i, rr := range kept {
+		_, sense, _ := p.Row(ps.keptRows[i])
+		rp.AddRow(rr.coefs, sense, rr.rhs)
+	}
+	ps.reduced = rp
+	return ps, nil
+}
+
+// crushBasis maps an original-space warm basis into the reduced space.
+// It returns nil (cold start) when the basis is structurally
+// incompatible with the reduction: an eliminated column basic, an
+// eliminated row's slack nonbasic, or a basic count mismatch.
+func (ps *presolved) crushBasis(b *Basis) *Basis {
+	if b == nil || b.nStruct != ps.nOrig || b.m != ps.mOrig {
+		return nil
+	}
+	nRed := ps.reduced.n
+	mRed := len(ps.keptRows)
+	st := make([]int8, nRed+mRed)
+	nb := 0
+	for j := 0; j < ps.nOrig; j++ {
+		jr := ps.colMap[j]
+		if jr < 0 {
+			if int(b.status[j]) == basic {
+				return nil
+			}
+			continue
+		}
+		st[jr] = b.status[j]
+		if int(b.status[j]) == basic {
+			nb++
+		}
+	}
+	for i := 0; i < ps.mOrig; i++ {
+		ir := ps.rowMap[i]
+		slack := b.status[ps.nOrig+i]
+		if ir < 0 {
+			if int(slack) != basic {
+				return nil
+			}
+			continue
+		}
+		st[nRed+ir] = slack
+		if int(slack) == basic {
+			nb++
+		}
+	}
+	if nb != mRed {
+		return nil
+	}
+	return &Basis{status: st, nStruct: nRed, m: mRed}
+}
+
+// uncrushBasis expands a reduced-space basis to the original space:
+// eliminated columns rest nonbasic at their (fixed) lower bound and the
+// slack of every eliminated row re-enters the basis, so the basic count
+// again matches the original row count.
+func (ps *presolved) uncrushBasis(b *Basis) *Basis {
+	if b == nil {
+		return nil
+	}
+	st := make([]int8, ps.nOrig+ps.mOrig)
+	for j := 0; j < ps.nOrig; j++ {
+		if jr := ps.colMap[j]; jr >= 0 {
+			st[j] = b.status[jr]
+		} else {
+			st[j] = atLower
+		}
+	}
+	nRed := ps.reduced.n
+	for i := 0; i < ps.mOrig; i++ {
+		if ir := ps.rowMap[i]; ir >= 0 {
+			st[ps.nOrig+i] = b.status[nRed+ir]
+		} else {
+			st[ps.nOrig+i] = basic
+		}
+	}
+	return &Basis{status: st, nStruct: ps.nOrig, m: ps.mOrig}
+}
+
+// postsolve un-crushes the reduced solution into the original space.
+func (ps *presolved) postsolve(rsol *Solution) *Solution {
+	sol := &Solution{
+		Status:     rsol.Status,
+		Iterations: rsol.Iterations,
+		Stats:      rsol.Stats,
+	}
+	sol.Stats.PresolvedCols = ps.nOrig - ps.reduced.n
+	sol.Stats.PresolvedRows = ps.mOrig - len(ps.keptRows)
+	if rsol.Status != Optimal {
+		return sol
+	}
+	x := make([]float64, ps.nOrig)
+	for j := 0; j < ps.nOrig; j++ {
+		if jr := ps.colMap[j]; jr >= 0 {
+			x[j] = rsol.X[jr]
+		} else {
+			x[j] = ps.fixedVal[j]
+		}
+	}
+	sol.X = x
+	sol.Objective = rsol.Objective + ps.objConst
+	sol.Basis = ps.uncrushBasis(rsol.Basis)
+	return sol
+}
+
+// solvePresolved is the opt.Presolve entry point of the sparse engine.
+func solvePresolved(p *Problem, opt Options) (*Solution, error) {
+	ps, sol := presolveProblem(p)
+	if sol != nil {
+		sol.Stats.WarmFellBack = opt.WarmStart != nil
+		return sol, nil
+	}
+	if ps == nil {
+		// Nothing eliminated: solve in place, bases flow untouched.
+		opt.Presolve = false
+		return solveSparseDirect(p, opt)
+	}
+	ropt := opt
+	ropt.Presolve = false
+	ropt.WarmStart = ps.crushBasis(opt.WarmStart)
+	rsol, err := solveSparseDirect(ps.reduced, ropt)
+	if err != nil {
+		return nil, err
+	}
+	out := ps.postsolve(rsol)
+	if opt.WarmStart != nil && !out.Stats.Warm {
+		out.Stats.WarmFellBack = true
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package lp
+
+// Solver is a reusable solving context for repeated solves of one
+// Problem whose variable bounds change between calls — the access
+// pattern of branch-and-bound node re-solves. Across calls it keeps
+//
+//   - the CSC constraint matrix (built once, rows are immutable),
+//   - the basis factorization: when a call warm-starts from the Basis
+//     produced by the previous call (pointer-identical snapshot), the
+//     eta file is still valid and the reinversion is skipped entirely —
+//     only the basic values are recomputed under the new bounds.
+//
+// Between calls the caller may change variable bounds (SetBounds) but
+// must not add rows or change objective coefficients; doing so makes
+// the context rebuild from scratch on the next call (rows) or silently
+// optimize the stale objective (coefficients). A Solver is not safe
+// for concurrent use; branch-and-bound gives each worker its own.
+type Solver struct {
+	p    *Problem
+	s    *revised
+	last *Basis // snapshot the live factorization represents, nil if stale
+}
+
+// NewSolver creates a reusable context for p.
+func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
+
+// Solve optimizes the problem under its current bounds. Options are
+// honored like SolveOpts; Presolve bypasses the context (a reduced
+// problem cannot reuse the full-space factorization).
+func (sv *Solver) Solve(opt Options) (*Solution, error) {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if sol, err := sv.p.precheck(tol); sol != nil || err != nil {
+		return sol, err
+	}
+	if opt.Presolve {
+		sv.last = nil // presolved solve does not refresh the context
+		return solvePresolved(sv.p, opt)
+	}
+
+	if sv.s == nil || sv.s.m != len(sv.p.rows) || sv.s.nStruct != sv.p.n {
+		sv.s = newRevised(sv.p, opt)
+		sv.last = nil
+	} else {
+		sv.refresh(opt, tol)
+	}
+	s := sv.s
+
+	warmed := false
+	if opt.WarmStart == nil {
+		s.resetToSlackBasis() // drop leftover state: match a cold solve exactly
+	} else {
+		switch {
+		case sv.last != nil && opt.WarmStart == sv.last:
+			// The factorization already represents this basis; only
+			// the bounds moved, so re-resting nonbasic columns whose
+			// bound went infinite and recomputing the basic values is
+			// enough. This is the hot path when a child node is
+			// solved right after its parent.
+			s.normalizeNonbasic()
+			s.computeXB()
+			warmed = true
+			s.warm = true
+		case s.restoreBasis(opt.WarmStart):
+			warmed = true
+			s.warm = true
+		default:
+			s.warmFellBack = true
+			s.resetToSlackBasis()
+		}
+	}
+	sv.last = nil
+	sol, err := s.finishSolve(sv.p, opt, warmed)
+	if err == nil && sol.Status == Optimal {
+		sv.last = sol.Basis
+	}
+	return sol, err
+}
+
+// refresh re-reads the problem bounds and per-solve options into the
+// live context, resetting the per-solve counters but keeping the CSC
+// matrix and the factorization.
+func (sv *Solver) refresh(opt Options, tol float64) {
+	s := sv.s
+	copy(s.lo[:s.nStruct], sv.p.lo)
+	copy(s.up[:s.nStruct], sv.p.up)
+	s.tol = tol
+	s.maxIter = opt.MaxIter
+	if s.maxIter == 0 {
+		s.maxIter = 200*(s.m+s.n) + 10000
+	}
+	s.iters = 0
+	s.nDual = 0
+	s.nRefactor = 0
+	s.warm = false
+	s.warmFellBack = false
+	s.stall = 0
+	s.bland = false
+}

@@ -68,7 +68,14 @@ type revised struct {
 	stall   int
 	bland   bool
 
+	// per-solve statistics
+	nDual        int
+	nRefactor    int
+	warm         bool
+	warmFellBack bool
+
 	alpha, rho, y []float64 // m-scratch vectors
+	wr            []float64 // n-scratch: pivot row of the dual simplex
 }
 
 func solveSparse(p *Problem, opt Options) (*Solution, error) {
@@ -79,7 +86,18 @@ func solveSparse(p *Problem, opt Options) (*Solution, error) {
 	if sol, err := p.precheck(tol); sol != nil || err != nil {
 		return sol, err
 	}
+	if opt.Presolve {
+		return solvePresolved(p, opt)
+	}
+	return solveSparseDirect(p, opt)
+}
 
+// newRevised builds the CSC model and the initial all-slack basis.
+func newRevised(p *Problem, opt Options) *revised {
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
 	m := len(p.rows)
 	n := p.n + m
 	s := &revised{
@@ -97,6 +115,7 @@ func solveSparse(p *Problem, opt Options) (*Solution, error) {
 		alpha: make([]float64, m),
 		rho:   make([]float64, m),
 		y:     make([]float64, m),
+		wr:    make([]float64, n),
 		tol:   tol,
 	}
 	s.maxIter = opt.MaxIter
@@ -152,53 +171,202 @@ func solveSparse(p *Problem, opt Options) (*Solution, error) {
 		}
 	}
 
-	// Nonbasic structural variables rest at a finite bound (free ones at
-	// zero, as in the dense solver); slacks form the initial basis.
-	for j := 0; j < p.n; j++ {
+	s.resetToSlackBasis()
+	return s
+}
+
+// resetToSlackBasis restores the pristine cold-start state: nonbasic
+// structural variables rest at a finite bound (free ones at zero, as in
+// the dense solver) and the slacks form the (identity) basis. It is
+// also the recovery point when a warm start turns out to be unusable.
+func (s *revised) resetToSlackBasis() {
+	s.etas = s.etas[:0]
+	s.sinceFact = 0
+	s.bland = false
+	s.stall = 0
+	for j := 0; j < s.nStruct; j++ {
 		switch {
-		case !math.IsInf(p.lo[j], -1):
+		case !math.IsInf(s.lo[j], -1):
 			s.state[j] = atLower
-		case !math.IsInf(p.up[j], 1):
+		case !math.IsInf(s.up[j], 1):
 			s.state[j] = atUpper
 		default:
 			s.state[j] = atLower // free: rests at 0 via valueOf
 		}
 		s.inRow[j] = -1
 	}
-	for i := 0; i < m; i++ {
-		sl := p.n + i
+	for i := 0; i < s.m; i++ {
+		sl := s.nStruct + i
 		s.state[sl] = basic
 		s.basis[i] = sl
 		s.inRow[sl] = i
 	}
 	s.computeXB()
+}
+
+// restoreBasis installs a Basis snapshot: statuses are copied, the
+// basic column set is reinverted from scratch (which both rebuilds the
+// eta file and revalidates the basis numerically), and the basic values
+// are recomputed under the problem's current bounds. It returns false —
+// leaving the solver in need of resetToSlackBasis — when the snapshot
+// does not fit the problem or the basis matrix is singular.
+func (s *revised) restoreBasis(b *Basis) bool {
+	if b == nil || len(b.status) != s.n || b.m != s.m || b.nStruct != s.nStruct {
+		return false
+	}
+	if b.NumBasic() != s.m {
+		return false
+	}
+	r := 0
+	for j, st := range b.status {
+		switch int(st) {
+		case basic:
+			s.state[j] = basic
+			s.basis[r] = j // provisional row; refactor re-pivots
+			s.inRow[j] = r
+			r++
+		case atUpper:
+			s.state[j] = atUpper
+			s.inRow[j] = -1
+		default:
+			s.state[j] = atLower
+			s.inRow[j] = -1
+		}
+	}
+	s.normalizeNonbasic()
+	s.etas = s.etas[:0]
+	s.sinceFact = 0
+	if !s.refactor() {
+		return false
+	}
+	s.computeXB()
+	return true
+}
+
+// normalizeNonbasic re-rests nonbasic columns whose status no longer
+// matches the current bounds — a bound was relaxed to infinity since
+// the basis snapshot was taken. A column cannot rest at an infinite
+// bound: it moves to the opposite bound when that one is finite, or to
+// the free convention (atLower, resting at zero) when both are
+// infinite. Only nonbasic rest values change, so the basis
+// factorization stays valid and callers need no reinversion.
+func (s *revised) normalizeNonbasic() {
+	for j := 0; j < s.n; j++ {
+		switch s.state[j] {
+		case atUpper:
+			if math.IsInf(s.up[j], 1) {
+				s.state[j] = atLower // finite lo, or free resting at 0
+			}
+		case atLower:
+			if math.IsInf(s.lo[j], -1) && !math.IsInf(s.up[j], 1) {
+				s.state[j] = atUpper
+			}
+		}
+	}
+}
+
+// snapshotBasis captures the current basis for reuse via WarmStart.
+func (s *revised) snapshotBasis() *Basis {
+	st := make([]int8, s.n)
+	for j := range st {
+		st[j] = int8(s.state[j])
+	}
+	return &Basis{status: st, nStruct: s.nStruct, m: s.m}
+}
+
+func (s *revised) stats() Stats {
+	return Stats{
+		Iterations:       s.iters,
+		DualIterations:   s.nDual,
+		Refactorizations: s.nRefactor,
+		Warm:             s.warm,
+		WarmFellBack:     s.warmFellBack,
+	}
+}
+
+// denseFallback re-solves with the dense reference engine after the
+// sparse path hit a numerically singular basis.
+func (s *revised) denseFallback(p *Problem, opt Options) (*Solution, error) {
+	sol, err := SolveDenseOpts(p, opt)
+	if sol != nil {
+		sol.Stats = s.stats()
+		sol.Stats.Iterations += sol.Iterations
+	}
+	return sol, err
+}
+
+func solveSparseDirect(p *Problem, opt Options) (*Solution, error) {
+	s := newRevised(p, opt)
+
+	// Warm start: restore the caller's basis and try to repair primal
+	// feasibility with the dual simplex, which after a single bound
+	// change typically needs a handful of pivots instead of a full
+	// phase-1/phase-2 restart.
+	warmed := false
+	if opt.WarmStart != nil {
+		if s.restoreBasis(opt.WarmStart) {
+			warmed = true
+			s.warm = true
+		} else {
+			s.warmFellBack = true
+			s.resetToSlackBasis()
+		}
+	}
+	return s.finishSolve(p, opt, warmed)
+}
+
+// finishSolve drives the solve from the current basis state: the dual
+// phase when warm, then (or on fallback) the primal phases.
+func (s *revised) finishSolve(p *Problem, opt Options, warmed bool) (*Solution, error) {
+	if warmed {
+		switch st := s.dualPhase(); st {
+		case IterLimit:
+			return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
+		case Infeasible:
+			return &Solution{Status: Infeasible, Iterations: s.iters, Stats: s.stats()}, nil
+		case Optimal:
+			// Primal feasible; phase 2 verifies optimality (and mops up
+			// any dual infeasibility left by tolerance drift).
+			return s.runPhase2(p, opt)
+		default: // statusFallback: stale or cycling warm path
+			s.warmFellBack = true
+			s.resetToSlackBasis()
+		}
+	}
 
 	st := s.phase1()
 	switch st {
 	case statusFallback:
-		return SolveDenseOpts(p, opt)
+		return s.denseFallback(p, opt)
 	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+		return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
 	case Infeasible:
-		return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+		return &Solution{Status: Infeasible, Iterations: s.iters, Stats: s.stats()}, nil
 	}
+	return s.runPhase2(p, opt)
+}
 
-	st = s.phase2()
-	switch st {
+// runPhase2 drives the primal phase 2 from the current (primal
+// feasible) basis and assembles the final Solution.
+func (s *revised) runPhase2(p *Problem, opt Options) (*Solution, error) {
+	switch st := s.phase2(); st {
 	case statusFallback:
-		return SolveDenseOpts(p, opt)
+		return s.denseFallback(p, opt)
 	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+		return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
 	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: s.iters}, nil
+		return &Solution{Status: Unbounded, Iterations: s.iters, Stats: s.stats()}, nil
 	}
 
 	x := s.extract()
 	obj := 0.0
-	for j := 0; j < p.n; j++ {
+	for j := 0; j < s.nStruct; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: s.iters}, nil
+	return &Solution{
+		Status: Optimal, X: x, Objective: obj,
+		Iterations: s.iters, Basis: s.snapshotBasis(), Stats: s.stats(),
+	}, nil
 }
 
 // ---------------------------------------------------------------- linear algebra
@@ -254,8 +422,14 @@ func (s *revised) colDot(j int, v []float64) float64 {
 
 // appendEta records the pivot (alpha, r) in the eta file.
 func (s *revised) appendEta(alpha []float64, r int) {
-	var ind []int32
-	var val []float64
+	nnz := 0
+	for i := 0; i < s.m; i++ {
+		if i != r && alpha[i] != 0 {
+			nnz++
+		}
+	}
+	ind := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
 	for i := 0; i < s.m; i++ {
 		if i != r && alpha[i] != 0 {
 			ind = append(ind, int32(i))
@@ -272,6 +446,7 @@ func (s *revised) appendEta(alpha []float64, r int) {
 func (s *revised) refactor() bool {
 	s.etas = s.etas[:0]
 	s.sinceFact = 0
+	s.nRefactor++
 	cols := append([]int(nil), s.basis...)
 	sort.Slice(cols, func(a, b int) bool {
 		na := s.colPtr[cols[a]+1] - s.colPtr[cols[a]]

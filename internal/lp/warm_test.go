@@ -1,0 +1,283 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boxedRandom builds a bounded random LP so re-solve chains stay
+// bounded whatever bounds the test tightens.
+func boxedRandom(rng *rand.Rand, n, m int) *Problem {
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, math.Round(rng.NormFloat64()*4))
+		lo := -float64(rng.Intn(4))
+		p.SetBounds(j, lo, lo+float64(1+rng.Intn(8)))
+	}
+	for i := 0; i < m; i++ {
+		var coefs []Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) > 0 {
+				coefs = append(coefs, Coef{Var: j, Value: math.Round(rng.NormFloat64() * 3)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = []Coef{{Var: rng.Intn(n), Value: 1}}
+		}
+		sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+		p.AddRow(coefs, sense, math.Round(rng.NormFloat64()*6))
+	}
+	return p
+}
+
+// TestWarmStartAfterBoundChange is the branch-and-bound shape: solve,
+// tighten one bound, warm re-solve from the parent basis, and compare
+// against a cold solve of the same child.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warmUsed := 0
+	for trial := 0; trial < 200; trial++ {
+		p := boxedRandom(rng, 3+rng.Intn(5), 2+rng.Intn(6))
+		parent, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: parent: %v", trial, err)
+		}
+		if parent.Status != Optimal {
+			continue
+		}
+		// Tighten one variable's bounds around a point inside them,
+		// like branching on a fractional variable does.
+		j := rng.Intn(p.NumVars())
+		lo, up := p.Bounds(j)
+		mid := math.Floor(lo + rng.Float64()*(up-lo))
+		if rng.Intn(2) == 0 {
+			p.SetBounds(j, lo, mid)
+		} else {
+			p.SetBounds(j, mid, up)
+		}
+		cold, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: cold child: %v", trial, err)
+		}
+		warmSol, err := SolveOpts(p, Options{WarmStart: parent.Basis})
+		if err != nil {
+			t.Fatalf("trial %d: warm child: %v", trial, err)
+		}
+		if warmSol.Stats.Warm && !warmSol.Stats.WarmFellBack {
+			warmUsed++
+		}
+		if cold.Status != warmSol.Status {
+			t.Fatalf("trial %d: status mismatch cold=%v warm=%v", trial, cold.Status, warmSol.Status)
+		}
+		if cold.Status != Optimal {
+			continue
+		}
+		scale := 1 + math.Abs(cold.Objective)
+		if diff := math.Abs(cold.Objective - warmSol.Objective); diff > 1e-6*scale {
+			t.Fatalf("trial %d: objective mismatch cold=%.12g warm=%.12g", trial, cold.Objective, warmSol.Objective)
+		}
+	}
+	if warmUsed == 0 {
+		t.Fatal("warm start was never accepted across 200 trials")
+	}
+	t.Logf("warm path used on %d trials", warmUsed)
+}
+
+// TestWarmStartStaleBasis feeds bases that cannot fit: wrong problem,
+// wrong dimensions, nil. All must silently fall back to a cold solve.
+func TestWarmStartStaleBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := boxedRandom(rng, 5, 4)
+	sol, err := Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("setup: %v %v", err, sol.Status)
+	}
+	other := New(7)
+	for j := 0; j < 7; j++ {
+		other.SetObj(j, 1)
+		other.SetBounds(j, 0, 3)
+	}
+	other.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 2)
+	other.AddRow([]Coef{{Var: 2, Value: 1}, {Var: 3, Value: 1}}, GE, 1)
+	for name, b := range map[string]*Basis{
+		"nil":        nil,
+		"wrong-size": {status: make([]int8, 3), nStruct: 2, m: 1},
+		"all-lower":  {status: make([]int8, p.NumVars()+p.NumRows()), nStruct: p.NumVars(), m: p.NumRows()},
+	} {
+		ws, err := SolveOpts(p, Options{WarmStart: b})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ws.Status != Optimal || math.Abs(ws.Objective-sol.Objective) > 1e-9*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("%s: got %v obj=%g want optimal obj=%g", name, ws.Status, ws.Objective, sol.Objective)
+		}
+	}
+	// A basis from a structurally different problem.
+	osol, err := Solve(other)
+	if err != nil || osol.Status != Optimal {
+		t.Fatalf("other setup: %v", err)
+	}
+	ws, err := SolveOpts(p, Options{WarmStart: osol.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Status != Optimal || !ws.Stats.WarmFellBack {
+		t.Fatalf("foreign basis: status=%v fellBack=%v", ws.Status, ws.Stats.WarmFellBack)
+	}
+}
+
+// TestWarmStartRelaxedBounds covers the two bound-relaxation holes the
+// Basis contract promises to survive: a nonbasic column whose resting
+// bound went infinite must be re-rested, through both the one-shot
+// WarmStart path and the Solver pointer-identity hot path.
+func TestWarmStartRelaxedBounds(t *testing.T) {
+	// atLower snapshot, lower bound later relaxed to -Inf with a finite
+	// negative upper bound: the column must re-rest at up, not at the
+	// free-at-zero convention (which would violate up = -1).
+	p := New(1)
+	p.SetBounds(0, -5, -1)
+	p.AddRow([]Coef{{Var: 0, Value: 1}}, GE, -100)
+	parent, err := Solve(p)
+	if err != nil || parent.Status != Optimal {
+		t.Fatalf("parent: %v %v", err, parent)
+	}
+	p.SetBounds(0, math.Inf(-1), -1)
+	ws, err := SolveOpts(p, Options{WarmStart: parent.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Status != Optimal || ws.X[0] > -1+1e-9 {
+		t.Fatalf("relaxed-lo warm solve: status=%v x=%v (must satisfy x <= -1)", ws.Status, ws.X)
+	}
+
+	// Solver hot path: upper bound relaxed to +Inf between re-solves of
+	// the same context must surface Unbounded, not Optimal([NaN]).
+	q := New(1)
+	q.SetObj(0, -1)
+	q.SetBounds(0, 0, 3)
+	q.AddRow([]Coef{{Var: 0, Value: 1}}, GE, 0)
+	sv := NewSolver(q)
+	first, err := sv.Solve(Options{})
+	if err != nil || first.Status != Optimal || first.X[0] != 3 {
+		t.Fatalf("first solve: %v %v", err, first)
+	}
+	q.SetBounds(0, 0, math.Inf(1))
+	second, err := sv.Solve(Options{WarmStart: first.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != Unbounded {
+		t.Fatalf("hot-path relaxed-up solve: status=%v X=%v, want unbounded", second.Status, second.X)
+	}
+}
+
+// TestPresolveFixedAndEmpty checks the reductions and the basis
+// round-trip on a model where presolve has real work to do.
+func TestPresolveFixedAndEmpty(t *testing.T) {
+	p := New(4)
+	p.SetObj(0, 1)
+	p.SetObj(1, -2)
+	p.SetObj(2, 3)
+	p.SetBounds(0, 0, 10)
+	p.SetBounds(1, 2, 2) // fixed
+	p.SetBounds(2, 0, 5)
+	p.SetBounds(3, -1, -1) // fixed
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 3)
+	p.AddRow([]Coef{{Var: 1, Value: 2}, {Var: 3, Value: 1}}, LE, 4) // empty after substitution
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 2, Value: 1}}, LE, 6)
+
+	plain, err := Solve(p)
+	if err != nil || plain.Status != Optimal {
+		t.Fatalf("plain: %v %v", err, plain)
+	}
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %v", err, pre)
+	}
+	if pre.Stats.PresolvedCols != 2 || pre.Stats.PresolvedRows != 1 {
+		t.Fatalf("expected 2 cols + 1 row eliminated, got %d/%d", pre.Stats.PresolvedCols, pre.Stats.PresolvedRows)
+	}
+	if math.Abs(plain.Objective-pre.Objective) > 1e-9 {
+		t.Fatalf("objective mismatch: %g vs %g", plain.Objective, pre.Objective)
+	}
+	if pre.X[1] != 2 || pre.X[3] != -1 {
+		t.Fatalf("fixed values not restored: %v", pre.X)
+	}
+	if pre.Basis == nil || pre.Basis.NumBasic() != p.NumRows() {
+		t.Fatalf("un-crushed basis unhealthy: %+v", pre.Basis)
+	}
+	// The un-crushed basis must warm-start both plain and presolved
+	// re-solves of a child with one more bound change.
+	p.SetBounds(0, 1, 10)
+	for name, o := range map[string]Options{
+		"plain":     {WarmStart: pre.Basis},
+		"presolved": {WarmStart: pre.Basis, Presolve: true},
+	} {
+		ws, err := SolveOpts(p, o)
+		if err != nil || ws.Status != Optimal {
+			t.Fatalf("%s re-solve: %v %v", name, err, ws)
+		}
+		cold, _ := Solve(p)
+		if math.Abs(ws.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("%s re-solve objective: %g vs cold %g", name, ws.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestPresolveInfeasibleEmptyRow: an empty row that cannot hold makes
+// presolve report infeasibility without a simplex iteration.
+func TestPresolveInfeasibleEmptyRow(t *testing.T) {
+	p := New(2)
+	p.SetBounds(0, 1, 1)
+	p.SetBounds(1, 0, 5)
+	p.AddRow([]Coef{{Var: 0, Value: 3}}, LE, 2) // 3·1 ≤ 2: inconsistent
+	sol, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", sol.Status)
+	}
+	if sol.Stats.Iterations != 0 {
+		t.Fatalf("presolve infeasibility should cost 0 pivots, took %d", sol.Stats.Iterations)
+	}
+}
+
+// TestDualPhaseDoesTheWork asserts the intended mechanism: on a
+// one-bound-change re-solve the warm path should pivot with the dual
+// simplex, not re-run phase 1.
+func TestDualPhaseDoesTheWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sawDual := false
+	for trial := 0; trial < 60; trial++ {
+		p := boxedRandom(rng, 6, 5)
+		parent, err := Solve(p)
+		if err != nil || parent.Status != Optimal {
+			continue
+		}
+		j := rng.Intn(p.NumVars())
+		lo, up := p.Bounds(j)
+		p.SetBounds(j, lo, math.Floor((lo+up)/2))
+		ws, err := SolveOpts(p, Options{WarmStart: parent.Basis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws.Stats.Warm && !ws.Stats.WarmFellBack && ws.Stats.DualIterations > 0 {
+			sawDual = true
+		}
+		if ws.Status == Optimal && ws.Stats.Warm && !ws.Stats.WarmFellBack {
+			// Warm re-solves must be much shorter than cold ones.
+			cold, err := Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ws.Iterations > cold.Iterations+5 {
+				t.Logf("trial %d: warm took %d iters vs cold %d", trial, ws.Iterations, cold.Iterations)
+			}
+		}
+	}
+	if !sawDual {
+		t.Fatal("dual simplex never performed a pivot across 60 warm re-solves")
+	}
+}

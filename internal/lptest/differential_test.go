@@ -123,6 +123,64 @@ func TestDifferentialDegenerate(t *testing.T) {
 	}
 }
 
+// TestDifferentialDegenerateRandom runs the degeneracy-biased generator
+// (free variables, fixed columns, equality and duplicated rows) through
+// the agreement check, then through a warm-started re-solve chain.
+func TestDifferentialDegenerateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	trials := 150
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := RandomDegenerate(rng)
+		if err := CheckAgreement(p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckWarmChain(p, rng, 6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestDifferentialWarmChains drives random single-bound-change re-solve
+// chains — the exact access pattern of warm-started branch-and-bound —
+// against the cold dense reference, over both generators.
+func TestDifferentialWarmChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := Random(rng)
+		if err := CheckWarmChain(p, rng, 10); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestWarmChainFormulations runs the warm re-solve chain on the paper's
+// actual mapping programs, mutating the binary α bounds like the
+// branch-and-bound does.
+func TestWarmChainFormulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := daggen.Generate(daggen.Params{Tasks: 8, Seed: 6, CCR: 1})
+	plat := platform.Cell(1, 2)
+	for _, f := range []*core.Formulation{
+		core.FormulateCompact(g, plat),
+		core.FormulateLiteral(g, plat),
+	} {
+		steps := 12
+		if testing.Short() {
+			steps = 5
+		}
+		if err := CheckWarmChain(f.Problem.LP, rng, steps); err != nil {
+			t.Errorf("%s: %v", f.Kind, err)
+		}
+	}
+}
+
 // TestDifferentialFormulations compares the engines on the paper's
 // actual mapping programs: LP relaxations of both the compact and the
 // literal formulation over generated task graphs and Cell platforms.

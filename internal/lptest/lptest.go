@@ -93,6 +93,139 @@ func Violation(p *lp.Problem, x []float64) float64 {
 	return worst
 }
 
+// RandomDegenerate generates a seeded random LP biased toward the
+// shapes that stress a warm-started dual simplex: free variables,
+// fixed columns, equality rows, duplicated (redundant) rows meeting in
+// degenerate vertices, and zero objective stretches where every basis
+// is optimal.
+func RandomDegenerate(rng *rand.Rand) *lp.Problem {
+	n := 3 + rng.Intn(5) // 3..7 variables
+	p := lp.New(n)
+	for j := 0; j < n; j++ {
+		if rng.Intn(3) == 0 { // many zero objective entries
+			p.SetObj(j, math.Round(rng.NormFloat64()*4))
+		}
+		switch rng.Intn(4) {
+		case 0: // free
+			p.SetBounds(j, math.Inf(-1), math.Inf(1))
+		case 1: // fixed column
+			v := float64(rng.Intn(5) - 2)
+			p.SetBounds(j, v, v)
+		default: // boxed
+			lo := -float64(rng.Intn(3))
+			p.SetBounds(j, lo, lo+float64(1+rng.Intn(6)))
+		}
+	}
+	m := 2 + rng.Intn(6)
+	var prev []lp.Coef
+	for i := 0; i < m; i++ {
+		coefs := prev
+		if coefs == nil || rng.Intn(3) > 0 {
+			coefs = nil
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					coefs = append(coefs, lp.Coef{Var: j, Value: float64(rng.Intn(5) - 2)})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = []lp.Coef{{Var: rng.Intn(n), Value: 1}}
+			}
+		}
+		prev = coefs
+		sense := lp.EQ // bias toward equality rows
+		if rng.Intn(3) > 0 {
+			sense = []lp.Sense{lp.LE, lp.GE}[rng.Intn(2)]
+		}
+		p.AddRow(coefs, sense, float64(rng.Intn(9)-4))
+	}
+	return p
+}
+
+// CheckWarmChain is the differential check for warm-started re-solves:
+// starting from a cold sparse solve of p, it applies steps random
+// single-bound changes (tighten, fix, or restore — the branch-and-bound
+// delta), re-solving each child warm from the previous basis (with and
+// without presolve, alternating) and comparing status and objective
+// against the cold dense reference on the same mutated problem. The
+// problem's bounds are restored before returning.
+func CheckWarmChain(p *lp.Problem, rng *rand.Rand, steps int) error {
+	n := p.NumVars()
+	origLo := make([]float64, n)
+	origUp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		origLo[j], origUp[j] = p.Bounds(j)
+	}
+	defer func() {
+		for j := 0; j < n; j++ {
+			p.SetBounds(j, origLo[j], origUp[j])
+		}
+	}()
+
+	var basis *lp.Basis
+	if sol, err := lp.Solve(p); err != nil {
+		return fmt.Errorf("root solve: %w", err)
+	} else if sol.Status == lp.Optimal {
+		basis = sol.Basis
+	}
+
+	for step := 0; step < steps; step++ {
+		j := rng.Intn(n)
+		lo, up := p.Bounds(j)
+		switch rng.Intn(4) {
+		case 0: // restore the variable's original range
+			p.SetBounds(j, origLo[j], origUp[j])
+		case 1: // fix at a point of the current range when finite
+			if !math.IsInf(lo, -1) && !math.IsInf(up, 1) {
+				v := math.Round(lo + rng.Float64()*(up-lo))
+				p.SetBounds(j, v, v)
+			} else {
+				p.SetBounds(j, 0, 0)
+			}
+		case 2: // tighten the upper bound
+			if !math.IsInf(up, 1) && up-1 >= lo {
+				p.SetBounds(j, lo, up-1)
+			} else if !math.IsInf(lo, -1) {
+				p.SetBounds(j, lo, lo+1)
+			}
+		default: // tighten the lower bound
+			if !math.IsInf(lo, -1) && lo+1 <= up {
+				p.SetBounds(j, lo+1, up)
+			} else if !math.IsInf(up, 1) {
+				p.SetBounds(j, up-1, up)
+			}
+		}
+
+		opt := lp.Options{WarmStart: basis, Presolve: step%2 == 1}
+		warm, err := lp.SolveOpts(p, opt)
+		if err != nil {
+			return fmt.Errorf("step %d: warm solve: %w", step, err)
+		}
+		dense, err := lp.SolveDense(p)
+		if err != nil {
+			return fmt.Errorf("step %d: dense solve: %w", step, err)
+		}
+		if warm.Status != dense.Status {
+			return fmt.Errorf("step %d: status mismatch warm=%v dense=%v (warm=%+v)",
+				step, warm.Status, dense.Status, warm.Stats)
+		}
+		if warm.Status == lp.Optimal {
+			if v := Violation(p, warm.X); v > FeasTol {
+				return fmt.Errorf("step %d: warm point violates constraints by %g", step, v)
+			}
+			scale := 1 + math.Abs(dense.Objective)
+			if diff := math.Abs(warm.Objective - dense.Objective); diff > Tol*scale {
+				return fmt.Errorf("step %d: objective mismatch warm=%.12g dense=%.12g (stats %+v)",
+					step, warm.Objective, dense.Objective, warm.Stats)
+			}
+			basis = warm.Basis
+		}
+		// On non-optimal children keep the previous basis: the next
+		// bound change may re-open the subproblem, and a stale basis
+		// must still be safe to pass.
+	}
+	return nil
+}
+
 // Random generates a seeded random LP exercising the full model
 // surface: mixed senses, finite/infinite/fixed bounds, free variables,
 // empty-ish rows and duplicate coefficients. Coefficients are rounded

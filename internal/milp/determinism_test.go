@@ -1,0 +1,123 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellstream/internal/lp"
+)
+
+// randomMILP builds a seeded random bounded mixed 0/1-ish program:
+// boxed integer and continuous variables, mixed-sense rows. Bounded by
+// construction, but not necessarily (integer-)feasible — agreement on
+// Infeasible is part of the contract.
+func randomMILP(rng *rand.Rand) *Problem {
+	n := 3 + rng.Intn(6)
+	p := lp.New(n)
+	var ints []int
+	for j := 0; j < n; j++ {
+		p.SetObj(j, math.Round(rng.NormFloat64()*5))
+		lo := -float64(rng.Intn(3))
+		p.SetBounds(j, lo, lo+float64(1+rng.Intn(5)))
+		if rng.Intn(2) == 0 {
+			ints = append(ints, j)
+		}
+	}
+	if ints == nil {
+		ints = []int{0}
+	}
+	m := 2 + rng.Intn(5)
+	for i := 0; i < m; i++ {
+		var coefs []lp.Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) > 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Value: math.Round(rng.NormFloat64() * 3)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = []lp.Coef{{Var: rng.Intn(n), Value: 1}}
+		}
+		sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		// Half-integer right-hand sides make the relaxation optimum
+		// land on fractional vertices, so the search actually branches.
+		p.AddRow(coefs, sense, math.Round(rng.NormFloat64()*14)/2)
+	}
+	return &Problem{LP: p, Integer: ints}
+}
+
+// TestDeterminismWarmColdSerialParallel requires that serial and
+// parallel branch-and-bound, warm-started and cold, all agree on the
+// status and (to 1e-6) on the optimal objective across 50 seeded
+// random instances. Node counts and solution vectors may differ — the
+// search order is timing-dependent in parallel mode and degenerate
+// optima are not unique — but the optimum itself must be invariant.
+func TestDeterminismWarmColdSerialParallel(t *testing.T) {
+	const instances = 50
+	rng := rand.New(rand.NewSource(99))
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"serial-warm", Options{Workers: 1}},
+		{"serial-cold", Options{Workers: 1, ColdStart: true}},
+		{"parallel-warm", Options{Workers: 4}},
+		{"parallel-cold", Options{Workers: 4, ColdStart: true}},
+	}
+	statuses := map[Status]int{}
+	for inst := 0; inst < instances; inst++ {
+		p := randomMILP(rng)
+		var refStatus Status
+		var refObj float64
+		for vi, v := range variants {
+			res, err := Solve(p, v.opt)
+			if err != nil {
+				t.Fatalf("instance %d %s: %v", inst, v.name, err)
+			}
+			if res.Status != Optimal && res.Status != Infeasible {
+				t.Fatalf("instance %d %s: unexpected status %v (limits should not bind)",
+					inst, v.name, res.Status)
+			}
+			if vi == 0 {
+				refStatus, refObj = res.Status, res.Objective
+				statuses[res.Status]++
+				continue
+			}
+			if res.Status != refStatus {
+				t.Fatalf("instance %d: %s status %v, %s status %v",
+					inst, variants[0].name, refStatus, v.name, res.Status)
+			}
+			if res.Status == Optimal {
+				scale := 1 + math.Abs(refObj)
+				if diff := math.Abs(res.Objective - refObj); diff > 1e-6*scale {
+					t.Fatalf("instance %d: %s objective %.12g, %s objective %.12g (diff %g)",
+						inst, variants[0].name, refObj, v.name, res.Objective, diff)
+				}
+			}
+		}
+	}
+	if statuses[Optimal] == 0 || statuses[Infeasible] == 0 {
+		t.Errorf("instance pool lacks coverage: %v", statuses)
+	}
+	t.Logf("statuses over %d instances: %v", instances, statuses)
+}
+
+// TestWarmStatsReported sanity-checks that warm-started search actually
+// reuses bases (the mechanism the BenchmarkMILPWarmVsCold speedup
+// rests on).
+func TestWarmStatsReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	warm := 0
+	for inst := 0; inst < 20; inst++ {
+		p := randomMILP(rng)
+		res, err := Solve(p, Options{Workers: 1, DisableRounding: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm += res.Stats.WarmSolves
+	}
+	if warm == 0 {
+		t.Fatal("no node re-solve ever accepted a warm basis")
+	}
+	t.Logf("warm node re-solves across instances: %d", warm)
+}

@@ -89,6 +89,44 @@ type Options struct {
 	// Workers is the number of concurrent branch-and-bound workers.
 	// 0 picks min(GOMAXPROCS, 8); 1 forces the serial search.
 	Workers int
+	// ColdStart disables basis reuse and presolve, cold-solving every
+	// node from scratch — the pre-warm-start behavior, kept for the
+	// warm-vs-cold benchmarks and ablations.
+	ColdStart bool
+}
+
+// Stats aggregates LP-solver counters across every node re-solve of a
+// branch-and-bound run.
+type Stats struct {
+	// LPIterations is the total simplex pivots over all node solves.
+	LPIterations int
+	// DualIterations counts pivots taken by the warm-start dual
+	// simplex (a subset of LPIterations).
+	DualIterations int
+	// Refactorizations counts basis reinversions.
+	Refactorizations int
+	// WarmSolves counts node re-solves that accepted a parent basis.
+	WarmSolves int
+	// WarmFallbacks counts warm attempts that fell back to a cold
+	// primal solve (stale/singular basis or a cycling dual phase).
+	WarmFallbacks int
+	// PresolvedCols/PresolvedRows total the columns and rows
+	// eliminated by presolve across node solves.
+	PresolvedCols, PresolvedRows int
+}
+
+func (st *Stats) add(s lp.Stats) {
+	st.LPIterations += s.Iterations
+	st.DualIterations += s.DualIterations
+	st.Refactorizations += s.Refactorizations
+	if s.Warm && !s.WarmFellBack {
+		st.WarmSolves++
+	}
+	if s.WarmFellBack {
+		st.WarmFallbacks++
+	}
+	st.PresolvedCols += s.PresolvedCols
+	st.PresolvedRows += s.PresolvedRows
 }
 
 // Result is the outcome of Solve.
@@ -99,6 +137,7 @@ type Result struct {
 	Bound     float64 // global lower bound on the optimum
 	Nodes     int     // LP relaxations solved
 	Gap       float64 // (Objective - Bound) / max(|Objective|, eps)
+	Stats     Stats   // aggregated LP-solver counters
 }
 
 type boundChange struct {
@@ -109,6 +148,7 @@ type boundChange struct {
 type node struct {
 	bound   float64 // parent LP objective (lower bound for the subtree)
 	changes []boundChange
+	basis   *lp.Basis // parent's optimal basis for a warm dual re-solve
 	id      int
 }
 
@@ -160,6 +200,7 @@ type search struct {
 	prunedMin float64 // min bound among nodes discarded without branching
 	stopped   bool
 	err       error
+	stats     Stats
 }
 
 // SolveCtx runs branch-and-bound until optimality (within RelGap), a
@@ -257,14 +298,37 @@ func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 // cancellation stops the search.
 func (s *search) worker(ctx context.Context, opt Options) {
 	prob := s.p.LP.Clone()
-	solveWith := func(changes []boundChange) (*lp.Solution, error) {
+	solver := lp.NewSolver(prob)
+	// solveWith re-solves the relaxation for a node's bound-delta on
+	// the worker's persistent solver context. With a parent basis the
+	// solve warm-starts through the dual simplex — and when the parent
+	// was the previous solve on this worker (the common DFS-ish pop
+	// order), the context still holds its factorization and skips the
+	// reinversion too. Without a basis — the root, the rounding
+	// heuristic, cold-start mode — it cold-solves, with presolve
+	// eliminating the columns the delta chain has fixed.
+	solveWith := func(changes []boundChange, basis *lp.Basis) (*lp.Solution, error) {
 		for j := 0; j < s.n; j++ {
 			prob.SetBounds(j, s.rootLo[j], s.rootUp[j])
 		}
 		for _, ch := range changes {
 			prob.SetBounds(ch.v, ch.lo, ch.up)
 		}
-		return lp.Solve(prob)
+		var o lp.Options
+		if !opt.ColdStart {
+			if basis != nil {
+				o.WarmStart = basis
+			} else {
+				o.Presolve = true
+			}
+		}
+		sol, err := solver.Solve(o)
+		if err == nil {
+			s.mu.Lock()
+			s.stats.add(sol.Stats)
+			s.mu.Unlock()
+		}
+		return sol, err
 	}
 
 	for {
@@ -312,7 +376,7 @@ func (s *search) worker(ctx context.Context, opt Options) {
 		nodeSeq := s.nodes
 		s.mu.Unlock()
 
-		sol, err := solveWith(nd.changes)
+		sol, err := solveWith(nd.changes, nd.basis)
 		if err != nil {
 			s.mu.Lock()
 			s.err = err
@@ -378,10 +442,17 @@ func (s *search) worker(ctx context.Context, opt Options) {
 		}
 		down := append(append([]boundChange(nil), nd.changes...), boundChange{v, lo, math.Floor(val)})
 		upN := append(append([]boundChange(nil), nd.changes...), boundChange{v, math.Ceil(val), up})
+		// Children inherit this node's optimal basis: they differ from
+		// it by exactly one bound change, the textbook dual-simplex
+		// warm start.
+		var childBasis *lp.Basis
+		if !opt.ColdStart {
+			childBasis = sol.Basis
+		}
 		s.mu.Lock()
-		heap.Push(&s.heap, &node{bound: sol.Objective, changes: down, id: s.nextID})
+		heap.Push(&s.heap, &node{bound: sol.Objective, changes: down, basis: childBasis, id: s.nextID})
 		s.nextID++
-		heap.Push(&s.heap, &node{bound: sol.Objective, changes: upN, id: s.nextID})
+		heap.Push(&s.heap, &node{bound: sol.Objective, changes: upN, basis: childBasis, id: s.nextID})
 		s.nextID++
 		s.inflight--
 		s.cond.Broadcast()
@@ -466,6 +537,7 @@ func (s *search) finish() *Result {
 		res.Status = Optimal
 	}
 	res.Nodes = s.nodes
+	res.Stats = s.stats
 	return res
 }
 
@@ -511,7 +583,7 @@ func checkIncumbent(p *Problem, x []float64, tol float64) (float64, bool) {
 }
 
 func roundAndRepair(p *Problem, x []float64,
-	solve func([]boundChange) (*lp.Solution, error),
+	solve func([]boundChange, *lp.Basis) (*lp.Solution, error),
 	base []boundChange, tol float64) ([]float64, float64, bool) {
 
 	changes := append([]boundChange(nil), base...)
@@ -519,7 +591,9 @@ func roundAndRepair(p *Problem, x []float64,
 		r := math.Round(x[v])
 		changes = append(changes, boundChange{v, r, r})
 	}
-	sol, err := solve(changes)
+	// No warm basis: fixing every integer changes far more than one
+	// bound, but it also makes presolve eliminate all of them.
+	sol, err := solve(changes, nil)
 	if err != nil || sol.Status != lp.Optimal {
 		return nil, 0, false
 	}
