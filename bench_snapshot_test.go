@@ -1,0 +1,106 @@
+package cellstream
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+	"cellstream/internal/platform"
+)
+
+// lpBenchRow is one configuration's snapshot in BENCH_lp.json.
+type lpBenchRow struct {
+	Config           string  `json:"config"`
+	WallMS           float64 `json:"wall_ms"`
+	Nodes            int     `json:"nodes"`
+	Objective        float64 `json:"objective"`
+	LPIterations     int     `json:"lp_iterations"`
+	PivotsPerNode    float64 `json:"pivots_per_node"`
+	DualIterations   int     `json:"dual_iterations"`
+	BoundFlips       int     `json:"bound_flips"`
+	FTUpdates        int     `json:"ft_updates"`
+	Refactorizations int     `json:"refactorizations"`
+	RefactorPeriodic int     `json:"refactor_periodic"`
+	RefactorUnstable int     `json:"refactor_unstable"`
+	RefactorRestore  int     `json:"refactor_restore"`
+	WarmSolves       int     `json:"warm_solves"`
+	WarmFallbacks    int     `json:"warm_fallbacks"`
+}
+
+// TestBenchSnapshotLP writes BENCH_lp.json — the LP-solver perf
+// trajectory snapshot CI uploads as an artifact — when the
+// BENCH_LP_SNAPSHOT environment variable is set to a non-empty value
+// (the output path; "1" means ./BENCH_lp.json; unset or empty skips
+// the test). It runs the
+// warm-vs-cold branch-and-bound matrix of BenchmarkMILPWarmVsCold once
+// per configuration on the 12-task compact formulation, which keeps CI
+// cost bounded while still pinning pivots/node, bound flips, FT-update
+// and refactorization counts alongside the wall time.
+func TestBenchSnapshotLP(t *testing.T) {
+	path := os.Getenv("BENCH_LP_SNAPSHOT")
+	if path == "" {
+		t.Skip("BENCH_LP_SNAPSHOT not set")
+	}
+	if path == "1" {
+		path = "BENCH_lp.json"
+	}
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	var rows []lpBenchRow
+	for _, cfg := range []struct {
+		name string
+		opt  milp.Options
+	}{
+		{"warm-lu", milp.Options{Factorization: lp.FactorLU}},
+		{"warm-lu-steepest", milp.Options{Factorization: lp.FactorLU, Pricing: lp.PricingSteepest}},
+		{"warm-eta", milp.Options{Factorization: lp.FactorEta}},
+		{"cold", milp.Options{ColdStart: true}},
+	} {
+		f := core.FormulateCompact(g, plat)
+		opt := cfg.opt
+		opt.RelGap = 0.05
+		opt.Workers = 1
+		start := time.Now()
+		res, err := milp.Solve(f.Problem, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != milp.Optimal {
+			t.Fatalf("%s: status %v", cfg.name, res.Status)
+		}
+		st := res.Stats
+		rows = append(rows, lpBenchRow{
+			Config:           cfg.name,
+			WallMS:           float64(time.Since(start).Microseconds()) / 1000,
+			Nodes:            res.Nodes,
+			Objective:        res.Objective,
+			LPIterations:     st.LPIterations,
+			PivotsPerNode:    float64(st.LPIterations) / float64(res.Nodes),
+			DualIterations:   st.DualIterations,
+			BoundFlips:       st.BoundFlips,
+			FTUpdates:        st.FTUpdates,
+			Refactorizations: st.Refactorizations,
+			RefactorPeriodic: st.RefactorPeriodic,
+			RefactorUnstable: st.RefactorUnstable,
+			RefactorRestore:  st.RefactorRestore,
+			WarmSolves:       st.WarmSolves,
+			WarmFallbacks:    st.WarmFallbacks,
+		})
+	}
+	out, err := json.MarshalIndent(struct {
+		Instance string       `json:"instance"`
+		Rows     []lpBenchRow `json:"rows"`
+	}{Instance: "12-task compact formulation, Cell(1,3), 5% gap, 1 worker", Rows: rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d configs)", path, len(rows))
+}

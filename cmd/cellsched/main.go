@@ -173,8 +173,12 @@ func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, bu
 			return nil, "", "", err
 		}
 		st := res.LPStats
-		stats := fmt.Sprintf("%d LP pivots (%d dual) over %d nodes, %d refactorizations, warm %d / fell back %d, presolved %d cols %d rows",
-			st.LPIterations, st.DualIterations, res.Nodes, st.Refactorizations,
+		stats := fmt.Sprintf("%d LP pivots (%d dual, %d bound flips) over %d nodes, "+
+			"%d FT updates (spike growth %.3g), %d refactorizations (%d periodic, %d unstable, %d restore), "+
+			"warm %d / fell back %d, presolved %d cols %d rows",
+			st.LPIterations, st.DualIterations, st.BoundFlips, res.Nodes,
+			st.FTUpdates, st.MaxSpikeGrowth,
+			st.Refactorizations, st.RefactorPeriodic, st.RefactorUnstable, st.RefactorRestore,
 			st.WarmSolves, st.WarmFallbacks, st.PresolvedCols, st.PresolvedRows)
 		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), stats, nil
 	default:

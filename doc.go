@@ -16,27 +16,43 @@
 //
 //   - internal/lp: two interchangeable LP engines behind one model API.
 //     lp.Solve runs a sparse revised simplex — CSC constraint storage,
-//     a product-form (eta file) basis inverse with periodic
-//     refactorization, Devex pricing with a Bland's-rule fallback under
-//     degeneracy, Harris-style two-pass bounded-variable ratio tests,
-//     and an artificial-free composite phase 1. lp.SolveDense keeps the
+//     Harris-style two-pass bounded-variable ratio tests, and an
+//     artificial-free composite phase 1. The basis inverse lives behind
+//     the factorEngine seam (lp/lu.go): by default a sparse LU
+//     factorization (Markowitz pivoting with a threshold tolerance)
+//     updated in place by Forrest–Tomlin after every pivot, so
+//     FTRAN/BTRAN cost stays near the triangular-solve cost on long
+//     solves; Options.Factorization == lp.FactorEta keeps the old
+//     product-form eta file selectable for differential tests and
+//     ablations. Options.Pricing selects phase-2 pricing: Devex
+//     reference weights (default) or steepest edge with exact initial
+//     norms computed through the factorization, both with a
+//     Bland's-rule fallback under degeneracy. lp.SolveDense keeps the
 //     original dense two-phase tableau as an independent reference.
 //
 //     Warm starts flow through lp.Basis: every optimal sparse solve
 //     snapshots its basis (Solution.Basis), and Options.WarmStart
 //     restores one — a reinversion revalidates it — then repairs
 //     primal feasibility with a bounded-variable dual simplex
-//     (lp/dual.go) instead of a phase-1 restart; a stale, singular or
-//     cycling warm path silently falls back to the cold primal
-//     phases. lp.Solver is the reusable context on top: it keeps the
-//     CSC matrix and the factorization alive across re-solves of one
-//     problem whose bounds change, so a re-solve from the context's
-//     own last basis skips the reinversion too. Options.Presolve adds
-//     fixed-variable and empty-row elimination (lp/presolve.go) with
-//     postsolve un-crush: solutions and bases are mapped back to the
-//     original column space, so warm bases survive presolve in both
-//     directions. Solution.Stats reports pivots, dual pivots,
-//     refactorizations, warm-start outcomes and presolve reductions.
+//     (lp/dual.go) instead of a phase-1 restart. Its dual ratio test
+//     takes the bound-flip "long step": breakpoints are traversed in
+//     order and boxed columns whose whole range is absorbed by the
+//     leaving row's violation flip to their opposite bound (all flips
+//     collapse into one FTRAN), so a single dual pivot can traverse
+//     many 0/1 bound flips — the common move when branch-and-bound
+//     drives binary α columns. A stale, singular or cycling warm path
+//     silently falls back to the cold primal phases. lp.Solver is the
+//     reusable context on top: it keeps the CSC matrix and the
+//     factorization alive across re-solves of one problem whose bounds
+//     change, so a re-solve from the context's own last basis skips
+//     the reinversion too. Options.Presolve adds fixed-variable and
+//     empty-row elimination (lp/presolve.go) with postsolve un-crush:
+//     solutions and bases are mapped back to the original column
+//     space, so warm bases survive presolve in both directions.
+//     Solution.Stats reports pivots, dual pivots, bound flips,
+//     Forrest–Tomlin updates and spike growth, refactorizations split
+//     by cause (periodic / unstable / restore), warm-start outcomes
+//     and presolve reductions.
 //
 //   - internal/milp: LP-based branch-and-bound over a pool of goroutine
 //     workers sharing one best-first node heap and one incumbent; each

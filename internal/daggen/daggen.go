@@ -247,15 +247,30 @@ func PaperGraph2(ccr float64) *graph.Graph {
 	return g
 }
 
-// PaperGraph3 is the 50-task chain.
+// PaperGraph3Seed is the published seed of the 50-task chain (the
+// other paper graphs use seeds 1 and 2 through Params.Seed; the chain
+// used to hardcode its rand.NewSource(3), invisible to callers).
+const PaperGraph3Seed = 3
+
+// PaperGraph3 is the 50-task chain at the published seed.
 func PaperGraph3(ccr float64) *graph.Graph {
-	rng := rand.New(rand.NewSource(3))
-	g := graph.Chain("paper-graph3", 50,
+	return PaperGraph3Seeded(ccr, PaperGraph3Seed)
+}
+
+// PaperGraph3Seeded is the 50-task chain with explicit seeding: the
+// cost model, peek/stateful draws, payload sizes and CCR rescaling all
+// flow through Params exactly like the layered paper graphs, so the
+// seed and CCR plumbing is uniform across the three generators.
+// PaperGraph3Seeded(ccr, PaperGraph3Seed) reproduces the published
+// default bit-for-bit.
+func PaperGraph3Seeded(ccr float64, seed int64) *graph.Graph {
+	p := Params{Tasks: 50, Seed: seed, CCR: ccr}
+	p.fill()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.Chain("paper-graph3", p.Tasks,
 		func(int) float64 { return 0 }, // filled below
 		func(int) float64 { return 0 },
 		func(int) float64 { return 0 })
-	p := Params{}
-	p.fill()
 	for k := range g.Tasks {
 		ops := p.MinOps * math.Pow(p.MaxOps/p.MinOps, rng.Float64())
 		g.Tasks[k].WPPE = ops / p.PPERate
@@ -278,10 +293,16 @@ func PaperGraph3(ccr float64) *graph.Graph {
 	g.Tasks[0].ReadBytes = g.Tasks[0].WPPE * p.PPERate
 	last := g.NumTasks() - 1
 	g.Tasks[last].WriteBytes = g.Tasks[last].WPPE * p.PPERate
-	if ccr > 0 {
-		ScaleToCCR(g, ccr, p.ElementBytes, 1/p.PPERate)
+	if p.CCR > 0 {
+		ScaleToCCR(g, p.CCR, p.ElementBytes, 1/p.PPERate)
 	}
-	g.Name = fmt.Sprintf("paper-graph3-ccr%.3g", ccr)
+	// The published default keeps its historical name; other seeds are
+	// distinguished so sweeps never collide on graph-name keys.
+	if seed == PaperGraph3Seed {
+		g.Name = fmt.Sprintf("paper-graph3-ccr%.3g", ccr)
+	} else {
+		g.Name = fmt.Sprintf("paper-graph3-s%d-ccr%.3g", seed, ccr)
+	}
 	return g
 }
 

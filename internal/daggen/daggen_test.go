@@ -2,6 +2,7 @@ package daggen
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -154,5 +155,34 @@ func TestQuickGeneratedGraphsAlwaysValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPaperGraph3SeedPlumbing pins the chain generator's seeding
+// contract after routing it through Params: deterministic across
+// calls, the published default equal to the explicit-seed form, a
+// different seed actually reaching the cost model, and the pinned
+// first-task cost guarding the RNG call order bit-for-bit (a silent
+// change would alter every figure regenerated from the chain graph).
+func TestPaperGraph3SeedPlumbing(t *testing.T) {
+	a := PaperGraph3(0.775)
+	b := PaperGraph3(0.775)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PaperGraph3 is not deterministic across calls")
+	}
+	if c := PaperGraph3Seeded(0.775, PaperGraph3Seed); !reflect.DeepEqual(a, c) {
+		t.Fatal("PaperGraph3Seeded(ccr, PaperGraph3Seed) differs from the published default")
+	}
+	if d := PaperGraph3Seeded(0.775, 4); reflect.DeepEqual(a.Tasks, d.Tasks) {
+		t.Fatal("changing the seed did not change the generated chain")
+	}
+	if g := math.Abs(a.Tasks[0].WPPE - 1.1574485712406015e-05); g > 1e-20 {
+		t.Fatalf("pinned WPPE[0] drifted: %g", a.Tasks[0].WPPE)
+	}
+	for _, ccr := range PaperCCRs {
+		g := PaperGraph3Seeded(ccr, 9)
+		if got := g.CCR(DefaultElementBytes, 1/DefaultPPERate); math.Abs(got-ccr) > 1e-9*ccr {
+			t.Fatalf("CCR %g at seed 9: generated chain has CCR %g", ccr, got)
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // The dual simplex phase behind warm starts. After branch-and-bound
 // tightens one variable bound, the parent's optimal basis stays dual
@@ -11,13 +14,20 @@ import "math"
 // ratio test on the reduced costs — restoring primal feasibility while
 // preserving dual feasibility, typically in a handful of iterations.
 //
-// Selection rules: the leaving row has the largest bound violation;
-// the entering column minimizes |d_j|/|w_j| over the sign-compatible
-// nonbasic columns of the pivot row w = e_r B⁻¹ A, with a Harris-style
-// two-pass relaxation so noise-scale reduced costs never force a tiny
-// pivot. A stall counter bails out (statusFallback) under prolonged
-// dual degeneracy, and a dual ray is re-verified on a fresh
-// factorization before the solve is declared Infeasible.
+// Selection rules: the leaving row has the largest bound violation; the
+// entering column comes from a bound-flip ("long step") dual ratio test
+// over the sign-compatible nonbasic columns of the pivot row
+// w = e_r B⁻¹ A. The breakpoints |d_j|/|w_j| are traversed in order:
+// while the leaving variable's violation survives the flip of a boxed
+// column to its opposite bound, that column flips — one dual pivot can
+// traverse many bound flips, the workhorse move on 0/1 mapping programs
+// where branching drives many α columns across their unit range — and
+// the breakpoint that would overshoot (or is not boxed) enters, with a
+// Harris-style relaxation so noise-scale reduced costs never force a
+// tiny pivot. All flips are absorbed into xB with a single FTRAN. A
+// stall counter bails out (statusFallback) under prolonged dual
+// degeneracy, and a dual ray is re-verified on a fresh factorization
+// before the solve is declared Infeasible.
 
 // dualTol is the dual-feasibility tolerance on reduced costs.
 const dualTol = 1e-7
@@ -52,6 +62,15 @@ func (s *revised) dualFeasible() bool {
 	return true
 }
 
+// dualCand is one sign-compatible entering candidate of the dual ratio
+// test: its breakpoint ratio |d_j|/|w_j|, the Harris-relaxed version,
+// and the pivot magnitude.
+type dualCand struct {
+	j          int
+	ratio, rel float64
+	absW       float64
+}
+
 // dualPhase runs the bounded-variable dual simplex from the current
 // basis until primal feasibility (Optimal), a proven dual ray
 // (Infeasible), the iteration budget (IterLimit), or numerical/cycling
@@ -63,9 +82,18 @@ func (s *revised) dualPhase() Status {
 	}
 	justRefactored := false
 	degen := 0
+	var cands []dualCand
+	// A healthy warm repair needs far fewer pivots than a cold solve;
+	// a dual phase that keeps pivoting past this budget is churning on
+	// degeneracy — hand it to the primal phases instead of burning the
+	// whole iteration limit.
+	budget := s.nDual + 2*s.m + 500
 	for {
 		if s.iters >= s.maxIter {
 			return IterLimit
+		}
+		if s.nDual > budget {
+			return statusFallback
 		}
 
 		// Leaving row: the basic variable with the largest violation.
@@ -94,8 +122,7 @@ func (s *revised) dualPhase() Status {
 			s.wr[j] = s.colDot(j, s.rho)
 		}
 
-		// Entering column: two-pass dual ratio test over the
-		// sign-compatible candidates. A column moving away from its
+		// Sign-compatible candidates. A column moving away from its
 		// bound changes xB[r] by -w_j·t; sign·w_j > 0 means an
 		// atLower column (t > 0) pushes xB[r] toward its violated
 		// bound, sign·w_j < 0 the same for an atUpper column (t < 0).
@@ -122,28 +149,21 @@ func (s *revised) dualPhase() Status {
 			}
 			return 0, false
 		}
-		thMax := math.Inf(1)
-		for j := 0; j < s.n; j++ {
-			if w, ok := candidate(j); ok {
-				if rel := (math.Abs(s.d[j]) + dualTol) / math.Abs(w); rel < thMax {
-					thMax = rel
-				}
-			}
-		}
-		e, bestW := -1, 0.0
+		cands = cands[:0]
 		for j := 0; j < s.n; j++ {
 			if w, ok := candidate(j); ok {
 				aw := math.Abs(w)
-				if math.Abs(s.d[j])/aw <= thMax && aw > bestW {
-					e, bestW = j, aw
-				}
+				ad := math.Abs(s.d[j])
+				cands = append(cands, dualCand{
+					j: j, ratio: ad / aw, rel: (ad + dualTol) / aw, absW: aw,
+				})
 			}
 		}
-		if e < 0 {
+		if len(cands) == 0 {
 			// Dual ray: the primal is infeasible — but only trust the
 			// certificate on a fresh factorization.
-			if !justRefactored && s.sinceFact > 0 {
-				if !s.refactor() {
+			if !justRefactored && s.fe.updates() > 0 {
+				if !s.refactorCause(refUnstable) {
 					return statusFallback
 				}
 				s.computeXB()
@@ -155,22 +175,108 @@ func (s *revised) dualPhase() Status {
 		}
 		justRefactored = false
 
-		// FTRAN the entering column; its pivot-row entry re-measures
-		// wr[e] through the (possibly long) eta file.
+		// Long-step walk over the breakpoints: flip boxed candidates
+		// whose full range still leaves the violation standing, stop at
+		// the breakpoint that would overshoot (or cannot flip).
+		sort.Slice(cands, func(a, b int) bool { return cands[a].ratio < cands[b].ratio })
+		delta := worst
+		stop := len(cands) - 1
+		for idx := 0; idx < len(cands)-1; idx++ {
+			j := cands[idx].j
+			if math.IsInf(s.lo[j], -1) || math.IsInf(s.up[j], 1) {
+				stop = idx // one-sided or free: must enter
+				break
+			}
+			gain := (s.up[j] - s.lo[j]) * cands[idx].absW
+			if delta-gain <= feasTol*(1+math.Abs(delta)) {
+				stop = idx
+				break
+			}
+			delta -= gain
+		}
+
+		// Harris relaxation for the entering pick: among the remaining
+		// candidates within the relaxed minimum ratio, take the one
+		// with the numerically largest pivot.
+		thMax := math.Inf(1)
+		for _, c := range cands[stop:] {
+			if c.rel < thMax {
+				thMax = c.rel
+			}
+		}
+		// cands[stop] always passes this filter (rel_j > ratio_j ≥
+		// ratio_stop for every j ≥ stop, so ratio_stop < thMax), hence
+		// an entering column always exists.
+		e, bestW, eratio := cands[stop].j, 0.0, cands[stop].ratio
+		for _, c := range cands[stop:] {
+			if c.ratio <= thMax && c.absW > bestW {
+				e, bestW, eratio = c.j, c.absW, c.ratio
+			}
+		}
+
+		// FTRAN the entering column BEFORE committing any bound flip;
+		// its pivot-row entry re-measures wr[e] through the
+		// factorization, and if the drift check abandons this pivot the
+		// basis must still be exactly dual feasible — flips only become
+		// consistent after the reduced-cost update below crosses their
+		// reduced costs over zero.
 		s.loadCol(e, s.alpha)
 		s.ftran(s.alpha)
 		we := s.alpha[r]
 		if math.Abs(we) < pivTol || we*s.wr[e] < 0 {
 			// BTRAN and FTRAN disagree: factorization has drifted.
-			if s.sinceFact == 0 {
+			if s.fe.updates() == 0 {
 				return statusFallback
 			}
-			if !s.refactor() {
+			if !s.refactorCause(refUnstable) {
 				return statusFallback
 			}
 			s.computeXB()
 			s.computeD()
 			continue
+		}
+
+		// Execute the flips — but only for breakpoints decisively below
+		// the entering ratio (even with the dualTol slack, the reduced
+		// cost crosses zero at the coming update, so the column lands
+		// dual feasible at its new bound). Ties with the entering ratio
+		// — in particular the θ ≈ 0 breakpoints of a degenerate pivot —
+		// must NOT flip: such flips gain no dual progress, perturb every
+		// other basic value, and can cycle the phase forever. Flipped
+		// displacements are accumulated sparsely and absorbed into xB
+		// with one FTRAN.
+		nFlip := 0
+		for idx := 0; idx < stop; idx++ {
+			if cands[idx].rel >= eratio {
+				continue
+			}
+			j := cands[idx].j
+			if nFlip == 0 {
+				for i := range s.y {
+					s.y[i] = 0
+				}
+			}
+			var dv float64
+			if s.state[j] == atLower {
+				dv = s.up[j] - s.lo[j]
+				s.state[j] = atUpper
+			} else {
+				dv = s.lo[j] - s.up[j]
+				s.state[j] = atLower
+			}
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				s.y[s.rowIdx[k]] += s.vals[k] * dv
+			}
+			s.nFlips++
+			nFlip++
+		}
+		if nFlip > 0 {
+			s.ftran(s.y)
+			for i := 0; i < s.m; i++ {
+				if v := s.y[i]; v != 0 {
+					s.xB[i] -= v
+				}
+			}
 		}
 
 		// Step: the leaving variable lands exactly on its violated
@@ -196,11 +302,18 @@ func (s *revised) dualPhase() Status {
 		s.inRow[e] = r
 		s.state[e] = basic
 		s.xB[r] = enterVal
-		s.appendEta(s.alpha, r)
 		s.iters++
 		s.nDual++
+		if !s.fe.update(s, r, s.alpha) {
+			if !s.refactorCause(refUnstable) {
+				return statusFallback
+			}
+			s.computeXB()
+		}
 
-		// Reduced-cost update from the pivot row: d_j -= θ·w_j.
+		// Reduced-cost update from the pivot row: d_j -= θ·w_j. The
+		// flipped columns' reduced costs cross zero here, matching
+		// their new resting bound.
 		if theta != 0 {
 			for j := 0; j < s.n; j++ {
 				if s.state[j] == basic {
@@ -226,8 +339,8 @@ func (s *revised) dualPhase() Status {
 			degen = 0
 		}
 
-		if s.sinceFact >= refactorEvery {
-			if !s.refactor() {
+		if s.fe.updates() >= refactorEvery {
+			if !s.refactorCause(refPeriodic) {
 				return statusFallback
 			}
 			s.computeXB()

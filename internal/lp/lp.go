@@ -7,12 +7,14 @@
 // Two engines share one model API:
 //
 //   - Solve / SolveOpts run a sparse revised simplex: constraint columns
-//     in compressed (CSC) form, the basis inverse as a product-form eta
-//     file with periodic refactorization, Devex pricing with a Bland
-//     fallback under degeneracy, and bounded-variable ratio tests. The
-//     mapping LPs are naturally sparse — each constraint touches a
-//     handful of the |tasks|×|PEs| variables — so this is the production
-//     path.
+//     in compressed (CSC) form, the basis inverse as a Forrest–Tomlin-
+//     updated sparse LU factorization (Options.Factorization selects the
+//     legacy eta file instead), Devex or exact-initialized steepest-edge
+//     pricing (Options.Pricing) with a Bland fallback under degeneracy,
+//     bounded-variable ratio tests, and a bound-flip long-step dual
+//     ratio test on warm starts. The mapping LPs are naturally sparse —
+//     each constraint touches a handful of the |tasks|×|PEs| variables —
+//     so this is the production path.
 //   - SolveDense / SolveDenseOpts run the original two-phase dense
 //     tableau simplex, kept as the independent reference implementation
 //     for differential testing (package lptest).
@@ -217,6 +219,54 @@ func (b *Basis) NumBasic() int {
 	return c
 }
 
+// Factorization selects the basis-inverse representation of the sparse
+// engine.
+type Factorization int
+
+const (
+	// FactorLU (the default) keeps a sparse LU factorization — Markowitz
+	// pivoting with a threshold tolerance — updated in place by
+	// Forrest–Tomlin after every pivot, so FTRAN/BTRAN cost stays near
+	// the triangular-solve cost instead of growing with the pivots since
+	// the last refactorization.
+	FactorLU Factorization = iota
+	// FactorEta keeps the product-form eta file of PR 2: one elementary
+	// matrix appended per pivot. Kept selectable for differential tests
+	// and warm-vs-cold ablations.
+	FactorEta
+)
+
+// String implements fmt.Stringer.
+func (f Factorization) String() string {
+	if f == FactorEta {
+		return "eta"
+	}
+	return "lu"
+}
+
+// Pricing selects the phase-2 entering rule of the sparse engine.
+type Pricing int
+
+const (
+	// PricingDevex (the default) prices with Devex reference weights:
+	// cheap approximate steepest-edge, re-referenced every phase entry.
+	PricingDevex Pricing = iota
+	// PricingSteepest prices with exact steepest-edge norms
+	// γ_j = 1 + ‖B⁻¹a_j‖², initialized exactly through the
+	// factorization on the first pivot of a phase and maintained by the
+	// standard update formulas (one extra BTRAN per pivot). Fewer,
+	// better pivots at a higher per-pivot cost.
+	PricingSteepest
+)
+
+// String implements fmt.Stringer.
+func (p Pricing) String() string {
+	if p == PricingSteepest {
+		return "steepest-edge"
+	}
+	return "devex"
+}
+
 // Stats carries per-solve solver statistics, for observability and for
 // the warm-vs-cold benchmarks.
 type Stats struct {
@@ -225,9 +275,32 @@ type Stats struct {
 	// DualIterations counts the pivots taken by the warm-start dual
 	// simplex phase (a subset of Iterations).
 	DualIterations int
+	// BoundFlips counts nonbasic columns flipped to their opposite
+	// bound by the long-step dual ratio test (several can ride along
+	// with one dual pivot).
+	BoundFlips int
 	// Refactorizations counts basis reinversions (including the one
-	// that restores a warm basis).
+	// that restores a warm basis). The RefactorXxx counters split the
+	// total by cause.
 	Refactorizations int
+	// RefactorPeriodic counts scheduled reinversions (refactorEvery
+	// pivots folded into the factorization).
+	RefactorPeriodic int
+	// RefactorUnstable counts reinversions forced by numerical trouble:
+	// a rejected Forrest–Tomlin update, a degraded pivot, or an
+	// FTRAN/BTRAN drift check.
+	RefactorUnstable int
+	// RefactorRestore counts reinversions that installed a WarmStart
+	// basis.
+	RefactorRestore int
+	// FTUpdates counts Forrest–Tomlin updates folded into the LU
+	// factors (0 under FactorEta).
+	FTUpdates int
+	// MaxSpikeGrowth is the largest ‖spike‖∞/|new diagonal| ratio seen
+	// across the Forrest–Tomlin updates of this solve — the growth
+	// factor that triggers an RefactorUnstable reinversion when it
+	// passes the stability threshold.
+	MaxSpikeGrowth float64
 	// Warm is true when a WarmStart basis was accepted and restored.
 	Warm bool
 	// WarmFellBack is true when a warm start was requested but the
@@ -268,6 +341,12 @@ type Options struct {
 	// postsolve un-crush; the returned Basis is expressed in the
 	// original (un-presolved) column space so it stays reusable.
 	Presolve bool
+	// Factorization selects the basis-inverse representation: the
+	// Forrest–Tomlin-updated sparse LU (default) or the PR 2 eta file.
+	Factorization Factorization
+	// Pricing selects the phase-2 entering rule: Devex (default) or
+	// exact-initialized steepest edge.
+	Pricing Pricing
 }
 
 // Solve optimizes the problem with the sparse revised simplex and

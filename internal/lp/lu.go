@@ -1,0 +1,530 @@
+package lp
+
+import "math"
+
+// Sparse LU factorization of the simplex basis with Forrest–Tomlin
+// updates — the production basis-inverse representation behind
+// Options.Factorization == FactorLU (the default).
+//
+// The eta file of PR 2 appends one elementary matrix per pivot, so
+// FTRAN/BTRAN cost grows linearly with the pivots since the last
+// refactorization; on long warm-started solves (hundreds of dual pivots
+// per branch-and-bound node on the Fig. 5(b)-class instances) the eta
+// file is the bottleneck. The LU engine instead keeps
+//
+//	B = L̄ · U,   L̄ = L · R₁ · R₂ · …
+//
+// where L is the product of the elementary row operations of a sparse
+// Gaussian elimination (Markowitz-style pivoting with a threshold
+// tolerance, sparsest-column candidates scored by (r−1)(c−1)), U is kept
+// column-wise under an explicit pivot permutation, and each simplex
+// pivot folds into U in place by the Forrest–Tomlin update: the leaving
+// column is replaced by the spike L̄⁻¹a_q, the leaving row is eliminated
+// by one short row eta Rᵢ, and the row/column pair is cyclically
+// permuted to the back. One update costs O(nnz of U right of the pivot)
+// and adds a single (usually very sparse) row eta — FTRAN/BTRAN stay
+// near the cost of the triangular solves instead of replaying a growing
+// eta file.
+//
+// The representation lives behind the factorEngine seam, so the simplex
+// phases, warm starts, lp.Solver reuse and presolve un-crush are
+// untouched; FactorEta keeps the PR 2 eta file selectable for
+// differential tests and ablations.
+
+const (
+	// markowitzTau is the threshold-pivoting tolerance: a pivot must be
+	// at least this fraction of the largest entry in its column.
+	markowitzTau = 0.1
+	// markowitzCands is how many sparsest columns are scored with the
+	// exact Markowitz count per elimination step.
+	markowitzCands = 4
+	// luDropTol drops noise-scale fill-in from U and FT multipliers.
+	luDropTol = 1e-13
+	// ftStabTol rejects a Forrest–Tomlin update whose new diagonal is
+	// this small relative to the spike (the caller refactorizes).
+	ftStabTol = 1e-9
+)
+
+// factorEngine is the seam between the revised simplex and its basis
+// inverse. Both engines (eta file, LU) rebuild from s.basis on
+// refactor — re-permuting s.basis to their pivot order — and fold one
+// simplex pivot in via update.
+type factorEngine interface {
+	// reset restores the identity factorization (the all-slack basis).
+	reset()
+	// refactor rebuilds from the current s.basis column set, re-pivoting
+	// s.basis/s.inRow. It returns false on a (numerically) singular basis.
+	refactor(s *revised) bool
+	// ftran overwrites x with B⁻¹x.
+	ftran(x []float64)
+	// btran overwrites z with B⁻ᵀz.
+	btran(z []float64)
+	// update folds the pivot (entering column FTRANed to alpha, leaving
+	// row r) into the factorization. false means the update would be
+	// numerically unstable and the caller must refactorize instead.
+	update(s *revised, r int, alpha []float64) bool
+	// updates reports pivots folded in since the last refactorization.
+	updates() int
+	// ftStats reports the cumulative Forrest–Tomlin counters of this
+	// solve: updates folded in and the worst ‖spike‖∞/|diag| growth
+	// (zeros for engines without FT updates).
+	ftStats() (updates int, maxGrowth float64)
+	// clearStats resets those cumulative counters for context reuse.
+	clearStats()
+}
+
+func newFactorEngine(kind Factorization, m int) factorEngine {
+	if kind == FactorEta {
+		return &etaFile{}
+	}
+	return newLUFactor(m)
+}
+
+func factorKind(fe factorEngine) Factorization {
+	if _, ok := fe.(*etaFile); ok {
+		return FactorEta
+	}
+	return FactorLU
+}
+
+// luOp is one elementary factor of L̄: a column op from the elimination
+// (row=false) or a Forrest–Tomlin row eta (row=true).
+type luOp struct {
+	r   int32
+	row bool
+	ind []int32
+	val []float64
+}
+
+// luUcol is one column of U, keyed by its pivot row: the above-diagonal
+// entries (in pivot order) and the diagonal.
+type luUcol struct {
+	diag float64
+	ind  []int32
+	val  []float64
+}
+
+type luFactor struct {
+	m      int
+	ops    []luOp
+	ucols  []luUcol // indexed by original pivot row
+	porder []int32  // pivot order -> original row
+	pos    []int32  // original row -> pivot order position
+	nUpd   int
+
+	// cumulative per-solve statistics, read by revised.stats.
+	totUpd    int
+	maxGrowth float64
+
+	spike []float64 // m-scratch: the FT spike L̄⁻¹a_q
+	mul   []float64 // m-scratch: FT elimination multipliers
+}
+
+func newLUFactor(m int) *luFactor {
+	f := &luFactor{
+		m:      m,
+		ucols:  make([]luUcol, m),
+		porder: make([]int32, m),
+		pos:    make([]int32, m),
+		spike:  make([]float64, m),
+		mul:    make([]float64, m),
+	}
+	f.reset()
+	return f
+}
+
+func (f *luFactor) reset() {
+	f.ops = f.ops[:0]
+	f.nUpd = 0
+	for i := 0; i < f.m; i++ {
+		f.porder[i] = int32(i)
+		f.pos[i] = int32(i)
+		f.ucols[i].diag = 1
+		f.ucols[i].ind = f.ucols[i].ind[:0]
+		f.ucols[i].val = f.ucols[i].val[:0]
+	}
+}
+
+func (f *luFactor) updates() int { return f.nUpd }
+
+func (f *luFactor) ftStats() (int, float64) { return f.totUpd, f.maxGrowth }
+
+func (f *luFactor) clearStats() {
+	f.totUpd = 0
+	f.maxGrowth = 0
+}
+
+// ftran solves B x = b in place: apply L̄ (column ops and FT row etas in
+// order), then back-substitute U in reverse pivot order.
+func (f *luFactor) ftran(x []float64) {
+	for k := range f.ops {
+		op := &f.ops[k]
+		if op.row {
+			sum := 0.0
+			for i, r := range op.ind {
+				if v := x[r]; v != 0 {
+					sum += op.val[i] * v
+				}
+			}
+			x[op.r] -= sum
+		} else {
+			t := x[op.r]
+			if t == 0 {
+				continue
+			}
+			for i, r := range op.ind {
+				x[r] -= op.val[i] * t
+			}
+		}
+	}
+	for k := f.m - 1; k >= 0; k-- {
+		r := f.porder[k]
+		u := &f.ucols[r]
+		t := x[r]
+		if t == 0 {
+			continue
+		}
+		t /= u.diag
+		x[r] = t
+		for i, oi := range u.ind {
+			x[oi] -= u.val[i] * t
+		}
+	}
+}
+
+// btran solves Bᵀ z = c in place: forward-substitute Uᵀ in pivot order,
+// then apply the transposed factors of L̄ in reverse.
+func (f *luFactor) btran(z []float64) {
+	for k := 0; k < f.m; k++ {
+		r := f.porder[k]
+		u := &f.ucols[r]
+		sum := z[r]
+		for i, oi := range u.ind {
+			if v := z[oi]; v != 0 {
+				sum -= u.val[i] * v
+			}
+		}
+		z[r] = sum / u.diag
+	}
+	for k := len(f.ops) - 1; k >= 0; k-- {
+		op := &f.ops[k]
+		if op.row {
+			t := z[op.r]
+			if t == 0 {
+				continue
+			}
+			for i, r := range op.ind {
+				z[r] -= op.val[i] * t
+			}
+		} else {
+			sum := 0.0
+			for i, r := range op.ind {
+				if v := z[r]; v != 0 {
+					sum += op.val[i] * v
+				}
+			}
+			z[op.r] -= sum
+		}
+	}
+}
+
+// refactor runs the sparse right-looking elimination on the current
+// basis columns. Pivots are chosen Markowitz-style: the markowitzCands
+// sparsest active columns are scored by (rowCount−1)·(colCount−1) over
+// their threshold-feasible entries (|v| ≥ markowitzTau·colmax), lowest
+// score wins, larger magnitude breaks ties.
+func (f *luFactor) refactor(s *revised) bool {
+	m := s.m
+	f.reset()
+	if m == 0 {
+		return true
+	}
+
+	// Working copy of the basis columns: active (unpivoted-row) entries
+	// per slot, plus the U entries accumulated at already-pivoted rows.
+	arows := make([][]int32, m)
+	avals := make([][]float64, m)
+	uind := make([][]int32, m)
+	uval := make([][]float64, m)
+	rowCnt := make([]int, m)
+	rowsOf := make([][]int32, m) // row -> slots that may hold it (stale ok)
+	colDone := make([]bool, m)
+	for j := 0; j < m; j++ {
+		q := s.basis[j]
+		for k := s.colPtr[q]; k < s.colPtr[q+1]; k++ {
+			r := s.rowIdx[k]
+			arows[j] = append(arows[j], r)
+			avals[j] = append(avals[j], s.vals[k])
+			rowCnt[r]++
+			rowsOf[r] = append(rowsOf[r], int32(j))
+		}
+	}
+
+	work := make([]float64, m)
+	workMark := make([]int32, m)
+	stamp := int32(0)
+	newBasis := make([]int, m)
+
+	for step := 0; step < m; step++ {
+		// Candidate columns: the sparsest active slots.
+		var cands [markowitzCands]int
+		nc := 0
+		for j := 0; j < m; j++ {
+			if colDone[j] {
+				continue
+			}
+			if len(arows[j]) == 0 {
+				return false // structurally singular
+			}
+			in := nc
+			for in > 0 && len(arows[j]) < len(arows[cands[in-1]]) {
+				in--
+			}
+			if in < markowitzCands {
+				if nc < markowitzCands {
+					nc++
+				}
+				copy(cands[in+1:nc], cands[in:nc-1])
+				cands[in] = j
+			}
+		}
+
+		// Score threshold-feasible entries of the candidates.
+		bestSlot, bestRow := -1, -1
+		bestScore, bestAbs := math.MaxInt, 0.0
+		for c := 0; c < nc; c++ {
+			j := cands[c]
+			colmax := 0.0
+			for _, v := range avals[j] {
+				if a := math.Abs(v); a > colmax {
+					colmax = a
+				}
+			}
+			if colmax == 0 {
+				continue
+			}
+			for i, r := range arows[j] {
+				a := math.Abs(avals[j][i])
+				if a < markowitzTau*colmax {
+					continue
+				}
+				score := (rowCnt[r] - 1) * (len(arows[j]) - 1)
+				if score < bestScore || (score == bestScore && a > bestAbs) {
+					bestSlot, bestRow, bestScore, bestAbs = j, int(r), score, a
+				}
+			}
+			if bestScore == 0 {
+				break
+			}
+		}
+		if bestSlot < 0 {
+			return false // numerically singular
+		}
+
+		q, r := bestSlot, bestRow
+		f.porder[step] = int32(r)
+		f.pos[r] = int32(step)
+		colDone[q] = true
+		newBasis[r] = s.basis[q]
+
+		// The accumulated U entries of slot q become U's column for row r;
+		// its remaining active entries become the L multipliers.
+		var pv float64
+		for i, rr := range arows[q] {
+			if int(rr) == r {
+				pv = avals[q][i]
+				break
+			}
+		}
+		var lind []int32
+		var lval []float64
+		for i, rr := range arows[q] {
+			if int(rr) == r {
+				continue
+			}
+			lind = append(lind, rr)
+			lval = append(lval, avals[q][i]/pv)
+			rowCnt[rr]--
+		}
+		f.ucols[r] = luUcol{diag: pv, ind: uind[q], val: uval[q]}
+		if len(lind) > 0 {
+			f.ops = append(f.ops, luOp{r: int32(r), ind: lind, val: lval})
+		}
+
+		// Eliminate row r from every other active column holding it.
+		for _, jj := range rowsOf[r] {
+			j := int(jj)
+			if colDone[j] {
+				continue
+			}
+			vi := -1
+			for i, rr := range arows[j] {
+				if int(rr) == r {
+					vi = i
+					break
+				}
+			}
+			if vi < 0 {
+				continue // stale index entry
+			}
+			v := avals[j][vi]
+			last := len(arows[j]) - 1
+			arows[j][vi], avals[j][vi] = arows[j][last], avals[j][last]
+			arows[j], avals[j] = arows[j][:last], avals[j][:last]
+			uind[j] = append(uind[j], int32(r))
+			uval[j] = append(uval[j], v)
+			if len(lind) == 0 {
+				continue
+			}
+			// col_j -= v · multipliers, via scatter/gather.
+			stamp++
+			for i, rr := range arows[j] {
+				workMark[rr] = stamp
+				work[rr] = avals[j][i]
+			}
+			fills := arows[j][:len(arows[j]):len(arows[j])]
+			for i, rr := range lind {
+				if workMark[rr] == stamp {
+					work[rr] -= v * lval[i]
+				} else {
+					workMark[rr] = stamp
+					work[rr] = -v * lval[i]
+					fills = append(fills, rr)
+					rowCnt[rr]++
+					rowsOf[rr] = append(rowsOf[rr], jj)
+				}
+			}
+			nr, nv := arows[j][:0], avals[j][:0]
+			for _, rr := range fills {
+				w := work[rr]
+				if math.Abs(w) <= luDropTol {
+					rowCnt[rr]--
+					continue
+				}
+				nr = append(nr, rr)
+				nv = append(nv, w)
+			}
+			arows[j], avals[j] = nr, nv
+		}
+		rowsOf[r] = nil
+	}
+
+	copy(s.basis, newBasis)
+	for i, q := range s.basis {
+		s.inRow[q] = i
+	}
+	return true
+}
+
+// update folds one simplex pivot in by the Forrest–Tomlin update. alpha
+// is the fully FTRANed entering column B⁻¹a_q; r is the leaving row.
+func (f *luFactor) update(s *revised, r int, alpha []float64) bool {
+	if f.m == 0 {
+		return true
+	}
+	p := int(f.pos[r])
+
+	// Spike ũ = L̄⁻¹a_q, recovered as U·alpha (alpha = U⁻¹ũ).
+	spike := f.spike
+	for i := range spike {
+		spike[i] = 0
+	}
+	smax := 0.0
+	for k := 0; k < f.m; k++ {
+		rr := f.porder[k]
+		a := alpha[rr]
+		if a == 0 {
+			continue
+		}
+		u := &f.ucols[rr]
+		spike[rr] += a * u.diag
+		for i, oi := range u.ind {
+			spike[oi] += a * u.val[i]
+		}
+	}
+	for _, v := range spike {
+		if a := math.Abs(v); a > smax {
+			smax = a
+		}
+	}
+
+	// Eliminate row r of U beyond position p: solve the triangular
+	// system for the multipliers column by column (the row-r entry of
+	// each column right of p is consumed — and deleted — as we go).
+	var mrows []int32
+	for k := p + 1; k < f.m; k++ {
+		rr := f.porder[k]
+		u := &f.ucols[rr]
+		upj, dot := 0.0, 0.0
+		rm := -1
+		for i, oi := range u.ind {
+			if oi == int32(r) {
+				upj = u.val[i]
+				rm = i
+				continue
+			}
+			if f.pos[oi] > int32(p) {
+				if mv := f.mul[oi]; mv != 0 {
+					dot += mv * u.val[i]
+				}
+			}
+		}
+		if rm >= 0 {
+			last := len(u.ind) - 1
+			u.ind[rm], u.val[rm] = u.ind[last], u.val[last]
+			u.ind, u.val = u.ind[:last], u.val[:last]
+		}
+		if w := upj - dot; math.Abs(w) > luDropTol {
+			f.mul[rr] = w / u.diag
+			mrows = append(mrows, rr)
+		}
+	}
+
+	// New diagonal of the spike column after the elimination. In exact
+	// arithmetic |d| = |alpha[r]|·|old diag|; a collapsed d means the
+	// update lost the pivot to cancellation — reject and refactorize.
+	d := spike[r]
+	for _, rr := range mrows {
+		d -= f.mul[rr] * spike[rr]
+	}
+	if math.Abs(d) <= ftStabTol*(1+smax) {
+		for _, rr := range mrows {
+			f.mul[rr] = 0
+		}
+		return false
+	}
+	if g := smax / math.Abs(d); g > f.maxGrowth {
+		f.maxGrowth = g
+	}
+
+	// Commit: the spike becomes U's (last-position) column for row r …
+	u := &f.ucols[r]
+	u.ind, u.val = u.ind[:0], u.val[:0]
+	u.diag = d
+	for oi, v := range spike {
+		if oi != r && math.Abs(v) > luDropTol {
+			u.ind = append(u.ind, int32(oi))
+			u.val = append(u.val, v)
+		}
+	}
+	// … the elimination becomes one FT row eta in L̄ …
+	if len(mrows) > 0 {
+		ind := make([]int32, len(mrows))
+		val := make([]float64, len(mrows))
+		for i, rr := range mrows {
+			ind[i] = rr
+			val[i] = f.mul[rr]
+			f.mul[rr] = 0
+		}
+		f.ops = append(f.ops, luOp{r: int32(r), row: true, ind: ind, val: val})
+	}
+	// … and row/column p cycle to the back of the pivot order.
+	copy(f.porder[p:], f.porder[p+1:])
+	f.porder[f.m-1] = int32(r)
+	for k := p; k < f.m; k++ {
+		f.pos[f.porder[k]] = int32(k)
+	}
+	f.nUpd++
+	f.totUpd++
+	return true
+}

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestForrestTomlinMatchesRefactor drives real solves under the LU
+// engine and then checks the factor-level ground truth on the
+// update-accumulated factors: for random vectors v, the FTRAN result
+// must satisfy B·x = v and the BTRAN result Bᵀ·z = v, with B read
+// directly from the CSC columns of the current basis. (Comparing
+// against a fresh refactorization vector-for-vector would be wrong —
+// refactor re-pivots the row-to-column assignment.)
+func TestForrestTomlinMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		p := boxedRandom(rng, 4+rng.Intn(8), 3+rng.Intn(8))
+		s := newRevised(p, Options{Factorization: FactorLU})
+		if st := s.phase1(); st != Optimal {
+			continue
+		}
+		if st := s.phase2(); st != Optimal {
+			continue
+		}
+		lu, ok := s.fe.(*luFactor)
+		if !ok {
+			t.Fatal("engine is not the LU factorization")
+		}
+		if lu.updates() == 0 {
+			continue // nothing folded in since the last refactor
+		}
+		checked++
+
+		// B·x accumulates column basis[r] scaled by x[r] into row space.
+		mulB := func(x []float64) []float64 {
+			out := make([]float64, s.m)
+			for r := 0; r < s.m; r++ {
+				q := s.basis[r]
+				for k := s.colPtr[q]; k < s.colPtr[q+1]; k++ {
+					out[s.rowIdx[k]] += s.vals[k] * x[r]
+				}
+			}
+			return out
+		}
+		for rep := 0; rep < 3; rep++ {
+			v := make([]float64, s.m)
+			vmax := 1.0
+			for i := range v {
+				v[i] = math.Round(rng.NormFloat64() * 4)
+				if a := math.Abs(v[i]); a > vmax {
+					vmax = a
+				}
+			}
+			x := append([]float64(nil), v...)
+			lu.ftran(x)
+			back := mulB(x)
+			for i := range back {
+				if d := math.Abs(back[i] - v[i]); d > 1e-7*vmax {
+					t.Fatalf("trial %d: B·ftran(v) != v at row %d: got %g want %g", trial, i, back[i], v[i])
+				}
+			}
+			z := append([]float64(nil), v...)
+			lu.btran(z)
+			// Bᵀz = v row-wise: column basis[r] dotted with z equals v[r].
+			for r := 0; r < s.m; r++ {
+				if d := math.Abs(s.colDot(s.basis[r], z) - v[r]); d > 1e-7*vmax {
+					t.Fatalf("trial %d: Bᵀ·btran(v) != v at row %d", trial, r)
+				}
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d trials accumulated Forrest–Tomlin updates; generator too tame", checked)
+	}
+}
+
+// TestFactorizationsAgree solves random programs under both basis
+// representations and both pricing rules; statuses and objectives must
+// be interchangeable.
+func TestFactorizationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 150; trial++ {
+		p := boxedRandom(rng, 3+rng.Intn(6), 2+rng.Intn(7))
+		ref, err := SolveOpts(p, Options{Factorization: FactorEta})
+		if err != nil {
+			t.Fatalf("trial %d: eta: %v", trial, err)
+		}
+		for _, opt := range []Options{
+			{Factorization: FactorLU},
+			{Factorization: FactorLU, Pricing: PricingSteepest},
+			{Factorization: FactorEta, Pricing: PricingSteepest},
+		} {
+			sol, err := SolveOpts(p, opt)
+			if err != nil {
+				t.Fatalf("trial %d (%v/%v): %v", trial, opt.Factorization, opt.Pricing, err)
+			}
+			if sol.Status != ref.Status {
+				t.Fatalf("trial %d (%v/%v): status %v, eta ref %v", trial, opt.Factorization, opt.Pricing, sol.Status, ref.Status)
+			}
+			if ref.Status == Optimal {
+				if d := math.Abs(sol.Objective - ref.Objective); d > 1e-6*(1+math.Abs(ref.Objective)) {
+					t.Fatalf("trial %d (%v/%v): objective %g, eta ref %g", trial, opt.Factorization, opt.Pricing, sol.Objective, ref.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverWarmChainPricingWeights is the Devex-reference regression:
+// a shared lp.Solver re-solved across a long chain of bound changes —
+// with warm starts alternating between the pointer-identity hot path
+// and full basis restores, and presolved solves rebuilding the context
+// — must keep its pricing weights consistent with the current basis.
+// The failure modes guarded here: a stale reference framework silently
+// degrading pricing (pivot counts blow up) or indexing out of bounds
+// after the column count changes (panic). Exercised for both pricing
+// rules and both factorizations.
+func TestSolverWarmChainPricingWeights(t *testing.T) {
+	for _, opt := range []Options{
+		{Factorization: FactorLU, Pricing: PricingDevex},
+		{Factorization: FactorLU, Pricing: PricingSteepest},
+		{Factorization: FactorEta, Pricing: PricingDevex},
+		{Factorization: FactorEta, Pricing: PricingSteepest},
+	} {
+		// Scan seeds for a base problem with a feasible optimum so the
+		// chain actually exercises warm re-solves.
+		var rng *rand.Rand
+		var p *Problem
+		for seed := int64(1); ; seed++ {
+			rng = rand.New(rand.NewSource(seed))
+			p = boxedRandom(rng, 8, 7)
+			if sol, err := Solve(p); err == nil && sol.Status == Optimal {
+				break
+			}
+			if seed > 100 {
+				t.Fatal("no feasible base problem in 100 seeds")
+			}
+		}
+		sv := NewSolver(p)
+		origLo := make([]float64, p.NumVars())
+		origUp := make([]float64, p.NumVars())
+		for j := 0; j < p.NumVars(); j++ {
+			origLo[j], origUp[j] = p.Bounds(j)
+		}
+		warmPivots, coldPivots, warmSolves := 0, 0, 0
+		var basis *Basis
+		for step := 0; step < 40; step++ {
+			j := rng.Intn(p.NumVars())
+			lo, up := origLo[j], origUp[j]
+			switch rng.Intn(3) {
+			case 0:
+				p.SetBounds(j, lo, up)
+			case 1:
+				v := math.Round(lo + rng.Float64()*(up-lo))
+				p.SetBounds(j, v, v)
+			default:
+				p.SetBounds(j, lo, math.Max(lo, up-1))
+			}
+			o := opt
+			o.WarmStart = basis
+			o.Presolve = basis == nil && step%5 == 4
+			ws, err := sv.Solve(o)
+			if err != nil {
+				t.Fatalf("%v/%v step %d: %v", opt.Factorization, opt.Pricing, step, err)
+			}
+			dense, err := SolveDense(p)
+			if err != nil {
+				t.Fatalf("%v/%v step %d: dense: %v", opt.Factorization, opt.Pricing, step, err)
+			}
+			if ws.Status != dense.Status {
+				t.Fatalf("%v/%v step %d: status warm=%v dense=%v", opt.Factorization, opt.Pricing, step, ws.Status, dense.Status)
+			}
+			if ws.Status == Optimal {
+				if d := math.Abs(ws.Objective - dense.Objective); d > 1e-6*(1+math.Abs(dense.Objective)) {
+					t.Fatalf("%v/%v step %d: objective warm=%g dense=%g", opt.Factorization, opt.Pricing, step, ws.Objective, dense.Objective)
+				}
+				basis = ws.Basis
+			} else {
+				basis = nil
+			}
+			if ws.Stats.Warm && !ws.Stats.WarmFellBack {
+				warmPivots += ws.Iterations
+				warmSolves++
+			} else {
+				coldPivots += ws.Iterations
+			}
+		}
+		if warmSolves < 10 {
+			t.Fatalf("%v/%v: only %d warm re-solves over 40 steps", opt.Factorization, opt.Pricing, warmSolves)
+		}
+		// Degraded pricing shows up as exploding pivot counts: a warm
+		// re-solve after one bound change should average far fewer
+		// pivots than the problem has rows.
+		if avg := float64(warmPivots) / float64(warmSolves); avg > float64(p.NumRows()+p.NumVars()) {
+			t.Fatalf("%v/%v: warm re-solves average %.1f pivots — pricing framework degraded", opt.Factorization, opt.Pricing, avg)
+		}
+	}
+}

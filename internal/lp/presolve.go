@@ -53,6 +53,14 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 	}
 
 	// First pass over the rows: substitute fixed values and classify.
+	// Zero-valued coefficients are dropped here: a row whose surviving
+	// coefficients are all zero is numerically empty, and letting it
+	// through to the reduced problem once produced a reduced model whose
+	// only trace of an inconsistent constraint was a violated fixed
+	// slack — at a magnitude the phase-1 feasibility tolerance (scaled
+	// by the largest reduced RHS, which the substitution itself can
+	// inflate) silently absorbed. Empty rows must be decided here:
+	// consistent → dropped, unsatisfiable RHS → Infeasible.
 	type redRow struct {
 		coefs []Coef
 		rhs   float64
@@ -60,17 +68,26 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 	kept := make([]redRow, 0, len(p.rows))
 	for i, r := range p.rows {
 		rhs := r.rhs
+		subMag := math.Abs(r.rhs)
 		var coefs []Coef
 		for _, c := range r.coefs {
+			if c.Value == 0 {
+				continue
+			}
 			if jr := ps.colMap[c.Var]; jr >= 0 {
 				coefs = append(coefs, Coef{Var: jr, Value: c.Value})
 			} else {
-				rhs -= c.Value * ps.fixedVal[c.Var]
+				sub := c.Value * ps.fixedVal[c.Var]
+				rhs -= sub
+				subMag += math.Abs(sub)
 			}
 		}
 		if len(coefs) == 0 {
 			// Empty row: consistent → drop, inconsistent → infeasible.
-			ftol := 1e-9 * (1 + math.Abs(r.rhs))
+			// The tolerance scales with the substituted magnitudes, not
+			// just the original RHS — cancellation between large fixed
+			// terms leaves noise of that larger scale.
+			ftol := 1e-9 * (1 + subMag)
 			bad := false
 			switch r.sense {
 			case LE:

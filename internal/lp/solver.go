@@ -5,10 +5,12 @@ package lp
 // pattern of branch-and-bound node re-solves. Across calls it keeps
 //
 //   - the CSC constraint matrix (built once, rows are immutable),
-//   - the basis factorization: when a call warm-starts from the Basis
-//     produced by the previous call (pointer-identical snapshot), the
-//     eta file is still valid and the reinversion is skipped entirely —
-//     only the basic values are recomputed under the new bounds.
+//   - the basis factorization (the Forrest–Tomlin LU by default, or
+//     the eta file under Options.Factorization == FactorEta): when a
+//     call warm-starts from the Basis produced by the previous call
+//     (pointer-identical snapshot), the live factorization is still
+//     valid and the reinversion is skipped entirely — only the basic
+//     values are recomputed under the new bounds.
 //
 // Between calls the caller may change variable bounds (SetBounds) but
 // must not add rows or change objective coefficients; doing so makes
@@ -81,7 +83,11 @@ func (sv *Solver) Solve(opt Options) (*Solution, error) {
 
 // refresh re-reads the problem bounds and per-solve options into the
 // live context, resetting the per-solve counters but keeping the CSC
-// matrix and the factorization.
+// matrix and the factorization. Switching Options.Factorization between
+// calls swaps the engine and invalidates the live factorization (the
+// next warm start reinverts instead of taking the pointer-identity hot
+// path); switching Options.Pricing is free — pricing weights are
+// re-initialized at every phase-2 entry.
 func (sv *Solver) refresh(opt Options, tol float64) {
 	s := sv.s
 	copy(s.lo[:s.nStruct], sv.p.lo)
@@ -91,11 +97,12 @@ func (sv *Solver) refresh(opt Options, tol float64) {
 	if s.maxIter == 0 {
 		s.maxIter = 200*(s.m+s.n) + 10000
 	}
-	s.iters = 0
-	s.nDual = 0
-	s.nRefactor = 0
-	s.warm = false
-	s.warmFellBack = false
+	s.pricing = opt.Pricing
+	if factorKind(s.fe) != opt.Factorization {
+		s.fe = newFactorEngine(opt.Factorization, s.m)
+		sv.last = nil
+	}
+	s.resetStats()
 	s.stall = 0
 	s.bland = false
 }

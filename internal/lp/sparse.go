@@ -10,26 +10,37 @@ import (
 //
 //   - the constraint matrix in compressed sparse column (CSC) form,
 //     one slack column per row so the initial slack basis is I;
-//   - the basis inverse as a product-form eta file, refactorized from
-//     the basic columns every refactorEvery pivots to bound fill-in and
-//     numerical drift;
-//   - Devex reference weights for pricing in phase 2, with the same
-//     Bland's-rule fallback as the dense solver under degeneracy;
+//   - the basis inverse behind the factorEngine seam (lu.go): a sparse
+//     LU factorization updated in place by Forrest–Tomlin after each
+//     pivot (FactorLU, the default), or the product-form eta file of
+//     PR 2 (FactorEta), both refactorized every refactorEvery pivots to
+//     bound fill-in and numerical drift;
+//   - phase-2 pricing selected by Options.Pricing: Devex reference
+//     weights (default) or steepest-edge with exact initial norms
+//     computed through the factorization, with the same Bland's-rule
+//     fallback as the dense solver under degeneracy;
 //   - a composite (artificial-free) phase 1 that minimizes the sum of
 //     bound violations of the basic variables directly.
 //
 // The mapping LPs of the paper touch only a handful of variables per
-// constraint, so one iteration costs O(nnz(A) + nnz(etas)) instead of
-// the dense solver's O(m·n).
+// constraint, so one iteration costs O(nnz(A) + nnz(factors)) instead
+// of the dense solver's O(m·n).
 const (
 	refactorEvery = 64
 	pivTol        = 1e-8 // |alpha| below this never pivots or blocks (noise)
 	feasTol       = 1e-9 // per-step bound relaxation of the Harris ratio test
 )
 
-// statusFallback is an internal sentinel: the eta file hit a (numerically)
-// singular basis during refactorization, so the caller should re-solve
-// with the dense reference implementation.
+// Refactorization causes, tracked per solve for Stats.
+const (
+	refPeriodic = iota // refactorEvery pivots folded in since the last one
+	refUnstable        // degraded pivot, rejected FT update, or drift check
+	refRestore         // reinversion that installs a WarmStart basis
+)
+
+// statusFallback is an internal sentinel: the factorization hit a
+// (numerically) singular basis, so the caller should re-solve with the
+// dense reference implementation.
 const statusFallback Status = -1
 
 type etaVec struct {
@@ -37,6 +48,124 @@ type etaVec struct {
 	piv float64
 	ind []int32 // off-pivot rows of the FTRANed entering column
 	val []float64
+}
+
+// etaFile is the product-form basis inverse of PR 2, kept selectable
+// via Options.Factorization == FactorEta as the differential foil for
+// the LU engine: one eta per pivot, applied in order on FTRAN and in
+// reverse on BTRAN, rebuilt from the basic columns on refactor.
+type etaFile struct {
+	etas      []etaVec
+	sinceFact int
+}
+
+func (f *etaFile) reset() {
+	f.etas = f.etas[:0]
+	f.sinceFact = 0
+}
+
+func (f *etaFile) updates() int { return f.sinceFact }
+
+func (f *etaFile) ftStats() (int, float64) { return 0, 0 }
+
+func (f *etaFile) clearStats() {}
+
+// ftran overwrites x with B⁻¹x by applying the eta file in order.
+func (f *etaFile) ftran(x []float64) {
+	for k := range f.etas {
+		e := &f.etas[k]
+		xr := x[e.r]
+		if xr == 0 {
+			continue
+		}
+		t := xr / e.piv
+		x[e.r] = t
+		for i, r := range e.ind {
+			x[r] -= e.val[i] * t
+		}
+	}
+}
+
+// btran overwrites z with zᵀB⁻¹ by applying the eta file in reverse.
+func (f *etaFile) btran(z []float64) {
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		sum := z[e.r]
+		for i, r := range e.ind {
+			if v := z[r]; v != 0 {
+				sum -= v * e.val[i]
+			}
+		}
+		z[e.r] = sum / e.piv
+	}
+}
+
+// update records the pivot (alpha, r) as one more eta.
+func (f *etaFile) update(s *revised, r int, alpha []float64) bool {
+	f.append(alpha, r, s.m)
+	return true
+}
+
+// append records the pivot (alpha, r) in the eta file.
+func (f *etaFile) append(alpha []float64, r, m int) {
+	nnz := 0
+	for i := 0; i < m; i++ {
+		if i != r && alpha[i] != 0 {
+			nnz++
+		}
+	}
+	ind := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for i := 0; i < m; i++ {
+		if i != r && alpha[i] != 0 {
+			ind = append(ind, int32(i))
+			val = append(val, alpha[i])
+		}
+	}
+	f.etas = append(f.etas, etaVec{r: int32(r), piv: alpha[r], ind: ind, val: val})
+	f.sinceFact++
+}
+
+// refactor rebuilds the eta file from the current basic columns
+// (product-form reinversion with partial pivoting, sparsest columns
+// first). It returns false when the basis is numerically singular.
+func (f *etaFile) refactor(s *revised) bool {
+	f.reset()
+	cols := append([]int(nil), s.basis...)
+	sort.Slice(cols, func(a, b int) bool {
+		na := s.colPtr[cols[a]+1] - s.colPtr[cols[a]]
+		nb := s.colPtr[cols[b]+1] - s.colPtr[cols[b]]
+		if na != nb {
+			return na < nb
+		}
+		return cols[a] < cols[b]
+	})
+	pivoted := make([]bool, s.m)
+	newBasis := make([]int, s.m)
+	for _, q := range cols {
+		s.loadCol(q, s.alpha)
+		f.ftran(s.alpha)
+		r, best := -1, 0.0
+		for i := 0; i < s.m; i++ {
+			if !pivoted[i] {
+				if a := math.Abs(s.alpha[i]); a > best {
+					r, best = i, a
+				}
+			}
+		}
+		if r < 0 || best == 0 {
+			return false
+		}
+		pivoted[r] = true
+		newBasis[r] = q
+		f.append(s.alpha, r, s.m)
+	}
+	copy(s.basis, newBasis)
+	for i, q := range s.basis {
+		s.inRow[q] = i
+	}
+	f.sinceFact = 0
+	return true
 }
 
 type revised struct {
@@ -57,10 +186,17 @@ type revised struct {
 	xB     []float64 // value of basis[i], per row
 
 	d []float64 // reduced costs of the current phase
-	w []float64 // Devex reference weights (phase 2)
+	// w holds the phase-2 pricing weights: Devex reference weights, or
+	// steepest-edge norms γ_j = 1 + ‖B⁻¹a_j‖² when pricing == Steepest.
+	// Always re-initialized at phase-2 entry (never reused across solves
+	// or restored bases — a stale reference framework would silently
+	// degrade pricing), and sized s.n alongside every other column array
+	// so a restored basis can never index it out of bounds.
+	w       []float64
+	pricing Pricing
+	seReady bool // steepest-edge norms are exact for the current basis
 
-	etas      []etaVec
-	sinceFact int
+	fe factorEngine
 
 	tol     float64
 	iters   int
@@ -70,11 +206,16 @@ type revised struct {
 
 	// per-solve statistics
 	nDual        int
+	nFlips       int
 	nRefactor    int
+	nRefPeriodic int
+	nRefUnstable int
+	nRefRestore  int
 	warm         bool
 	warmFellBack bool
 
 	alpha, rho, y []float64 // m-scratch vectors
+	seV           []float64 // m-scratch: B⁻ᵀalpha for steepest-edge updates
 	wr            []float64 // n-scratch: pivot row of the dual simplex
 }
 
@@ -102,21 +243,24 @@ func newRevised(p *Problem, opt Options) *revised {
 	n := p.n + m
 	s := &revised{
 		m: m, n: n, nStruct: p.n,
-		b:     make([]float64, m),
-		lo:    make([]float64, n),
-		up:    make([]float64, n),
-		cost:  make([]float64, n),
-		state: make([]int, n),
-		basis: make([]int, m),
-		inRow: make([]int, n),
-		xB:    make([]float64, m),
-		d:     make([]float64, n),
-		w:     make([]float64, n),
-		alpha: make([]float64, m),
-		rho:   make([]float64, m),
-		y:     make([]float64, m),
-		wr:    make([]float64, n),
-		tol:   tol,
+		b:       make([]float64, m),
+		lo:      make([]float64, n),
+		up:      make([]float64, n),
+		cost:    make([]float64, n),
+		state:   make([]int, n),
+		basis:   make([]int, m),
+		inRow:   make([]int, n),
+		xB:      make([]float64, m),
+		d:       make([]float64, n),
+		w:       make([]float64, n),
+		alpha:   make([]float64, m),
+		rho:     make([]float64, m),
+		y:       make([]float64, m),
+		seV:     make([]float64, m),
+		wr:      make([]float64, n),
+		tol:     tol,
+		pricing: opt.Pricing,
+		fe:      newFactorEngine(opt.Factorization, m),
 	}
 	s.maxIter = opt.MaxIter
 	if s.maxIter == 0 {
@@ -180,8 +324,7 @@ func newRevised(p *Problem, opt Options) *revised {
 // the dense solver) and the slacks form the (identity) basis. It is
 // also the recovery point when a warm start turns out to be unusable.
 func (s *revised) resetToSlackBasis() {
-	s.etas = s.etas[:0]
-	s.sinceFact = 0
+	s.fe.reset()
 	s.bland = false
 	s.stall = 0
 	for j := 0; j < s.nStruct; j++ {
@@ -204,12 +347,28 @@ func (s *revised) resetToSlackBasis() {
 	s.computeXB()
 }
 
+// refactorCause rebuilds the factorization from the current basis,
+// attributing the reinversion to one of the refactor-cause counters. It
+// returns false when the basis is numerically singular.
+func (s *revised) refactorCause(cause int) bool {
+	s.nRefactor++
+	switch cause {
+	case refPeriodic:
+		s.nRefPeriodic++
+	case refUnstable:
+		s.nRefUnstable++
+	default:
+		s.nRefRestore++
+	}
+	return s.fe.refactor(s)
+}
+
 // restoreBasis installs a Basis snapshot: statuses are copied, the
 // basic column set is reinverted from scratch (which both rebuilds the
-// eta file and revalidates the basis numerically), and the basic values
-// are recomputed under the problem's current bounds. It returns false —
-// leaving the solver in need of resetToSlackBasis — when the snapshot
-// does not fit the problem or the basis matrix is singular.
+// factorization and revalidates the basis numerically), and the basic
+// values are recomputed under the problem's current bounds. It returns
+// false — leaving the solver in need of resetToSlackBasis — when the
+// snapshot does not fit the problem or the basis matrix is singular.
 func (s *revised) restoreBasis(b *Basis) bool {
 	if b == nil || len(b.status) != s.n || b.m != s.m || b.nStruct != s.nStruct {
 		return false
@@ -234,9 +393,8 @@ func (s *revised) restoreBasis(b *Basis) bool {
 		}
 	}
 	s.normalizeNonbasic()
-	s.etas = s.etas[:0]
-	s.sinceFact = 0
-	if !s.refactor() {
+	s.fe.reset()
+	if !s.refactorCause(refRestore) {
 		return false
 	}
 	s.computeXB()
@@ -275,13 +433,34 @@ func (s *revised) snapshotBasis() *Basis {
 }
 
 func (s *revised) stats() Stats {
-	return Stats{
+	st := Stats{
 		Iterations:       s.iters,
 		DualIterations:   s.nDual,
+		BoundFlips:       s.nFlips,
 		Refactorizations: s.nRefactor,
+		RefactorPeriodic: s.nRefPeriodic,
+		RefactorUnstable: s.nRefUnstable,
+		RefactorRestore:  s.nRefRestore,
 		Warm:             s.warm,
 		WarmFellBack:     s.warmFellBack,
 	}
+	st.FTUpdates, st.MaxSpikeGrowth = s.fe.ftStats()
+	return st
+}
+
+// resetStats clears the per-solve counters (including the factor
+// engine's cumulative ones) for reuse of this context by lp.Solver.
+func (s *revised) resetStats() {
+	s.iters = 0
+	s.nDual = 0
+	s.nFlips = 0
+	s.nRefactor = 0
+	s.nRefPeriodic = 0
+	s.nRefUnstable = 0
+	s.nRefRestore = 0
+	s.warm = false
+	s.warmFellBack = false
+	s.fe.clearStats()
 }
 
 // denseFallback re-solves with the dense reference engine after the
@@ -371,35 +550,11 @@ func (s *revised) runPhase2(p *Problem, opt Options) (*Solution, error) {
 
 // ---------------------------------------------------------------- linear algebra
 
-// ftran overwrites x with B⁻¹x by applying the eta file in order.
-func (s *revised) ftran(x []float64) {
-	for k := range s.etas {
-		e := &s.etas[k]
-		xr := x[e.r]
-		if xr == 0 {
-			continue
-		}
-		t := xr / e.piv
-		x[e.r] = t
-		for i, r := range e.ind {
-			x[r] -= e.val[i] * t
-		}
-	}
-}
+// ftran overwrites x with B⁻¹x through the factor engine.
+func (s *revised) ftran(x []float64) { s.fe.ftran(x) }
 
-// btran overwrites z with zᵀB⁻¹ by applying the eta file in reverse.
-func (s *revised) btran(z []float64) {
-	for k := len(s.etas) - 1; k >= 0; k-- {
-		e := &s.etas[k]
-		sum := z[e.r]
-		for i, r := range e.ind {
-			if v := z[r]; v != 0 {
-				sum -= v * e.val[i]
-			}
-		}
-		z[e.r] = sum / e.piv
-	}
-}
+// btran overwrites z with zᵀB⁻¹ through the factor engine.
+func (s *revised) btran(z []float64) { s.fe.btran(z) }
 
 // loadCol writes column j of the CSC matrix into the dense scratch x.
 func (s *revised) loadCol(j int, x []float64) {
@@ -418,70 +573,6 @@ func (s *revised) colDot(j int, v []float64) float64 {
 		sum += s.vals[k] * v[s.rowIdx[k]]
 	}
 	return sum
-}
-
-// appendEta records the pivot (alpha, r) in the eta file.
-func (s *revised) appendEta(alpha []float64, r int) {
-	nnz := 0
-	for i := 0; i < s.m; i++ {
-		if i != r && alpha[i] != 0 {
-			nnz++
-		}
-	}
-	ind := make([]int32, 0, nnz)
-	val := make([]float64, 0, nnz)
-	for i := 0; i < s.m; i++ {
-		if i != r && alpha[i] != 0 {
-			ind = append(ind, int32(i))
-			val = append(val, alpha[i])
-		}
-	}
-	s.etas = append(s.etas, etaVec{r: int32(r), piv: alpha[r], ind: ind, val: val})
-	s.sinceFact++
-}
-
-// refactor rebuilds the eta file from the current basic columns
-// (product-form reinversion with partial pivoting, sparsest columns
-// first). It returns false when the basis is numerically singular.
-func (s *revised) refactor() bool {
-	s.etas = s.etas[:0]
-	s.sinceFact = 0
-	s.nRefactor++
-	cols := append([]int(nil), s.basis...)
-	sort.Slice(cols, func(a, b int) bool {
-		na := s.colPtr[cols[a]+1] - s.colPtr[cols[a]]
-		nb := s.colPtr[cols[b]+1] - s.colPtr[cols[b]]
-		if na != nb {
-			return na < nb
-		}
-		return cols[a] < cols[b]
-	})
-	pivoted := make([]bool, s.m)
-	newBasis := make([]int, s.m)
-	for _, q := range cols {
-		s.loadCol(q, s.alpha)
-		s.ftran(s.alpha)
-		r, best := -1, 0.0
-		for i := 0; i < s.m; i++ {
-			if !pivoted[i] {
-				if a := math.Abs(s.alpha[i]); a > best {
-					r, best = i, a
-				}
-			}
-		}
-		if r < 0 || best == 0 {
-			return false
-		}
-		pivoted[r] = true
-		newBasis[r] = q
-		s.appendEta(s.alpha, r)
-	}
-	copy(s.basis, newBasis)
-	for i, q := range s.basis {
-		s.inRow[q] = i
-	}
-	s.sinceFact = 0
-	return true
 }
 
 // computeXB recomputes the basic values xB = B⁻¹(b − N·x_N) from scratch.
@@ -536,10 +627,11 @@ func (s *revised) valueOf(j int) float64 {
 }
 
 // chooseEntering scans the nonbasic columns for the most attractive
-// entering candidate under the current reduced costs: Devex-weighted in
+// entering candidate under the current reduced costs: weighted by the
+// pricing framework (Devex reference weights or steepest-edge norms) in
 // phase 2, plain Dantzig in phase 1, first-index under Bland's rule.
 // It returns (-1, 0) at optimality.
-func (s *revised) chooseEntering(devex bool) (int, float64) {
+func (s *revised) chooseEntering(weighted bool) (int, float64) {
 	bestJ, bestDir, bestScore := -1, 0.0, 0.0
 	tol := s.tol
 	for j := 0; j < s.n; j++ {
@@ -574,7 +666,7 @@ func (s *revised) chooseEntering(devex bool) (int, float64) {
 			return j, dir
 		}
 		score := dj * dj
-		if devex {
+		if weighted {
 			score /= s.w[j]
 		}
 		if score > bestScore {
@@ -673,8 +765,10 @@ func (s *revised) ratioTest(e int, dir float64) (int, float64, bool, Status) {
 }
 
 // applyStep executes the chosen step: a bound flip when leave < 0, a
-// basis change (including the eta-file append) otherwise.
-func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bool) {
+// basis change (folding the pivot into the factorization) otherwise.
+// It returns false when the factorization had to be rebuilt mid-step
+// and the rebuild found the basis singular (caller falls back).
+func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bool) bool {
 	s.iters++
 	if t <= 1e-12 {
 		s.stall++
@@ -695,7 +789,7 @@ func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bo
 		} else {
 			s.state[e] = atLower
 		}
-		return
+		return true
 	}
 	enterVal := s.valueOf(e) + dir*t
 	for i := 0; i < s.m; i++ {
@@ -714,7 +808,15 @@ func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bo
 	s.inRow[e] = leave
 	s.state[e] = basic
 	s.xB[leave] = enterVal
-	s.appendEta(s.alpha, leave)
+	if !s.fe.update(s, leave, s.alpha) {
+		// The factorization rejected the pivot (an unstable
+		// Forrest–Tomlin spike): rebuild from the updated basis.
+		if !s.refactorCause(refUnstable) {
+			return false
+		}
+		s.computeXB()
+	}
+	return true
 }
 
 // extract reads the structural solution out of the basis.
@@ -768,13 +870,6 @@ func (s *revised) infeasibility(bj int, v float64) (float64, float64) {
 // over the nonzeros.
 func (s *revised) phase1() Status {
 	justRefactored := false
-	bMax := 0.0
-	for _, v := range s.b {
-		if a := math.Abs(v); a > bMax {
-			bMax = a
-		}
-	}
-	looseTol := 1e-7 * (1 + bMax)
 	for {
 		if s.iters >= s.maxIter {
 			return IterLimit
@@ -799,7 +894,27 @@ func (s *revised) phase1() Status {
 		}
 		e, dir := s.chooseEntering(false)
 		if e < 0 {
-			if total <= looseTol {
+			// Tolerance budget of the residual violations: each violated
+			// row contributes relative to the bound it violates and to
+			// its own value — NOT to the largest RHS of the whole model,
+			// which is unrelated to these rows and (after presolve
+			// substitution of large fixed terms) once absorbed a genuine
+			// infeasibility. Computed only here: this branch runs at
+			// most once per phase.
+			loose := 0.0
+			for i := 0; i < s.m; i++ {
+				sign, _ := s.infeasibility(s.basis[i], s.xB[i])
+				if sign == 0 {
+					continue
+				}
+				bj := s.basis[i]
+				bound := s.lo[bj]
+				if sign > 0 {
+					bound = s.up[bj]
+				}
+				loose += 1e-7*(1+math.Abs(bound)) + 1e-9*math.Abs(s.xB[i])
+			}
+			if total <= loose {
 				return Optimal // feasible up to tolerance
 			}
 			return Infeasible
@@ -814,7 +929,7 @@ func (s *revised) phase1() Status {
 			if justRefactored {
 				return statusFallback
 			}
-			if !s.refactor() {
+			if !s.refactorCause(refUnstable) {
 				return statusFallback
 			}
 			s.computeXB()
@@ -822,9 +937,11 @@ func (s *revised) phase1() Status {
 			continue
 		}
 		justRefactored = false
-		s.applyStep(e, dir, leave, t, toUpper)
-		if s.sinceFact >= refactorEvery {
-			if !s.refactor() {
+		if !s.applyStep(e, dir, leave, t, toUpper) {
+			return statusFallback
+		}
+		if s.fe.updates() >= refactorEvery {
+			if !s.refactorCause(refPeriodic) {
 				return statusFallback
 			}
 			s.computeXB()
@@ -921,13 +1038,44 @@ func (s *revised) ratioTestPhase1(e int, dir float64) (int, float64, bool, Statu
 
 // ---------------------------------------------------------------- phase 2
 
-// phase2 optimizes the real objective with Devex pricing and incremental
-// reduced-cost updates, rebuilding everything at each refactorization.
-func (s *revised) phase2() Status {
-	s.computeD()
+// initPricing re-initializes the phase-2 pricing framework for the
+// current basis: Devex reference weights reset to 1, steepest-edge
+// norms marked stale (recomputed exactly — one FTRAN per nonbasic
+// column through the factorization — on the first pivot that needs
+// them, so a re-solve that is already optimal pays nothing).
+func (s *revised) initPricing() {
 	for j := range s.w {
 		s.w[j] = 1
 	}
+	s.seReady = false
+}
+
+// initSteepestNorms computes the exact steepest-edge norms
+// γ_j = 1 + ‖B⁻¹a_j‖² for every movable nonbasic column.
+func (s *revised) initSteepestNorms() {
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == basic || s.lo[j] == s.up[j] {
+			s.w[j] = 1
+			continue
+		}
+		s.loadCol(j, s.rho)
+		s.ftran(s.rho)
+		g := 1.0
+		for _, v := range s.rho {
+			g += v * v
+		}
+		s.w[j] = g
+	}
+	s.seReady = true
+}
+
+// phase2 optimizes the real objective with Devex or steepest-edge
+// pricing and incremental reduced-cost updates, rebuilding everything
+// at each refactorization.
+func (s *revised) phase2() Status {
+	s.computeD()
+	s.initPricing()
+	steepest := s.pricing == PricingSteepest
 	for {
 		if s.iters >= s.maxIter {
 			return IterLimit
@@ -936,6 +1084,14 @@ func (s *revised) phase2() Status {
 		if e < 0 {
 			return Optimal
 		}
+		if steepest && !s.seReady {
+			// First pivot of this phase: price with exact norms.
+			s.initSteepestNorms()
+			e, dir = s.chooseEntering(true)
+			if e < 0 {
+				return Optimal
+			}
+		}
 		s.loadCol(e, s.alpha)
 		s.ftran(s.alpha)
 		leave, t, toUpper, st := s.ratioTest(e, dir)
@@ -943,13 +1099,15 @@ func (s *revised) phase2() Status {
 			return Unbounded
 		}
 		if leave < 0 {
-			s.applyStep(e, dir, leave, t, toUpper)
-			continue // bound flip: reduced costs unchanged
+			if !s.applyStep(e, dir, leave, t, toUpper) {
+				return statusFallback
+			}
+			continue // bound flip: reduced costs and norms unchanged
 		}
 		piv := s.alpha[leave]
-		if math.Abs(piv) < 1e-9 && s.sinceFact > 0 {
-			// Pivot degraded by a long eta file: refactorize and retry.
-			if !s.refactor() {
+		if math.Abs(piv) < 1e-9 && s.fe.updates() > 0 {
+			// Pivot degraded by a stale factorization: rebuild and retry.
+			if !s.refactorCause(refUnstable) {
 				return statusFallback
 			}
 			s.computeXB()
@@ -957,8 +1115,8 @@ func (s *revised) phase2() Status {
 			continue
 		}
 		// Row `leave` of B⁻¹ drives the incremental reduced-cost and
-		// Devex weight updates: z_j = rho·A_j is the pivot-row entry of
-		// the tableau for column j.
+		// pricing-weight updates: z_j = rho·A_j is the pivot-row entry
+		// of the tableau for column j.
 		for i := range s.rho {
 			s.rho[i] = 0
 		}
@@ -966,8 +1124,20 @@ func (s *revised) phase2() Status {
 		s.btran(s.rho)
 		de := s.d[e]
 		ratio := de / piv
-		we := s.w[e]
 		lv := s.basis[leave]
+		var we, gammaE float64
+		if steepest {
+			// γ_e = 1 + ‖alpha‖² exactly, and the extra BTRAN of alpha
+			// that the steepest-edge update formula needs.
+			gammaE = 1.0
+			copy(s.seV, s.alpha)
+			for _, v := range s.alpha {
+				gammaE += v * v
+			}
+			s.btran(s.seV)
+		} else {
+			we = s.w[e]
+		}
 		for j := 0; j < s.n; j++ {
 			if s.state[j] == basic || j == e {
 				continue
@@ -978,20 +1148,30 @@ func (s *revised) phase2() Status {
 			}
 			s.d[j] -= ratio * z
 			rj := z / piv
-			if wj := rj * rj * we; wj > s.w[j] {
+			if steepest {
+				g := s.w[j] - 2*rj*s.colDot(j, s.seV) + rj*rj*gammaE
+				if min := 1 + rj*rj; g < min {
+					g = min
+				}
+				s.w[j] = g
+			} else if wj := rj * rj * we; wj > s.w[j] {
 				s.w[j] = wj
 			}
 		}
-		s.applyStep(e, dir, leave, t, toUpper)
+		if !s.applyStep(e, dir, leave, t, toUpper) {
+			return statusFallback
+		}
 		s.d[lv] = -ratio
 		s.d[e] = 0
-		if wl := we / (piv * piv); wl > 1 {
+		if steepest {
+			s.w[lv] = gammaE / (piv * piv)
+		} else if wl := we / (piv * piv); wl > 1 {
 			s.w[lv] = wl
 		} else {
 			s.w[lv] = 1
 		}
-		if s.sinceFact >= refactorEvery {
-			if !s.refactor() {
+		if s.fe.updates() >= refactorEvery {
+			if !s.refactorCause(refPeriodic) {
 				return statusFallback
 			}
 			s.computeXB()

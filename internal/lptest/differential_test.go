@@ -217,6 +217,117 @@ func TestDifferentialFormulations(t *testing.T) {
 	}
 }
 
+// TestDifferentialPresolveEmptyRow pins the empty-row regression: a row
+// whose surviving coefficients are all zero after fixed-column
+// substitution must be decided by presolve — Infeasible when its RHS is
+// unsatisfiable, dropped otherwise — never passed through to inflate
+// the reduced problem's tolerances. The pinned instance used to come
+// back Optimal from the presolved path (the 2e8 coefficient on a fixed
+// column inflated the reduced RHS scale until phase 1 absorbed the
+// violated empty EQ row) while both direct engines agreed on
+// Infeasible.
+func TestDifferentialPresolveEmptyRow(t *testing.T) {
+	p := lp.New(3)
+	p.SetObj(0, -1)
+	p.SetObj(1, -3)
+	p.SetObj(2, 1)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 1.0/3, 1.0/3)
+	p.SetBounds(2, 0, 5)
+	p.AddRow([]lp.Coef{{Var: 1, Value: -2}, {Var: 2, Value: 0}}, lp.EQ, 2) // empty: -2/3 = 2
+	p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}}, lp.LE, 0)
+	p.AddRow([]lp.Coef{{Var: 0, Value: 0}, {Var: 1, Value: -2e8}}, lp.LE, 4)
+	p.AddRow([]lp.Coef{{Var: 1, Value: -3}, {Var: 2, Value: 0}}, lp.GE, -4)
+	pre, err := lp.SolveOpts(p, lp.Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Status != lp.Infeasible {
+		t.Fatalf("presolved status %v, want infeasible", pre.Status)
+	}
+	if pre.Stats.Iterations != 0 {
+		t.Fatalf("presolve should prove the empty row infeasible without pivots, took %d", pre.Stats.Iterations)
+	}
+	dense, err := lp.SolveDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Status != lp.Infeasible {
+		t.Fatalf("dense reference status %v, want infeasible", dense.Status)
+	}
+
+	// And a satisfiable empty row must still be dropped, not flagged.
+	q := lp.New(2)
+	q.SetObj(1, 1)
+	q.SetBounds(0, 2, 2)
+	q.SetBounds(1, 0, 5)
+	q.AddRow([]lp.Coef{{Var: 0, Value: 3}}, lp.LE, 7) // 6 <= 7: drop
+	q.AddRow([]lp.Coef{{Var: 1, Value: 1}}, lp.GE, 1)
+	sol, err := lp.SolveOpts(q, lp.Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || sol.Stats.PresolvedRows != 1 {
+		t.Fatalf("consistent empty row: status %v, presolvedRows %d", sol.Status, sol.Stats.PresolvedRows)
+	}
+}
+
+// TestDifferentialPresolveFixedSubstitution fuzzes presolve against the
+// dense reference on programs biased toward the regression's shape:
+// many fixed columns (non-integer values, so substitution leaves
+// residues), zero coefficients, and coefficient scales up to 1e6 so
+// substitution magnifies the RHS. Presolve and the dense engine must
+// agree on status everywhere.
+func TestDifferentialPresolveFixedSubstitution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 1500
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(3)
+		p := lp.New(n)
+		for j := 0; j < n; j++ {
+			p.SetObj(j, math.Round(rng.NormFloat64()*3))
+			if rng.Intn(2) == 0 {
+				v := float64(rng.Intn(7)-3) / 3
+				p.SetBounds(j, v, v)
+			} else {
+				p.SetBounds(j, 0, float64(1+rng.Intn(5)))
+			}
+		}
+		m := 1 + rng.Intn(4)
+		for i := 0; i < m; i++ {
+			var coefs []lp.Coef
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					scale := 1.0
+					if rng.Intn(3) == 0 {
+						scale = math.Pow(10, float64(rng.Intn(7)))
+					}
+					coefs = append(coefs, lp.Coef{Var: j, Value: float64(rng.Intn(7)-3) * scale})
+				}
+			}
+			if len(coefs) == 0 {
+				coefs = []lp.Coef{{Var: rng.Intn(n), Value: 0}}
+			}
+			sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+			p.AddRow(coefs, sense, float64(rng.Intn(9)-4))
+		}
+		pre, err := lp.SolveOpts(p, lp.Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: presolve: %v", trial, err)
+		}
+		dense, err := lp.SolveDense(p)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if pre.Status != dense.Status {
+			t.Fatalf("trial %d: status mismatch presolve=%v dense=%v", trial, pre.Status, dense.Status)
+		}
+	}
+}
+
 // TestDifferentialRelaxationBounds re-checks that the sparse engine's
 // relaxation value is a valid lower bound for the integral optimum
 // found by the exact MILP search on a small instance.

@@ -25,16 +25,44 @@ const Tol = 1e-6
 // FeasTol is the constraint-satisfaction tolerance for solution points.
 const FeasTol = 1e-6
 
-// CheckAgreement solves p with both engines and returns an error
-// describing the first disagreement: mismatched status, objectives
-// further apart than Tol (scaled), or an "optimal" point that violates
-// a constraint or bound.
+// EngineConfig names one sparse-engine configuration of the
+// {factorization} × {pricing} cross product the differential suite
+// exercises against the dense reference.
+type EngineConfig struct {
+	Name string
+	Opt  lp.Options
+}
+
+// EngineConfigs enumerates the sparse-engine configurations:
+// {Forrest–Tomlin LU, eta file} × {Devex, steepest edge}.
+var EngineConfigs = []EngineConfig{
+	{"lu-devex", lp.Options{Factorization: lp.FactorLU, Pricing: lp.PricingDevex}},
+	{"lu-steepest", lp.Options{Factorization: lp.FactorLU, Pricing: lp.PricingSteepest}},
+	{"eta-devex", lp.Options{Factorization: lp.FactorEta, Pricing: lp.PricingDevex}},
+	{"eta-steepest", lp.Options{Factorization: lp.FactorEta, Pricing: lp.PricingSteepest}},
+}
+
+// CheckAgreement solves p with the dense reference and every sparse
+// engine configuration, returning an error describing the first
+// disagreement: mismatched status, objectives further apart than Tol
+// (scaled), or an "optimal" point that violates a constraint or bound.
 func CheckAgreement(p *lp.Problem) error {
+	for _, cfg := range EngineConfigs {
+		if err := CheckAgreementOpts(p, cfg.Opt); err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// CheckAgreementOpts runs the dense-vs-sparse agreement check for one
+// sparse-engine configuration.
+func CheckAgreementOpts(p *lp.Problem, opt lp.Options) error {
 	dense, err := lp.SolveDense(p)
 	if err != nil {
 		return fmt.Errorf("dense solver error: %w", err)
 	}
-	sparse, err := lp.Solve(p)
+	sparse, err := lp.SolveOpts(p, opt)
 	if err != nil {
 		return fmt.Errorf("sparse solver error: %w", err)
 	}
@@ -141,14 +169,34 @@ func RandomDegenerate(rng *rand.Rand) *lp.Problem {
 	return p
 }
 
-// CheckWarmChain is the differential check for warm-started re-solves:
+// CheckWarmChain runs CheckWarmChainOpts over the full
+// {factorization} × {pricing} × {warm, cold} cross product, deriving an
+// independent (but seeded) mutation chain for each configuration.
+func CheckWarmChain(p *lp.Problem, rng *rand.Rand, steps int) error {
+	for _, cfg := range EngineConfigs {
+		for _, warm := range []bool{true, false} {
+			sub := rand.New(rand.NewSource(rng.Int63()))
+			if err := CheckWarmChainOpts(p, sub, steps, cfg.Opt, warm); err != nil {
+				mode := "warm"
+				if !warm {
+					mode = "cold"
+				}
+				return fmt.Errorf("%s/%s: %w", cfg.Name, mode, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWarmChainOpts is the differential check for re-solve chains:
 // starting from a cold sparse solve of p, it applies steps random
 // single-bound changes (tighten, fix, or restore — the branch-and-bound
-// delta), re-solving each child warm from the previous basis (with and
-// without presolve, alternating) and comparing status and objective
-// against the cold dense reference on the same mutated problem. The
-// problem's bounds are restored before returning.
-func CheckWarmChain(p *lp.Problem, rng *rand.Rand, steps int) error {
+// delta), re-solving each child under opt — warm from the previous
+// basis (with and without presolve, alternating) when warm is true,
+// cold otherwise — and comparing status and objective against the cold
+// dense reference on the same mutated problem. The problem's bounds are
+// restored before returning.
+func CheckWarmChainOpts(p *lp.Problem, rng *rand.Rand, steps int, baseOpt lp.Options, useWarm bool) error {
 	n := p.NumVars()
 	origLo := make([]float64, n)
 	origUp := make([]float64, n)
@@ -162,7 +210,7 @@ func CheckWarmChain(p *lp.Problem, rng *rand.Rand, steps int) error {
 	}()
 
 	var basis *lp.Basis
-	if sol, err := lp.Solve(p); err != nil {
+	if sol, err := lp.SolveOpts(p, baseOpt); err != nil {
 		return fmt.Errorf("root solve: %w", err)
 	} else if sol.Status == lp.Optimal {
 		basis = sol.Basis
@@ -195,7 +243,11 @@ func CheckWarmChain(p *lp.Problem, rng *rand.Rand, steps int) error {
 			}
 		}
 
-		opt := lp.Options{WarmStart: basis, Presolve: step%2 == 1}
+		opt := baseOpt
+		if useWarm {
+			opt.WarmStart = basis
+			opt.Presolve = step%2 == 1
+		}
 		warm, err := lp.SolveOpts(p, opt)
 		if err != nil {
 			return fmt.Errorf("step %d: warm solve: %w", step, err)

@@ -93,6 +93,13 @@ type Options struct {
 	// node from scratch — the pre-warm-start behavior, kept for the
 	// warm-vs-cold benchmarks and ablations.
 	ColdStart bool
+	// Factorization selects the LP basis-inverse representation for
+	// every node re-solve (default lp.FactorLU; lp.FactorEta keeps the
+	// PR 2 eta file for ablations).
+	Factorization lp.Factorization
+	// Pricing selects the LP phase-2 pricing rule for every node
+	// re-solve (default lp.PricingDevex).
+	Pricing lp.Pricing
 }
 
 // Stats aggregates LP-solver counters across every node re-solve of a
@@ -103,8 +110,22 @@ type Stats struct {
 	// DualIterations counts pivots taken by the warm-start dual
 	// simplex (a subset of LPIterations).
 	DualIterations int
-	// Refactorizations counts basis reinversions.
+	// BoundFlips counts nonbasic columns flipped by the long-step dual
+	// ratio test across node solves.
+	BoundFlips int
+	// Refactorizations counts basis reinversions; the RefactorXxx
+	// counters split the total by cause (scheduled, numerical trouble,
+	// warm-basis restore).
 	Refactorizations int
+	// RefactorPeriodic/RefactorUnstable/RefactorRestore split
+	// Refactorizations by cause.
+	RefactorPeriodic, RefactorUnstable, RefactorRestore int
+	// FTUpdates counts Forrest–Tomlin updates folded into the LU
+	// factors (0 when running on the eta file).
+	FTUpdates int
+	// MaxSpikeGrowth is the worst Forrest–Tomlin spike growth factor
+	// observed across all node solves.
+	MaxSpikeGrowth float64
 	// WarmSolves counts node re-solves that accepted a parent basis.
 	WarmSolves int
 	// WarmFallbacks counts warm attempts that fell back to a cold
@@ -118,7 +139,15 @@ type Stats struct {
 func (st *Stats) add(s lp.Stats) {
 	st.LPIterations += s.Iterations
 	st.DualIterations += s.DualIterations
+	st.BoundFlips += s.BoundFlips
 	st.Refactorizations += s.Refactorizations
+	st.RefactorPeriodic += s.RefactorPeriodic
+	st.RefactorUnstable += s.RefactorUnstable
+	st.RefactorRestore += s.RefactorRestore
+	st.FTUpdates += s.FTUpdates
+	if s.MaxSpikeGrowth > st.MaxSpikeGrowth {
+		st.MaxSpikeGrowth = s.MaxSpikeGrowth
+	}
 	if s.Warm && !s.WarmFellBack {
 		st.WarmSolves++
 	}
@@ -314,7 +343,7 @@ func (s *search) worker(ctx context.Context, opt Options) {
 		for _, ch := range changes {
 			prob.SetBounds(ch.v, ch.lo, ch.up)
 		}
-		var o lp.Options
+		o := lp.Options{Factorization: opt.Factorization, Pricing: opt.Pricing}
 		if !opt.ColdStart {
 			if basis != nil {
 				o.WarmStart = basis

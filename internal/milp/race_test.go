@@ -1,0 +1,147 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cellstream/internal/lp"
+)
+
+// chainStep is one observation of the shared-solver re-solve chain.
+type chainStep struct {
+	status lp.Status
+	obj    float64
+	warm   bool
+}
+
+// runSolverChain hammers one lp.Solver with a fixed, seeded sequence of
+// bound-change re-solves (the branch-and-bound access pattern) and
+// records each outcome.
+func runSolverChain(p *lp.Problem, seed int64, steps int) []chainStep {
+	rng := rand.New(rand.NewSource(seed))
+	prob := p.Clone()
+	sv := lp.NewSolver(prob)
+	n := prob.NumVars()
+	origLo := make([]float64, n)
+	origUp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		origLo[j], origUp[j] = prob.Bounds(j)
+	}
+	var basis *lp.Basis
+	out := make([]chainStep, 0, steps)
+	for step := 0; step < steps; step++ {
+		j := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			prob.SetBounds(j, origLo[j], origUp[j])
+		case 1:
+			lo := origLo[j]
+			prob.SetBounds(j, lo, math.Max(lo, math.Floor(origUp[j]/2)))
+		default:
+			up := origUp[j]
+			prob.SetBounds(j, math.Min(up, math.Ceil(origLo[j]+1)), up)
+		}
+		sol, err := sv.Solve(lp.Options{WarmStart: basis})
+		if err != nil {
+			panic(err)
+		}
+		st := chainStep{status: sol.Status, obj: sol.Objective,
+			warm: sol.Stats.Warm && !sol.Stats.WarmFellBack}
+		out = append(out, st)
+		if sol.Status == lp.Optimal {
+			basis = sol.Basis
+		} else {
+			basis = nil
+		}
+	}
+	return out
+}
+
+// TestSharedSolverChainUnderParallelSearch runs (under -race in CI) a
+// shared lp.Solver bound-change re-solve chain interleaved with
+// parallel branch-and-bound workers aggregating their stats under the
+// search mutex. The chain's per-step results must be byte-identical to
+// the same chain run with nothing else on the machine, the parallel
+// searches must agree with the serial optimum, and the serial run's
+// aggregated counters must be exactly reproducible — any
+// cross-contamination between worker-local solver contexts or a racy
+// stats.add shows up as a diff or a race report.
+func TestSharedSolverChainUnderParallelSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var prob *Problem
+	var serial *Result
+	for {
+		prob = randomMILP(rng)
+		var err error
+		serial, err = Solve(prob, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Status == Optimal {
+			break
+		}
+	}
+
+	// Serial counters must be exactly reproducible: same node order,
+	// same warm chain, same pivot counts.
+	serial2, err := Solve(prob, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Stats, serial2.Stats) || serial.Nodes != serial2.Nodes {
+		t.Fatalf("serial runs disagree on counters:\n  %+v (%d nodes)\n  %+v (%d nodes)",
+			serial.Stats, serial.Nodes, serial2.Stats, serial2.Nodes)
+	}
+
+	const chainSteps = 60
+	baseline := runSolverChain(prob.LP, 7, chainSteps)
+
+	var wg sync.WaitGroup
+	parallel := make([]*Result, 3)
+	for i := range parallel {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Solve(prob, Options{Workers: 4})
+			if err != nil {
+				t.Errorf("parallel solve %d: %v", i, err)
+				return
+			}
+			parallel[i] = res
+		}(i)
+	}
+	// Interleave: replay the same chain while the workers hammer their
+	// own solvers and the shared stats aggregation.
+	interleaved := runSolverChain(prob.LP, 7, chainSteps)
+	wg.Wait()
+
+	if !reflect.DeepEqual(baseline, interleaved) {
+		t.Fatal("shared-solver chain results changed while parallel searches ran")
+	}
+	warmSeen := 0
+	for _, st := range baseline {
+		if st.warm {
+			warmSeen++
+		}
+	}
+	if warmSeen == 0 {
+		t.Fatal("chain never exercised a warm re-solve")
+	}
+	for i, res := range parallel {
+		if res == nil {
+			continue // already reported
+		}
+		if res.Status != Optimal {
+			t.Fatalf("parallel solve %d: status %v", i, res.Status)
+		}
+		if d := math.Abs(res.Objective - serial.Objective); d > 1e-6*(1+math.Abs(serial.Objective)) {
+			t.Fatalf("parallel solve %d: objective %g, serial %g", i, res.Objective, serial.Objective)
+		}
+		if res.Stats.LPIterations <= 0 || res.Stats.WarmSolves+res.Stats.WarmFallbacks > res.Nodes {
+			t.Fatalf("parallel solve %d: implausible counters %+v over %d nodes", i, res.Stats, res.Nodes)
+		}
+	}
+}

@@ -109,8 +109,20 @@ func New(g *graph.Graph, numPE int, m core.Mapping, funcs map[graph.TaskID]Func,
 	fp := core.FirstPeriods(g)
 	caps := make([]int, g.NumEdges())
 	for ei, e := range g.Edges {
+		// §4.2 sizing: instances stay live for firstPeriod(To) −
+		// firstPeriod(From) periods (core.BufferSizes uses the same
+		// gap). The recurrence already charges peek+2 per hop, so the
+		// gap covers the consumer's whole peek window — adding peek on
+		// top (as an earlier revision did) double-counted it.
 		gap := fp[e.To] - fp[e.From]
-		c := gap + g.Tasks[e.To].Peek + opt.BufferSlack
+		c := gap + opt.BufferSlack
+		// Hard floor, independent of the firstPeriod analysis: a
+		// consumer with peek p needs p+1 instances resident before it
+		// can fire at all, and one more slot keeps the producer from
+		// running in lockstep with the consumer's pops. A capacity of
+		// peek (the off-by-one) deadlocks the chain: the producer
+		// blocks on full() while the consumer waits forever for its
+		// peek+1-instance window — see TestMinimalCapacityPeekChain.
 		if min := g.Tasks[e.To].Peek + 2; c < min {
 			c = min
 		}

@@ -348,3 +348,82 @@ func TestNewValidation(t *testing.T) {
 		t.Error("missing task function accepted")
 	}
 }
+
+// chainWithPeek builds a tasks-long chain whose every non-source task
+// peeks `peek` instances ahead, with trivial pass-through functions.
+func chainWithPeek(tasks, peek int) (*graph.Graph, map[graph.TaskID]Func) {
+	g := graph.Chain("peek-chain", tasks,
+		func(int) float64 { return 1e-6 },
+		func(int) float64 { return 1e-6 },
+		func(int) float64 { return 8 })
+	for k := range g.Tasks {
+		if k > 0 {
+			g.Tasks[k].Peek = peek
+		}
+	}
+	succs := g.Succs()
+	funcs := map[graph.TaskID]Func{}
+	for k := 0; k < tasks; k++ {
+		kk := k
+		funcs[graph.TaskID(kk)] = func(ctx *Ctx) ([][]byte, error) {
+			outs := make([][]byte, len(succs[kk]))
+			for i := range outs {
+				outs[i] = u64(uint64(ctx.Instance))
+			}
+			return outs, nil
+		}
+	}
+	return g, funcs
+}
+
+// TestMinimalCapacityPeekChain pins the edge-queue capacity invariant:
+// a consumer with peek p needs p+1 resident instances before it can
+// fire while its producer blocks on full(), so every capacity must be
+// at least peek+2 (window + one slot of producer slack). The white-box
+// leg shrinks the queues below the floor and proves the off-by-one
+// really deadlocks — guarded by the runtime's progress timeout — so
+// the floor in New can never be "simplified" away silently.
+func TestMinimalCapacityPeekChain(t *testing.T) {
+	for _, peek := range []int{1, 2, 4} {
+		g, funcs := chainWithPeek(3, peek)
+		m := core.Mapping{0, 1, 0} // producer and consumer on distinct PEs and shared ones
+		rt, err := New(g, 2, m, funcs, Options{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ei := range rt.caps {
+			if min := g.Tasks[g.Edges[ei].To].Peek + 2; rt.caps[ei] < min {
+				t.Fatalf("peek=%d: edge %d capacity %d below the peek+2 floor %d", peek, ei, rt.caps[ei], min)
+			}
+		}
+		// End-of-stream windows: instance counts at, below, and above
+		// the peek horizon must all complete under derived capacities.
+		for _, n := range []int{1, peek, peek + 1, 4 * (peek + 1)} {
+			res, err := rt.Run(n)
+			if err != nil {
+				t.Fatalf("peek=%d n=%d: %v", peek, n, err)
+			}
+			for k, fired := range res.Fired {
+				if fired != n {
+					t.Fatalf("peek=%d n=%d: task %d fired %d", peek, n, k, fired)
+				}
+			}
+		}
+
+		// White-box: capacity peek+1 is the tight minimum (lockstep but
+		// live); capacity peek is the off-by-one and must deadlock.
+		rt.opt.Timeout = 300 * time.Millisecond
+		for ei := range rt.caps {
+			rt.caps[ei] = peek + 1
+		}
+		if _, err := rt.Run(3 * (peek + 1)); err != nil {
+			t.Fatalf("peek=%d: tight minimal capacity peek+1 should complete, got %v", peek, err)
+		}
+		for ei := range rt.caps {
+			rt.caps[ei] = peek
+		}
+		if _, err := rt.Run(3 * (peek + 1)); err == nil {
+			t.Fatalf("peek=%d: capacity peek (off-by-one) completed — expected a buffer deadlock timeout", peek)
+		}
+	}
+}
