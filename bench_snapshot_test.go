@@ -104,3 +104,97 @@ func TestBenchSnapshotLP(t *testing.T) {
 	}
 	t.Logf("wrote %s (%d configs)", path, len(rows))
 }
+
+// milpBenchRow is one configuration's snapshot in BENCH_milp.json:
+// the branch-and-bound trajectory with the presolve-pipeline and
+// node-tightening counters this PR's reductions move.
+type milpBenchRow struct {
+	Config                string  `json:"config"`
+	WallMS                float64 `json:"wall_ms"`
+	Nodes                 int     `json:"nodes"`
+	Objective             float64 `json:"objective"`
+	LPIterations          int     `json:"lp_iterations"`
+	PivotsPerNode         float64 `json:"pivots_per_node"`
+	WarmSolves            int     `json:"warm_solves"`
+	WarmFallbacks         int     `json:"warm_fallbacks"`
+	PresolvedCols         int     `json:"presolved_cols"`
+	PresolvedRows         int     `json:"presolved_rows"`
+	PresolveSingletonRows int     `json:"presolve_singleton_rows"`
+	PresolveSingletonCols int     `json:"presolve_singleton_cols"`
+	PresolveDupCols       int     `json:"presolve_dup_cols"`
+	PresolveTightened     int     `json:"presolve_tightened"`
+	PresolvePasses        int     `json:"presolve_passes"`
+	NodeTightenedBounds   int     `json:"node_tightened_bounds"`
+	NodeTightenPrunes     int     `json:"node_tighten_prunes"`
+}
+
+// TestBenchSnapshotMILP writes BENCH_milp.json — the branch-and-bound
+// trajectory snapshot CI uploads beside BENCH_lp.json — when
+// BENCH_MILP_SNAPSHOT is set ("1" means ./BENCH_milp.json). It runs
+// the 12-task compact formulation at the 5% gap under {warm,
+// warm-no-tighten, cold} so the presolve/tightening counters and their
+// node-count effect are pinned per commit.
+func TestBenchSnapshotMILP(t *testing.T) {
+	path := os.Getenv("BENCH_MILP_SNAPSHOT")
+	if path == "" {
+		t.Skip("BENCH_MILP_SNAPSHOT not set")
+	}
+	if path == "1" {
+		path = "BENCH_milp.json"
+	}
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	var rows []milpBenchRow
+	for _, cfg := range []struct {
+		name string
+		opt  milp.Options
+	}{
+		{"warm", milp.Options{}},
+		{"warm-no-tighten", milp.Options{DisableTightening: true}},
+		{"cold", milp.Options{ColdStart: true}},
+	} {
+		f := core.FormulateCompact(g, plat)
+		opt := cfg.opt
+		opt.RelGap = 0.05
+		opt.Workers = 1
+		start := time.Now()
+		res, err := milp.Solve(f.Problem, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != milp.Optimal {
+			t.Fatalf("%s: status %v", cfg.name, res.Status)
+		}
+		st := res.Stats
+		rows = append(rows, milpBenchRow{
+			Config:                cfg.name,
+			WallMS:                float64(time.Since(start).Microseconds()) / 1000,
+			Nodes:                 res.Nodes,
+			Objective:             res.Objective,
+			LPIterations:          st.LPIterations,
+			PivotsPerNode:         float64(st.LPIterations) / float64(res.Nodes),
+			WarmSolves:            st.WarmSolves,
+			WarmFallbacks:         st.WarmFallbacks,
+			PresolvedCols:         st.PresolvedCols,
+			PresolvedRows:         st.PresolvedRows,
+			PresolveSingletonRows: st.PresolveSingletonRows,
+			PresolveSingletonCols: st.PresolveSingletonCols,
+			PresolveDupCols:       st.PresolveDupCols,
+			PresolveTightened:     st.PresolveTightened,
+			PresolvePasses:        st.PresolvePasses,
+			NodeTightenedBounds:   st.NodeTightenedBounds,
+			NodeTightenPrunes:     st.NodeTightenPrunes,
+		})
+	}
+	out, err := json.MarshalIndent(struct {
+		Instance string         `json:"instance"`
+		Rows     []milpBenchRow `json:"rows"`
+	}{Instance: "12-task compact formulation, Cell(1,3), 5% gap, 1 worker", Rows: rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d configs)", path, len(rows))
+}

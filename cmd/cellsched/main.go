@@ -24,6 +24,7 @@ import (
 	"cellstream/internal/core"
 	"cellstream/internal/graph"
 	"cellstream/internal/heuristics"
+	"cellstream/internal/milp"
 	"cellstream/internal/platform"
 	"cellstream/internal/sim"
 )
@@ -163,8 +164,7 @@ func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, bu
 		if err != nil {
 			return nil, "", "", err
 		}
-		stats := fmt.Sprintf("root LP bound %.3gs, search bound %.3gs, %d nodes",
-			res.RootLPBound, res.PeriodBound, res.Nodes)
+		stats := assignStatsLine(res)
 		return res.Mapping, fmt.Sprintf("steady-state program, 5%% gap: bound %.3gs, %d nodes, proved=%v",
 			res.PeriodBound, res.Nodes, res.Proved), stats, nil
 	case "milp":
@@ -172,16 +172,35 @@ func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, bu
 		if err != nil {
 			return nil, "", "", err
 		}
-		st := res.LPStats
-		stats := fmt.Sprintf("%d LP pivots (%d dual, %d bound flips) over %d nodes, "+
-			"%d FT updates (spike growth %.3g), %d refactorizations (%d periodic, %d unstable, %d restore), "+
-			"warm %d / fell back %d, presolved %d cols %d rows",
-			st.LPIterations, st.DualIterations, st.BoundFlips, res.Nodes,
-			st.FTUpdates, st.MaxSpikeGrowth,
-			st.Refactorizations, st.RefactorPeriodic, st.RefactorUnstable, st.RefactorRestore,
-			st.WarmSolves, st.WarmFallbacks, st.PresolvedCols, st.PresolvedRows)
+		stats := milpStatsLine(res.LPStats, res.Nodes)
 		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), stats, nil
 	default:
 		return nil, "", "", fmt.Errorf("unknown strategy %q", strategy)
 	}
+}
+
+// milpStatsLine formats the solver statistics printed under -v for the
+// milp strategy. The exact wording is a CLI contract pinned by the
+// golden test in main_test.go: scripts grep these lines, so new
+// counters extend the line instead of reshaping it.
+func milpStatsLine(st milp.Stats, nodes int) string {
+	return fmt.Sprintf("%d LP pivots (%d dual, %d bound flips) over %d nodes, "+
+		"%d FT updates (spike growth %.3g), %d refactorizations (%d periodic, %d unstable, %d restore), "+
+		"warm %d / fell back %d, presolved %d cols %d rows "+
+		"(%d singleton rows, %d singleton cols, %d dup cols, %d tightened, %d passes), "+
+		"node tighten %d bounds / %d prunes",
+		st.LPIterations, st.DualIterations, st.BoundFlips, nodes,
+		st.FTUpdates, st.MaxSpikeGrowth,
+		st.Refactorizations, st.RefactorPeriodic, st.RefactorUnstable, st.RefactorRestore,
+		st.WarmSolves, st.WarmFallbacks, st.PresolvedCols, st.PresolvedRows,
+		st.PresolveSingletonRows, st.PresolveSingletonCols, st.PresolveDupCols,
+		st.PresolveTightened, st.PresolvePasses,
+		st.NodeTightenedBounds, st.NodeTightenPrunes)
+}
+
+// assignStatsLine formats the -v statistics of the lp (assignment
+// search) strategy; also pinned by the golden test.
+func assignStatsLine(res *assign.Result) string {
+	return fmt.Sprintf("root LP bound %.3gs, search bound %.3gs, %d nodes",
+		res.RootLPBound, res.PeriodBound, res.Nodes)
 }

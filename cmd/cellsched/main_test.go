@@ -1,11 +1,16 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"cellstream/internal/assign"
 	"cellstream/internal/core"
 	"cellstream/internal/daggen"
+	"cellstream/internal/milp"
 	"cellstream/internal/platform"
 )
 
@@ -26,5 +31,37 @@ func TestComputeMappingAllStrategies(t *testing.T) {
 	}
 	if _, _, _, err := computeMapping(g, plat, "nope", time.Second); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestSolverStatsGolden pins the -v solver-statistics lines against
+// testdata/solver_stats.golden. These lines are a CLI contract —
+// scripts and the experiment harness grep them — so a new presolve or
+// tightening counter must extend the format deliberately (update the
+// golden file in the same change), never drift silently.
+func TestSolverStatsGolden(t *testing.T) {
+	full := milp.Stats{
+		LPIterations: 1234, DualIterations: 210, BoundFlips: 48,
+		FTUpdates: 980, MaxSpikeGrowth: 12.5,
+		Refactorizations: 21, RefactorPeriodic: 9, RefactorUnstable: 3, RefactorRestore: 9,
+		WarmSolves: 55, WarmFallbacks: 2,
+		PresolvedCols: 310, PresolvedRows: 120,
+		PresolveSingletonRows: 40, PresolveSingletonCols: 7, PresolveDupCols: 12,
+		PresolveTightened: 95, PresolvePasses: 33,
+		NodeTightenedBounds: 18, NodeTightenPrunes: 4,
+	}
+	got := strings.Join([]string{
+		"milp: " + milpStatsLine(full, 60),
+		"milp-zero: " + milpStatsLine(milp.Stats{}, 0),
+		"assign: " + assignStatsLine(&assign.Result{
+			RootLPBound: 0.00321, PeriodBound: 0.00305, Nodes: 17,
+		}),
+	}, "\n") + "\n"
+	want, err := os.ReadFile(filepath.Join("testdata", "solver_stats.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("solver stats lines drifted from testdata/solver_stats.golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

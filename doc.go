@@ -45,23 +45,68 @@
 //     reusable context on top: it keeps the CSC matrix and the
 //     factorization alive across re-solves of one problem whose bounds
 //     change, so a re-solve from the context's own last basis skips
-//     the reinversion too. Options.Presolve adds fixed-variable and
-//     empty-row elimination (lp/presolve.go) with postsolve un-crush:
-//     solutions and bases are mapped back to the original column
-//     space, so warm bases survive presolve in both directions.
+//     the reinversion too.
+//
+//     Options.Presolve runs a multi-pass reduction pipeline
+//     (lp/presolve.go), iterated to a fixpoint (≤ 8 passes):
+//
+//   - empty rows are decided outright (consistent → dropped,
+//     violated beyond a substitution-magnitude-scaled noise
+//     tolerance → Infeasible), postsolved by re-basifying their
+//     slack;
+//
+//   - singleton rows become variable bounds and are dropped (same
+//     postsolve); an EQ singleton fixes its variable;
+//
+//   - fixed columns (lo == up — original, branched, tightened or
+//     dominated) are substituted into their rows and rest nonbasic
+//     at a bound of the ORIGINAL problem on postsolve;
+//
+//   - free and implied-free column singletons are substituted out
+//     of their defining equality row (cost shifts onto the row's
+//     other columns); postsolve recomputes the variable from the
+//     row snapshot and re-basifies it in place of the row's slack;
+//
+//   - duplicate columns (proportional constraint coefficients)
+//     merge into one when costs are proportional too — postsolve
+//     splits the merged value so both halves land inside their own
+//     bounds — and a dominated duplicate is fixed at the bound
+//     every optimum uses;
+//
+//   - constraint-driven bound tightening propagates row activity
+//     bounds into variable bounds, cascading down to fixed columns
+//     and early Infeasible verdicts.
+//
+//     Every reduction pushes a record on a stack replayed in reverse
+//     by postsolve, so both solutions AND bases un-crush through the
+//     whole pipeline: the returned Basis is expressed in the original
+//     column space (statuses re-rested against the original bounds)
+//     and stays reusable, while a WarmStart basis handed to a
+//     presolved solve is crushed into the reduced space when every
+//     record is compatible and silently dropped (cold) otherwise.
+//     lp.TightenBounds exposes the tightening sweep alone: it never
+//     moves the LP optimum (implied bounds cut no feasible point), so
+//     branch-and-bound runs it as a cheap node preamble.
+//
 //     Solution.Stats reports pivots, dual pivots, bound flips,
 //     Forrest–Tomlin updates and spike growth, refactorizations split
 //     by cause (periodic / unstable / restore), warm-start outcomes
-//     and presolve reductions.
+//     and the presolve pipeline's per-pass counters (singleton rows,
+//     singleton columns, duplicate columns, tightened bounds, passes).
 //
 //   - internal/milp: LP-based branch-and-bound over a pool of goroutine
 //     workers sharing one best-first node heap and one incumbent; each
 //     worker tightens bounds on its own clone of the problem through a
 //     persistent lp.Solver. Nodes are bound-deltas against the root
 //     carrying their parent's Basis, so a child re-solve warm-starts
-//     through the dual simplex (cold solves — the root and the
-//     rounding heuristic — use presolve instead, which strips the
-//     columns the delta chain has fixed). Options.ColdStart restores
+//     through the dual simplex — after an lp.TightenBounds pass
+//     propagates the branching change through the constraints, pruning
+//     provably empty nodes without an LP solve and counting into
+//     Stats.NodeTightenedBounds/NodeTightenPrunes
+//     (Options.DisableTightening ablates it). Cold solves — the root
+//     and the rounding heuristic — run the full presolve pipeline
+//     instead, which strips the columns the delta chain has fixed and
+//     everything that cascades from them. Options.ColdStart restores
 //     the old cold-solve-every-node behavior for ablations;
 //     Result.Stats aggregates the lp counters across the search.
 //     Cancellation and deadlines arrive via context.Context.
@@ -80,8 +125,16 @@
 //
 // internal/lptest is the differential harness that keeps the two LP
 // engines honest: seeded random programs (including degenerate,
-// unbounded and infeasible shapes) plus the paper's own formulations
-// must produce identical statuses and objectives within 1e-6.
+// unbounded, infeasible and presolve-adversarial shapes — singleton
+// chains, duplicate columns, tightening-to-fixed cascades) plus the
+// paper's own formulations must produce identical statuses and
+// objectives within 1e-6, with every postsolved basis structurally
+// valid (lp.Basis.Validate). Native fuzz targets in internal/lp
+// (FuzzPresolveRoundTrip, FuzzTightenRoundTrip) hammer the
+// presolve→postsolve round trip against the dense reference; their
+// corpora under internal/lp/testdata/fuzz replay in regression mode on
+// every `go test` and pin the minimized input behind each bug the
+// fuzzer has found.
 //
 // # Test and benchmark suites
 //

@@ -331,76 +331,93 @@ func (s *denseSimplex) pivot(e int, dir float64, c []float64) Status {
 	// and silently destroys primal feasibility.
 	const pivTol = 1e-8
 	const feasTol = 1e-9
-	tLim := tMax
-	for i := 0; i < m; i++ {
-		y := dir * s.tab[i][e]
-		if y < pivTol && y > -pivTol {
-			continue
-		}
-		bj := s.basis[i]
-		var t float64
-		if y > 0 {
-			// Basic variable decreases toward its lower bound.
-			if math.IsInf(s.lo[bj], -1) {
+	scan := func(ptol float64) (int, float64, bool) {
+		tLim := tMax
+		for i := 0; i < m; i++ {
+			y := dir * s.tab[i][e]
+			if y < ptol && y > -ptol {
 				continue
 			}
-			t = (s.xB[i] - s.lo[bj] + feasTol) / y
-		} else {
-			if math.IsInf(s.up[bj], 1) {
-				continue
-			}
-			t = (s.xB[i] - s.up[bj] - feasTol) / y // y<0 so t ≥ 0 when xB ≤ up
-		}
-		if t < tLim {
-			tLim = t
-		}
-	}
-	leave, tBest, pivAbs := -1, tMax, 0.0
-	leaveToUpper := false
-	for i := 0; i < m; i++ {
-		y := dir * s.tab[i][e]
-		if y < pivTol && y > -pivTol {
-			continue
-		}
-		bj := s.basis[i]
-		var t float64
-		var hitsUpper bool
-		if y > 0 {
-			if math.IsInf(s.lo[bj], -1) {
-				continue
-			}
-			t = (s.xB[i] - s.lo[bj]) / y
-		} else {
-			if math.IsInf(s.up[bj], 1) {
-				continue
-			}
-			t = (s.xB[i] - s.up[bj]) / y
-			hitsUpper = true
-		}
-		if t < 0 {
-			t = 0
-		}
-		if t > tLim {
-			continue
-		}
-		pick := leave < 0
-		if !pick {
-			if s.bland {
-				// Bland's anti-cycling rule wants the smallest basis
-				// index among the minimum-ratio rows.
-				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+			bj := s.basis[i]
+			var t float64
+			if y > 0 {
+				// Basic variable decreases toward its lower bound.
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				t = (s.xB[i] - s.lo[bj] + feasTol) / y
 			} else {
-				pick = math.Abs(s.tab[i][e]) > pivAbs
+				if math.IsInf(s.up[bj], 1) {
+					continue
+				}
+				t = (s.xB[i] - s.up[bj] - feasTol) / y // y<0 so t ≥ 0 when xB ≤ up
+			}
+			if t < tLim {
+				tLim = t
 			}
 		}
-		if pick {
-			leave, tBest, pivAbs = i, t, math.Abs(s.tab[i][e])
-			leaveToUpper = hitsUpper
+		leave, tBest, pivAbs := -1, tMax, 0.0
+		leaveToUpper := false
+		for i := 0; i < m; i++ {
+			y := dir * s.tab[i][e]
+			if y < ptol && y > -ptol {
+				continue
+			}
+			bj := s.basis[i]
+			var t float64
+			var hitsUpper bool
+			if y > 0 {
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				t = (s.xB[i] - s.lo[bj]) / y
+			} else {
+				if math.IsInf(s.up[bj], 1) {
+					continue
+				}
+				t = (s.xB[i] - s.up[bj]) / y
+				hitsUpper = true
+			}
+			if t < 0 {
+				t = 0
+			}
+			if t > tLim {
+				continue
+			}
+			pick := leave < 0
+			if !pick {
+				if s.bland {
+					// Bland's anti-cycling rule wants the smallest basis
+					// index among the minimum-ratio rows.
+					pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+				} else {
+					pick = math.Abs(s.tab[i][e]) > pivAbs
+				}
+			}
+			if pick {
+				leave, tBest, pivAbs = i, t, math.Abs(s.tab[i][e])
+				leaveToUpper = hitsUpper
+			}
 		}
+		return leave, tBest, leaveToUpper
 	}
-
+	leave, tBest, leaveToUpper := scan(pivTol)
 	if leave < 0 && math.IsInf(tMax, 1) {
-		return Unbounded
+		// Before declaring an unbounded ray, re-admit sub-pivTol rows:
+		// on a badly scaled column (one coefficient 1e8 beside a 1) the
+		// only genuine blocker can price below the noise threshold, and
+		// skipping it turned a bounded model into a false Unbounded —
+		// found by FuzzPresolveRoundTrip against the presolve pipeline.
+		// The rescue threshold is relative to the column (rescueTol):
+		// elimination dust scales with it, genuine entries do not.
+		colMax := 0.0
+		for i := 0; i < m; i++ {
+			colMax = math.Max(colMax, math.Abs(s.tab[i][e]))
+		}
+		leave, tBest, leaveToUpper = scan(rescueTol(colMax))
+		if leave < 0 {
+			return Unbounded
+		}
 	}
 
 	// Degeneracy watchdog: after too many zero-step pivots switch to

@@ -115,7 +115,12 @@ func (s *revised) dualPhase() Status {
 		s.rho[r] = 1
 		s.btran(s.rho)
 		for j := 0; j < s.n; j++ {
-			if s.state[j] == basic {
+			if s.state[j] == basic || s.lo[j] == s.up[j] {
+				// Fixed columns (branching and bound tightening fix
+				// many) can never enter or flip; skip their pivot-row
+				// entries entirely. Their reduced costs go stale below,
+				// which is safe: every consumer skips fixed columns,
+				// and computeD rebuilds d at each phase entry.
 				s.wr[j] = 0
 				continue
 			}
@@ -127,12 +132,12 @@ func (s *revised) dualPhase() Status {
 		// atLower column (t > 0) pushes xB[r] toward its violated
 		// bound, sign·w_j < 0 the same for an atUpper column (t < 0).
 		// Free columns may move either way.
-		candidate := func(j int) (float64, bool) {
+		candidate := func(j int, ptol float64) (float64, bool) {
 			if s.state[j] == basic || s.lo[j] == s.up[j] {
 				return 0, false
 			}
 			w := s.wr[j]
-			if w < pivTol && w > -pivTol {
+			if w < ptol && w > -ptol {
 				return 0, false
 			}
 			if math.IsInf(s.lo[j], -1) && math.IsInf(s.up[j], 1) {
@@ -151,7 +156,7 @@ func (s *revised) dualPhase() Status {
 		}
 		cands = cands[:0]
 		for j := 0; j < s.n; j++ {
-			if w, ok := candidate(j); ok {
+			if w, ok := candidate(j, pivTol); ok {
 				aw := math.Abs(w)
 				ad := math.Abs(s.d[j])
 				cands = append(cands, dualCand{
@@ -160,8 +165,25 @@ func (s *revised) dualPhase() Status {
 			}
 		}
 		if len(cands) == 0 {
-			// Dual ray: the primal is infeasible — but only trust the
-			// certificate on a fresh factorization.
+			// An empty candidate set is a dual ray — the primal is
+			// infeasible — but the certificate requires that the pivot
+			// row truly has no sign-compatible nonzeros. A genuine entry
+			// below pivTol (badly scaled columns; the presolve pipeline
+			// hands the dual phase reduced models at mixed scales) voids
+			// it: hand those to the cold primal path instead of
+			// declaring a false Infeasible — found by
+			// FuzzPresolveRoundTrip on warm restarts from postsolved
+			// bases.
+			rowMax := 0.0
+			for j := 0; j < s.n; j++ {
+				rowMax = math.Max(rowMax, math.Abs(s.wr[j]))
+			}
+			for j := 0; j < s.n; j++ {
+				if _, ok := candidate(j, rescueTol(rowMax)); ok {
+					return statusFallback
+				}
+			}
+			// And only trust the certificate on a fresh factorization.
 			if !justRefactored && s.fe.updates() > 0 {
 				if !s.refactorCause(refUnstable) {
 					return statusFallback

@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// Native fuzz targets for the presolve pipeline. decodeLP maps an
+// arbitrary byte string onto a small LP deterministically, so the
+// fuzzer explores model space (senses, fixed/free/boxed bounds,
+// fractional fixed values, coefficient scales up to 1e2) while seeds
+// stay hand-encodable. Scales stop at 1e2 deliberately: the dense
+// tableau engine is the oracle here, and with free variables in play,
+// 1e4+ coefficient mixes push it into a phase-1/tableau conditioning
+// regime where genuine pivot entries sink below the noise thresholds
+// and it diverges from exact arithmetic. Exploring that frontier with
+// this target found and fixed four real bugs during development (a
+// false unbounded ray in both ratio tests, a bound trampled by a long
+// step over a sub-pivTol row, a false dual-ray Infeasible on warm
+// restarts, NaN bound tightening on explicit zero coefficients — see
+// the rescue scans, the phase-2 dual cleanup, and dual.go); what
+// remains is the oracle's own limit, a ROADMAP item. The exact 2e8
+// inflated-RHS regression is pinned in lptest. The corpus
+// under testdata/fuzz seeds the shapes of known presolve bugs;
+// `go test` replays it in regression mode on every run, and
+// `go test -fuzz FuzzPresolveRoundTrip` explores from there.
+
+// decodeLP decodes fuzz bytes into an LP: header (n, m), then per
+// variable an objective byte and a bound shape, then per row a sense,
+// an RHS and per-variable coefficient bytes (with an optional 1e4/1e8
+// scale). Missing bytes read as zero, so every input decodes.
+func decodeLP(data []byte) *Problem {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	n := 1 + int(next())%4
+	m := int(next()) % 5
+	p := New(n)
+	for j := 0; j < n; j++ {
+		p.SetObj(j, float64(int(next()%11)-5))
+		switch next() % 6 {
+		case 0:
+			p.SetBounds(j, math.Inf(-1), math.Inf(1))
+		case 1:
+			// default [0, +inf)
+		case 2:
+			p.SetBounds(j, math.Inf(-1), 0)
+		case 3:
+			// fixed, in thirds so substitution leaves residues
+			v := float64(int(next()%13)-6) / 3
+			p.SetBounds(j, v, v)
+		case 4:
+			lo := float64(int(next()%7) - 3)
+			p.SetBounds(j, lo, lo+float64(1+int(next()%6)))
+		case 5:
+			p.SetBounds(j, 0, 3)
+		}
+	}
+	for i := 0; i < m; i++ {
+		sense := []Sense{LE, GE, EQ}[next()%3]
+		rhs := float64(int(next()%17) - 8)
+		var coefs []Coef
+		for j := 0; j < n; j++ {
+			c := next()
+			if c%4 == 0 {
+				continue // no entry for this variable
+			}
+			v := float64(int(c%9) - 4) // may be an explicit zero coefficient
+			switch next() % 8 {
+			case 7:
+				v *= 1e2
+			case 6:
+				v *= 1e1
+			}
+			coefs = append(coefs, Coef{Var: j, Value: v})
+		}
+		p.AddRow(coefs, sense, rhs)
+	}
+	return p
+}
+
+// fuzzViolation is the largest constraint/bound violation of x
+// (lptest.Violation would import-cycle from an in-package test).
+func fuzzViolation(p *Problem, x []float64) float64 {
+	worst := 0.0
+	for j := 0; j < p.NumVars(); j++ {
+		lo, up := p.Bounds(j)
+		worst = math.Max(worst, lo-x[j])
+		worst = math.Max(worst, x[j]-up)
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coefs, sense, rhs := p.Row(i)
+		lhs := 0.0
+		scale := math.Abs(rhs)
+		for _, c := range coefs {
+			lhs += c.Value * x[c.Var]
+			scale += math.Abs(c.Value * x[c.Var])
+		}
+		var v float64
+		switch sense {
+		case LE:
+			v = lhs - rhs
+		case GE:
+			v = rhs - lhs
+		case EQ:
+			v = math.Abs(lhs - rhs)
+		}
+		worst = math.Max(worst, v/(1+scale))
+	}
+	return worst
+}
+
+// perturbRows returns a copy of p with every inequality side moved by
+// sign·1e-5·(activity scale): sign=+1 relaxes every row, sign=-1
+// tightens it (EQ rows relax into an inequality pair and stay exact
+// under tightening). The scale includes the row's coefficient-weighted
+// bound magnitudes, so even a 1e8-amplified conflict moves across.
+func perturbRows(p *Problem, sign float64) *Problem {
+	q := New(p.NumVars())
+	for j := 0; j < p.NumVars(); j++ {
+		q.SetObj(j, p.ObjCoef(j))
+		lo, up := p.Bounds(j)
+		q.SetBounds(j, lo, up)
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		coefs, sense, rhs := p.Row(i)
+		scale := 1 + math.Abs(rhs)
+		for _, c := range coefs {
+			lo, up := p.Bounds(c.Var)
+			b := 1.0
+			if !math.IsInf(lo, -1) {
+				b = math.Max(b, math.Abs(lo))
+			}
+			if !math.IsInf(up, 1) {
+				b = math.Max(b, math.Abs(up))
+			}
+			scale += math.Abs(c.Value) * b
+		}
+		eps := 1e-5 * scale
+		switch sense {
+		case LE:
+			q.AddRow(coefs, LE, rhs+sign*eps)
+		case GE:
+			q.AddRow(coefs, GE, rhs-sign*eps)
+		case EQ:
+			if sign > 0 {
+				q.AddRow(coefs, LE, rhs+eps)
+				q.AddRow(coefs, GE, rhs-eps)
+			} else {
+				q.AddRow(coefs, EQ, rhs)
+			}
+		}
+	}
+	return q
+}
+
+// decisively classifies p's feasibility robustly: +1 when even the
+// row-tightened copy is feasible, -1 when even the row-relaxed copy is
+// infeasible, 0 when the verdict flips under perturbation — a
+// tolerance-boundary instance on which the engines may legitimately
+// disagree (e.g. a 6e-8 bound conflict amplified through a 1e8
+// coefficient), which the fuzz harness skips instead of failing.
+func decisively(p *Problem) int {
+	rs, err1 := SolveDense(perturbRows(p, 1))
+	ts, err2 := SolveDense(perturbRows(p, -1))
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	if rs.Status == Infeasible {
+		return -1
+	}
+	if ts.Status == Optimal || ts.Status == Unbounded {
+		return 1
+	}
+	return 0
+}
+
+// seedPR3InflatedRHS encodes the shape of the PR 3 regression: a fixed
+// column at 1/3, a violated empty EQ row after substitution, and a
+// large (1e2-scaled here; the exact 2e8 instance is pinned in
+// lptest.TestDifferentialPresolveEmptyRow) coefficient whose
+// substitution once inflated the reduced RHS scale until phase 1
+// absorbed the infeasibility. Kept in sync with the checked-in corpus
+// file under testdata/fuzz/FuzzPresolveRoundTrip/.
+var seedPR3InflatedRHS = []byte{
+	0x02, 0x04, // n=3, m=4
+	0x04, 0x05, // x0: obj -1, bounds [0,3]
+	0x02, 0x03, 0x07, // x1: obj -3, fixed at 1/3
+	0x06, 0x04, 0x03, 0x04, // x2: obj 1, bounds [0,5]
+	0x02, 0x0a, 0x00, 0x02, 0x00, 0x0d, 0x00, // EQ 2: -2·x1 + 0·x2 (empty: -2/3 = 2)
+	0x00, 0x08, 0x05, 0x00, 0x06, 0x00, 0x00, // LE 0: x0 + 2·x1
+	0x00, 0x0c, 0x0d, 0x00, 0x02, 0x07, 0x00, // LE 4: 0·x0 - 2e8·x1
+	0x01, 0x04, 0x00, 0x01, 0x00, 0x0d, 0x00, // GE -4: -3·x1 + 0·x2
+}
+
+// FuzzPresolveRoundTrip: presolve→postsolve round trips must agree
+// with the dense reference on the original problem — status, a 1e-6
+// objective, a feasible point — and the postsolved basis must be
+// structurally valid and warm-startable back to the same optimum.
+func FuzzPresolveRoundTrip(f *testing.F) {
+	f.Add(seedPR3InflatedRHS)
+	f.Add([]byte{0x01, 0x02, 0x04, 0x05, 0x06, 0x04, 0x03, 0x04, 0x02, 0x0a, 0x02, 0x00, 0x06, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		dense, err := SolveDense(p)
+		if err != nil {
+			t.Skip()
+		}
+		pre, err := SolveOpts(p, Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("presolved solve: %v", err)
+		}
+		if dense.Status == IterLimit || pre.Status == IterLimit {
+			t.Skip()
+		}
+		if dense.Status != pre.Status {
+			if (dense.Status == Infeasible) != (pre.Status == Infeasible) && decisively(p) == 0 {
+				t.Skip() // feasibility flips under perturbation: boundary instance
+			}
+			t.Fatalf("status mismatch: dense=%v presolve=%v (stats %+v)",
+				dense.Status, pre.Status, pre.Stats)
+		}
+		if dense.Status != Optimal {
+			return
+		}
+		if v := fuzzViolation(p, pre.X); v > 1e-6 {
+			t.Fatalf("postsolved point violates constraints by %g (x=%v)", v, pre.X)
+		}
+		scale := 1 + math.Abs(dense.Objective)
+		if diff := math.Abs(dense.Objective - pre.Objective); diff > 1e-6*scale {
+			t.Fatalf("objective mismatch: dense=%.12g presolve=%.12g (stats %+v)",
+				dense.Objective, pre.Objective, pre.Stats)
+		}
+		if err := pre.Basis.Validate(p); err != nil {
+			t.Fatalf("postsolved basis invalid: %v", err)
+		}
+		ws, err := SolveOpts(p, Options{WarmStart: pre.Basis})
+		if err != nil {
+			t.Fatalf("warm restart: %v", err)
+		}
+		if ws.Status != Optimal || math.Abs(ws.Objective-dense.Objective) > 1e-6*scale {
+			t.Fatalf("warm restart from postsolved basis: status=%v obj=%.12g want %.12g",
+				ws.Status, ws.Objective, dense.Objective)
+		}
+	})
+}
+
+// FuzzTightenRoundTrip: TightenBounds must never move the optimum —
+// implied bounds cut no feasible point — and a claimed infeasibility
+// must be real.
+func FuzzTightenRoundTrip(f *testing.F) {
+	f.Add(seedPR3InflatedRHS)
+	f.Add([]byte{0x02, 0x02, 0x00, 0x04, 0x03, 0x02, 0x00, 0x04, 0x03, 0x02, 0x00, 0x0c, 0x05, 0x00, 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeLP(data)
+		before, err := SolveDense(p)
+		if err != nil {
+			t.Skip()
+		}
+		q := p.Clone()
+		_, bad := TightenBounds(q, 3)
+		if bad {
+			if before.Status == Optimal || before.Status == Unbounded {
+				if decisively(p) == 0 {
+					t.Skip()
+				}
+				t.Fatalf("tightening claimed infeasible, dense says %v", before.Status)
+			}
+			return
+		}
+		after, err := SolveDense(q)
+		if err != nil {
+			t.Fatalf("tightened solve: %v", err)
+		}
+		if before.Status == IterLimit || after.Status == IterLimit {
+			t.Skip()
+		}
+		if before.Status != after.Status {
+			if (before.Status == Infeasible) != (after.Status == Infeasible) && decisively(p) == 0 {
+				t.Skip()
+			}
+			t.Fatalf("status changed by tightening: %v -> %v", before.Status, after.Status)
+		}
+		if before.Status == Optimal {
+			scale := 1 + math.Abs(before.Objective)
+			if diff := math.Abs(before.Objective - after.Objective); diff > 1e-6*scale {
+				t.Fatalf("tightening moved the optimum: %.12g -> %.12g", before.Objective, after.Objective)
+			}
+		}
+	})
+}

@@ -219,6 +219,56 @@ func (b *Basis) NumBasic() int {
 	return c
 }
 
+// Validate checks that the basis is structurally valid for p: the
+// dimensions match, exactly one column is basic per row, and every
+// nonbasic column rests somewhere it can — a finite bound, or the
+// free-at-zero convention (atLower with both bounds infinite). It is
+// the invariant every postsolved or snapshotted Basis must satisfy for
+// Options.WarmStart to be restorable; the fuzz and property suites
+// assert it after every presolve round-trip.
+func (b *Basis) Validate(p *Problem) error {
+	if b == nil {
+		return fmt.Errorf("lp: nil basis")
+	}
+	m := len(p.rows)
+	if b.nStruct != p.n || b.m != m || len(b.status) != p.n+m {
+		return fmt.Errorf("lp: basis shaped %d+%d, problem is %d+%d", b.nStruct, b.m, p.n, m)
+	}
+	if nb := b.NumBasic(); nb != m {
+		return fmt.Errorf("lp: %d basic columns, want %d", nb, m)
+	}
+	bound := func(j int) (lo, up float64) {
+		if j < p.n {
+			return p.lo[j], p.up[j]
+		}
+		switch p.rows[j-p.n].sense {
+		case GE:
+			return math.Inf(-1), 0
+		case EQ:
+			return 0, 0
+		default: // LE
+			return 0, math.Inf(1)
+		}
+	}
+	for j, st := range b.status {
+		lo, up := bound(j)
+		switch int(st) {
+		case basic:
+		case atUpper:
+			if math.IsInf(up, 1) {
+				return fmt.Errorf("lp: column %d rests at an infinite upper bound", j)
+			}
+		case atLower:
+			if math.IsInf(lo, -1) && !math.IsInf(up, 1) {
+				return fmt.Errorf("lp: column %d rests at an infinite lower bound", j)
+			}
+		default:
+			return fmt.Errorf("lp: column %d has unknown status %d", j, st)
+		}
+	}
+	return nil
+}
+
 // Factorization selects the basis-inverse representation of the sparse
 // engine.
 type Factorization int
@@ -307,9 +357,24 @@ type Stats struct {
 	// solve had to fall back to the cold primal path (stale or
 	// singular basis, lost dual feasibility, or a cycling dual phase).
 	WarmFellBack bool
-	// PresolvedCols and PresolvedRows count the fixed columns and
-	// empty rows eliminated by presolve.
+	// PresolvedCols and PresolvedRows count the columns and rows
+	// eliminated by the presolve pipeline (all reductions combined).
 	PresolvedCols, PresolvedRows int
+	// PresolvePasses counts pipeline passes that performed at least
+	// one reduction; the remaining counters split the work by kind.
+	PresolvePasses int
+	// PresolveSingletonRows counts singleton rows converted into
+	// variable bounds and dropped.
+	PresolveSingletonRows int
+	// PresolveSingletonCols counts free / implied-free column
+	// singletons substituted out of their equality row.
+	PresolveSingletonCols int
+	// PresolveDupCols counts duplicate (proportional) columns merged
+	// or fixed by dominance.
+	PresolveDupCols int
+	// PresolveTightened counts variable bounds tightened by constraint
+	// activity propagation inside presolve.
+	PresolveTightened int
 }
 
 // Solution is the result of a solve.
@@ -337,9 +402,13 @@ type Options struct {
 	// tries a dual simplex phase before falling back to the cold
 	// primal path. Ignored when incompatible with the problem.
 	WarmStart *Basis
-	// Presolve enables fixed-variable and empty-row elimination with
-	// postsolve un-crush; the returned Basis is expressed in the
-	// original (un-presolved) column space so it stays reusable.
+	// Presolve enables the multi-pass reduction pipeline (empty and
+	// singleton rows, fixed columns, free/implied-free column
+	// singletons, duplicate and dominated columns, constraint-driven
+	// bound tightening) with postsolve un-crush; the returned Basis is
+	// expressed in the original (un-presolved) column space so it stays
+	// reusable, and a WarmStart basis is crushed into the reduced space
+	// when compatible.
 	Presolve bool
 	// Factorization selects the basis-inverse representation: the
 	// Forrest–Tomlin-updated sparse LU (default) or the PR 2 eta file.

@@ -2,167 +2,949 @@ package lp
 
 import "math"
 
-// Presolve: fixed-variable and empty-row elimination, the two
-// reductions that matter for the paper's formulations (branch-and-bound
-// fixes binary columns; the literal formulation's β rows collapse once
-// their endpoints are pinned). The crush direction substitutes fixed
-// values into the rows and drops rows left without coefficients; the
-// postsolve direction re-inserts the fixed values into the solution
-// vector and un-crushes the final basis into the original column space,
-// so a warm basis taken from a presolved solve stays reusable — and a
-// warm basis given to a presolved solve is crushed when compatible
-// (every eliminated column nonbasic, every eliminated row's slack
-// basic) and silently dropped otherwise.
+// Presolve: a multi-pass reduction pipeline iterated to a fixpoint.
+// PR 2 started with fixed-column + empty-row elimination (branch-and-
+// bound fixes binary columns; the literal formulation's β rows collapse
+// once their endpoints are pinned); this grew into the classic
+// Andersen & Andersen-style pipeline:
+//
+//   - empty rows decided (consistent → dropped, violated → Infeasible),
+//     with the violation tolerance scaled by the substituted magnitude
+//     (the PR 3 inflated-RHS regression);
+//   - singleton rows converted into variable bounds and dropped;
+//   - fixed columns (lo == up, including columns fixed by tightening or
+//     dominance) substituted into their rows;
+//   - free and implied-free column singletons substituted out of their
+//     equality row (the row defines the variable, so both leave);
+//   - duplicate columns — proportional constraint columns — merged into
+//     one when their costs are proportional too, or fixed at a bound
+//     when one decisively dominates the other;
+//   - constraint-driven bound tightening: row activity bounds imply
+//     tighter variable bounds, cascading down to fixed columns.
+//
+// Empty/singleton rows and fixed columns are chased to a fixpoint
+// inside each pass, so fixing one end of an equality chain collapses
+// the whole chain in a single pass; the remaining reductions feed each
+// other across passes (bounded by maxPresolvePasses).
+//
+// Every reduction pushes a record on a stack. Postsolve replays the
+// stack in reverse to un-crush both the solution vector and the final
+// basis into the original column space, so a warm basis taken from a
+// presolved solve stays reusable — and a warm basis given to a
+// presolved solve is crushed when every record is structurally
+// compatible with it and silently dropped (cold start) otherwise.
 
-// presolved records one reduction for postsolve.
-type presolved struct {
-	reduced  *Problem
-	fixedVal []float64 // per original variable; NaN when kept
-	colMap   []int     // original var -> reduced var, -1 when eliminated
-	keptRows []int     // reduced row -> original row
-	rowMap   []int     // original row -> reduced row, -1 when eliminated
-	objConst float64   // objective contribution of the fixed variables
-	nOrig    int       // original structural variables
-	mOrig    int       // original rows
+const (
+	// maxPresolvePasses bounds the outer fixpoint iteration. Each pass
+	// runs every reduction once; empty/singleton-row and fixed-column
+	// cascades are already chased to their own fixpoint inside a pass.
+	maxPresolvePasses = 8
+	// preTol is the decisive-improvement / infeasibility threshold of
+	// the bound reductions: implied bounds are only applied when they
+	// improve by more than this (scaled), and bound crossings within it
+	// are clamped instead of declared infeasible, so noise-scale
+	// tightenings can neither loop the pipeline nor cut a boundary-
+	// feasible point the solvers would accept.
+	preTol = 1e-7
+	// preEps is the noise tolerance of exact comparisons (proportional
+	// columns, empty-row consistency).
+	preEps = 1e-9
+)
+
+// prow is one constraint row of the presolve working copy: coefficients
+// stay keyed by original column index, zero values are dropped at
+// build, and subMag accumulates the magnitude of everything substituted
+// into the RHS — the scale of the cancellation noise an "empty" row can
+// carry (the PR 3 regression: a 2e8 coefficient on a fixed column once
+// inflated the reduced RHS scale until a violated empty EQ row came
+// back optimal).
+type prow struct {
+	coefs  []Coef
+	sense  Sense
+	rhs    float64
+	subMag float64
+	gone   bool
 }
 
-// presolveProblem applies the reductions. It returns (nil, sol) when an
-// empty row is inconsistent (the model is infeasible without a solve)
-// and (nil, nil) when there is nothing to eliminate.
-func presolveProblem(p *Problem) (*presolved, *Solution) {
-	ps := &presolved{
-		fixedVal: make([]float64, p.n),
-		colMap:   make([]int, p.n),
-		rowMap:   make([]int, len(p.rows)),
-		nOrig:    p.n,
-		mOrig:    len(p.rows),
+// pstep is one recorded reduction. Records are pushed in application
+// order; postsolve replays them in reverse, so a record may reference
+// variables that a later reduction eliminated — their values are
+// already restored by the time it runs.
+type pstep interface {
+	// postsolveX fills the eliminated values into the original-space
+	// solution vector.
+	postsolveX(x []float64)
+	// postsolveBasis assigns the eliminated columns'/slacks' statuses
+	// in the original-space status array (kept entries already copied).
+	postsolveBasis(st []int8, nStruct int)
+	// crush reports whether an original-space warm basis is compatible
+	// with this reduction (false forces a cold start), adjusting the
+	// reduced-space status array under construction where needed.
+	crush(ps *presolved, b *Basis, st []int8) bool
+}
+
+// stepFixCol eliminates a fixed column (lo == up), substituted into its
+// rows at elimination time. rest is the nonbasic status the column
+// takes in the postsolved basis, computed from the ORIGINAL bounds: a
+// column fixed by tightening or dominance may have an infinite original
+// lower bound, and a nonbasic column cannot rest there.
+type stepFixCol struct {
+	j    int
+	v    float64
+	rest int8
+}
+
+func (s stepFixCol) postsolveX(x []float64) { x[s.j] = s.v }
+func (s stepFixCol) postsolveBasis(st []int8, nStruct int) {
+	st[s.j] = s.rest
+}
+func (s stepFixCol) crush(ps *presolved, b *Basis, st []int8) bool {
+	return int(b.status[s.j]) != basic
+}
+
+// stepDropRow eliminates a row whose constraint moved elsewhere (an
+// empty row, or a singleton row converted into a variable bound). Its
+// slack re-enters the basis on postsolve; crushing requires the slack
+// basic, since the reduced problem has no basis slot for it.
+type stepDropRow struct{ i int }
+
+func (stepDropRow) postsolveX([]float64) {}
+func (s stepDropRow) postsolveBasis(st []int8, nStruct int) {
+	st[nStruct+s.i] = int8(basic)
+}
+func (s stepDropRow) crush(ps *presolved, b *Basis, st []int8) bool {
+	return int(b.status[ps.nOrig+s.i]) == basic
+}
+
+// stepSubst eliminates a free (or implied-free) column singleton j
+// together with its defining equality row i: x_j = (rhs − Σ a_k x_k)/aj
+// over the row's other columns as they stood at substitution time. On
+// postsolve x_j re-enters the basis in place of the row's slack; a
+// crushed warm basis must have exactly one of {x_j, slack_i} basic,
+// because the reduction removes exactly one basis slot.
+type stepSubst struct {
+	j, i    int
+	aj, rhs float64
+	coefs   []Coef // the row's other columns at substitution time
+}
+
+func (s stepSubst) postsolveX(x []float64) {
+	v := s.rhs
+	for _, c := range s.coefs {
+		v -= c.Value * x[c.Var]
 	}
-	nFixed := 0
+	x[s.j] = v / s.aj
+}
+func (s stepSubst) postsolveBasis(st []int8, nStruct int) {
+	st[s.j] = int8(basic)
+	st[nStruct+s.i] = int8(atLower)
+}
+func (s stepSubst) crush(ps *presolved, b *Basis, st []int8) bool {
+	jB := int(b.status[s.j]) == basic
+	sB := int(b.status[ps.nOrig+s.i]) == basic
+	return jB != sB
+}
+
+// stepMerge folds duplicate column k (A_k = lam·A_j, c_k = lam·c_j,
+// all four bounds finite) into j: the surviving column carries
+// z = x_j + lam·x_k with bounds [loj+wLo, upj+wHi] where
+// w = lam·x_k ∈ [wLo, wHi]. Postsolve splits z back so both halves land
+// inside their own bounds; when the split leaves both halves interior
+// (possible when z is basic), the removed column's status still rests
+// on a finite bound — the warm-start reinversion recomputes values, so
+// the basis only needs to be structurally valid.
+type stepMerge struct {
+	j, k     int
+	lam      float64
+	loj, upj float64
+	wLo, wHi float64
+}
+
+func (s stepMerge) postsolveX(x []float64) {
+	z := x[s.j]
+	xj := z - s.wLo
+	if xj > s.upj {
+		xj = s.upj
+	}
+	if xj < s.loj {
+		xj = s.loj
+	}
+	x[s.j] = xj
+	x[s.k] = (z - xj) / s.lam
+}
+func (s stepMerge) postsolveBasis(st []int8, nStruct int) {
+	// st[s.j] already holds the merged column's status (from the
+	// reduced basis, or set by a later record when j was eliminated
+	// again). The removed column rests at the end of its range that
+	// matches: the wHi end when z sits at its upper bound, the wLo end
+	// otherwise (including the basic split, which prefers w = wLo).
+	loEnd, hiEnd := int8(atLower), int8(atUpper)
+	if s.lam < 0 {
+		loEnd, hiEnd = hiEnd, loEnd
+	}
+	if int(st[s.j]) == atUpper {
+		st[s.k] = hiEnd
+	} else {
+		st[s.k] = loEnd
+	}
+}
+func (s stepMerge) crush(ps *presolved, b *Basis, st []int8) bool {
+	jB := int(b.status[s.j]) == basic
+	kB := int(b.status[s.k]) == basic
+	if jB && kB {
+		return false // proportional columns can't share a healthy basis
+	}
+	if kB {
+		rc := ps.colMap[s.j]
+		if rc < 0 {
+			return false
+		}
+		st[rc] = int8(basic)
+	}
+	return true
+}
+
+// presolveCounters are the per-pass pipeline counters surfaced through
+// Stats.
+type presolveCounters struct {
+	passes        int
+	singletonRows int
+	singletonCols int
+	dupCols       int
+	tightened     int
+}
+
+// presolved records the pipeline's outcome for postsolve.
+type presolved struct {
+	nOrig, mOrig int
+	orig         *Problem // for the original bounds during basis un-crush
+	reduced      *Problem
+	colMap       []int // original col -> reduced col, -1 when eliminated
+	rowMap       []int // original row -> reduced row, -1 when eliminated
+	keptRows     []int // reduced row -> original row
+	steps        []pstep
+	cnt          presolveCounters
+}
+
+func (ps *presolved) fillStats(st *Stats) {
+	cols := 0
+	for _, jr := range ps.colMap {
+		if jr < 0 {
+			cols++
+		}
+	}
+	st.PresolvedCols = cols
+	st.PresolvedRows = ps.mOrig - len(ps.keptRows)
+	st.PresolvePasses = ps.cnt.passes
+	st.PresolveSingletonRows = ps.cnt.singletonRows
+	st.PresolveSingletonCols = ps.cnt.singletonCols
+	st.PresolveDupCols = ps.cnt.dupCols
+	st.PresolveTightened = ps.cnt.tightened
+}
+
+// tightenSweep is one constraint-propagation sweep over the rows:
+// per-row activity bounds imply both row-level infeasibility checks and
+// tighter variable bounds. It is shared by the presolve pipeline and
+// the exported TightenBounds (the cheap bound-tightening-only pass
+// branch-and-bound runs after branching bound changes). rowAt returns
+// the row's view and whether it is still live. Implied bounds are only
+// applied when decisively better than the current bound, and crossings
+// within tolerance are clamped, so the sweep terminates and never cuts
+// a boundary-feasible point.
+func tightenSweep(mRows int, rowAt func(int) ([]Coef, Sense, float64, bool), lo, up []float64) (nt int, infeasible bool) {
+	bad := false
+	applyUp := func(j int, v float64) {
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			return
+		}
+		if v >= up[j]-preTol*(1+math.Abs(v)) {
+			return // not a decisive improvement
+		}
+		crossScale := 1 + math.Abs(v) + math.Abs(lo[j])
+		if v < lo[j]-preTol*crossScale {
+			bad = true
+			return
+		}
+		if v < lo[j]-preEps*crossScale {
+			// Ambiguous band: the implied bound crosses lo by more than
+			// fp noise but less than the infeasibility threshold.
+			// Clamping here would fix a variable outside the true
+			// feasible set; not tightening is always sound, so leave
+			// it to the solve.
+			return
+		}
+		if w := v - lo[j]; w > preEps*crossScale && w < preTol*(1+math.Abs(v)) {
+			// Knife-edge interval: applying would leave a range
+			// narrower than the solvers' feasibility slack, letting a
+			// vertex mix both (mutually exclusive beyond tolerance)
+			// ends — a tolerance-level bound slip then amplifies
+			// through the constraint chain into a measurable objective
+			// gain (found by FuzzPresolveRoundTrip: a [0, 6e-8]
+			// interval bought 1.8e-5 of objective through a ×300
+			// coefficient). Exact fixes (w ≈ 0) and wide intervals
+			// both stay; the ambiguous band skips.
+			return
+		}
+		up[j] = math.Max(v, lo[j])
+		nt++
+	}
+	applyLo := func(j int, v float64) {
+		if math.IsInf(v, -1) || math.IsNaN(v) {
+			return
+		}
+		if v <= lo[j]+preTol*(1+math.Abs(v)) {
+			return
+		}
+		crossScale := 1 + math.Abs(v) + math.Abs(up[j])
+		if v > up[j]+preTol*crossScale {
+			bad = true
+			return
+		}
+		if v > up[j]+preEps*crossScale {
+			return // ambiguous crossing band: see applyUp
+		}
+		if w := up[j] - v; w > preEps*crossScale && w < preTol*(1+math.Abs(v)) {
+			return // knife-edge interval: see applyUp
+		}
+		lo[j] = math.Min(v, up[j])
+		nt++
+	}
+	for i := 0; i < mRows && !bad; i++ {
+		coefs, sense, rhs, live := rowAt(i)
+		if !live || len(coefs) == 0 {
+			continue
+		}
+		// Row activity bounds: finite partial sums plus the count of
+		// infinite contributions, so "activity excluding column j" is
+		// recoverable when j carries the only infinity.
+		minSum, maxSum, actMag := 0.0, 0.0, 0.0
+		nMinInf, nMaxInf := 0, 0
+		for _, c := range coefs {
+			a := c.Value
+			if a == 0 {
+				// Explicit zero coefficients survive in raw Problem
+				// rows (the pipeline drops them at build, TightenBounds
+				// sees them): 0·(±Inf) would poison the activity sums
+				// with NaN.
+				continue
+			}
+			l, u := lo[c.Var], up[c.Var]
+			var cmin, cmax float64
+			if a > 0 {
+				cmin, cmax = a*l, a*u
+			} else {
+				cmin, cmax = a*u, a*l
+			}
+			if math.IsInf(cmin, -1) {
+				nMinInf++
+			} else {
+				minSum += cmin
+				actMag += math.Abs(cmin)
+			}
+			if math.IsInf(cmax, 1) {
+				nMaxInf++
+			} else {
+				maxSum += cmax
+				actMag += math.Abs(cmax)
+			}
+		}
+		ftol := preTol * (1 + math.Abs(rhs) + actMag)
+		if (sense == LE || sense == EQ) && nMinInf == 0 && minSum > rhs+ftol {
+			return nt, true
+		}
+		if (sense == GE || sense == EQ) && nMaxInf == 0 && maxSum < rhs-ftol {
+			return nt, true
+		}
+		for _, c := range coefs {
+			a := c.Value
+			if a < 1e-8 && a > -1e-8 {
+				continue // a noise-scale divisor would amplify, not tighten
+			}
+			j := c.Var
+			l, u := lo[j], up[j]
+			var cmin, cmax float64
+			if a > 0 {
+				cmin, cmax = a*l, a*u
+			} else {
+				cmin, cmax = a*u, a*l
+			}
+			if sense == LE || sense == EQ {
+				woMin := math.Inf(-1)
+				if nMinInf == 0 {
+					woMin = minSum - cmin
+				} else if nMinInf == 1 && math.IsInf(cmin, -1) {
+					woMin = minSum
+				}
+				if !math.IsInf(woMin, -1) {
+					v := (rhs - woMin) / a
+					if a > 0 {
+						applyUp(j, v)
+					} else {
+						applyLo(j, v)
+					}
+				}
+			}
+			if sense == GE || sense == EQ {
+				woMax := math.Inf(1)
+				if nMaxInf == 0 {
+					woMax = maxSum - cmax
+				} else if nMaxInf == 1 && math.IsInf(cmax, 1) {
+					woMax = maxSum
+				}
+				if !math.IsInf(woMax, 1) {
+					v := (rhs - woMax) / a
+					if a > 0 {
+						applyLo(j, v)
+					} else {
+						applyUp(j, v)
+					}
+				}
+			}
+		}
+	}
+	return nt, bad
+}
+
+// TightenBounds runs constraint-driven bound tightening on p in place:
+// up to maxPasses propagation sweeps (0 means 1) deriving implied
+// variable bounds from row activity bounds. It returns the number of
+// bounds tightened and whether the propagation proved the problem
+// infeasible. Implied bounds never cut a feasible point, so the LP
+// optimum is unchanged and any warm-start basis for p stays usable —
+// this is the cheap reduction branch-and-bound nodes run after a
+// branching bound change, pruning provably empty subproblems without
+// an LP solve.
+func TightenBounds(p *Problem, maxPasses int) (tightened int, infeasible bool) {
+	if maxPasses <= 0 {
+		maxPasses = 1
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		nt, bad := tightenSweep(len(p.rows), func(i int) ([]Coef, Sense, float64, bool) {
+			r := &p.rows[i]
+			return r.coefs, r.sense, r.rhs, true
+		}, p.lo, p.up)
+		tightened += nt
+		if bad {
+			return tightened, true
+		}
+		if nt == 0 {
+			break
+		}
+	}
+	return tightened, false
+}
+
+// presolveProblem runs the pipeline. It returns (nil, sol) when a
+// reduction proves the model infeasible without a solve and (nil, nil)
+// when there is nothing to reduce.
+func presolveProblem(p *Problem) (*presolved, *Solution) {
+	n, m := p.n, len(p.rows)
+	ps := &presolved{nOrig: n, mOrig: m, orig: p}
+	obj := append([]float64(nil), p.obj...)
+	lo := append([]float64(nil), p.lo...)
+	up := append([]float64(nil), p.up...)
+	rows := make([]prow, m)
+	for i, r := range p.rows {
+		cf := make([]Coef, 0, len(r.coefs))
+		for _, c := range r.coefs {
+			if c.Value != 0 {
+				cf = append(cf, c)
+			}
+		}
+		rows[i] = prow{coefs: cf, sense: r.sense, rhs: r.rhs, subMag: math.Abs(r.rhs)}
+	}
+	colGone := make([]bool, n)
+	// colRows indexes the rows containing each column at build time.
+	// Rows only ever LOSE coefficients, so the index stays a superset
+	// of the live membership: fixPass visits colRows[j] and skips gone
+	// rows and already-removed coefficients, keeping substitution
+	// linear in the column's nonzeros instead of scanning every row.
+	colRows := make([][]int32, n)
+	for i := range rows {
+		for _, c := range rows[i].coefs {
+			colRows[c.Var] = append(colRows[c.Var], int32(i))
+		}
+	}
+	infeas := false
+
+	// rowPass decides empty rows and converts singleton rows into
+	// variable bounds (a required conversion, not an implied one: the
+	// row is deleted, so its bound must be applied exactly).
+	rowPass := func() bool {
+		changed := false
+		for i := range rows {
+			r := &rows[i]
+			if r.gone {
+				continue
+			}
+			if len(r.coefs) == 0 {
+				ftol := preEps * (1 + r.subMag)
+				bad := false
+				switch r.sense {
+				case LE:
+					bad = r.rhs < -ftol
+				case GE:
+					bad = r.rhs > ftol
+				case EQ:
+					bad = math.Abs(r.rhs) > ftol
+				}
+				if bad {
+					infeas = true
+					return changed
+				}
+				r.gone = true
+				ps.steps = append(ps.steps, stepDropRow{i})
+				changed = true
+				continue
+			}
+			if len(r.coefs) != 1 {
+				continue
+			}
+			c := r.coefs[0]
+			a, j := c.Value, c.Var
+			v := r.rhs / a
+			// Noise-scale tolerance, like the empty-row decision: a
+			// crossing beyond fp noise is a genuine (if tiny)
+			// infeasibility, and forgiving it here would disagree with
+			// the exact-arithmetic verdict the reference engine leans
+			// toward — found by FuzzPresolveRoundTrip.
+			tol := preEps * (1 + math.Abs(v) + r.subMag/math.Abs(a))
+			upB := (r.sense == LE && a > 0) || (r.sense == GE && a < 0) || r.sense == EQ
+			loB := (r.sense == GE && a > 0) || (r.sense == LE && a < 0) || r.sense == EQ
+			if upB {
+				if v < lo[j]-tol {
+					infeas = true
+					return changed
+				}
+				if v < up[j] {
+					up[j] = math.Max(v, lo[j])
+				}
+			}
+			if loB {
+				if v > up[j]+tol {
+					infeas = true
+					return changed
+				}
+				if v > lo[j] {
+					lo[j] = math.Min(v, up[j])
+				}
+			}
+			r.gone = true
+			ps.steps = append(ps.steps, stepDropRow{i})
+			ps.cnt.singletonRows++
+			changed = true
+		}
+		return changed
+	}
+
+	// fixPass substitutes every fixed column (lo == up) into its rows.
+	fixPass := func() bool {
+		changed := false
+		for j := 0; j < n; j++ {
+			if colGone[j] || lo[j] != up[j] {
+				continue
+			}
+			v := lo[j]
+			colGone[j] = true
+			rest := int8(atLower)
+			if math.IsInf(p.lo[j], -1) && !math.IsInf(p.up[j], 1) {
+				rest = int8(atUpper)
+			}
+			ps.steps = append(ps.steps, stepFixCol{j: j, v: v, rest: rest})
+			for _, ri := range colRows[j] {
+				r := &rows[ri]
+				if r.gone {
+					continue
+				}
+				for t := range r.coefs {
+					if r.coefs[t].Var == j {
+						sub := r.coefs[t].Value * v
+						r.rhs -= sub
+						r.subMag += math.Abs(sub)
+						r.coefs = append(r.coefs[:t], r.coefs[t+1:]...)
+						break
+					}
+				}
+			}
+			changed = true
+		}
+		return changed
+	}
+
+	// chase runs empty/singleton rows and fixed columns to their own
+	// fixpoint, so fixing one end of an equality chain collapses the
+	// whole chain inside one outer pass.
+	chase := func() bool {
+		any := false
+		for {
+			c1 := rowPass()
+			if infeas {
+				return any || c1
+			}
+			c2 := fixPass()
+			if c1 || c2 {
+				any = true
+				continue
+			}
+			return any
+		}
+	}
+
+	// singletonColPass substitutes free and implied-free column
+	// singletons out of their equality row, and fixes empty columns at
+	// their objective-preferred bound.
+	singletonColPass := func() bool {
+		changed := false
+		cnt := make([]int, n)
+		rowOf := make([]int, n)
+		for i := range rows {
+			if rows[i].gone {
+				continue
+			}
+			for _, c := range rows[i].coefs {
+				cnt[c.Var]++
+				rowOf[c.Var] = i
+			}
+		}
+		for j := 0; j < n; j++ {
+			if colGone[j] {
+				continue
+			}
+			if cnt[j] == 0 {
+				// Empty column: fix at the bound the objective prefers.
+				// An unbounded preference (the needed bound infinite)
+				// is left for the solver to certify as Unbounded.
+				switch {
+				case obj[j] > 0 && !math.IsInf(lo[j], -1):
+					up[j] = lo[j]
+				case obj[j] < 0 && !math.IsInf(up[j], 1):
+					lo[j] = up[j]
+				case obj[j] == 0 && lo[j] != up[j]:
+					v := math.Min(math.Max(0, lo[j]), up[j])
+					lo[j], up[j] = v, v
+				default:
+					continue
+				}
+				changed = true
+				continue
+			}
+			if cnt[j] != 1 {
+				continue
+			}
+			i := rowOf[j]
+			r := &rows[i]
+			if r.gone || r.sense != EQ || len(r.coefs) < 2 {
+				continue
+			}
+			var aj float64
+			for _, c := range r.coefs {
+				if c.Var == j {
+					aj = c.Value
+				}
+			}
+			if math.Abs(aj) < 1e-8 {
+				continue
+			}
+			if !math.IsInf(lo[j], -1) || !math.IsInf(up[j], 1) {
+				// Implied-free test: the row bounds x_j inside its own
+				// bounds, so they can never bind and x_j is free in
+				// disguise.
+				woMin, woMax, famag := 0.0, 0.0, math.Abs(r.rhs)
+				for _, c := range r.coefs {
+					if c.Var == j {
+						continue
+					}
+					a := c.Value
+					l, u := lo[c.Var], up[c.Var]
+					var cmin, cmax float64
+					if a > 0 {
+						cmin, cmax = a*l, a*u
+					} else {
+						cmin, cmax = a*u, a*l
+					}
+					woMin += cmin // ±Inf propagates through the sum
+					woMax += cmax
+					if !math.IsInf(cmin, -1) {
+						famag += math.Abs(cmin)
+					}
+					if !math.IsInf(cmax, 1) {
+						famag += math.Abs(cmax)
+					}
+				}
+				var iLo, iHi float64
+				if aj > 0 {
+					iLo, iHi = (r.rhs-woMax)/aj, (r.rhs-woMin)/aj
+				} else {
+					iLo, iHi = (r.rhs-woMin)/aj, (r.rhs-woMax)/aj
+				}
+				// The acceptance margin covers only the fp error of the
+				// activity sums — a looser (tolerance-scale) margin once
+				// let a substituted value land outside its bounds by a
+				// coefficient-amplified 1e-3, silently improving the
+				// objective (found by FuzzPresolveRoundTrip).
+				margin := 1e-12 * (1 + famag/math.Abs(aj))
+				if !(iLo >= lo[j]-margin && iHi <= up[j]+margin) {
+					continue
+				}
+			}
+			sc := make([]Coef, 0, len(r.coefs)-1)
+			for _, c := range r.coefs {
+				if c.Var != j {
+					sc = append(sc, c)
+				}
+			}
+			ps.steps = append(ps.steps, stepSubst{j: j, i: i, aj: aj, rhs: r.rhs, coefs: sc})
+			for _, c := range sc {
+				obj[c.Var] -= obj[j] * c.Value / aj
+			}
+			colGone[j] = true
+			r.gone = true
+			ps.cnt.singletonCols++
+			changed = true
+			for _, c := range sc {
+				cnt[c.Var]--
+			}
+		}
+		return changed
+	}
+
+	// dupColPass merges proportional columns with proportional costs
+	// and fixes dominated duplicates at their bound.
+	type ent struct {
+		row int32
+		val float64
+	}
+	dupColPass := func() bool {
+		changed := false
+		colsIdx := make([][]ent, n)
+		for i := range rows {
+			if rows[i].gone {
+				continue
+			}
+			for _, c := range rows[i].coefs {
+				colsIdx[c.Var] = append(colsIdx[c.Var], ent{int32(i), c.Value})
+			}
+		}
+		proportional := func(j, k int) (float64, bool) {
+			ej, ek := colsIdx[j], colsIdx[k]
+			if len(ej) != len(ek) || len(ej) == 0 {
+				return 0, false
+			}
+			lam := ek[0].val / ej[0].val
+			for t := range ej {
+				if ej[t].row != ek[t].row {
+					return 0, false
+				}
+				if d := ek[t].val - lam*ej[t].val; math.Abs(d) > preEps*(math.Abs(ek[t].val)+math.Abs(lam*ej[t].val)+1) {
+					return 0, false
+				}
+			}
+			return lam, true
+		}
+		// domFix fixes the dominated column k when shifting mass onto j
+		// is always profitable and j's bound can absorb it: every
+		// optimum then has w = lam·x_k at the matching end of its
+		// range, and feasibility is preserved because any feasible
+		// point can be shifted there.
+		domFix := func(j, k int, lam, d float64) bool {
+			if d < 0 && math.IsInf(up[j], 1) {
+				if lam > 0 && !math.IsInf(lo[k], -1) {
+					up[k] = lo[k]
+					return true
+				}
+				if lam < 0 && !math.IsInf(up[k], 1) {
+					lo[k] = up[k]
+					return true
+				}
+			}
+			if d > 0 && math.IsInf(lo[j], -1) {
+				if lam > 0 && !math.IsInf(up[k], 1) {
+					lo[k] = up[k]
+					return true
+				}
+				if lam < 0 && !math.IsInf(lo[k], -1) {
+					up[k] = lo[k]
+					return true
+				}
+			}
+			return false
+		}
+		buckets := map[uint64][]int{}
+		for j := 0; j < n; j++ {
+			if colGone[j] || len(colsIdx[j]) == 0 || lo[j] == up[j] {
+				continue
+			}
+			h := uint64(len(colsIdx[j]))
+			for _, e := range colsIdx[j] {
+				h = h*1000003 + uint64(e.row)
+			}
+			buckets[h] = append(buckets[h], j)
+		}
+		for _, cand := range buckets {
+			for a := 0; a < len(cand); a++ {
+				j := cand[a]
+				if colGone[j] || lo[j] == up[j] {
+					continue
+				}
+				for b2 := a + 1; b2 < len(cand); b2++ {
+					k := cand[b2]
+					if colGone[k] || lo[k] == up[k] {
+						continue
+					}
+					lam, ok := proportional(j, k)
+					if !ok {
+						continue
+					}
+					d := obj[j] - obj[k]/lam
+					if math.Abs(d) <= preEps*(1+math.Abs(obj[j])+math.Abs(obj[k]/lam)) {
+						if math.IsInf(lo[j], 0) || math.IsInf(up[j], 0) ||
+							math.IsInf(lo[k], 0) || math.IsInf(up[k], 0) {
+							continue // split undefined with open ranges
+						}
+						wLo := math.Min(lam*lo[k], lam*up[k])
+						wHi := math.Max(lam*lo[k], lam*up[k])
+						ps.steps = append(ps.steps, stepMerge{
+							j: j, k: k, lam: lam,
+							loj: lo[j], upj: up[j], wLo: wLo, wHi: wHi,
+						})
+						lo[j] += wLo
+						up[j] += wHi
+						colGone[k] = true
+						for _, e := range colsIdx[k] {
+							r := &rows[e.row]
+							for t := range r.coefs {
+								if r.coefs[t].Var == k {
+									r.coefs = append(r.coefs[:t], r.coefs[t+1:]...)
+									break
+								}
+							}
+						}
+						ps.cnt.dupCols++
+						changed = true
+						continue
+					}
+					// Dominance in either direction fixes one column;
+					// the fixed-column chase eliminates it next round.
+					if domFix(j, k, lam, d) || domFix(k, j, 1/lam, -lam*d) {
+						ps.cnt.dupCols++
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	}
+
+	tightenPass := func() bool {
+		nt, bad := tightenSweep(m, func(i int) ([]Coef, Sense, float64, bool) {
+			r := &rows[i]
+			return r.coefs, r.sense, r.rhs, !r.gone
+		}, lo, up)
+		ps.cnt.tightened += nt
+		if bad {
+			infeas = true
+		}
+		return nt > 0
+	}
+
+	touched := false
+	for pass := 0; pass < maxPresolvePasses; pass++ {
+		changed := chase()
+		if !infeas {
+			changed = singletonColPass() || changed
+		}
+		if !infeas {
+			changed = dupColPass() || changed
+		}
+		if !infeas {
+			changed = tightenPass() || changed
+		}
+		if changed {
+			ps.cnt.passes++
+			touched = true
+		}
+		if infeas || !changed {
+			break
+		}
+	}
+
+	// Build the maps even on early exits so fillStats can count.
+	ps.colMap = make([]int, n)
 	nKept := 0
-	for j := 0; j < p.n; j++ {
-		if p.lo[j] == p.up[j] {
-			ps.fixedVal[j] = p.lo[j]
+	for j := 0; j < n; j++ {
+		if colGone[j] {
 			ps.colMap[j] = -1
-			ps.objConst += p.obj[j] * p.lo[j]
-			nFixed++
 		} else {
-			ps.fixedVal[j] = math.NaN()
 			ps.colMap[j] = nKept
 			nKept++
 		}
 	}
-
-	// First pass over the rows: substitute fixed values and classify.
-	// Zero-valued coefficients are dropped here: a row whose surviving
-	// coefficients are all zero is numerically empty, and letting it
-	// through to the reduced problem once produced a reduced model whose
-	// only trace of an inconsistent constraint was a violated fixed
-	// slack — at a magnitude the phase-1 feasibility tolerance (scaled
-	// by the largest reduced RHS, which the substitution itself can
-	// inflate) silently absorbed. Empty rows must be decided here:
-	// consistent → dropped, unsatisfiable RHS → Infeasible.
-	type redRow struct {
-		coefs []Coef
-		rhs   float64
-	}
-	kept := make([]redRow, 0, len(p.rows))
-	for i, r := range p.rows {
-		rhs := r.rhs
-		subMag := math.Abs(r.rhs)
-		var coefs []Coef
-		for _, c := range r.coefs {
-			if c.Value == 0 {
-				continue
-			}
-			if jr := ps.colMap[c.Var]; jr >= 0 {
-				coefs = append(coefs, Coef{Var: jr, Value: c.Value})
-			} else {
-				sub := c.Value * ps.fixedVal[c.Var]
-				rhs -= sub
-				subMag += math.Abs(sub)
-			}
-		}
-		if len(coefs) == 0 {
-			// Empty row: consistent → drop, inconsistent → infeasible.
-			// The tolerance scales with the substituted magnitudes, not
-			// just the original RHS — cancellation between large fixed
-			// terms leaves noise of that larger scale.
-			ftol := 1e-9 * (1 + subMag)
-			bad := false
-			switch r.sense {
-			case LE:
-				bad = rhs < -ftol
-			case GE:
-				bad = rhs > ftol
-			case EQ:
-				bad = math.Abs(rhs) > ftol
-			}
-			if bad {
-				return nil, &Solution{Status: Infeasible}
-			}
+	ps.rowMap = make([]int, m)
+	for i := range rows {
+		if rows[i].gone {
 			ps.rowMap[i] = -1
-			continue
+		} else {
+			ps.rowMap[i] = len(ps.keptRows)
+			ps.keptRows = append(ps.keptRows, i)
 		}
-		ps.rowMap[i] = len(kept)
-		ps.keptRows = append(ps.keptRows, i)
-		kept = append(kept, redRow{coefs: coefs, rhs: rhs})
 	}
 
-	if nFixed == 0 && len(kept) == len(p.rows) {
-		return nil, nil // nothing to do
+	if infeas {
+		sol := &Solution{Status: Infeasible}
+		ps.fillStats(&sol.Stats)
+		return nil, sol
+	}
+	if !touched {
+		return nil, nil
 	}
 
 	rp := New(nKept)
-	for j := 0; j < p.n; j++ {
+	for j := 0; j < n; j++ {
 		if jr := ps.colMap[j]; jr >= 0 {
-			rp.SetObj(jr, p.obj[j])
-			rp.SetBounds(jr, p.lo[j], p.up[j])
+			rp.SetObj(jr, obj[j])
+			rp.SetBounds(jr, lo[j], up[j])
 		}
 	}
-	for i, rr := range kept {
-		_, sense, _ := p.Row(ps.keptRows[i])
-		rp.AddRow(rr.coefs, sense, rr.rhs)
+	for _, i := range ps.keptRows {
+		r := &rows[i]
+		cf := make([]Coef, len(r.coefs))
+		for t, c := range r.coefs {
+			cf[t] = Coef{Var: ps.colMap[c.Var], Value: c.Value}
+		}
+		rp.AddRow(cf, r.sense, r.rhs)
 	}
 	ps.reduced = rp
 	return ps, nil
 }
 
 // crushBasis maps an original-space warm basis into the reduced space.
-// It returns nil (cold start) when the basis is structurally
-// incompatible with the reduction: an eliminated column basic, an
-// eliminated row's slack nonbasic, or a basic count mismatch.
+// It returns nil (cold start) when any reduction record is structurally
+// incompatible with the basis, or when the surviving basic count does
+// not match the reduced row count.
 func (ps *presolved) crushBasis(b *Basis) *Basis {
 	if b == nil || b.nStruct != ps.nOrig || b.m != ps.mOrig {
 		return nil
 	}
-	nRed := ps.reduced.n
-	mRed := len(ps.keptRows)
+	nRed, mRed := ps.reduced.n, len(ps.keptRows)
 	st := make([]int8, nRed+mRed)
-	nb := 0
 	for j := 0; j < ps.nOrig; j++ {
-		jr := ps.colMap[j]
-		if jr < 0 {
-			if int(b.status[j]) == basic {
-				return nil
-			}
-			continue
-		}
-		st[jr] = b.status[j]
-		if int(b.status[j]) == basic {
-			nb++
+		if jr := ps.colMap[j]; jr >= 0 {
+			st[jr] = b.status[j]
 		}
 	}
 	for i := 0; i < ps.mOrig; i++ {
-		ir := ps.rowMap[i]
-		slack := b.status[ps.nOrig+i]
-		if ir < 0 {
-			if int(slack) != basic {
-				return nil
-			}
-			continue
+		if ir := ps.rowMap[i]; ir >= 0 {
+			st[nRed+ir] = b.status[ps.nOrig+i]
 		}
-		st[nRed+ir] = slack
-		if int(slack) == basic {
+	}
+	for _, s := range ps.steps {
+		if !s.crush(ps, b, st) {
+			return nil
+		}
+	}
+	nb := 0
+	for _, v := range st {
+		if int(v) == basic {
 			nb++
 		}
 	}
@@ -173,41 +955,65 @@ func (ps *presolved) crushBasis(b *Basis) *Basis {
 }
 
 // uncrushBasis expands a reduced-space basis to the original space:
-// eliminated columns rest nonbasic at their (fixed) lower bound and the
-// slack of every eliminated row re-enters the basis, so the basic count
-// again matches the original row count.
+// kept statuses are copied through the maps, then the reduction records
+// replay in reverse — eliminated fixed columns rest at their (fixed)
+// lower bound, dropped rows' slacks re-enter the basis, substituted
+// columns re-enter the basis in place of their row's slack, and merged
+// columns rest at the end of their range matching the survivor.
 func (ps *presolved) uncrushBasis(b *Basis) *Basis {
 	if b == nil {
 		return nil
 	}
 	st := make([]int8, ps.nOrig+ps.mOrig)
+	nRed := ps.reduced.n
 	for j := 0; j < ps.nOrig; j++ {
 		if jr := ps.colMap[j]; jr >= 0 {
 			st[j] = b.status[jr]
 		} else {
-			st[j] = atLower
+			st[j] = int8(atLower)
 		}
 	}
-	nRed := ps.reduced.n
 	for i := 0; i < ps.mOrig; i++ {
 		if ir := ps.rowMap[i]; ir >= 0 {
 			st[ps.nOrig+i] = b.status[nRed+ir]
 		} else {
-			st[ps.nOrig+i] = basic
+			st[ps.nOrig+i] = int8(basic)
+		}
+	}
+	for t := len(ps.steps) - 1; t >= 0; t-- {
+		ps.steps[t].postsolveBasis(st, ps.nOrig)
+	}
+	// A kept column's reduced status can be unrestable in the original
+	// space: presolve may have tightened an infinite bound to a finite
+	// one the reduced basis rests on. Re-rest those against the
+	// ORIGINAL bounds (the normalizeNonbasic convention: the opposite
+	// finite bound, or free-at-zero).
+	for j := 0; j < ps.nOrig; j++ {
+		switch int(st[j]) {
+		case atUpper:
+			if math.IsInf(ps.orig.up[j], 1) {
+				st[j] = int8(atLower)
+			}
+		case atLower:
+			if math.IsInf(ps.orig.lo[j], -1) && !math.IsInf(ps.orig.up[j], 1) {
+				st[j] = int8(atUpper)
+			}
 		}
 	}
 	return &Basis{status: st, nStruct: ps.nOrig, m: ps.mOrig}
 }
 
-// postsolve un-crushes the reduced solution into the original space.
-func (ps *presolved) postsolve(rsol *Solution) *Solution {
+// postsolve un-crushes the reduced solution into the original space,
+// replaying the reduction records in reverse. The objective is
+// recomputed against the original costs (substitutions shift cost onto
+// other columns, so the reduced objective differs by a constant).
+func (ps *presolved) postsolve(p *Problem, rsol *Solution) *Solution {
 	sol := &Solution{
 		Status:     rsol.Status,
 		Iterations: rsol.Iterations,
 		Stats:      rsol.Stats,
 	}
-	sol.Stats.PresolvedCols = ps.nOrig - ps.reduced.n
-	sol.Stats.PresolvedRows = ps.mOrig - len(ps.keptRows)
+	ps.fillStats(&sol.Stats)
 	if rsol.Status != Optimal {
 		return sol
 	}
@@ -215,12 +1021,17 @@ func (ps *presolved) postsolve(rsol *Solution) *Solution {
 	for j := 0; j < ps.nOrig; j++ {
 		if jr := ps.colMap[j]; jr >= 0 {
 			x[j] = rsol.X[jr]
-		} else {
-			x[j] = ps.fixedVal[j]
 		}
 	}
+	for t := len(ps.steps) - 1; t >= 0; t-- {
+		ps.steps[t].postsolveX(x)
+	}
 	sol.X = x
-	sol.Objective = rsol.Objective + ps.objConst
+	obj := 0.0
+	for j := 0; j < ps.nOrig; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	sol.Objective = obj
 	sol.Basis = ps.uncrushBasis(rsol.Basis)
 	return sol
 }
@@ -233,7 +1044,7 @@ func solvePresolved(p *Problem, opt Options) (*Solution, error) {
 		return sol, nil
 	}
 	if ps == nil {
-		// Nothing eliminated: solve in place, bases flow untouched.
+		// Nothing reduced: solve in place, bases flow untouched.
 		opt.Presolve = false
 		return solveSparseDirect(p, opt)
 	}
@@ -244,7 +1055,7 @@ func solvePresolved(p *Problem, opt Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := ps.postsolve(rsol)
+	out := ps.postsolve(p, rsol)
 	if opt.WarmStart != nil && !out.Stats.Warm {
 		out.Stats.WarmFellBack = true
 	}

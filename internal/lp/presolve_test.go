@@ -1,0 +1,348 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPresolveSingletonRow: a singleton row must become a variable
+// bound (and be dropped), and an unsatisfiable singleton must prove
+// infeasibility without a pivot.
+func TestPresolveSingletonRow(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 1)
+	p.SetBounds(0, 0, 10)
+	p.SetBounds(1, 0, 10)
+	p.AddRow([]Coef{{Var: 0, Value: 2}}, GE, 6)                     // x0 >= 3
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 5) // x1 >= 2 at opt
+	sol, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %+v", err, sol)
+	}
+	// The cascade goes all the way: the singleton row becomes x0 >= 3,
+	// which leaves x0 and x1 as duplicate columns in the remaining row;
+	// they merge, the row becomes a singleton on the merged column, and
+	// the empty merged column is fixed — zero pivots total.
+	if sol.Stats.PresolveSingletonRows == 0 || sol.Stats.PresolvedRows != 2 {
+		t.Fatalf("stats: %+v", sol.Stats)
+	}
+	if math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("got obj %g x %v, want 5", sol.Objective, sol.X)
+	}
+	if sol.X[0] < 3-1e-9 || sol.X[0]+sol.X[1] < 5-1e-9 {
+		t.Fatalf("postsolved point infeasible: %v", sol.X)
+	}
+	if err := sol.Basis.Validate(p); err != nil {
+		t.Fatalf("postsolved basis: %v", err)
+	}
+
+	q := New(1)
+	q.SetBounds(0, 0, 2)
+	q.AddRow([]Coef{{Var: 0, Value: 1}}, GE, 5) // x0 >= 5 vs up=2
+	bad, err := SolveOpts(q, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Status != Infeasible || bad.Stats.Iterations != 0 {
+		t.Fatalf("unsatisfiable singleton: %+v", bad)
+	}
+}
+
+// TestPresolveSingletonRowCascade: fixing one end of an equality chain
+// must collapse the whole chain inside presolve (singleton EQ rows fix
+// variables, fixed columns expose new singletons).
+func TestPresolveSingletonRowCascade(t *testing.T) {
+	const n = 12
+	p := New(n)
+	p.SetObj(n-1, 1)
+	for j := 0; j < n; j++ {
+		p.SetBounds(j, 0, 10)
+	}
+	p.AddRow([]Coef{{Var: 0, Value: 1}}, EQ, 3)
+	for j := 0; j+1 < n; j++ {
+		p.AddRow([]Coef{{Var: j, Value: 1}, {Var: j + 1, Value: -1}}, EQ, 0)
+	}
+	sol, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %+v", err, sol)
+	}
+	if sol.Stats.PresolvedCols != n || sol.Stats.PresolvedRows != n {
+		t.Fatalf("cascade left %d/%d un-eliminated: %+v",
+			n-sol.Stats.PresolvedCols, n-sol.Stats.PresolvedRows, sol.Stats)
+	}
+	if sol.Stats.Iterations != 0 {
+		t.Fatalf("fully presolved chain took %d pivots", sol.Stats.Iterations)
+	}
+	for j := 0; j < n; j++ {
+		if math.Abs(sol.X[j]-3) > 1e-9 {
+			t.Fatalf("x[%d] = %g, want 3", j, sol.X[j])
+		}
+	}
+	if err := sol.Basis.Validate(p); err != nil {
+		t.Fatalf("postsolved basis: %v", err)
+	}
+}
+
+// TestPresolveFreeSingletonColumn: a free column appearing in exactly
+// one equality row is substituted out together with the row, and the
+// postsolve recovers its value from the row.
+func TestPresolveFreeSingletonColumn(t *testing.T) {
+	p := New(3)
+	p.SetObj(0, 1)
+	p.SetObj(2, 2) // cost on the substituted free column
+	p.SetBounds(0, 0, 4)
+	p.SetBounds(1, 0, 4)
+	p.SetBounds(2, math.Inf(-1), math.Inf(1))
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, EQ, 3)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: -1}}, LE, 1)
+
+	plain, err := Solve(p)
+	if err != nil || plain.Status != Optimal {
+		t.Fatalf("plain: %v %+v", err, plain)
+	}
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveSingletonCols != 1 {
+		t.Fatalf("stats: %+v", pre.Stats)
+	}
+	if math.Abs(plain.Objective-pre.Objective) > 1e-9*(1+math.Abs(plain.Objective)) {
+		t.Fatalf("objective mismatch: %g vs %g", plain.Objective, pre.Objective)
+	}
+	// The substituted variable's value must satisfy its defining row.
+	if got := pre.X[0] + pre.X[1] + pre.X[2]; math.Abs(got-3) > 1e-9 {
+		t.Fatalf("defining row violated: sum %g", got)
+	}
+	if err := pre.Basis.Validate(p); err != nil {
+		t.Fatalf("postsolved basis: %v", err)
+	}
+}
+
+// TestPresolveImpliedFreeSingleton: a bounded column singleton whose
+// row already confines it inside its bounds must be treated as free and
+// substituted.
+func TestPresolveImpliedFreeSingleton(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, -100, 100) // implied: x1 = 5 - x0 ∈ [4, 5] ⊂ [-100, 100]
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, EQ, 5)
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveSingletonCols != 1 {
+		t.Fatalf("implied-free singleton not substituted: %+v", pre.Stats)
+	}
+	if math.Abs(pre.X[0]-1) > 1e-9 || math.Abs(pre.X[1]-4) > 1e-9 {
+		t.Fatalf("x = %v, want [1 4]", pre.X)
+	}
+}
+
+// TestPresolveDuplicateColumns: proportional columns with proportional
+// costs merge into one; the split must land both halves inside their
+// bounds and the merged solve must agree with the plain one.
+func TestPresolveDuplicateColumns(t *testing.T) {
+	p := New(3)
+	p.SetObj(0, -1)
+	p.SetObj(1, -2) // = lam * obj[0] with lam = 2
+	p.SetObj(2, 1)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 2)
+	p.SetBounds(2, 0, 10)
+	// Column 1 = 2 × column 0 in both rows.
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}, {Var: 2, Value: 1}}, LE, 8)
+	p.AddRow([]Coef{{Var: 0, Value: 3}, {Var: 1, Value: 6}, {Var: 2, Value: -1}}, LE, 12)
+
+	plain, err := Solve(p)
+	if err != nil || plain.Status != Optimal {
+		t.Fatalf("plain: %v %+v", err, plain)
+	}
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveDupCols == 0 {
+		t.Fatalf("duplicate columns not detected: %+v", pre.Stats)
+	}
+	if math.Abs(plain.Objective-pre.Objective) > 1e-9*(1+math.Abs(plain.Objective)) {
+		t.Fatalf("objective mismatch: %g vs %g", plain.Objective, pre.Objective)
+	}
+	for j := 0; j < 3; j++ {
+		lo, up := p.Bounds(j)
+		if pre.X[j] < lo-1e-9 || pre.X[j] > up+1e-9 {
+			t.Fatalf("split x[%d] = %g outside [%g,%g]", j, pre.X[j], lo, up)
+		}
+	}
+	if err := pre.Basis.Validate(p); err != nil {
+		t.Fatalf("postsolved basis: %v", err)
+	}
+}
+
+// TestPresolveDominatedDuplicate: a duplicate column with a strictly
+// worse cost and an unbounded partner is fixed at its bound.
+func TestPresolveDominatedDuplicate(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, 1)
+	p.SetObj(1, 2) // same column, strictly worse cost
+	p.SetBounds(0, 0, math.Inf(1))
+	p.SetBounds(1, 0, 5)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 4)
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveDupCols != 1 {
+		t.Fatalf("dominated duplicate not fixed: %+v", pre.Stats)
+	}
+	if math.Abs(pre.Objective-4) > 1e-9 || math.Abs(pre.X[1]) > 1e-9 {
+		t.Fatalf("got obj %g x %v, want 4 with x1=0", pre.Objective, pre.X)
+	}
+}
+
+// TestPresolveBoundTighteningToFixed: activity propagation must cascade
+// down to fixed columns (x+y=4 with x,y ≤ 2 forces x=y=2) and detect
+// activity-infeasible rows without a solve.
+func TestPresolveBoundTighteningToFixed(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, 1)
+	p.SetBounds(0, 0, 2)
+	p.SetBounds(1, 0, 2)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, EQ, 4)
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveTightened == 0 || pre.Stats.PresolvedCols != 2 {
+		t.Fatalf("tightening did not fix the columns: %+v", pre.Stats)
+	}
+	if pre.Stats.Iterations != 0 {
+		t.Fatalf("fully tightened model took %d pivots", pre.Stats.Iterations)
+	}
+	if math.Abs(pre.X[0]-2) > 1e-9 || math.Abs(pre.X[1]-2) > 1e-9 {
+		t.Fatalf("x = %v, want [2 2]", pre.X)
+	}
+
+	q := New(2)
+	q.SetBounds(0, 0, 1)
+	q.SetBounds(1, 0, 1)
+	q.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 3) // max activity 2
+	bad, err := SolveOpts(q, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Status != Infeasible || bad.Stats.Iterations != 0 {
+		t.Fatalf("activity-infeasible row not caught: %+v", bad)
+	}
+}
+
+// TestTightenBounds exercises the exported bound-tightening-only pass:
+// implied bounds must not move the optimum, warm bases must survive,
+// and provable emptiness must be reported.
+func TestTightenBounds(t *testing.T) {
+	p := New(3)
+	p.SetObj(0, -1)
+	p.SetObj(1, -1)
+	p.SetBounds(0, 0, 100)
+	p.SetBounds(1, 0, 100)
+	p.SetBounds(2, 0, 100)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, LE, 5)
+	p.AddRow([]Coef{{Var: 1, Value: 1}, {Var: 2, Value: 1}}, LE, 7)
+
+	before, err := Solve(p)
+	if err != nil || before.Status != Optimal {
+		t.Fatalf("before: %v %+v", err, before)
+	}
+	nt, bad := TightenBounds(p, 3)
+	if bad || nt == 0 {
+		t.Fatalf("tighten: nt=%d infeasible=%v", nt, bad)
+	}
+	if _, up := p.Bounds(0); up > 5 {
+		t.Fatalf("x0 upper bound not tightened: %g", up)
+	}
+	after, err := SolveOpts(p, Options{WarmStart: before.Basis})
+	if err != nil || after.Status != Optimal {
+		t.Fatalf("after: %v %+v", err, after)
+	}
+	if math.Abs(before.Objective-after.Objective) > 1e-9*(1+math.Abs(before.Objective)) {
+		t.Fatalf("tightening moved the optimum: %g vs %g", before.Objective, after.Objective)
+	}
+
+	q := New(2)
+	q.SetBounds(0, 0, 1)
+	q.SetBounds(1, 0, 1)
+	q.AddRow([]Coef{{Var: 0, Value: 2}, {Var: 1, Value: 2}}, GE, 9)
+	if _, bad := TightenBounds(q, 2); !bad {
+		t.Fatal("provably empty problem not reported infeasible")
+	}
+}
+
+// TestPresolveTightenOnly: when tightening is the only reduction (no
+// eliminations), the solve must still round-trip solution and basis
+// through the identity maps.
+func TestPresolveTightenOnly(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, 1)
+	p.SetBounds(0, 0, 100)
+	p.SetBounds(1, 0, 100)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 2}}, LE, 10)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: -1}}, GE, 1)
+	pre, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || pre.Status != Optimal {
+		t.Fatalf("presolved: %v %+v", err, pre)
+	}
+	if pre.Stats.PresolveTightened == 0 || pre.Stats.PresolvedCols != 0 {
+		t.Fatalf("stats: %+v", pre.Stats)
+	}
+	plain, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Objective-pre.Objective) > 1e-9*(1+math.Abs(plain.Objective)) {
+		t.Fatalf("objective mismatch: %g vs %g", plain.Objective, pre.Objective)
+	}
+	if err := pre.Basis.Validate(p); err != nil {
+		t.Fatalf("postsolved basis: %v", err)
+	}
+	// And the basis must warm-start a plain re-solve of a child.
+	p.SetBounds(0, 1, 100)
+	ws, err := SolveOpts(p, Options{WarmStart: pre.Basis})
+	if err != nil || ws.Status != Optimal {
+		t.Fatalf("warm child: %v %+v", err, ws)
+	}
+}
+
+// TestPresolveWarmBasisCrush: a basis from a presolved parent solve
+// must be crushable into a presolved child re-solve (the lptest warm
+// chains alternate presolve on and off; this pins the direct path).
+func TestPresolveWarmBasisCrush(t *testing.T) {
+	p := New(4)
+	p.SetObj(0, 1)
+	p.SetObj(1, -2)
+	p.SetObj(2, 3)
+	p.SetBounds(0, 0, 10)
+	p.SetBounds(1, 2, 2)
+	p.SetBounds(2, 0, 5)
+	p.SetBounds(3, -1, -1)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 2}}, GE, 3)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 2, Value: 1}}, LE, 6)
+	parent, err := SolveOpts(p, Options{Presolve: true})
+	if err != nil || parent.Status != Optimal {
+		t.Fatalf("parent: %v %+v", err, parent)
+	}
+	p.SetBounds(0, 1, 10)
+	child, err := SolveOpts(p, Options{Presolve: true, WarmStart: parent.Basis})
+	if err != nil || child.Status != Optimal {
+		t.Fatalf("child: %v %+v", err, child)
+	}
+	cold, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(child.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("objective mismatch: %g vs %g", child.Objective, cold.Objective)
+	}
+}

@@ -27,8 +27,12 @@ type Solver struct {
 func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
 
 // Solve optimizes the problem under its current bounds. Options are
-// honored like SolveOpts; Presolve bypasses the context (a reduced
-// problem cannot reuse the full-space factorization).
+// honored like SolveOpts; Presolve bypasses the context (the pipeline
+// hands the engine a reduced problem, which cannot reuse the
+// full-space factorization), but the Basis it returns is postsolved
+// into the ORIGINAL column space, so a later warm-started call on this
+// context restores it like any other snapshot — only the
+// pointer-identity reinversion skip is lost.
 func (sv *Solver) Solve(opt Options) (*Solution, error) {
 	tol := opt.Tol
 	if tol == 0 {

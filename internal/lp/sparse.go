@@ -29,7 +29,28 @@ const (
 	refactorEvery = 64
 	pivTol        = 1e-8 // |alpha| below this never pivots or blocks (noise)
 	feasTol       = 1e-9 // per-step bound relaxation of the Harris ratio test
+	// rescuePivRel sets the threshold of the rescue scans that re-admit
+	// sub-pivTol entries when the alternative is declaring Unbounded or
+	// a dual ray: on badly scaled columns (one coefficient 1e8, its
+	// neighbor 1) the only genuine blocker can price below pivTol, and
+	// skipping it turned a bounded model into a false unbounded ray —
+	// found by FuzzPresolveRoundTrip. The threshold is RELATIVE to the
+	// column's largest entry (see rescueTol): a fixed absolute cutoff
+	// either misses genuine tiny entries on small columns or, worse,
+	// admits fp elimination dust on large ones — pivoting on dust rode
+	// a genuine ray to 1e15 before declaring a garbage optimum.
+	rescuePivRel = 1e-11
 )
+
+// rescueTol is the rescue-scan pivot threshold for a column whose
+// largest entry is colMax: elimination noise scales with the column,
+// genuine small entries do not.
+func rescueTol(colMax float64) float64 {
+	if colMax < 1 {
+		colMax = 1
+	}
+	return rescuePivRel * colMax
+}
 
 // Refactorization causes, tracked per solve for Stats.
 const (
@@ -528,13 +549,47 @@ func (s *revised) finishSolve(p *Problem, opt Options, warmed bool) (*Solution, 
 // runPhase2 drives the primal phase 2 from the current (primal
 // feasible) basis and assembles the final Solution.
 func (s *revised) runPhase2(p *Problem, opt Options) (*Solution, error) {
-	switch st := s.phase2(); st {
-	case statusFallback:
-		return s.denseFallback(p, opt)
-	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
-	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: s.iters, Stats: s.stats()}, nil
+	for round := 0; ; round++ {
+		switch st := s.phase2(); st {
+		case statusFallback:
+			return s.denseFallback(p, opt)
+		case IterLimit:
+			return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
+		case Unbounded:
+			return &Solution{Status: Unbounded, Iterations: s.iters, Stats: s.stats()}, nil
+		}
+		// Feasibility audit. The ratio tests exclude sub-pivTol pivot
+		// entries from blocking (noise must never pivot), but a long
+		// step still moves those rows' basic values: t ≈ 1e5 times a
+		// genuine 1e-10 tableau entry walks a basic variable 1e-5 past
+		// its bound without any row ever blocking — found by
+		// FuzzPresolveRoundTrip on mixed 1e0/1e6 coefficient scales.
+		// The dual simplex is the repair tool that preserves the
+		// optimality (dual feasibility) phase 2 just established, so
+		// run it and re-verify, at most twice before accepting.
+		clean := true
+		for i := 0; i < s.m; i++ {
+			if sg, _ := s.infeasibility(s.basis[i], s.xB[i]); sg != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean || round >= 2 {
+			break
+		}
+		switch st := s.dualPhase(); st {
+		case Optimal:
+			// Repaired; loop to let phase 2 re-verify optimality.
+		case IterLimit:
+			return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil
+		default:
+			// statusFallback — or an Infeasible that cannot be real,
+			// since phase 2 just held a feasible-within-tolerance
+			// point. Either way the dual pivots have already mutated
+			// the basis, so the only trustworthy exit is the dense
+			// reference, same as every other statusFallback site.
+			return s.denseFallback(p, opt)
+		}
 	}
 
 	x := s.extract()
@@ -689,10 +744,35 @@ func (s *revised) ratioTest(e int, dir float64) (int, float64, bool, Status) {
 	if !math.IsInf(s.lo[e], -1) && !math.IsInf(s.up[e], 1) {
 		tMax = s.up[e] - s.lo[e]
 	}
+	leave, tBest, toUpper := s.ratioScan(dir, tMax, pivTol)
+	if leave < 0 && math.IsInf(tMax, 1) {
+		// Before declaring an unbounded ray, re-admit sub-pivTol
+		// entries: on badly scaled columns the only genuine blocker can
+		// sit below the noise threshold.
+		colMax := 0.0
+		for i := 0; i < s.m; i++ {
+			colMax = math.Max(colMax, math.Abs(s.alpha[i]))
+		}
+		leave, tBest, toUpper = s.ratioScan(dir, tMax, rescueTol(colMax))
+		if leave < 0 {
+			return -1, 0, false, Unbounded
+		}
+	}
+	if leave < 0 {
+		tBest = tMax
+	}
+	return leave, tBest, toUpper, Optimal
+}
+
+// ratioScan is the two-pass (Harris) scan of ratioTest at one pivot
+// threshold: pass 1 computes the step limit with bounds relaxed by
+// feasTol, pass 2 picks the numerically largest pivot among the rows
+// blocking within the limit, so noise-scale entries never pivot.
+func (s *revised) ratioScan(dir, tMax, ptol float64) (int, float64, bool) {
 	tLim := tMax
 	for i := 0; i < s.m; i++ {
 		y := dir * s.alpha[i]
-		if y < pivTol && y > -pivTol {
+		if y < ptol && y > -ptol {
 			continue
 		}
 		bj := s.basis[i]
@@ -718,7 +798,7 @@ func (s *revised) ratioTest(e int, dir float64) (int, float64, bool, Status) {
 	for i := 0; i < s.m; i++ {
 		a := s.alpha[i]
 		y := dir * a
-		if y < pivTol && y > -pivTol {
+		if y < ptol && y > -ptol {
 			continue
 		}
 		bj := s.basis[i]
@@ -755,13 +835,7 @@ func (s *revised) ratioTest(e int, dir float64) (int, float64, bool, Status) {
 			toUpper = hitsUpper
 		}
 	}
-	if leave < 0 && math.IsInf(tMax, 1) {
-		return -1, 0, false, Unbounded
-	}
-	if leave < 0 {
-		tBest = tMax
-	}
-	return leave, tBest, toUpper, Optimal
+	return leave, tBest, toUpper
 }
 
 // applyStep executes the chosen step: a bound flip when leave < 0, a
@@ -961,9 +1035,9 @@ func (s *revised) ratioTestPhase1(e int, dir float64) (int, float64, bool, Statu
 	}
 	// blockAt returns the strict and relaxed blocking steps for row i,
 	// or ok=false when the row does not block this direction.
-	blockAt := func(i int) (t, tRelaxed float64, hitsUpper, ok bool) {
+	blockAt := func(i int, ptol float64) (t, tRelaxed float64, hitsUpper, ok bool) {
 		a := s.alpha[i]
-		if a < pivTol && a > -pivTol {
+		if a < ptol && a > -ptol {
 			return 0, 0, false, false
 		}
 		delta := -dir * a // rate of change of xB[i] per unit step
@@ -1000,35 +1074,48 @@ func (s *revised) ratioTestPhase1(e int, dir float64) (int, float64, bool, Statu
 		}
 		return t, tRelaxed, hitsUpper, true
 	}
-	tLim := tMax
-	for i := 0; i < s.m; i++ {
-		if _, tRelaxed, _, ok := blockAt(i); ok && tRelaxed < tLim {
-			tLim = tRelaxed
-		}
-	}
-	leave, tBest, pivAbs := -1, tMax, 0.0
-	toUpper := false
-	for i := 0; i < s.m; i++ {
-		t, _, hitsUpper, ok := blockAt(i)
-		if !ok || t > tLim {
-			continue
-		}
-		aAbs := math.Abs(s.alpha[i])
-		pick := leave < 0
-		if !pick {
-			if s.bland {
-				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
-			} else {
-				pick = aAbs > pivAbs
+	scan := func(ptol float64) (int, float64, bool) {
+		tLim := tMax
+		for i := 0; i < s.m; i++ {
+			if _, tRelaxed, _, ok := blockAt(i, ptol); ok && tRelaxed < tLim {
+				tLim = tRelaxed
 			}
 		}
-		if pick {
-			leave, tBest, pivAbs = i, t, aAbs
-			toUpper = hitsUpper
+		leave, tBest, pivAbs := -1, tMax, 0.0
+		toUpper := false
+		for i := 0; i < s.m; i++ {
+			t, _, hitsUpper, ok := blockAt(i, ptol)
+			if !ok || t > tLim {
+				continue
+			}
+			aAbs := math.Abs(s.alpha[i])
+			pick := leave < 0
+			if !pick {
+				if s.bland {
+					pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+				} else {
+					pick = aAbs > pivAbs
+				}
+			}
+			if pick {
+				leave, tBest, pivAbs = i, t, aAbs
+				toUpper = hitsUpper
+			}
 		}
+		return leave, tBest, toUpper
 	}
+	leave, tBest, toUpper := scan(pivTol)
 	if leave < 0 && math.IsInf(tMax, 1) {
-		return -1, 0, false, Unbounded
+		// Same rescue as phase 2: a genuine blocker on a badly scaled
+		// column can price below pivTol.
+		colMax := 0.0
+		for i := 0; i < s.m; i++ {
+			colMax = math.Max(colMax, math.Abs(s.alpha[i]))
+		}
+		leave, tBest, toUpper = scan(rescueTol(colMax))
+		if leave < 0 {
+			return -1, 0, false, Unbounded
+		}
 	}
 	if leave < 0 {
 		tBest = tMax
@@ -1076,6 +1163,7 @@ func (s *revised) phase2() Status {
 	s.computeD()
 	s.initPricing()
 	steepest := s.pricing == PricingSteepest
+	justRefactored := false
 	for {
 		if s.iters >= s.maxIter {
 			return IterLimit
@@ -1096,8 +1184,22 @@ func (s *revised) phase2() Status {
 		s.ftran(s.alpha)
 		leave, t, toUpper, st := s.ratioTest(e, dir)
 		if st == Unbounded {
+			// Only trust a ray certificate on a fresh factorization:
+			// accumulated Forrest–Tomlin updates (spike growth) can
+			// corrupt alpha enough to hide every blocker — phase 1 and
+			// the dual phase already re-verify their rays the same way.
+			if !justRefactored && s.fe.updates() > 0 {
+				if !s.refactorCause(refUnstable) {
+					return statusFallback
+				}
+				s.computeXB()
+				s.computeD()
+				justRefactored = true
+				continue
+			}
 			return Unbounded
 		}
+		justRefactored = false
 		if leave < 0 {
 			if !s.applyStep(e, dir, leave, t, toUpper) {
 				return statusFallback

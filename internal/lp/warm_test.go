@@ -195,8 +195,14 @@ func TestPresolveFixedAndEmpty(t *testing.T) {
 	if err != nil || pre.Status != Optimal {
 		t.Fatalf("presolved: %v %v", err, pre)
 	}
-	if pre.Stats.PresolvedCols != 2 || pre.Stats.PresolvedRows != 1 {
-		t.Fatalf("expected 2 cols + 1 row eliminated, got %d/%d", pre.Stats.PresolvedCols, pre.Stats.PresolvedRows)
+	// The pipeline eliminates both fixed columns, the substituted-empty
+	// row AND the singleton row the substitution exposes (x0 + x1 >= 3
+	// becomes x0 >= 1, a bound).
+	if pre.Stats.PresolvedCols != 2 || pre.Stats.PresolvedRows != 2 {
+		t.Fatalf("expected 2 cols + 2 rows eliminated, got %d/%d", pre.Stats.PresolvedCols, pre.Stats.PresolvedRows)
+	}
+	if pre.Stats.PresolveSingletonRows != 1 {
+		t.Fatalf("expected 1 singleton row, got %d", pre.Stats.PresolveSingletonRows)
 	}
 	if math.Abs(plain.Objective-pre.Objective) > 1e-9 {
 		t.Fatalf("objective mismatch: %g vs %g", plain.Objective, pre.Objective)

@@ -104,6 +104,18 @@ func TestDifferentialDegenerate(t *testing.T) {
 			p.AddRow([]lp.Coef{{Var: 0, Value: 2}}, lp.EQ, 5)
 			return p
 		},
+		"rescue-ratio-test": func() *lp.Problem {
+			// Bounded model whose only blocking row prices at 2.5e-9 —
+			// below the ratio test's noise threshold — once the 4e8
+			// column is basic. Both engines used to declare a false
+			// unbounded ray here (found by FuzzPresolveRoundTrip); the
+			// sub-pivTol rescue pass must recover the blocker.
+			p := lp.New(2)
+			p.SetObj(0, -1)
+			p.SetObj(1, -1)
+			p.AddRow([]lp.Coef{{Var: 0, Value: 1}, {Var: 1, Value: 4e8}}, lp.LE, 6)
+			return p
+		},
 		"badly-scaled": func() *lp.Problem {
 			p := lp.New(2)
 			p.SetObj(0, 1)
@@ -267,8 +279,14 @@ func TestDifferentialPresolveEmptyRow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sol.Status != lp.Optimal || sol.Stats.PresolvedRows != 1 {
+	// Both rows are singletons to the pipeline (3·x0 ≤ 7 is consumed as
+	// a redundant singleton row before the fixed column is substituted,
+	// and x1 ≥ 1 becomes a bound), so both rows are eliminated.
+	if sol.Status != lp.Optimal || sol.Stats.PresolvedRows != 2 {
 		t.Fatalf("consistent empty row: status %v, presolvedRows %d", sol.Status, sol.Stats.PresolvedRows)
+	}
+	if sol.Stats.PresolveSingletonRows != 2 {
+		t.Fatalf("consistent empty row: singleton rows %d, want 2", sol.Stats.PresolveSingletonRows)
 	}
 }
 
@@ -325,6 +343,114 @@ func TestDifferentialPresolveFixedSubstitution(t *testing.T) {
 		if pre.Status != dense.Status {
 			t.Fatalf("trial %d: status mismatch presolve=%v dense=%v", trial, pre.Status, dense.Status)
 		}
+	}
+}
+
+// TestDifferentialPresolveAdversarial drives the presolve-adversarial
+// generator (singleton chains, duplicate columns, tightening-to-fixed
+// cascades, free column singletons) through the full agreement check,
+// a presolve-vs-dense status/objective comparison, and warm re-solve
+// chains — so every reduction of the pipeline is differentially tested
+// in one sweep.
+func TestDifferentialPresolveAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	trials := 150
+	if testing.Short() {
+		trials = 40
+	}
+	reduced := 0
+	for trial := 0; trial < trials; trial++ {
+		p := RandomPresolveAdversarial(rng)
+		if err := CheckAgreement(p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pre, err := lp.SolveOpts(p, lp.Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: presolve: %v", trial, err)
+		}
+		dense, err := lp.SolveDense(p)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if pre.Status != dense.Status {
+			t.Fatalf("trial %d: status mismatch presolve=%v dense=%v (stats %+v)",
+				trial, pre.Status, dense.Status, pre.Stats)
+		}
+		if pre.Status == lp.Optimal {
+			if v := Violation(p, pre.X); v > FeasTol {
+				t.Fatalf("trial %d: postsolved point violates constraints by %g", trial, v)
+			}
+			scale := 1 + math.Abs(dense.Objective)
+			if diff := math.Abs(pre.Objective - dense.Objective); diff > Tol*scale {
+				t.Fatalf("trial %d: objective mismatch presolve=%.12g dense=%.12g (stats %+v)",
+					trial, pre.Objective, dense.Objective, pre.Stats)
+			}
+			if err := pre.Basis.Validate(p); err != nil {
+				t.Fatalf("trial %d: postsolved basis: %v", trial, err)
+			}
+		}
+		st := pre.Stats
+		if st.PresolveSingletonRows+st.PresolveSingletonCols+st.PresolveDupCols+st.PresolveTightened > 0 {
+			reduced++
+		}
+		if err := CheckWarmChain(p, rng, 6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if reduced < trials/2 {
+		t.Errorf("adversarial generator only triggered presolve reductions on %d/%d trials", reduced, trials)
+	}
+}
+
+// TestPostsolvedBasisValid is the structural property of satellite
+// scope: every Basis a presolved solve returns — across the {LU, eta}
+// × {Devex, steepest} × {warm, cold} cross product and all three
+// generators — has exactly m basic columns and every nonbasic column
+// resting on a finite bound or the free convention, per
+// lp.Basis.Validate. (CheckWarmChainOpts additionally validates every
+// basis inside the re-solve chains.)
+func TestPostsolvedBasisValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	gens := map[string]func(*rand.Rand) *lp.Problem{
+		"random":     Random,
+		"degenerate": RandomDegenerate,
+		"presolve":   RandomPresolveAdversarial,
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				p := gen(rng)
+				var warmBasis *lp.Basis
+				for _, cfg := range EngineConfigs {
+					for _, warm := range []bool{false, true} {
+						opt := cfg.Opt
+						opt.Presolve = true
+						if warm {
+							if warmBasis == nil {
+								continue
+							}
+							opt.WarmStart = warmBasis
+						}
+						sol, err := lp.SolveOpts(p, opt)
+						if err != nil {
+							t.Fatalf("trial %d %s warm=%v: %v", trial, cfg.Name, warm, err)
+						}
+						if sol.Status != lp.Optimal {
+							continue
+						}
+						if err := sol.Basis.Validate(p); err != nil {
+							t.Fatalf("trial %d %s warm=%v: %v (stats %+v)",
+								trial, cfg.Name, warm, err, sol.Stats)
+						}
+						warmBasis = sol.Basis
+					}
+				}
+			}
+		})
 	}
 }
 

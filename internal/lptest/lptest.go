@@ -269,6 +269,12 @@ func CheckWarmChainOpts(p *lp.Problem, rng *rand.Rand, steps int, baseOpt lp.Opt
 				return fmt.Errorf("step %d: objective mismatch warm=%.12g dense=%.12g (stats %+v)",
 					step, warm.Objective, dense.Objective, warm.Stats)
 			}
+			// Every basis the chain hands to the next re-solve —
+			// postsolved through the presolve pipeline on alternating
+			// steps — must be structurally valid for the problem.
+			if err := warm.Basis.Validate(p); err != nil {
+				return fmt.Errorf("step %d: postsolved basis: %w (stats %+v)", step, err, warm.Stats)
+			}
 			basis = warm.Basis
 		}
 		// On non-optimal children keep the previous basis: the next
@@ -276,6 +282,107 @@ func CheckWarmChainOpts(p *lp.Problem, rng *rand.Rand, steps int, baseOpt lp.Opt
 		// must still be safe to pass.
 	}
 	return nil
+}
+
+// RandomPresolveAdversarial generates a seeded random LP biased toward
+// the shapes the presolve pipeline reduces — so differential runs with
+// presolve on exercise every reduction against the dense reference:
+//
+//   - singleton chains: runs of single-coefficient rows on consecutive
+//     variables, often cascading into fixed columns;
+//   - duplicate columns: pairs with proportional constraint
+//     coefficients, sometimes with proportional costs (merged) and
+//     sometimes dominated (fixed at a bound);
+//   - bound-tightening-to-fixed cascades: equality rows whose activity
+//     bounds pin their variables (x + y = max contributions);
+//   - free column singletons in equality rows (substituted out).
+func RandomPresolveAdversarial(rng *rand.Rand) *lp.Problem {
+	n := 4 + rng.Intn(5) // 4..8 variables
+	p := lp.New(n)
+	for j := 0; j < n; j++ {
+		if rng.Intn(3) > 0 {
+			p.SetObj(j, math.Round(rng.NormFloat64()*4))
+		}
+		switch rng.Intn(5) {
+		case 0: // free: a substitution candidate
+			p.SetBounds(j, math.Inf(-1), math.Inf(1))
+		case 1: // fixed, fractional so substitution leaves residues
+			v := float64(rng.Intn(7)-3) / 3
+			p.SetBounds(j, v, v)
+		default: // boxed, small so tightening can pin it
+			lo := -float64(rng.Intn(3))
+			p.SetBounds(j, lo, lo+float64(1+rng.Intn(4)))
+		}
+	}
+	// A singleton chain over a random run of variables.
+	start, length := rng.Intn(n), 1+rng.Intn(3)
+	for t := 0; t < length; t++ {
+		j := (start + t) % n
+		sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		a := float64(rng.Intn(5) - 2)
+		if a == 0 {
+			a = 1
+		}
+		p.AddRow([]lp.Coef{{Var: j, Value: a}}, sense, float64(rng.Intn(7)-3))
+	}
+	// Coupling rows, some designed to tighten-to-fixed: an EQ row whose
+	// RHS equals the maximum activity of its (boxed) variables.
+	m := 2 + rng.Intn(4)
+	for i := 0; i < m; i++ {
+		var coefs []lp.Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Value: float64(rng.Intn(5) - 2)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = []lp.Coef{{Var: rng.Intn(n), Value: 1}}
+		}
+		if rng.Intn(4) == 0 {
+			// Force a tightening-to-fixed cascade when the bounds allow:
+			// RHS at the row's maximum activity.
+			maxAct, ok := 0.0, true
+			for _, c := range coefs {
+				lo, up := p.Bounds(c.Var)
+				switch {
+				case c.Value > 0 && !math.IsInf(up, 1):
+					maxAct += c.Value * up
+				case c.Value < 0 && !math.IsInf(lo, -1):
+					maxAct += c.Value * lo
+				case c.Value != 0:
+					ok = false
+				}
+			}
+			if ok {
+				p.AddRow(coefs, lp.EQ, maxAct)
+				continue
+			}
+		}
+		sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		p.AddRow(coefs, sense, float64(rng.Intn(9)-4))
+	}
+	// Duplicate a column into a fresh row set: pick a source column,
+	// give another variable proportional coefficients in every row that
+	// contains the source.
+	if n >= 2 {
+		src := rng.Intn(n)
+		dup := (src + 1 + rng.Intn(n-1)) % n
+		lam := float64(rng.Intn(3) + 1)
+		if rng.Intn(2) == 0 {
+			lam = -lam
+		}
+		var coefs []lp.Coef
+		a := float64(rng.Intn(4) + 1)
+		coefs = append(coefs, lp.Coef{Var: src, Value: a}, lp.Coef{Var: dup, Value: a * lam})
+		sense := []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)]
+		p.AddRow(coefs, sense, float64(rng.Intn(7)-3))
+		if rng.Intn(2) == 0 {
+			// Proportional costs too, so the pair merges instead of
+			// (possibly) dominating.
+			p.SetObj(dup, p.ObjCoef(src)*lam)
+		}
+	}
+	return p
 }
 
 // Random generates a seeded random LP exercising the full model

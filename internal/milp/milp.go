@@ -89,10 +89,19 @@ type Options struct {
 	// Workers is the number of concurrent branch-and-bound workers.
 	// 0 picks min(GOMAXPROCS, 8); 1 forces the serial search.
 	Workers int
-	// ColdStart disables basis reuse and presolve, cold-solving every
-	// node from scratch — the pre-warm-start behavior, kept for the
-	// warm-vs-cold benchmarks and ablations.
+	// ColdStart disables basis reuse, presolve and node bound
+	// tightening, cold-solving every node from scratch — the
+	// pre-warm-start behavior, kept for the warm-vs-cold benchmarks
+	// and ablations.
 	ColdStart bool
+	// DisableTightening turns off the constraint-driven bound
+	// tightening pass warm node re-solves run after applying their
+	// branching bound changes (lp.TightenBounds). Tightening never
+	// changes an LP optimum — implied bounds cut no feasible point —
+	// but it prunes provably empty subproblems without an LP solve and
+	// hands the dual simplex tighter resting bounds; disable it for
+	// ablations.
+	DisableTightening bool
 	// Factorization selects the LP basis-inverse representation for
 	// every node re-solve (default lp.FactorLU; lp.FactorEta keeps the
 	// PR 2 eta file for ablations).
@@ -134,6 +143,23 @@ type Stats struct {
 	// PresolvedCols/PresolvedRows total the columns and rows
 	// eliminated by presolve across node solves.
 	PresolvedCols, PresolvedRows int
+	// PresolvePasses totals pipeline passes across presolved node
+	// solves; the per-reduction counters below split presolve's work
+	// by kind (singleton rows converted to bounds, column singletons
+	// substituted, duplicate columns merged/dominated, bounds
+	// tightened inside presolve).
+	PresolvePasses        int
+	PresolveSingletonRows int
+	PresolveSingletonCols int
+	PresolveDupCols       int
+	PresolveTightened     int
+	// NodeTightenedBounds counts bounds tightened by the cheap
+	// lp.TightenBounds pass warm node re-solves run after branching
+	// bound changes (outside lp presolve).
+	NodeTightenedBounds int
+	// NodeTightenPrunes counts nodes proven infeasible by that pass
+	// alone — pruned without an LP solve.
+	NodeTightenPrunes int
 }
 
 func (st *Stats) add(s lp.Stats) {
@@ -156,6 +182,11 @@ func (st *Stats) add(s lp.Stats) {
 	}
 	st.PresolvedCols += s.PresolvedCols
 	st.PresolvedRows += s.PresolvedRows
+	st.PresolvePasses += s.PresolvePasses
+	st.PresolveSingletonRows += s.PresolveSingletonRows
+	st.PresolveSingletonCols += s.PresolveSingletonCols
+	st.PresolveDupCols += s.PresolveDupCols
+	st.PresolveTightened += s.PresolveTightened
 }
 
 // Result is the outcome of Solve.
@@ -333,9 +364,14 @@ func (s *search) worker(ctx context.Context, opt Options) {
 	// solve warm-starts through the dual simplex — and when the parent
 	// was the previous solve on this worker (the common DFS-ish pop
 	// order), the context still holds its factorization and skips the
-	// reinversion too. Without a basis — the root, the rounding
-	// heuristic, cold-start mode — it cold-solves, with presolve
-	// eliminating the columns the delta chain has fixed.
+	// reinversion too; a cheap bound-tightening pass first propagates
+	// the branching change through the constraints, pruning provably
+	// empty nodes without an LP solve (implied bounds cut no feasible
+	// point, so the relaxation optimum — and the warm basis — survive).
+	// Without a basis — the root, the rounding heuristic, cold-start
+	// mode — it cold-solves, with the presolve pipeline eliminating
+	// the columns the delta chain has fixed (and everything that
+	// cascades from them).
 	solveWith := func(changes []boundChange, basis *lp.Basis) (*lp.Solution, error) {
 		for j := 0; j < s.n; j++ {
 			prob.SetBounds(j, s.rootLo[j], s.rootUp[j])
@@ -347,6 +383,20 @@ func (s *search) worker(ctx context.Context, opt Options) {
 		if !opt.ColdStart {
 			if basis != nil {
 				o.WarmStart = basis
+				if !opt.DisableTightening {
+					nt, infeas := lp.TightenBounds(prob, 1)
+					if nt > 0 || infeas {
+						s.mu.Lock()
+						s.stats.NodeTightenedBounds += nt
+						if infeas {
+							s.stats.NodeTightenPrunes++
+						}
+						s.mu.Unlock()
+					}
+					if infeas {
+						return &lp.Solution{Status: lp.Infeasible}, nil
+					}
+				}
 			} else {
 				o.Presolve = true
 			}

@@ -221,3 +221,46 @@ func TestBoundsRestoredAfterSolve(t *testing.T) {
 		t.Errorf("bounds changed by solve: (%v,%v) -> (%v,%v)", lo0, up0, lo1, up1)
 	}
 }
+
+// TestNodeTighteningAgreesAndPrunes: node bound tightening must not
+// change any answer (implied bounds cut no feasible point) while its
+// counters show it is actually running; the DisableTightening ablation
+// must agree too.
+func TestNodeTighteningAgreesAndPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sawTighten := false
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(4)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for j := range values {
+			values[j] = 1 + float64(rng.Intn(9))
+			weights[j] = 1 + float64(rng.Intn(9))
+		}
+		cap := 2 + float64(rng.Intn(20))
+		p := knapsack(values, weights, cap)
+		tight, err := Solve(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		off, err := Solve(p, Options{Workers: 1, DisableTightening: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tight.Status != off.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, tight.Status, off.Status)
+		}
+		if tight.Status == Optimal && math.Abs(tight.Objective-off.Objective) > 1e-6*(1+math.Abs(off.Objective)) {
+			t.Fatalf("trial %d: objective %g vs %g", trial, tight.Objective, off.Objective)
+		}
+		if tight.Stats.NodeTightenedBounds > 0 || tight.Stats.NodeTightenPrunes > 0 {
+			sawTighten = true
+		}
+		if off.Stats.NodeTightenedBounds != 0 || off.Stats.NodeTightenPrunes != 0 {
+			t.Fatalf("trial %d: ablation still tightened: %+v", trial, off.Stats)
+		}
+	}
+	if !sawTighten {
+		t.Fatal("node tightening never fired across 30 knapsack searches")
+	}
+}
