@@ -1,6 +1,7 @@
 package cellstream
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"cellstream/internal/lp"
 	"cellstream/internal/milp"
 	"cellstream/internal/platform"
+	"cellstream/sched"
 )
 
 // lpBenchRow is one configuration's snapshot in BENCH_lp.json.
@@ -103,6 +105,81 @@ func TestBenchSnapshotLP(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (%d configs)", path, len(rows))
+}
+
+// TestFacadeOverheadGuard asserts the sched facade stays thin: a MILP
+// map request through a Session must add less than 5% overhead over
+// calling core.SolveMILPCtx directly on the 12-task compact
+// formulation. Both paths run the identical deterministic solve
+// (1 worker, same cached formulation), so the min over several
+// alternating runs isolates the facade's own cost — request
+// validation, the worker-pool slot, result assembly — from scheduler
+// noise; a small absolute grace keeps sub-millisecond jitter from
+// failing a ~60ms comparison.
+func TestFacadeOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	ctx := context.Background()
+
+	direct := func() {
+		res, err := core.SolveMILPCtx(ctx, g, plat, core.SolveOptions{
+			RelGap: 0.05, TimeLimit: 30 * time.Second, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Report.Feasible {
+			t.Fatal("direct solve infeasible")
+		}
+	}
+	sess, err := sched.NewSession(
+		sched.WithPlatform(plat),
+		sched.WithRelGap(0.05),
+		sched.WithTimeLimit(30*time.Second),
+		sched.WithSolver(sched.SolverMILP),
+		sched.WithSolverWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	facade := func() {
+		res, err := sess.Map(ctx, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Report.Feasible {
+			t.Fatal("facade solve infeasible")
+		}
+	}
+
+	direct() // warm both paths (formulation cache, allocator)
+	facade()
+	// Interleave the timed pairs so a co-tenant burst on a shared CI
+	// runner inflates both sides alike instead of only one min.
+	const runs = 5
+	timeIt := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	minDirect, minFacade := time.Duration(1<<62-1), time.Duration(1<<62-1)
+	for i := 0; i < runs; i++ {
+		if d := timeIt(direct); d < minDirect {
+			minDirect = d
+		}
+		if d := timeIt(facade); d < minFacade {
+			minFacade = d
+		}
+	}
+	limit := minDirect + minDirect/20 + 2*time.Millisecond
+	t.Logf("direct %v, facade %v (limit %v)", minDirect, minFacade, limit)
+	if minFacade > limit {
+		t.Errorf("facade overhead: %v via sched vs %v direct (>5%%+2ms)", minFacade, minDirect)
+	}
 }
 
 // milpBenchRow is one configuration's snapshot in BENCH_milp.json:

@@ -1,0 +1,186 @@
+package cellstream
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+	"cellstream/sched"
+)
+
+// The SPE-count sweep fixture: the paper's 50-task random graph 1 on a
+// QS22, swept from the full 8 SPEs down to 0 — the Fig. 7 x-axis.
+func sweepFixture() (*graph.Graph, *platform.Platform, []int) {
+	g := daggen.PaperGraph1(0.775)
+	plat := platform.QS22()
+	counts := make([]int, plat.NumSPE+1)
+	for i := range counts {
+		counts[i] = plat.NumSPE - i // descending: each point warm from the previous
+	}
+	return g, plat, counts
+}
+
+// coldSweepBounds is the pre-facade baseline: one cold presolved root
+// LP per sweep point on the reduced platform's own formulation — what
+// assign.SolveCtx used to do at every point.
+func coldSweepBounds(tb testing.TB, g *graph.Graph, plats []*platform.Platform) ([]float64, lp.Stats) {
+	tb.Helper()
+	bounds := make([]float64, len(plats))
+	var total lp.Stats
+	for i, plat := range plats {
+		f := core.CachedFormulation(g, plat, false)
+		sol, err := lp.SolveOpts(f.Problem.LP, lp.Options{MaxIter: 20000, Presolve: true})
+		if err != nil || sol.Status != lp.Optimal {
+			tb.Fatalf("cold point %d: %v %+v", i, err, sol)
+		}
+		bounds[i] = sol.Objective
+		total.Iterations += sol.Stats.Iterations
+	}
+	return bounds, total
+}
+
+// BenchmarkSweepWarmVsCold measures the SPE-count sweep's root-LP path:
+// one sched.Session whose lp.Model chains dual-simplex warm starts
+// across the sweep points, against the pre-facade cold re-solve per
+// point. CI runs it at -benchtime=1x as a smoke test; run with
+// -benchtime=5x locally for stable numbers.
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	g, plat, counts := sweepFixture()
+	b.Run("warm", func(b *testing.B) {
+		sess, err := sched.NewSession(sched.WithPlatform(plat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		for i := 0; i < b.N; i++ {
+			pts, err := sess.RootBounds(context.Background(), g, counts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, pt := range pts {
+				if pt.Bound <= 0 && pt.NumSPE < plat.NumSPE {
+					b.Fatalf("nSPE=%d: no bound", pt.NumSPE)
+				}
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		plats := make([]*platform.Platform, len(counts))
+		for i, k := range counts {
+			plats[i] = plat.WithSPEs(k)
+		}
+		for i := 0; i < b.N; i++ {
+			coldSweepBounds(b, g, plats)
+		}
+	})
+}
+
+// sweepBenchRow is one configuration's snapshot in BENCH_sweep.json.
+type sweepBenchRow struct {
+	Config           string    `json:"config"`
+	WallMS           float64   `json:"wall_ms"`
+	Bounds           []float64 `json:"bounds"`
+	LPIterations     int       `json:"lp_iterations"`
+	DualIterations   int       `json:"dual_iterations"`
+	BoundFlips       int       `json:"bound_flips"`
+	WarmPoints       int       `json:"warm_points"`
+	WarmFallbacks    int       `json:"warm_fallbacks"`
+	Refactorizations int       `json:"refactorizations"`
+}
+
+// TestBenchSnapshotSweep writes BENCH_sweep.json — the SPE-sweep
+// dual-warm-start trajectory CI uploads as an artifact — when
+// BENCH_SWEEP_SNAPSHOT is set ("1" means ./BENCH_sweep.json). Beyond
+// snapshotting, it asserts the facade's warm-sweep acceptance
+// criteria: every point past the baseline is served warm (dual pivots
+// > 0 overall, zero cold fallbacks) and the warm bounds agree with the
+// cold per-point reference to 1e-6.
+func TestBenchSnapshotSweep(t *testing.T) {
+	path := os.Getenv("BENCH_SWEEP_SNAPSHOT")
+	if path == "" {
+		t.Skip("BENCH_SWEEP_SNAPSHOT not set")
+	}
+	if path == "1" {
+		path = "BENCH_sweep.json"
+	}
+	g, plat, counts := sweepFixture()
+
+	sess, err := sched.NewSession(sched.WithPlatform(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	start := time.Now()
+	pts, err := sess.RootBounds(context.Background(), g, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmWall := time.Since(start)
+	warm := sweepBenchRow{Config: "warm", WallMS: float64(warmWall.Microseconds()) / 1000}
+	for _, pt := range pts {
+		warm.Bounds = append(warm.Bounds, pt.Bound)
+		warm.LPIterations += pt.Stats.Iterations
+		warm.DualIterations += pt.Stats.DualIterations
+		warm.BoundFlips += pt.Stats.BoundFlips
+		warm.Refactorizations += pt.Stats.Refactorizations
+		if pt.Warm {
+			warm.WarmPoints++
+		}
+		if pt.Stats.WarmFellBack {
+			warm.WarmFallbacks++
+		}
+	}
+
+	plats := make([]*platform.Platform, len(counts))
+	for i, k := range counts {
+		plats[i] = plat.WithSPEs(k)
+	}
+	start = time.Now()
+	coldBounds, coldStats := coldSweepBounds(t, g, plats)
+	cold := sweepBenchRow{
+		Config:       "cold",
+		WallMS:       float64(time.Since(start).Microseconds()) / 1000,
+		Bounds:       coldBounds,
+		LPIterations: coldStats.Iterations,
+	}
+
+	// Acceptance: the warm path really is warm, never falls back, and
+	// agrees with the cold reference.
+	if warm.DualIterations == 0 {
+		t.Errorf("warm sweep took no dual pivots: %+v", warm)
+	}
+	if warm.WarmFallbacks != 0 {
+		t.Errorf("warm sweep fell back cold %d times", warm.WarmFallbacks)
+	}
+	if warm.WarmPoints != len(counts) {
+		t.Errorf("%d/%d points served warm", warm.WarmPoints, len(counts))
+	}
+	for i := range counts {
+		if math.Abs(warm.Bounds[i]-cold.Bounds[i]) > 1e-6*(1+math.Abs(cold.Bounds[i])) {
+			t.Errorf("nSPE=%d: warm bound %g vs cold %g", counts[i], warm.Bounds[i], cold.Bounds[i])
+		}
+	}
+
+	out, err := json.MarshalIndent(struct {
+		Instance string          `json:"instance"`
+		Counts   []int           `json:"spe_counts"`
+		Rows     []sweepBenchRow `json:"rows"`
+	}{Instance: "PaperGraph1(0.775) compact root LP, QS22 SPE sweep", Counts: counts,
+		Rows: []sweepBenchRow{warm, cold}}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (warm %.1fms / cold %.1fms, %d dual pivots)",
+		path, warm.WallMS, cold.WallMS, warm.DualIterations)
+}

@@ -14,19 +14,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"cellstream/internal/assign"
 	"cellstream/internal/core"
 	"cellstream/internal/graph"
 	"cellstream/internal/heuristics"
+	"cellstream/internal/lp"
 	"cellstream/internal/milp"
 	"cellstream/internal/platform"
 	"cellstream/internal/sim"
+	"cellstream/sched"
 )
 
 func main() {
@@ -141,7 +144,10 @@ func main() {
 
 // computeMapping returns the mapping, a one-line description of how it
 // was obtained, and (for the solver-backed strategies) a solver
-// statistics line printed under -v.
+// statistics line printed under -v. The solver strategies go through
+// the sched facade: one Session per invocation, classified errors
+// (errors.Is against lp.ErrInfeasible / lp.ErrIterLimit) instead of
+// status-string matching.
 func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, budget time.Duration) (core.Mapping, string, string, error) {
 	switch strategy {
 	case "greedymem":
@@ -155,12 +161,7 @@ func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, bu
 			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 6})
 		return m, "hill climbing from GreedyCPU", "", err
 	case "lp":
-		seed, _, err := heuristics.Improve(g, plat, heuristics.GreedyCPU(g, plat),
-			heuristics.LocalSearchOptions{MaxIters: 20000, Restarts: 4})
-		if err != nil {
-			return nil, "", "", err
-		}
-		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget, Seed: seed})
+		res, err := solveVia(g, plat, budget)
 		if err != nil {
 			return nil, "", "", err
 		}
@@ -168,15 +169,41 @@ func computeMapping(g *graph.Graph, plat *platform.Platform, strategy string, bu
 		return res.Mapping, fmt.Sprintf("steady-state program, 5%% gap: bound %.3gs, %d nodes, proved=%v",
 			res.PeriodBound, res.Nodes, res.Proved), stats, nil
 	case "milp":
-		res, err := core.SolveMILP(g, plat, core.SolveOptions{RelGap: 0.05, TimeLimit: budget})
+		res, err := solveVia(g, plat, budget, sched.WithSolver(sched.SolverMILP))
 		if err != nil {
 			return nil, "", "", err
 		}
-		stats := milpStatsLine(res.LPStats, res.Nodes)
-		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): status %v, %d nodes", res.Status, res.Nodes), stats, nil
+		stats := milpStatsLine(res.Stats, res.Nodes)
+		return res.Mapping, fmt.Sprintf("mixed linear program (1a)-(1k): proved=%v, %d nodes", res.Proved, res.Nodes), stats, nil
 	default:
 		return nil, "", "", fmt.Errorf("unknown strategy %q", strategy)
 	}
+}
+
+// solveVia runs one mapping request through a throwaway sched.Session.
+func solveVia(g *graph.Graph, plat *platform.Platform, budget time.Duration, extra ...sched.Option) (*sched.Result, error) {
+	opts := append([]sched.Option{
+		sched.WithPlatform(plat),
+		sched.WithRelGap(0.05),
+		sched.WithTimeLimit(budget),
+	}, extra...)
+	sess, err := sched.NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	res, err := sess.Map(context.Background(), g)
+	if err != nil {
+		switch {
+		case errors.Is(err, lp.ErrInfeasible):
+			return nil, fmt.Errorf("the mapping program is infeasible on %v: %w", plat, err)
+		case errors.Is(err, lp.ErrIterLimit):
+			return nil, fmt.Errorf("solver budget exhausted before a mapping existed (raise -budget): %w", err)
+		default:
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // milpStatsLine formats the solver statistics printed under -v for the
@@ -200,7 +227,7 @@ func milpStatsLine(st milp.Stats, nodes int) string {
 
 // assignStatsLine formats the -v statistics of the lp (assignment
 // search) strategy; also pinned by the golden test.
-func assignStatsLine(res *assign.Result) string {
+func assignStatsLine(res *sched.Result) string {
 	return fmt.Sprintf("root LP bound %.3gs, search bound %.3gs, %d nodes",
 		res.RootLPBound, res.PeriodBound, res.Nodes)
 }

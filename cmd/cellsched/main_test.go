@@ -7,11 +7,11 @@ import (
 	"testing"
 	"time"
 
-	"cellstream/internal/assign"
 	"cellstream/internal/core"
 	"cellstream/internal/daggen"
 	"cellstream/internal/milp"
 	"cellstream/internal/platform"
+	"cellstream/sched"
 )
 
 func TestComputeMappingAllStrategies(t *testing.T) {
@@ -53,7 +53,7 @@ func TestSolverStatsGolden(t *testing.T) {
 	got := strings.Join([]string{
 		"milp: " + milpStatsLine(full, 60),
 		"milp-zero: " + milpStatsLine(milp.Stats{}, 0),
-		"assign: " + assignStatsLine(&assign.Result{
+		"assign: " + assignStatsLine(&sched.Result{
 			RootLPBound: 0.00321, PeriodBound: 0.00305, Nodes: 17,
 		}),
 	}, "\n") + "\n"

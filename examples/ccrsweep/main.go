@@ -3,22 +3,27 @@
 // on a user-provided or generated graph, comparing the optimal mapping
 // against the greedy heuristics at every point.
 //
+// All solver work goes through one long-lived sched.Session: the mapping
+// solves and the fixed-mapping evaluations share its configuration,
+// formulation cache and worker pool.
+//
 // Run with:
 //
 //	go run ./examples/ccrsweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"cellstream/internal/assign"
 	"cellstream/internal/core"
 	"cellstream/internal/daggen"
 	"cellstream/internal/heuristics"
 	"cellstream/internal/platform"
+	"cellstream/sched"
 )
 
 func main() {
@@ -30,25 +35,36 @@ func main() {
 		ccrs = []float64{0.775, 4.6}
 		tasks, budget = 16, 500*time.Millisecond
 	}
-	plat := platform.QS22()
+	sess, err := sched.NewSession(
+		sched.WithPlatform(platform.QS22()),
+		sched.WithRelGap(0.05),
+		sched.WithTimeLimit(budget),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	plat := sess.Config().Platform
+
 	fmt.Printf("analytic speed-up vs CCR on %v\n", plat)
 	fmt.Printf("%8s %12s %12s %12s\n", "CCR", "GreedyMem", "GreedyCPU", "LP(5%)")
 	for _, ccr := range ccrs {
 		g := daggen.Generate(daggen.Params{
 			Tasks: tasks, Fat: 0.5, Density: 0.4, Jump: 2, Seed: 77, CCR: ccr,
 		})
-		base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
+		base, err := sess.Evaluate(ctx, g, core.AllOnPPE(g))
 		if err != nil {
 			log.Fatal(err)
 		}
 		sp := func(m core.Mapping) float64 {
-			rep, err := core.Evaluate(g, plat, m)
+			rep, err := sess.Evaluate(ctx, g, m)
 			if err != nil {
 				log.Fatal(err)
 			}
-			return base.Period / rep.Period
+			return base.Report.Period / rep.Report.Period
 		}
-		res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: budget})
+		res, err := sess.Map(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}

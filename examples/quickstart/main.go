@@ -1,5 +1,6 @@
 // Quickstart: build a small streaming application, compute a
-// throughput-optimal mapping for a PlayStation 3, and simulate it.
+// throughput-optimal mapping for a PlayStation 3 through the sched
+// facade, and simulate it.
 //
 // Run with:
 //
@@ -7,15 +8,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"cellstream/internal/assign"
 	"cellstream/internal/core"
 	"cellstream/internal/graph"
 	"cellstream/internal/platform"
 	"cellstream/internal/sim"
+	"cellstream/sched"
 )
 
 func main() {
@@ -37,26 +39,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	plat := platform.PlayStation3() // 1 PPE + 6 SPEs
-
-	// Solve the steady-state mapping problem (the paper's mixed linear
-	// program) to a 5 % optimality gap.
-	res, err := assign.Solve(g, plat, assign.Options{RelGap: 0.05, TimeLimit: 5 * time.Second})
+	// One Session carries the whole workload: it owns the cached
+	// formulation and the warm-start state, serves concurrent requests,
+	// and replaces the per-package option structs with one Config.
+	sess, err := sched.NewSession(
+		sched.WithPlatform(platform.PlayStation3()), // 1 PPE + 6 SPEs
+		sched.WithRelGap(0.05),                      // the paper's 5 % gap
+		sched.WithTimeLimit(5*time.Second),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Solve the steady-state mapping problem (the paper's mixed linear
+	// program) to a 5 % optimality gap.
+	res, err := sess.Map(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := sess.Config().Platform
 	fmt.Printf("optimal period: %.3g s → %.0f instances/s (bound %.3g s, proved=%v)\n",
 		res.Report.Period, res.Report.Throughput(), res.PeriodBound, res.Proved)
 	for k, pe := range res.Mapping {
 		fmt.Printf("  %-8s → %s\n", g.Tasks[k].Name, plat.PEName(pe))
 	}
 
-	// Compare with the trivial PPE-only deployment.
-	base, err := core.Evaluate(g, plat, core.AllOnPPE(g))
+	// Compare with the trivial PPE-only deployment, evaluated through
+	// the same session.
+	base, err := sess.Evaluate(ctx, g, core.AllOnPPE(g))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("speed-up vs PPE-only: %.2fx\n", base.Period/res.Report.Period)
+	fmt.Printf("speed-up vs PPE-only: %.2fx\n", base.Report.Period/res.Report.Period)
 
 	// Simulate 10 000 frames through the pipeline.
 	simRes, err := sim.Run(g, plat, res.Mapping, 10000, sim.Config{})

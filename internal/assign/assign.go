@@ -49,6 +49,12 @@ type Options struct {
 	// when the seed incumbent is already within the gap of it, the
 	// search is skipped entirely).
 	DisableRootLP bool
+	// RootBound optionally supplies an externally proven lower bound on
+	// the optimal period — e.g. the dual-warm-started root-LP sweep a
+	// sched.Session maintains across SPE-count sweep points. When > 0
+	// it replaces the internal (cold) root LP solve and is reported as
+	// Result.RootLPBound.
+	RootBound float64
 }
 
 // Result reports the outcome.
@@ -211,7 +217,9 @@ func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt 
 	// skipped when the budget is too tight to spend on it (the LP has
 	// no mid-solve cancellation).
 	rootLB := 0.0
-	if !opt.DisableRootLP && ctx.Err() == nil {
+	if opt.RootBound > 0 {
+		rootLB = opt.RootBound
+	} else if !opt.DisableRootLP && ctx.Err() == nil {
 		runLP := true
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < 2*time.Second {
 			runLP = false

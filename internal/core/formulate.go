@@ -90,6 +90,22 @@ func CachedFormulation(g *graph.Graph, plat *platform.Platform, literal bool) *F
 func (f *Formulation) tVar() int             { return 0 }
 func (f *Formulation) alphaVar(k, i int) int { return 1 + k*f.n + i }
 
+// AlphaVar returns the LP column of the placement indicator α^k_pe
+// (task k on PE pe). Exposed so the sched facade can fix the columns of
+// disabled SPEs when sweeping SPE counts on ONE formulation: fixing
+// α^k_pe = 0 for every pe ≥ the sweep point's count makes the
+// relaxation's optimum equal that of the reduced platform's own
+// formulation, while keeping the row structure — and therefore the
+// warm-start basis — shared across all sweep points.
+func (f *Formulation) AlphaVar(k, pe int) int { return f.alphaVar(k, pe) }
+
+// NumPEs returns the number of processing elements the formulation was
+// built for (PPEs first, then SPEs).
+func (f *Formulation) NumPEs() int { return f.n }
+
+// NumTasks returns the number of tasks of the formulated graph.
+func (f *Formulation) NumTasks() int { return f.k }
+
 // compact layout: in(e,j), out(e,i), toPPE(e, speLocal)
 func (f *Formulation) inVar(e, j int) int  { return 1 + f.k*f.n + e*f.n + j }
 func (f *Formulation) outVar(e, i int) int { return 1 + f.k*f.n + f.e*f.n + e*f.n + i }

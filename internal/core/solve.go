@@ -32,6 +32,9 @@ type SolveOptions struct {
 	// ColdStart disables basis reuse and presolve inside the
 	// branch-and-bound (for ablations and benchmarks).
 	ColdStart bool
+	// Workers is the number of concurrent branch-and-bound workers
+	// (0 = engine default; 1 forces the deterministic serial search).
+	Workers int
 }
 
 // SolveResult is the outcome of SolveMILP.
@@ -110,13 +113,17 @@ func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, 
 		MaxNodes:  opt.MaxNodes,
 		Incumbent: inc,
 		ColdStart: opt.ColdStart,
+		Workers:   opt.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: MILP solve: %w", err)
 	}
 	elapsed := time.Since(start)
-	if res.Status == milp.Infeasible || res.Status == milp.NoSolution {
-		return nil, fmt.Errorf("core: MILP returned %v for a problem with a trivial feasible mapping", res.Status)
+	if serr := res.Status.Err(); serr != nil {
+		// Wrapping the lp sentinel lets callers classify the failure
+		// with errors.Is(err, lp.ErrInfeasible / lp.ErrIterLimit)
+		// instead of matching the message.
+		return nil, fmt.Errorf("core: MILP returned %v for a problem with a trivial feasible mapping: %w", res.Status, serr)
 	}
 
 	m := f.DecodeMapping(res.X)

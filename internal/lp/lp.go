@@ -108,6 +108,10 @@ type Problem struct {
 	lo   []float64
 	up   []float64
 	rows []row
+	// objVersion counts SetObj calls so reusable solving contexts
+	// (Solver, Model) can detect objective mutation between solves and
+	// re-price instead of silently optimizing a stale cost vector.
+	objVersion uint64
 }
 
 // New creates a problem with n variables, zero objective and default
@@ -132,7 +136,10 @@ func (p *Problem) NumVars() int { return p.n }
 func (p *Problem) NumRows() int { return len(p.rows) }
 
 // SetObj sets the objective coefficient of variable j (minimization).
-func (p *Problem) SetObj(j int, c float64) { p.obj[j] = c }
+func (p *Problem) SetObj(j int, c float64) {
+	p.obj[j] = c
+	p.objVersion++
+}
 
 // ObjCoef returns the objective coefficient of variable j.
 func (p *Problem) ObjCoef(j int) float64 { return p.obj[j] }
@@ -180,11 +187,12 @@ func (p *Problem) Row(i int) ([]Coef, Sense, float64) {
 // without copying the constraint matrix.
 func (p *Problem) Clone() *Problem {
 	cp := &Problem{
-		n:    p.n,
-		obj:  append([]float64(nil), p.obj...),
-		lo:   append([]float64(nil), p.lo...),
-		up:   append([]float64(nil), p.up...),
-		rows: append([]row(nil), p.rows...),
+		n:          p.n,
+		obj:        append([]float64(nil), p.obj...),
+		lo:         append([]float64(nil), p.lo...),
+		up:         append([]float64(nil), p.up...),
+		rows:       append([]row(nil), p.rows...),
+		objVersion: p.objVersion,
 	}
 	return cp
 }
@@ -206,6 +214,25 @@ type Basis struct {
 	status  []int8 // per column: atLower, atUpper or basic
 	nStruct int
 	m       int
+}
+
+// grownBy returns a copy of the basis extended for `rows` constraint
+// rows appended to the problem AFTER the snapshot was taken: each new
+// row's slack column enters the basis. The extended basis matrix is
+// block triangular ([[B,0],[a_B,I]]), so it is nonsingular whenever the
+// original was, and its reduced costs are unchanged on the old columns
+// (the new slacks cost zero) — the textbook dual-simplex warm start for
+// row additions, used by Model.AddRow.
+func (b *Basis) grownBy(rows int) *Basis {
+	if rows <= 0 {
+		return b
+	}
+	st := make([]int8, len(b.status)+rows)
+	copy(st, b.status)
+	for i := len(b.status); i < len(st); i++ {
+		st[i] = basic
+	}
+	return &Basis{status: st, nStruct: b.nStruct, m: b.m + rows}
 }
 
 // NumBasic returns the number of basic columns (== rows when healthy).
@@ -377,6 +404,34 @@ type Stats struct {
 	PresolveTightened int
 }
 
+// Add accumulates o's counters into s: counters sum, MaxSpikeGrowth
+// takes the maximum, and the warm-outcome booleans OR. It is the one
+// place the aggregation list lives — a new Stats field must be added
+// here so the sched facade's sweep aggregates (and anything else
+// summing per-solve stats) pick it up.
+func (s *Stats) Add(o Stats) {
+	s.Iterations += o.Iterations
+	s.DualIterations += o.DualIterations
+	s.BoundFlips += o.BoundFlips
+	s.Refactorizations += o.Refactorizations
+	s.RefactorPeriodic += o.RefactorPeriodic
+	s.RefactorUnstable += o.RefactorUnstable
+	s.RefactorRestore += o.RefactorRestore
+	s.FTUpdates += o.FTUpdates
+	if o.MaxSpikeGrowth > s.MaxSpikeGrowth {
+		s.MaxSpikeGrowth = o.MaxSpikeGrowth
+	}
+	s.Warm = s.Warm || o.Warm
+	s.WarmFellBack = s.WarmFellBack || o.WarmFellBack
+	s.PresolvedCols += o.PresolvedCols
+	s.PresolvedRows += o.PresolvedRows
+	s.PresolvePasses += o.PresolvePasses
+	s.PresolveSingletonRows += o.PresolveSingletonRows
+	s.PresolveSingletonCols += o.PresolveSingletonCols
+	s.PresolveDupCols += o.PresolveDupCols
+	s.PresolveTightened += o.PresolveTightened
+}
+
 // Solution is the result of a solve.
 type Solution struct {
 	Status     Status
@@ -443,3 +498,37 @@ func (p *Problem) precheck(tol float64) (*Solution, error) {
 
 // ErrBadModel reports a structurally invalid model.
 var ErrBadModel = errors.New("lp: invalid model")
+
+// Typed sentinel errors for the non-Optimal solve outcomes. The solvers
+// themselves report outcomes through Solution.Status (a limit or an
+// infeasible model is a result, not a failure), but layers that must
+// turn an unusable outcome into an error — milp, core, assign, the sched
+// facade, the CLI — wrap these so callers classify with errors.Is
+// instead of matching status strings.
+var (
+	// ErrInfeasible reports that no point satisfies the constraints and
+	// bounds.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrIterLimit reports that an iteration/node/time budget was
+	// exhausted before a usable result existed.
+	ErrIterLimit = errors.New("lp: iteration limit")
+)
+
+// Err maps a Status to its sentinel error: nil for Optimal,
+// ErrInfeasible / ErrUnbounded / ErrIterLimit otherwise.
+func (s Status) Err() error {
+	switch s {
+	case Optimal:
+		return nil
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	case IterLimit:
+		return ErrIterLimit
+	default:
+		return fmt.Errorf("%w: status %d", ErrBadModel, int(s))
+	}
+}

@@ -1,0 +1,108 @@
+package lp
+
+// Model is a mutable linear program: the incremental re-solve surface
+// the serving workloads need. It wraps a Problem and a reusable Solver
+// and keeps the warm state — the last optimal Basis plus the Solver's
+// live factorization — correct across the three mutations a long-lived
+// session performs between solves:
+//
+//   - SetBounds keeps the live factorization: the basis matrix is
+//     untouched by bound changes, so the next Solve warm-starts through
+//     the dual simplex (and, when it re-solves from the context's own
+//     last basis, skips the reinversion entirely).
+//   - AddRow extends the warm basis with the new row's slack made
+//     basic: the extended basis matrix is block triangular, reduced
+//     costs stay unchanged on the old columns, and the next Solve
+//     warm-starts the dual simplex from it — the new slack is the only
+//     possibly-violated basic variable — instead of rebuilding cold.
+//   - SetObj re-prices: the basis stays primal feasible, so the next
+//     Solve runs the primal phase 2 against the new cost vector
+//     (detected through the Problem's objective version counter)
+//     instead of silently optimizing the stale objective.
+//
+// A Model is not safe for concurrent use; callers that share one across
+// goroutines (the sched facade's per-formulation warm state) serialize
+// access with their own mutex.
+type Model struct {
+	p     *Problem
+	sv    *Solver
+	basis *Basis // warm-start basis for the next Solve, nil = cold
+}
+
+// NewModel creates a mutable LP with n variables, zero objective and
+// default bounds [0, +inf), like New.
+func NewModel(n int) *Model {
+	p := New(n)
+	return &Model{p: p, sv: NewSolver(p)}
+}
+
+// ModelFor wraps an existing Problem. The Model takes ownership: the
+// caller must not mutate p directly afterwards (clone first when the
+// Problem is shared, as with cached formulations).
+func ModelFor(p *Problem) *Model {
+	return &Model{p: p, sv: NewSolver(p)}
+}
+
+// Problem exposes the underlying Problem for read access (Row, Bounds,
+// ObjCoef, ...). Mutations must go through the Model's own methods so
+// the warm state stays consistent.
+func (m *Model) Problem() *Problem { return m.p }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return m.p.NumVars() }
+
+// NumRows returns the number of constraint rows.
+func (m *Model) NumRows() int { return m.p.NumRows() }
+
+// SetObj sets the objective coefficient of variable j. The warm basis
+// survives — it stays primal feasible — and the next Solve re-prices
+// against the new objective through the primal phase 2.
+func (m *Model) SetObj(j int, c float64) { m.p.SetObj(j, c) }
+
+// SetBounds sets l ≤ x_j ≤ u. The warm basis survives (nonbasic columns
+// resting on a removed bound are re-rested on restore); the next Solve
+// repairs any primal infeasibility with the dual simplex.
+func (m *Model) SetBounds(j int, lo, up float64) { m.p.SetBounds(j, lo, up) }
+
+// Bounds returns the bounds of variable j.
+func (m *Model) Bounds(j int) (lo, up float64) { return m.p.Bounds(j) }
+
+// AddRow appends a constraint and returns its index. The warm basis is
+// extended in place of being discarded: the new row's slack enters the
+// basis, so the next Solve restores the extended basis (one
+// reinversion) and runs the dual simplex, which prices the new slack
+// out if the row cuts off the previous optimum.
+func (m *Model) AddRow(coefs []Coef, sense Sense, rhs float64) int {
+	i := m.p.AddRow(coefs, sense, rhs)
+	if m.basis != nil {
+		m.basis = m.basis.grownBy(1)
+	}
+	return i
+}
+
+// Basis returns the warm-start basis the next Solve will use (nil when
+// the next solve is cold). After AddRow it is the extended snapshot.
+func (m *Model) Basis() *Basis { return m.basis }
+
+// SetBasis primes the warm state with an externally produced basis —
+// e.g. a canonical baseline snapshot a session restarts every sweep
+// from, so repeated request chains take identical pivot paths. Pass nil
+// to force the next Solve cold. The basis must match the problem's
+// current shape; an incompatible one falls back cold like any stale
+// WarmStart.
+func (m *Model) SetBasis(b *Basis) { m.basis = b }
+
+// Solve optimizes the problem under its current rows, bounds and
+// objective. Options are honored like Solver.Solve; when opt.WarmStart
+// is nil the Model's own warm basis is used. On an Optimal result the
+// returned basis becomes the next solve's warm start.
+func (m *Model) Solve(opt Options) (*Solution, error) {
+	if opt.WarmStart == nil {
+		opt.WarmStart = m.basis
+	}
+	sol, err := m.sv.Solve(opt)
+	if err == nil && sol.Status == Optimal && sol.Basis != nil {
+		m.basis = sol.Basis
+	}
+	return sol, err
+}

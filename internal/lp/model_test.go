@@ -1,0 +1,210 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// modelFixture builds a small box-constrained LP:
+//
+//	min  -x0 - 2*x1
+//	s.t. x0 + x1 ≤ 4
+//	     x0 - x1 ≤ 2
+//	     0 ≤ x0, x1 ≤ 3
+//
+// Optimum: x = (1, 3), obj = -7.
+func modelFixture() *Model {
+	m := NewModel(2)
+	m.SetObj(0, -1)
+	m.SetObj(1, -2)
+	m.SetBounds(0, 0, 3)
+	m.SetBounds(1, 0, 3)
+	m.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, LE, 4)
+	m.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: -1}}, LE, 2)
+	return m
+}
+
+func solveOptimal(t *testing.T, m *Model, opt Options) *Solution {
+	t.Helper()
+	sol, err := m.Solve(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+// coldObjective solves a clone of the model's current problem from
+// scratch — the reference the incremental paths must agree with.
+func coldObjective(t *testing.T, m *Model) float64 {
+	t.Helper()
+	sol, err := Solve(m.Problem().Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("cold reference status %v", sol.Status)
+	}
+	return sol.Objective
+}
+
+// TestSolverObjectiveEditReprices is the regression test for the stale
+// objective footgun: a Solver used to keep the cost vector it copied at
+// construction, so SetObj between solves silently optimized the OLD
+// objective. The version counter on Problem now makes the context
+// refresh its costs and re-price.
+func TestSolverObjectiveEditReprices(t *testing.T) {
+	p := New(2)
+	p.SetObj(0, -1)
+	p.SetObj(1, -2)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 3)
+	p.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, LE, 4)
+	sv := NewSolver(p)
+	first, err := sv.Solve(Options{})
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("first solve: %v %+v", err, first)
+	}
+	if math.Abs(first.Objective-(-7)) > 1e-9 {
+		t.Fatalf("first objective %g, want -7", first.Objective)
+	}
+	// Flip the objective to prefer x0: min -3*x0 - x1 → x = (3, 1), -10.
+	p.SetObj(0, -3)
+	p.SetObj(1, -1)
+	second, err := sv.Solve(Options{WarmStart: first.Basis})
+	if err != nil || second.Status != Optimal {
+		t.Fatalf("second solve: %v %+v", err, second)
+	}
+	if math.Abs(second.Objective-(-10)) > 1e-9 {
+		t.Fatalf("objective after edit %g, want -10 (stale-objective footgun)", second.Objective)
+	}
+	if !second.Stats.Warm || second.Stats.WarmFellBack {
+		t.Errorf("objective edit should re-price warm, got warm=%v fellBack=%v",
+			second.Stats.Warm, second.Stats.WarmFellBack)
+	}
+}
+
+// TestModelObjectiveEdit exercises the same re-pricing through Model,
+// including the pointer-identity hot path (no WarmStart passed).
+func TestModelObjectiveEdit(t *testing.T) {
+	m := modelFixture()
+	first := solveOptimal(t, m, Options{})
+	if math.Abs(first.Objective-(-7)) > 1e-9 {
+		t.Fatalf("objective %g, want -7", first.Objective)
+	}
+	m.SetObj(0, -3)
+	m.SetObj(1, -1)
+	second := solveOptimal(t, m, Options{})
+	if want := coldObjective(t, m); math.Abs(second.Objective-want) > 1e-9 {
+		t.Fatalf("objective %g, want %g", second.Objective, want)
+	}
+	if !second.Stats.Warm || second.Stats.WarmFellBack {
+		t.Errorf("warm=%v fellBack=%v, want warm re-price", second.Stats.Warm, second.Stats.WarmFellBack)
+	}
+}
+
+// TestModelAddRowWarmStartsDual pins the row-addition contract: the
+// extended basis (new slack basic) restores warm and the dual simplex
+// prices the violated slack out — no cold fallback, dual pivots > 0.
+func TestModelAddRowWarmStartsDual(t *testing.T) {
+	m := modelFixture()
+	first := solveOptimal(t, m, Options{})
+	if math.Abs(first.Objective-(-7)) > 1e-9 {
+		t.Fatalf("objective %g, want -7", first.Objective)
+	}
+	// Cut off the optimum (1,3): x1 ≤ 2 as a row.
+	m.AddRow([]Coef{{Var: 1, Value: 1}}, LE, 2)
+	if b := m.Basis(); b == nil {
+		t.Fatal("warm basis dropped by AddRow")
+	} else if err := b.Validate(m.Problem()); err != nil {
+		t.Fatalf("extended basis invalid: %v", err)
+	}
+	second := solveOptimal(t, m, Options{})
+	if want := coldObjective(t, m); math.Abs(second.Objective-want) > 1e-9 {
+		t.Fatalf("objective %g, want %g", second.Objective, want)
+	}
+	if !second.Stats.Warm || second.Stats.WarmFellBack {
+		t.Fatalf("AddRow re-solve warm=%v fellBack=%v, want warm dual repair",
+			second.Stats.Warm, second.Stats.WarmFellBack)
+	}
+	if second.Stats.DualIterations == 0 {
+		t.Errorf("cutting row repaired with 0 dual pivots (stats %+v)", second.Stats)
+	}
+	// A redundant row must not disturb the warm optimum.
+	m.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, LE, 100)
+	third := solveOptimal(t, m, Options{})
+	if math.Abs(third.Objective-second.Objective) > 1e-9 {
+		t.Fatalf("redundant row moved the objective: %g → %g", second.Objective, third.Objective)
+	}
+	if !third.Stats.Warm || third.Stats.WarmFellBack {
+		t.Errorf("redundant row fell back cold: %+v", third.Stats)
+	}
+}
+
+// TestModelMutationChain drives a mixed mutation sequence — bounds,
+// rows, objective — asserting every incremental re-solve matches a cold
+// solve of the same problem and never falls back.
+func TestModelMutationChain(t *testing.T) {
+	m := NewModel(3)
+	for j := 0; j < 3; j++ {
+		m.SetBounds(j, 0, 10)
+		m.SetObj(j, -float64(j+1))
+	}
+	m.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}, {Var: 2, Value: 1}}, LE, 12)
+	solveOptimal(t, m, Options{})
+	steps := []func(){
+		func() { m.SetBounds(2, 0, 3) },
+		func() { m.AddRow([]Coef{{Var: 1, Value: 1}, {Var: 2, Value: 1}}, LE, 6) },
+		func() { m.SetObj(0, -5) },
+		func() { m.SetBounds(1, 1, 4) },
+		func() { m.AddRow([]Coef{{Var: 0, Value: 2}, {Var: 1, Value: 1}}, LE, 9) },
+		func() { m.SetObj(2, -4) },
+	}
+	for i, step := range steps {
+		step()
+		sol := solveOptimal(t, m, Options{})
+		if want := coldObjective(t, m); math.Abs(sol.Objective-want) > 1e-7*(1+math.Abs(want)) {
+			t.Fatalf("step %d: incremental %g vs cold %g", i, sol.Objective, want)
+		}
+		if !sol.Stats.Warm || sol.Stats.WarmFellBack {
+			t.Errorf("step %d fell back cold: %+v", i, sol.Stats)
+		}
+	}
+}
+
+// TestModelAddRowInfeasible: a row contradicting the bounds must be
+// detected (warm dual proof or cold), not mis-solved.
+func TestModelAddRowInfeasible(t *testing.T) {
+	m := modelFixture()
+	solveOptimal(t, m, Options{})
+	m.AddRow([]Coef{{Var: 0, Value: 1}, {Var: 1, Value: 1}}, GE, 50)
+	sol, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+	if !errors.Is(sol.Status.Err(), ErrInfeasible) {
+		t.Errorf("Status.Err() = %v, want ErrInfeasible", sol.Status.Err())
+	}
+}
+
+// TestStatusErr pins the sentinel mapping.
+func TestStatusErr(t *testing.T) {
+	if err := Optimal.Err(); err != nil {
+		t.Errorf("Optimal.Err() = %v, want nil", err)
+	}
+	for st, want := range map[Status]error{
+		Infeasible: ErrInfeasible,
+		Unbounded:  ErrUnbounded,
+		IterLimit:  ErrIterLimit,
+	} {
+		if !errors.Is(st.Err(), want) {
+			t.Errorf("%v.Err() = %v, want %v", st, st.Err(), want)
+		}
+	}
+}

@@ -12,15 +12,19 @@ package lp
 //     valid and the reinversion is skipped entirely — only the basic
 //     values are recomputed under the new bounds.
 //
-// Between calls the caller may change variable bounds (SetBounds) but
-// must not add rows or change objective coefficients; doing so makes
-// the context rebuild from scratch on the next call (rows) or silently
-// optimize the stale objective (coefficients). A Solver is not safe
-// for concurrent use; branch-and-bound gives each worker its own.
+// Between calls the caller may change variable bounds (SetBounds) and
+// objective coefficients (SetObj — detected through the Problem's
+// objective version counter, so the next call re-prices against the new
+// costs instead of silently optimizing stale ones). Adding rows makes
+// the context rebuild its CSC matrix from scratch on the next call; use
+// Model for incremental row additions that keep the warm state. A
+// Solver is not safe for concurrent use; branch-and-bound gives each
+// worker its own.
 type Solver struct {
 	p    *Problem
 	s    *revised
 	last *Basis // snapshot the live factorization represents, nil if stale
+	objV uint64 // p.objVersion the context's cost vector was copied at
 }
 
 // NewSolver creates a reusable context for p.
@@ -49,6 +53,7 @@ func (sv *Solver) Solve(opt Options) (*Solution, error) {
 	if sv.s == nil || sv.s.m != len(sv.p.rows) || sv.s.nStruct != sv.p.n {
 		sv.s = newRevised(sv.p, opt)
 		sv.last = nil
+		sv.objV = sv.p.objVersion
 	} else {
 		sv.refresh(opt, tol)
 	}
@@ -96,6 +101,16 @@ func (sv *Solver) refresh(opt Options, tol float64) {
 	s := sv.s
 	copy(s.lo[:s.nStruct], sv.p.lo)
 	copy(s.up[:s.nStruct], sv.p.up)
+	if sv.objV != sv.p.objVersion {
+		// The objective was edited since the context copied it: refresh
+		// the cost vector so the next pricing pass optimizes the CURRENT
+		// objective. The factorization stays valid (B is untouched by
+		// cost changes), so warm starts — including the pointer-identity
+		// hot path — survive an objective edit; finishSolve re-prices
+		// through phase 2 instead of trusting stale reduced costs.
+		copy(s.cost[:s.nStruct], sv.p.obj)
+		sv.objV = sv.p.objVersion
+	}
 	s.tol = tol
 	s.maxIter = opt.MaxIter
 	if s.maxIter == 0 {

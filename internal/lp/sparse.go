@@ -515,10 +515,34 @@ func solveSparseDirect(p *Problem, opt Options) (*Solution, error) {
 	return s.finishSolve(p, opt, warmed)
 }
 
+// primalFeasible reports whether every basic value sits within its
+// bounds (to the phase-1 tolerance). Nonbasic columns rest on a bound
+// by construction, so this is the whole primal feasibility test.
+func (s *revised) primalFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		if sg, _ := s.infeasibility(s.basis[i], s.xB[i]); sg != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // finishSolve drives the solve from the current basis state: the dual
 // phase when warm, then (or on fallback) the primal phases.
 func (s *revised) finishSolve(p *Problem, opt Options, warmed bool) (*Solution, error) {
 	if warmed {
+		if s.primalFeasible() {
+			// The restored basis is already primal feasible under the
+			// current bounds — the case after objective-only edits, and
+			// after bound changes the old point still satisfies. Go
+			// straight to phase 2: it re-prices against the CURRENT
+			// cost vector, so a mutated objective is optimized (no
+			// silent staleness) and an unchanged one is verified in a
+			// single pricing pass without a pivot. The dual phase would
+			// instead demand dual feasibility — which an objective edit
+			// destroys — and fall back to a cold solve.
+			return s.runPhase2(p, opt)
+		}
 		switch st := s.dualPhase(); st {
 		case IterLimit:
 			return &Solution{Status: IterLimit, Iterations: s.iters, Stats: s.stats()}, nil

@@ -61,6 +61,22 @@ func (s Status) String() string {
 	}
 }
 
+// Err maps a terminal Status to the lp sentinel errors, so callers that
+// must fail on an unusable outcome classify it with errors.Is instead
+// of matching status strings: Infeasible → lp.ErrInfeasible, NoSolution
+// (limits hit before any incumbent) → lp.ErrIterLimit, nil otherwise —
+// Optimal and Feasible both carry a usable incumbent.
+func (s Status) Err() error {
+	switch s {
+	case Infeasible:
+		return lp.ErrInfeasible
+	case NoSolution:
+		return lp.ErrIterLimit
+	default:
+		return nil
+	}
+}
+
 // Problem couples an LP with the list of integer-constrained variables.
 type Problem struct {
 	LP      *lp.Problem
@@ -160,6 +176,35 @@ type Stats struct {
 	// NodeTightenPrunes counts nodes proven infeasible by that pass
 	// alone — pruned without an LP solve.
 	NodeTightenPrunes int
+}
+
+// Merge accumulates another aggregate o into st — the cross-solve
+// aggregation the sched facade's sweeps use (add folds ONE lp solve's
+// counters in, Merge folds a whole run's). Counters sum,
+// MaxSpikeGrowth takes the maximum.
+func (st *Stats) Merge(o Stats) {
+	st.LPIterations += o.LPIterations
+	st.DualIterations += o.DualIterations
+	st.BoundFlips += o.BoundFlips
+	st.Refactorizations += o.Refactorizations
+	st.RefactorPeriodic += o.RefactorPeriodic
+	st.RefactorUnstable += o.RefactorUnstable
+	st.RefactorRestore += o.RefactorRestore
+	st.FTUpdates += o.FTUpdates
+	if o.MaxSpikeGrowth > st.MaxSpikeGrowth {
+		st.MaxSpikeGrowth = o.MaxSpikeGrowth
+	}
+	st.WarmSolves += o.WarmSolves
+	st.WarmFallbacks += o.WarmFallbacks
+	st.PresolvedCols += o.PresolvedCols
+	st.PresolvedRows += o.PresolvedRows
+	st.PresolvePasses += o.PresolvePasses
+	st.PresolveSingletonRows += o.PresolveSingletonRows
+	st.PresolveSingletonCols += o.PresolveSingletonCols
+	st.PresolveDupCols += o.PresolveDupCols
+	st.PresolveTightened += o.PresolveTightened
+	st.NodeTightenedBounds += o.NodeTightenedBounds
+	st.NodeTightenPrunes += o.NodeTightenPrunes
 }
 
 func (st *Stats) add(s lp.Stats) {

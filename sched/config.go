@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cellstream/internal/platform"
+)
+
+// SolverKind selects the engine behind OpMap/OpSweep solves.
+type SolverKind int
+
+const (
+	// SolverAuto lets the session choose; it currently always selects
+	// SolverSearch, the production path that scales to the paper's
+	// 50–94-task graphs.
+	SolverAuto SolverKind = iota
+	// SolverSearch is the combinatorial branch-and-bound in assignment
+	// space (internal/assign), seeded by the greedy + local-search
+	// heuristics and bounded below by the warm root-LP relaxation —
+	// the paper's "Linear Programming" strategy. Deterministic: the
+	// same request always returns the identical mapping.
+	SolverSearch
+	// SolverMILP solves the mixed linear program (1a)–(1k) directly by
+	// LP-based branch-and-bound (internal/milp) on the compact (or
+	// literal, see WithLiteralFormulation) formulation. Exact but only
+	// practical on small graphs.
+	SolverMILP
+)
+
+// String implements fmt.Stringer.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverAuto:
+		return "auto"
+	case SolverSearch:
+		return "search"
+	case SolverMILP:
+		return "milp"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the one coherent knob set of a Session, replacing direct
+// use of lp.Options, milp.Options, core.SolveOptions and
+// assign.Options. Build one through NewSession's functional options;
+// the zero value of every field selects a sane default.
+type Config struct {
+	// Platform is the target platform (default platform.QS22).
+	Platform *platform.Platform
+	// RelGap is the relative optimality gap solves stop at (default
+	// 0.05, the paper's CPLEX setting). Exact forces 0.
+	RelGap float64
+	// Exact forces proven optimality (RelGap 0).
+	Exact bool
+	// TimeLimit bounds each solve (default 20s); contexts passed to
+	// Do/Map/Sweep can end a solve earlier.
+	TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes per solve (0 = engine
+	// default).
+	MaxNodes int
+	// Workers bounds the number of requests the session serves
+	// concurrently (default min(GOMAXPROCS, 8)); excess requests queue
+	// on the worker pool.
+	Workers int
+	// SolverWorkers is the worker count inside one MILP
+	// branch-and-bound solve (0 = engine default). Set 1 for
+	// deterministic MILP results.
+	SolverWorkers int
+	// Solver selects the engine (default SolverAuto).
+	Solver SolverKind
+	// Literal selects the paper-literal β formulation for SolverMILP.
+	Literal bool
+	// ColdStart disables warm starts and presolve inside the solvers
+	// (ablations and benchmarks).
+	ColdStart bool
+	// SeedIters / SeedRestarts tune the local-search seeding of
+	// OpMap/OpSweep (defaults 20000 / 4); DisableSeeding skips it.
+	SeedIters      int
+	SeedRestarts   int
+	DisableSeeding bool
+}
+
+// Option mutates a Config inside NewSession.
+type Option func(*Config)
+
+// WithPlatform sets the target platform.
+func WithPlatform(p *platform.Platform) Option { return func(c *Config) { c.Platform = p } }
+
+// WithRelGap sets the relative optimality gap (e.g. 0.05 for the
+// paper's 5%).
+func WithRelGap(gap float64) Option { return func(c *Config) { c.RelGap = gap } }
+
+// WithExact forces proven optimality (gap 0).
+func WithExact() Option { return func(c *Config) { c.Exact = true } }
+
+// WithTimeLimit bounds each solve's wall-clock budget.
+func WithTimeLimit(d time.Duration) Option { return func(c *Config) { c.TimeLimit = d } }
+
+// WithMaxNodes bounds branch-and-bound nodes per solve.
+func WithMaxNodes(n int) Option { return func(c *Config) { c.MaxNodes = n } }
+
+// WithWorkers bounds concurrently served requests.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithSolverWorkers sets the worker count inside one MILP solve
+// (1 makes MILP results deterministic).
+func WithSolverWorkers(n int) Option { return func(c *Config) { c.SolverWorkers = n } }
+
+// WithSolver selects the solving engine.
+func WithSolver(k SolverKind) Option { return func(c *Config) { c.Solver = k } }
+
+// WithLiteralFormulation selects the paper-literal β formulation for
+// SolverMILP.
+func WithLiteralFormulation() Option { return func(c *Config) { c.Literal = true } }
+
+// WithColdStart disables warm starts and presolve (ablations).
+func WithColdStart() Option { return func(c *Config) { c.ColdStart = true } }
+
+// WithSeeding tunes the heuristic seeding (iters, restarts); pass
+// (0, 0) to keep the defaults.
+func WithSeeding(iters, restarts int) Option {
+	return func(c *Config) { c.SeedIters, c.SeedRestarts = iters, restarts }
+}
+
+// WithoutSeeding skips the greedy/local-search seeding entirely.
+func WithoutSeeding() Option { return func(c *Config) { c.DisableSeeding = true } }
+
+// fill applies defaults to unset fields.
+func (c *Config) fill() {
+	if c.Platform == nil {
+		c.Platform = platform.QS22()
+	}
+	if c.Exact {
+		c.RelGap = 0
+	} else if c.RelGap == 0 {
+		c.RelGap = 0.05
+	}
+	if c.TimeLimit == 0 {
+		c.TimeLimit = 20 * time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.SeedIters == 0 {
+		c.SeedIters = 20000
+	}
+	if c.SeedRestarts == 0 {
+		c.SeedRestarts = 4
+	}
+}
+
+// validate rejects nonsensical configurations after fill.
+func (c *Config) validate() error {
+	if err := c.Platform.Validate(); err != nil {
+		return fmt.Errorf("sched: invalid platform: %w", err)
+	}
+	if c.RelGap < 0 || c.RelGap >= 1 {
+		return fmt.Errorf("sched: relative gap %g outside [0,1)", c.RelGap)
+	}
+	if c.TimeLimit < 0 {
+		return fmt.Errorf("sched: negative time limit %v", c.TimeLimit)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("sched: %d workers", c.Workers)
+	}
+	if c.SolverWorkers < 0 || c.MaxNodes < 0 {
+		return fmt.Errorf("sched: negative solver workers or node limit")
+	}
+	switch c.Solver {
+	case SolverAuto, SolverSearch, SolverMILP:
+	default:
+		return fmt.Errorf("sched: unknown solver kind %d", int(c.Solver))
+	}
+	return nil
+}

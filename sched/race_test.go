@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cellstream/internal/heuristics"
+	"cellstream/internal/platform"
+)
+
+// fingerprint reduces a Result to the fields the determinism contract
+// covers, with exact float equality — "byte-identical" means identical
+// mappings AND bit-identical periods/bounds, not just agreement within
+// tolerance.
+type fingerprint struct {
+	Op          Op
+	Mapping     []int
+	Period      float64
+	PeriodBound float64
+	RootLPBound float64
+	Gap         float64
+	Nodes       int
+	Proved      bool
+	Sweep       []pointPrint
+}
+
+type pointPrint struct {
+	NumSPE      int
+	Mapping     []int
+	Period      float64
+	PeriodBound float64
+	RootLPBound float64
+	Proved      bool
+}
+
+func printOf(res *Result) fingerprint {
+	fp := fingerprint{
+		Op:          res.Op,
+		Mapping:     append([]int(nil), res.Mapping...),
+		PeriodBound: res.PeriodBound,
+		RootLPBound: res.RootLPBound,
+		Gap:         res.Gap,
+		Nodes:       res.Nodes,
+		Proved:      res.Proved,
+	}
+	if res.Report != nil {
+		fp.Period = res.Report.Period
+	}
+	for _, pt := range res.Sweep {
+		pp := pointPrint{
+			NumSPE:      pt.NumSPE,
+			Mapping:     append([]int(nil), pt.Mapping...),
+			PeriodBound: pt.PeriodBound,
+			RootLPBound: pt.RootLPBound,
+			Proved:      pt.Proved,
+		}
+		if pt.Report != nil {
+			pp.Period = pt.Report.Period
+		}
+		fp.Sweep = append(fp.Sweep, pp)
+	}
+	return fp
+}
+
+// TestSessionConcurrentByteIdentical hammers one Session with parallel
+// mixed requests — map, sweep, evaluate — and asserts every result is
+// byte-identical to a serial baseline run, under -race. This pins the
+// facade's determinism contract: the worker pool and the shared warm
+// root-LP state must not let request interleaving leak into results.
+func TestSessionConcurrentByteIdentical(t *testing.T) {
+	plat := platform.Cell(1, 3)
+	newSession := func() *Session {
+		s, err := NewSession(
+			WithPlatform(plat),
+			WithRelGap(0.05),
+			WithTimeLimit(30*time.Second),
+			WithSeeding(1000, 1),
+			WithWorkers(8),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	g1 := testGraph(10, 11)
+	g2 := testGraph(12, 12)
+	g3 := testGraph(9, 13)
+	requests := []Request{
+		{Op: OpMap, Graph: g1},
+		{Op: OpSweep, Graph: g2, SPECounts: []int{3, 2, 1, 0}},
+		{Op: OpEvaluate, Graph: g3, Mapping: heuristics.GreedyCPU(g3, plat)},
+		{Op: OpMap, Graph: g2},
+		{Op: OpSweep, Graph: g1, SPECounts: []int{3, 1}},
+		{Op: OpEvaluate, Graph: g1, Mapping: heuristics.GreedyMem(g1, plat)},
+	}
+
+	// Serial baseline: every request once, sequentially, fresh session.
+	serial := newSession()
+	want := make([]fingerprint, len(requests))
+	for i, req := range requests {
+		res, err := serial.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("serial request %d: %v", i, err)
+		}
+		want[i] = printOf(res)
+	}
+	// Serial repeat on the SAME session: the warm state must not drift
+	// results between the first and the n-th identical request.
+	for i, req := range requests {
+		res, err := serial.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("serial repeat %d: %v", i, err)
+		}
+		if got := printOf(res); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("serial repeat %d drifted:\ngot  %+v\nwant %+v", i, got, want[i])
+		}
+	}
+	serial.Close()
+
+	// Concurrent hammer: rounds × requests goroutines against one
+	// fresh session, all in flight at once.
+	rounds := 3
+	if testing.Short() {
+		rounds = 2
+	}
+	hammered := newSession()
+	defer hammered.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(requests))
+	for r := 0; r < rounds; r++ {
+		for i, req := range requests {
+			wg.Add(1)
+			go func(r, i int, req Request) {
+				defer wg.Done()
+				res, err := hammered.Do(context.Background(), req)
+				if err != nil {
+					errs <- fmt.Errorf("round %d request %d: %v", r, i, err)
+					return
+				}
+				if got := printOf(res); !reflect.DeepEqual(got, want[i]) {
+					errs <- fmt.Errorf("round %d request %d diverged from serial:\ngot  %+v\nwant %+v", r, i, got, want[i])
+				}
+			}(r, i, req)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMixedWithStreams adds streams and cancellations to the
+// mix — no determinism assertion, just freedom from races, deadlocks
+// and leaked goroutines under load.
+func TestConcurrentMixedWithStreams(t *testing.T) {
+	s := testSession(t, WithWorkers(4))
+	g := testGraph(10, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, 5*time.Millisecond)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := 0
+			for range ch {
+				if n++; n == 2 {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Sweep(context.Background(), g, 3, 0); err != nil {
+				t.Errorf("sweep %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"context"
+	"sync"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+)
+
+// rootLPMaxIter bounds each root-LP solve, matching the budget the
+// assignment search historically gave its own (cold) root relaxation.
+const rootLPMaxIter = 20000
+
+// rootState is a Session's per-graph warm-start state: one mutable
+// lp.Model over the compact formulation at the session's FULL platform.
+// Sweeping SPE counts never rebuilds it — a sweep point with k SPEs is
+// expressed by fixing the placement columns α^t_pe of every disabled
+// SPE (pe ≥ k) to zero, which leaves the row structure (and therefore
+// the warm-start basis) shared across all points, so consecutive points
+// re-solve through the dual simplex instead of from scratch. The
+// reduced relaxation's optimum equals the reduced platform's own root
+// LP: disabled PEs contribute nothing to the load rows once their α
+// columns are zero, and the communication indicators of disabled PEs
+// rest at zero in any optimum.
+//
+// Every request chain restarts from the canonical baseline basis (the
+// unrestricted relaxation's optimum), so a given counts sequence takes
+// an identical pivot path no matter how requests interleave — the
+// byte-identical-under-concurrency guarantee the facade tests pin.
+type rootState struct {
+	mu     sync.Mutex
+	ready  bool
+	failed bool
+
+	f     *core.Formulation
+	model *lp.Model
+	base  *lp.Basis // canonical basis: optimum of the unrestricted relaxation
+}
+
+// init builds the model and solves the unrestricted (full-platform)
+// relaxation once, cold with presolve; its basis anchors every later
+// warm chain.
+func (rs *rootState) init(g *graph.Graph, plat *platform.Platform) {
+	rs.f = core.CachedFormulation(g, plat, false)
+	// Clone: the cached formulation is shared and immutable; the model
+	// mutates bounds per sweep point.
+	rs.model = lp.ModelFor(rs.f.Problem.LP.Clone())
+	sol, err := rs.model.Solve(lp.Options{MaxIter: rootLPMaxIter, Presolve: true})
+	if err != nil || sol.Status != lp.Optimal || sol.Basis == nil {
+		rs.failed = true
+		return
+	}
+	rs.base = sol.Basis
+}
+
+// bounds solves the root LP at each SPE count of the chain, IN THE
+// ORDER GIVEN (callers pass descending counts so each point
+// warm-starts from the previous one). A failed point leaves Bound 0 —
+// callers fall back to their own bounding — and the chain continues.
+// Cancellation is honored between chain points (a single LP solve has
+// no mid-solve cancellation): remaining points keep Bound 0 and the
+// caller surfaces ctx.Err().
+func (rs *rootState) bounds(ctx context.Context, g *graph.Graph, plat *platform.Platform, counts []int) []RootPoint {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.ready {
+		rs.init(g, plat)
+		rs.ready = true
+	}
+	pts := make([]RootPoint, len(counts))
+	for i, k := range counts {
+		pts[i].NumSPE = k
+	}
+	if rs.failed {
+		return pts
+	}
+	rs.model.SetBasis(rs.base)
+	for i, k := range counts {
+		if ctx.Err() != nil {
+			break
+		}
+		for spe := 0; spe < plat.NumSPE; spe++ {
+			up := 1.0
+			if spe >= k {
+				up = 0 // SPE disabled at this sweep point
+			}
+			for t := 0; t < rs.f.NumTasks(); t++ {
+				rs.model.SetBounds(rs.f.AlphaVar(t, plat.NumPPE+spe), 0, up)
+			}
+		}
+		sol, err := rs.model.Solve(lp.Options{MaxIter: rootLPMaxIter})
+		if err != nil || sol.Status != lp.Optimal {
+			continue
+		}
+		pts[i].Bound = sol.Objective
+		pts[i].Warm = sol.Stats.Warm && !sol.Stats.WarmFellBack
+		pts[i].Stats = sol.Stats
+	}
+	return pts
+}

@@ -1,0 +1,184 @@
+// Package sched is the public, session-oriented facade of the
+// scheduling framework: one coherent configuration and one long-lived
+// Session in front of the solver stack (internal/lp, internal/milp,
+// internal/assign, internal/core), replacing direct use of their four
+// uncoordinated option structs.
+//
+// A Session owns the cached formulations, a worker pool bounding
+// concurrent solves, and per-graph warm-start state (a mutable lp.Model
+// over the compact formulation whose dual-simplex warm starts carry
+// across SPE-count sweep points). It serves concurrent,
+// context-cancellable Request→Result solves:
+//
+//   - OpMap computes a throughput-optimal mapping of a task graph,
+//   - OpSweep maps the graph at a series of SPE counts (the Fig. 7
+//     axis), each point's root LP warm-started from the previous,
+//   - OpEvaluate analytically evaluates a fixed mapping,
+//   - Stream re-solves a request periodically (online re-planning).
+//
+// Requests are validated up front (ErrBadRequest) and solver failures
+// carry the lp sentinel errors (lp.ErrInfeasible, lp.ErrIterLimit, ...)
+// for errors.Is classification.
+//
+//	sess, err := sched.NewSession(
+//		sched.WithPlatform(platform.QS22()),
+//		sched.WithRelGap(0.05),
+//		sched.WithTimeLimit(10*time.Second),
+//	)
+//	defer sess.Close()
+//	res, err := sess.Map(ctx, g)
+package sched
+
+import (
+	"errors"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+var (
+	// ErrBadRequest reports a structurally invalid Request: nil or
+	// invalid graph, unknown op, an out-of-range SPE count, a malformed
+	// mapping, or a nonsensical stream interval. Classify with
+	// errors.Is(err, sched.ErrBadRequest).
+	ErrBadRequest = errors.New("sched: bad request")
+	// ErrClosed reports a request issued to a closed Session.
+	ErrClosed = errors.New("sched: session closed")
+)
+
+// Op selects what a Request asks the Session to do.
+type Op int
+
+const (
+	// OpMap computes a throughput-optimal mapping of Request.Graph on
+	// the session platform (within the configured gap).
+	OpMap Op = iota + 1
+	// OpSweep maps Request.Graph once per SPE count in
+	// Request.SPECounts (default: every count from the full platform
+	// down to 0). Root LP bounds are dual-warm-started across points.
+	OpSweep
+	// OpEvaluate analytically evaluates the fixed Request.Mapping:
+	// period, bottleneck, capacity feasibility.
+	OpEvaluate
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpMap:
+		return "map"
+	case OpSweep:
+		return "sweep"
+	case OpEvaluate:
+		return "evaluate"
+	default:
+		return "unknown"
+	}
+}
+
+// Request describes one unit of work for Session.Do. Zero-valued
+// optional fields take the session defaults.
+type Request struct {
+	// Op selects the operation; required.
+	Op Op
+	// Graph is the streaming task graph; required, must Validate.
+	Graph *graph.Graph
+	// Mapping is the fixed mapping to evaluate (OpEvaluate only).
+	Mapping core.Mapping
+	// SPECounts is the sweep axis for OpSweep. Defaults to
+	// NumSPE..0 (descending). Points are solved in descending order so
+	// each root LP warm-starts from the previous one; results are
+	// reported in the order given here.
+	SPECounts []int
+	// Seed optionally provides an initial incumbent mapping for
+	// OpMap/OpSweep (checked for feasibility, ignored when infeasible).
+	Seed core.Mapping
+	// RelGap overrides the session's relative optimality gap when > 0.
+	RelGap float64
+	// TimeLimit overrides the session's per-solve budget when > 0.
+	// For OpSweep it applies per point.
+	TimeLimit time.Duration
+}
+
+// Result is the outcome of one Request.
+type Result struct {
+	// Op echoes the request's operation.
+	Op Op
+	// Mapping is the computed (OpMap) or evaluated (OpEvaluate)
+	// mapping; for OpSweep it is the full-configuration point's when
+	// present (see Sweep for every point).
+	Mapping core.Mapping
+	// Report is the analytical steady-state evaluation of Mapping.
+	Report *core.Report
+	// PeriodBound is a proven lower bound on the optimal period
+	// (OpMap); the achieved period is within Gap of it.
+	PeriodBound float64
+	// RootLPBound is the LP-relaxation root bound used by the search
+	// (0 when unavailable).
+	RootLPBound float64
+	// Gap is the relative optimality gap actually proven (OpMap).
+	Gap float64
+	// Nodes counts branch-and-bound nodes explored (OpMap).
+	Nodes int
+	// Proved is true when the gap is proven rather than truncated by a
+	// limit.
+	Proved bool
+	// SolveTime is the wall-clock time of the solve.
+	SolveTime time.Duration
+	// Stats aggregates LP-solver counters for MILP-backed solves.
+	Stats milp.Stats
+	// LP aggregates the warm root-LP counters this request consumed
+	// (the dual-warm-start sweep path).
+	LP lp.Stats
+	// Sweep holds the per-SPE-count points of an OpSweep result, in
+	// the order requested.
+	Sweep []SweepPoint
+	// Err carries a per-solve failure on streamed results, where there
+	// is no error return path per tick. Always nil on Do results.
+	Err error
+}
+
+// SweepPoint is one SPE count of an OpSweep result.
+type SweepPoint struct {
+	// NumSPE is the SPE count of this point.
+	NumSPE int
+	// Mapping and Report describe the best mapping found at this count.
+	Mapping core.Mapping
+	Report  *core.Report
+	// PeriodBound and RootLPBound are the proven and root-LP lower
+	// bounds on the period at this count.
+	PeriodBound float64
+	RootLPBound float64
+	// Gap and Proved qualify PeriodBound like on Result.
+	Gap    float64
+	Proved bool
+	// Nodes counts search nodes at this point.
+	Nodes int
+	// Warm is true when the point's root LP was served from a restored
+	// warm basis — every chain point restarts from the session's
+	// canonical baseline, so false means the warm start fell back cold
+	// or the relaxation was unavailable.
+	Warm bool
+	// LP reports the root LP's solver counters for this point.
+	LP lp.Stats
+}
+
+// RootPoint is one SPE count of a RootBounds sweep: the LP-relaxation
+// lower bound alone, without the combinatorial search on top.
+type RootPoint struct {
+	// NumSPE is the SPE count of this point.
+	NumSPE int
+	// Bound is the root-LP lower bound on the optimal period at this
+	// count (0 when the relaxation was unavailable).
+	Bound float64
+	// Warm is true when the bound was served from a restored warm
+	// basis (the previous point's, or the canonical baseline for the
+	// chain's first point); false means a cold fallback or an
+	// unavailable relaxation.
+	Warm bool
+	// Stats reports the LP solver counters of this point's solve.
+	Stats lp.Stats
+}

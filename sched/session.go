@@ -1,0 +1,531 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cellstream/internal/assign"
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+	"cellstream/internal/platform"
+)
+
+// rootCacheCap bounds the per-graph warm-start states a session keeps
+// (FIFO eviction, like core's formulation cache).
+const rootCacheCap = 64
+
+// Session is a long-lived scheduling service: it owns the cached
+// formulations, a worker pool bounding concurrent solves, and
+// per-graph warm-basis state, and serves concurrent,
+// context-cancellable Request→Result solves. A Session is safe for
+// concurrent use; create one per platform configuration and share it.
+//
+// Results are deterministic for the default (search) solver: the same
+// request returns the byte-identical mapping whether issued serially or
+// under concurrent load, because every warm root-LP chain restarts from
+// the session's canonical baseline basis.
+type Session struct {
+	cfg  Config
+	sem  chan struct{} // worker-pool slots
+	quit chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup // stream goroutines
+
+	mu    sync.Mutex
+	roots map[*graph.Graph]*rootState
+	order []*graph.Graph // FIFO eviction order
+}
+
+// NewSession validates the configuration assembled from opts and
+// returns a ready Session. Close it when done.
+func NewSession(opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		quit:  make(chan struct{}),
+		roots: map[*graph.Graph]*rootState{},
+	}, nil
+}
+
+// Config returns a copy of the session's effective configuration
+// (defaults filled in).
+func (s *Session) Config() Config { return s.cfg }
+
+// Close shuts the session down: streams stop, and subsequent requests
+// return ErrClosed. In-flight solves finish (cancel their contexts to
+// stop them early). Close is idempotent.
+func (s *Session) Close() {
+	// The mutex orders Close against Stream's check-quit-then-register
+	// sequence: a stream either registers with the WaitGroup strictly
+	// before quit closes (and Wait waits for it) or observes the closed
+	// quit and never starts — wg.Add can never race wg.Wait at zero.
+	s.once.Do(func() {
+		s.mu.Lock()
+		close(s.quit)
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// register adds a stream goroutine to the session's WaitGroup unless
+// the session is already closed (see Close for the ordering argument).
+func (s *Session) register() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.quit:
+		return ErrClosed
+	default:
+	}
+	s.wg.Add(1)
+	return nil
+}
+
+// acquire takes a worker-pool slot, honoring cancellation and shutdown.
+func (s *Session) acquire(ctx context.Context) error {
+	select {
+	case <-s.quit:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Session) release() { <-s.sem }
+
+// root returns the per-graph warm-start state, creating it on first use
+// and evicting oldest-first past rootCacheCap.
+func (s *Session) root(g *graph.Graph) *rootState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs, ok := s.roots[g]; ok {
+		return rs
+	}
+	if len(s.order) >= rootCacheCap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.roots, oldest)
+	}
+	rs := &rootState{}
+	s.roots[g] = rs
+	s.order = append(s.order, g)
+	return rs
+}
+
+// checkRequest validates a request up front; every failure wraps
+// ErrBadRequest.
+func (s *Session) checkRequest(req *Request) error {
+	switch req.Op {
+	case OpMap, OpSweep, OpEvaluate:
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrBadRequest, int(req.Op))
+	}
+	if req.Graph == nil {
+		return fmt.Errorf("%w: nil graph", ErrBadRequest)
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Op == OpEvaluate {
+		if err := req.Mapping.Validate(req.Graph, s.cfg.Platform); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if req.Seed != nil && len(req.Seed) != req.Graph.NumTasks() {
+		return fmt.Errorf("%w: seed has %d entries for %d tasks",
+			ErrBadRequest, len(req.Seed), req.Graph.NumTasks())
+	}
+	for _, k := range req.SPECounts {
+		if k < 0 || k > s.cfg.Platform.NumSPE {
+			return fmt.Errorf("%w: SPE count %d outside [0,%d]", ErrBadRequest, k, s.cfg.Platform.NumSPE)
+		}
+	}
+	if req.RelGap < 0 || req.RelGap >= 1 {
+		return fmt.Errorf("%w: relative gap %g outside [0,1)", ErrBadRequest, req.RelGap)
+	}
+	if req.TimeLimit < 0 {
+		return fmt.Errorf("%w: negative time limit %v", ErrBadRequest, req.TimeLimit)
+	}
+	return nil
+}
+
+// Do serves one request: it validates, waits for a worker-pool slot
+// (honoring ctx), dispatches on req.Op and returns the Result.
+func (s *Session) Do(ctx context.Context, req Request) (*Result, error) {
+	if err := s.checkRequest(&req); err != nil {
+		return nil, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch req.Op {
+	case OpMap:
+		return s.doMap(ctx, req)
+	case OpSweep:
+		return s.doSweep(ctx, req)
+	default: // OpEvaluate, checkRequest rejected everything else
+		return s.doEvaluate(req)
+	}
+}
+
+// Map computes a throughput-optimal mapping of g on the session
+// platform (Request{Op: OpMap} shorthand).
+func (s *Session) Map(ctx context.Context, g *graph.Graph) (*Result, error) {
+	return s.Do(ctx, Request{Op: OpMap, Graph: g})
+}
+
+// Sweep maps g once per SPE count (Request{Op: OpSweep} shorthand);
+// counts defaults to NumSPE..0 when empty.
+func (s *Session) Sweep(ctx context.Context, g *graph.Graph, counts ...int) (*Result, error) {
+	return s.Do(ctx, Request{Op: OpSweep, Graph: g, SPECounts: counts})
+}
+
+// Evaluate analytically evaluates the fixed mapping m of g
+// (Request{Op: OpEvaluate} shorthand).
+func (s *Session) Evaluate(ctx context.Context, g *graph.Graph, m core.Mapping) (*Result, error) {
+	return s.Do(ctx, Request{Op: OpEvaluate, Graph: g, Mapping: m})
+}
+
+// RootBounds solves the LP-relaxation lower bound at each SPE count of
+// counts, in the order given — pass descending counts so each point
+// dual-warm-starts from the previous one — without the combinatorial
+// search on top. It is the bound-only sweep the Fig. 7 harness and the
+// warm-vs-cold benchmarks use.
+func (s *Session) RootBounds(ctx context.Context, g *graph.Graph, counts []int) ([]RootPoint, error) {
+	req := Request{Op: OpSweep, Graph: g, SPECounts: counts}
+	if err := s.checkRequest(&req); err != nil {
+		return nil, err
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pts := s.root(g).bounds(ctx, g, s.cfg.Platform, counts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// gapOf / limitOf resolve per-request overrides against the config.
+func (s *Session) gapOf(req Request) float64 {
+	if req.RelGap > 0 {
+		return req.RelGap
+	}
+	return s.cfg.RelGap
+}
+
+func (s *Session) limitOf(req Request) time.Duration {
+	if req.TimeLimit > 0 {
+		return req.TimeLimit
+	}
+	return s.cfg.TimeLimit
+}
+
+// solverOf resolves SolverAuto: the assignment-space search is the
+// production default — it scales to the paper's graph sizes and its
+// results are deterministic.
+func (s *Session) solverOf() SolverKind {
+	if s.cfg.Solver == SolverAuto {
+		return SolverSearch
+	}
+	return s.cfg.Solver
+}
+
+// seedFor builds the deterministic heuristic seed for a search on plat:
+// the better of the two greedies, improved by seeded local search, and
+// the caller's seed when it beats them all.
+func (s *Session) seedFor(req Request, plat *platform.Platform) core.Mapping {
+	if s.cfg.DisableSeeding {
+		return req.Seed
+	}
+	g := req.Graph
+	best := heuristics.GreedyCPU(g, plat)
+	if alt := heuristics.GreedyMem(g, plat); betterMapping(g, plat, alt, best) {
+		best = alt
+	}
+	if improved, _, err := heuristics.Improve(g, plat, best.Clone(), heuristics.LocalSearchOptions{
+		MaxIters: s.cfg.SeedIters, Restarts: s.cfg.SeedRestarts,
+	}); err == nil && betterMapping(g, plat, improved, best) {
+		best = improved
+	}
+	if req.Seed != nil && betterMapping(g, plat, req.Seed, best) {
+		best = req.Seed
+	}
+	return best
+}
+
+func betterMapping(g *graph.Graph, plat *platform.Platform, a, b core.Mapping) bool {
+	ra, errA := core.Evaluate(g, plat, a)
+	if errA != nil || !ra.Feasible {
+		return false
+	}
+	rb, errB := core.Evaluate(g, plat, b)
+	if errB != nil || !rb.Feasible {
+		return true
+	}
+	return ra.Period < rb.Period
+}
+
+// solvePoint runs one mapping solve on plat with an externally supplied
+// root bound (0 = let the engine bound itself).
+func (s *Session) solvePoint(ctx context.Context, req Request, plat *platform.Platform, rootLB float64) (*assign.Result, error) {
+	return assign.SolveCtx(ctx, req.Graph, plat, assign.Options{
+		RelGap:        s.gapOf(req),
+		Exact:         s.cfg.Exact,
+		TimeLimit:     s.limitOf(req),
+		MaxNodes:      s.cfg.MaxNodes,
+		Seed:          s.seedFor(req, plat),
+		RootBound:     rootLB,
+		DisableRootLP: s.cfg.ColdStart,
+	})
+}
+
+// doMap serves OpMap.
+func (s *Session) doMap(ctx context.Context, req Request) (*Result, error) {
+	start := time.Now()
+	if s.solverOf() == SolverMILP {
+		sres, err := core.SolveMILPCtx(ctx, req.Graph, s.cfg.Platform, core.SolveOptions{
+			RelGap:    s.gapOf(req),
+			Exact:     s.cfg.Exact,
+			TimeLimit: s.limitOf(req),
+			MaxNodes:  s.cfg.MaxNodes,
+			Literal:   s.cfg.Literal,
+			Seed:      req.Seed,
+			ColdStart: s.cfg.ColdStart,
+			Workers:   s.cfg.SolverWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Op:          OpMap,
+			Mapping:     sres.Mapping,
+			Report:      sres.Report,
+			PeriodBound: sres.PeriodBound,
+			Gap:         sres.Gap,
+			Nodes:       sres.Nodes,
+			// Only Optimal proves the gap; Feasible means a limit
+			// truncated the search with an unproven incumbent.
+			Proved:    sres.Status == milp.Optimal,
+			SolveTime: time.Since(start),
+			Stats:     sres.LPStats,
+		}, nil
+	}
+
+	var rootLB float64
+	var lpStats lp.Stats
+	if !s.cfg.ColdStart {
+		pts := s.root(req.Graph).bounds(ctx, req.Graph, s.cfg.Platform, []int{s.cfg.Platform.NumSPE})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rootLB = pts[0].Bound
+		lpStats = pts[0].Stats
+	}
+	ares, err := s.solvePoint(ctx, req, s.cfg.Platform, rootLB)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Op:          OpMap,
+		Mapping:     ares.Mapping,
+		Report:      ares.Report,
+		PeriodBound: ares.PeriodBound,
+		RootLPBound: ares.RootLPBound,
+		Gap:         ares.Gap,
+		Nodes:       ares.Nodes,
+		Proved:      ares.Proved,
+		SolveTime:   time.Since(start),
+		LP:          lpStats,
+	}, nil
+}
+
+// doSweep serves OpSweep: the root LP chain runs in descending SPE
+// order (each point warm from the previous), the per-point searches
+// follow the same order, and the result reports points in the order
+// requested.
+func (s *Session) doSweep(ctx context.Context, req Request) (*Result, error) {
+	start := time.Now()
+	counts := req.SPECounts
+	if len(counts) == 0 {
+		for k := s.cfg.Platform.NumSPE; k >= 0; k-- {
+			counts = append(counts, k)
+		}
+	}
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	sorted := make([]int, len(counts))
+	for i, idx := range order {
+		sorted[i] = counts[idx]
+	}
+
+	useMILP := s.solverOf() == SolverMILP
+	var bounds []RootPoint
+	if !s.cfg.ColdStart && !useMILP {
+		bounds = s.root(req.Graph).bounds(ctx, req.Graph, s.cfg.Platform, sorted)
+	}
+
+	res := &Result{Op: OpSweep, Sweep: make([]SweepPoint, len(counts))}
+	for i, idx := range order {
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-sweep: a partial result with nil-Report
+			// points would be a trap for callers that only check the
+			// error, so the whole request fails. Issue per-point OpMap
+			// requests when partial progress must survive cancellation.
+			return nil, err
+		}
+		k := counts[idx]
+		plat := s.cfg.Platform.WithSPEs(k)
+		pt := SweepPoint{NumSPE: k}
+		if bounds != nil {
+			pt.RootLPBound = bounds[i].Bound
+			pt.Warm = bounds[i].Warm
+			pt.LP = bounds[i].Stats
+			res.LP.Add(bounds[i].Stats)
+		}
+		if useMILP {
+			sres, err := core.SolveMILPCtx(ctx, req.Graph, plat, core.SolveOptions{
+				RelGap:    s.gapOf(req),
+				Exact:     s.cfg.Exact,
+				TimeLimit: s.limitOf(req),
+				MaxNodes:  s.cfg.MaxNodes,
+				Literal:   s.cfg.Literal,
+				Seed:      req.Seed, // unusable at reduced counts → core drops it
+				ColdStart: s.cfg.ColdStart,
+				Workers:   s.cfg.SolverWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt.Mapping = sres.Mapping
+			pt.Report = sres.Report
+			pt.PeriodBound = sres.PeriodBound
+			pt.Gap = sres.Gap
+			pt.Nodes = sres.Nodes
+			pt.Proved = sres.Status == milp.Optimal
+			res.Stats.Merge(sres.LPStats)
+		} else {
+			ares, err := s.solvePoint(ctx, req, plat, pt.RootLPBound)
+			if err != nil {
+				return nil, err
+			}
+			pt.Mapping = ares.Mapping
+			pt.Report = ares.Report
+			pt.PeriodBound = ares.PeriodBound
+			pt.RootLPBound = ares.RootLPBound
+			pt.Gap = ares.Gap
+			pt.Nodes = ares.Nodes
+			pt.Proved = ares.Proved
+		}
+		res.Sweep[idx] = pt
+		res.Nodes += pt.Nodes
+		if i == 0 { // largest SPE count: the headline configuration
+			res.Mapping = pt.Mapping
+			res.Report = pt.Report
+			res.PeriodBound = pt.PeriodBound
+			res.RootLPBound = pt.RootLPBound
+			res.Gap = pt.Gap
+			res.Proved = pt.Proved
+		}
+	}
+	res.SolveTime = time.Since(start)
+	return res, nil
+}
+
+// doEvaluate serves OpEvaluate.
+func (s *Session) doEvaluate(req Request) (*Result, error) {
+	start := time.Now()
+	rep, err := core.Evaluate(req.Graph, s.cfg.Platform, req.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return &Result{
+		Op:        OpEvaluate,
+		Mapping:   rep.Mapping,
+		Report:    rep,
+		SolveTime: time.Since(start),
+	}, nil
+}
+
+// Stream serves periodic re-solves of req: one solve immediately, then
+// one per interval tick, each delivered on the returned channel. The
+// stream ends — and the channel closes — when ctx is done or the
+// session closes. Per-solve failures arrive as Results with Err set
+// (the stream survives them); delivery blocks on a slow consumer, so
+// drain the channel.
+func (s *Session) Stream(ctx context.Context, req Request, every time.Duration) (<-chan *Result, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("%w: stream interval %v", ErrBadRequest, every)
+	}
+	if err := s.checkRequest(&req); err != nil {
+		return nil, err
+	}
+	if err := s.register(); err != nil {
+		return nil, err
+	}
+	ch := make(chan *Result, 1)
+	go func() {
+		defer s.wg.Done()
+		defer close(ch)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			res, err := s.Do(ctx, req)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+					errors.Is(err, ErrClosed) {
+					return
+				}
+				res = &Result{Op: req.Op, Err: err}
+			}
+			select {
+			case ch <- res:
+			case <-ctx.Done():
+				return
+			case <-s.quit:
+				return
+			}
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				return
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+	return ch, nil
+}

@@ -1,0 +1,303 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/heuristics"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+)
+
+// testSession builds a session on the small Cell(1,3) with quick
+// deterministic seeding, suitable for unit tests.
+func testSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	all := append([]Option{
+		WithPlatform(platform.Cell(1, 3)),
+		WithRelGap(0.05),
+		WithTimeLimit(10 * time.Second),
+		WithSeeding(1500, 1),
+	}, opts...)
+	s, err := NewSession(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func testGraph(tasks int, seed int64) *graph.Graph {
+	return daggen.Generate(daggen.Params{Tasks: tasks, Seed: seed, CCR: 1})
+}
+
+func TestNewSessionValidates(t *testing.T) {
+	for name, opts := range map[string][]Option{
+		"bad-gap":     {WithRelGap(1.5)},
+		"neg-gap":     {WithRelGap(-0.1)},
+		"neg-limit":   {WithTimeLimit(-time.Second)},
+		"neg-workers": {WithWorkers(-2)},
+		"bad-solver":  {WithSolver(SolverKind(99))},
+	} {
+		if _, err := NewSession(opts...); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := s.Config()
+	if cfg.Platform == nil || cfg.RelGap != 0.05 || cfg.Workers < 1 {
+		t.Errorf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(6, 1)
+	ctx := context.Background()
+	cases := map[string]Request{
+		"unknown-op":  {Op: Op(42), Graph: g},
+		"nil-graph":   {Op: OpMap},
+		"bad-mapping": {Op: OpEvaluate, Graph: g, Mapping: core.Mapping{0}},
+		"oob-mapping": {Op: OpEvaluate, Graph: g, Mapping: make(core.Mapping, g.NumTasks()+2)},
+		"bad-count":   {Op: OpSweep, Graph: g, SPECounts: []int{99}},
+		"neg-count":   {Op: OpSweep, Graph: g, SPECounts: []int{-1}},
+		"bad-seed":    {Op: OpMap, Graph: g, Seed: core.Mapping{0, 0}},
+		"bad-gap":     {Op: OpMap, Graph: g, RelGap: 2},
+		"neg-limit":   {Op: OpMap, Graph: g, TimeLimit: -time.Second},
+	}
+	for name, req := range cases {
+		if _, err := s.Do(ctx, req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+	if _, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, 0); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("zero stream interval: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestMapAndEvaluate(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(10, 2)
+	ctx := context.Background()
+	res, err := s.Map(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != OpMap || res.Report == nil || !res.Report.Feasible {
+		t.Fatalf("bad map result: %+v", res)
+	}
+	if err := res.Mapping.Validate(g, s.Config().Platform); err != nil {
+		t.Fatal(err)
+	}
+	if res.PeriodBound <= 0 || res.PeriodBound > res.Report.Period*(1+1e-9) {
+		t.Errorf("bound %g vs period %g", res.PeriodBound, res.Report.Period)
+	}
+	if res.RootLPBound <= 0 {
+		t.Errorf("no root LP bound: %+v", res)
+	}
+
+	ev, err := s.Evaluate(ctx, g, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Evaluate(g, s.Config().Platform, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Report.Period != want.Period || ev.Report.Bottleneck != want.Bottleneck {
+		t.Errorf("evaluate drifted from core.Evaluate: %+v vs %+v", ev.Report, want)
+	}
+}
+
+// TestSweepWarmBounds is the dual-warm-start acceptance test: an
+// SPE-count sweep must serve every point after the first from a warm
+// basis (dual pivots > 0 overall, zero cold fallbacks), and each warm
+// bound must agree with a cold solve of the reduced platform's own
+// relaxation.
+func TestSweepWarmBounds(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(12, 5)
+	counts := []int{3, 2, 1, 0}
+	pts, err := s.RootBounds(context.Background(), g, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(counts) {
+		t.Fatalf("%d points, want %d", len(pts), len(counts))
+	}
+	dual := 0
+	for i, pt := range pts {
+		if pt.Stats.WarmFellBack {
+			t.Errorf("point %d (nSPE=%d) fell back cold: %+v", i, pt.NumSPE, pt.Stats)
+		}
+		if !pt.Warm {
+			t.Errorf("point %d (nSPE=%d) not warm", i, pt.NumSPE)
+		}
+		dual += pt.Stats.DualIterations
+		// Cold reference: the reduced platform's own formulation.
+		plat := s.Config().Platform.WithSPEs(pt.NumSPE)
+		f := core.FormulateCompact(g, plat)
+		ref, err := lp.SolveOpts(f.Problem.LP, lp.Options{MaxIter: 20000, Presolve: true})
+		if err != nil || ref.Status != lp.Optimal {
+			t.Fatalf("cold reference nSPE=%d: %v %+v", pt.NumSPE, err, ref)
+		}
+		if math.Abs(pt.Bound-ref.Objective) > 1e-6*(1+math.Abs(ref.Objective)) {
+			t.Errorf("nSPE=%d: warm bound %g vs cold %g", pt.NumSPE, pt.Bound, ref.Objective)
+		}
+	}
+	if dual == 0 {
+		t.Error("sweep took zero dual pivots — warm starts not exercised")
+	}
+
+	// The full sweep (search on top) must report consistent points in
+	// request order.
+	res, err := s.Sweep(context.Background(), g, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) != 3 {
+		t.Fatalf("%d sweep points, want 3", len(res.Sweep))
+	}
+	for i, want := range []int{0, 2, 3} {
+		pt := res.Sweep[i]
+		if pt.NumSPE != want {
+			t.Fatalf("point %d is nSPE=%d, want %d", i, pt.NumSPE, want)
+		}
+		if pt.Report == nil || !pt.Report.Feasible {
+			t.Errorf("point nSPE=%d infeasible: %+v", want, pt.Report)
+		}
+		if pt.PeriodBound > pt.Report.Period*(1+1e-9) {
+			t.Errorf("point nSPE=%d: bound %g above period %g", want, pt.PeriodBound, pt.Report.Period)
+		}
+	}
+	// More SPEs can only help (periods non-increasing in SPE count).
+	if res.Sweep[2].Report.Period > res.Sweep[0].Report.Period*(1+1e-9) {
+		t.Errorf("period grew with SPEs: %g (3 SPEs) vs %g (0 SPEs)",
+			res.Sweep[2].Report.Period, res.Sweep[0].Report.Period)
+	}
+}
+
+func TestMapMILPSolver(t *testing.T) {
+	s := testSession(t, WithSolver(SolverMILP), WithSolverWorkers(1))
+	g := testGraph(10, 3)
+	res, err := s.Map(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved || res.Report == nil || !res.Report.Feasible {
+		t.Fatalf("MILP map: %+v", res)
+	}
+	if res.Stats.LPIterations == 0 {
+		t.Errorf("no LP iterations recorded: %+v", res.Stats)
+	}
+	// The search solver must agree on the achieved period within the
+	// combined gaps.
+	s2 := testSession(t)
+	res2, err := s2.Map(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Period > res.Report.Period*(1+0.05+1e-9) ||
+		res.Report.Period > res2.Report.Period*(1+0.05+1e-9) {
+		t.Errorf("solvers disagree beyond gaps: milp %g vs search %g",
+			res.Report.Period, res2.Report.Period)
+	}
+}
+
+// TestMILPTruncatedNotProved pins the Proved contract: a limit-
+// truncated MILP solve (milp.Feasible) must not report a proven gap.
+func TestMILPTruncatedNotProved(t *testing.T) {
+	s := testSession(t, WithSolver(SolverMILP), WithSolverWorkers(1), WithMaxNodes(1))
+	res, err := s.Map(context.Background(), testGraph(12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved {
+		t.Fatalf("1-node MILP reported Proved=true: %+v", res)
+	}
+}
+
+// TestCancelledRequest pins cancellation semantics: a cancelled
+// context fails the request with the context error — never a partial
+// result with nil reports.
+func TestCancelledRequest(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(8, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := s.Sweep(ctx, g, 3, 2); !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("cancelled sweep: res=%v err=%v, want nil, context.Canceled", res, err)
+	}
+	if res, err := s.Map(ctx, g); !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("cancelled map: res=%v err=%v, want nil, context.Canceled", res, err)
+	}
+}
+
+func TestStream(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(8, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Result
+	for res := range ch {
+		if res.Err != nil {
+			t.Fatalf("stream solve failed: %v", res.Err)
+		}
+		got = append(got, res)
+		if len(got) == 3 {
+			cancel()
+		}
+	}
+	if len(got) < 3 {
+		t.Fatalf("stream delivered %d results before close, want ≥ 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Report.Period != got[0].Report.Period {
+			t.Errorf("re-solve %d drifted: %g vs %g", i, got[i].Report.Period, got[0].Report.Period)
+		}
+	}
+}
+
+func TestClosedSession(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(6, 6)
+	s.Close()
+	if _, err := s.Map(context.Background(), g); !errors.Is(err, ErrClosed) {
+		t.Errorf("Map after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Stream(context.Background(), Request{Op: OpMap, Graph: g}, time.Second); !errors.Is(err, ErrClosed) {
+		t.Errorf("Stream after Close: %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestSeedHonored(t *testing.T) {
+	s := testSession(t, WithoutSeeding())
+	g := testGraph(10, 7)
+	seed := heuristics.GreedyCPU(g, s.Config().Platform)
+	res, err := s.Do(context.Background(), Request{Op: OpMap, Graph: g, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Evaluate(g, s.Config().Platform, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Period > want.Period*(1+1e-9) {
+		t.Errorf("result %g worse than its seed %g", res.Report.Period, want.Period)
+	}
+}
