@@ -3,6 +3,7 @@ package cellstream
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -183,13 +184,16 @@ func TestFacadeOverheadGuard(t *testing.T) {
 }
 
 // milpBenchRow is one configuration's snapshot in BENCH_milp.json:
-// the branch-and-bound trajectory with the presolve-pipeline and
-// node-tightening counters this PR's reductions move.
+// the branch-and-bound trajectory with the presolve-pipeline,
+// node-tightening, cut-separation and branching counters the stacked
+// search PRs move.
 type milpBenchRow struct {
 	Config                string  `json:"config"`
+	Status                string  `json:"status"`
 	WallMS                float64 `json:"wall_ms"`
 	Nodes                 int     `json:"nodes"`
 	Objective             float64 `json:"objective"`
+	Bound                 float64 `json:"bound"`
 	LPIterations          int     `json:"lp_iterations"`
 	PivotsPerNode         float64 `json:"pivots_per_node"`
 	WarmSolves            int     `json:"warm_solves"`
@@ -203,14 +207,76 @@ type milpBenchRow struct {
 	PresolvePasses        int     `json:"presolve_passes"`
 	NodeTightenedBounds   int     `json:"node_tightened_bounds"`
 	NodeTightenPrunes     int     `json:"node_tighten_prunes"`
+	CutsSeparated         int     `json:"cuts_separated"`
+	CutsActive            int     `json:"cuts_active"`
+	CutsRetired           int     `json:"cuts_retired"`
+	CutResolves           int     `json:"cut_resolves"`
+	StrongBranchSolves    int     `json:"strong_branch_solves"`
+	PseudocostBranches    int     `json:"pseudocost_branches"`
+}
+
+// milpBenchRun solves one snapshot configuration and packs the row.
+func milpBenchRun(t *testing.T, name string, f *core.Formulation, opt milp.Options) milpBenchRow {
+	t.Helper()
+	start := time.Now()
+	res, err := milp.Solve(f.Problem, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MaxNodes == 0 && res.Status != milp.Optimal {
+		t.Fatalf("%s: status %v", name, res.Status)
+	}
+	st := res.Stats
+	obj := res.Objective
+	if math.IsInf(obj, 0) {
+		obj = 0 // no incumbent inside the node budget; see Status
+	}
+	return milpBenchRow{
+		Config:                name,
+		Status:                res.Status.String(),
+		WallMS:                float64(time.Since(start).Microseconds()) / 1000,
+		Nodes:                 res.Nodes,
+		Objective:             obj,
+		Bound:                 res.Bound,
+		LPIterations:          st.LPIterations,
+		PivotsPerNode:         float64(st.LPIterations) / float64(res.Nodes),
+		WarmSolves:            st.WarmSolves,
+		WarmFallbacks:         st.WarmFallbacks,
+		PresolvedCols:         st.PresolvedCols,
+		PresolvedRows:         st.PresolvedRows,
+		PresolveSingletonRows: st.PresolveSingletonRows,
+		PresolveSingletonCols: st.PresolveSingletonCols,
+		PresolveDupCols:       st.PresolveDupCols,
+		PresolveTightened:     st.PresolveTightened,
+		PresolvePasses:        st.PresolvePasses,
+		NodeTightenedBounds:   st.NodeTightenedBounds,
+		NodeTightenPrunes:     st.NodeTightenPrunes,
+		CutsSeparated:         st.CutsSeparated,
+		CutsActive:            st.CutsActive,
+		CutsRetired:           st.CutsRetired,
+		CutResolves:           st.CutResolves,
+		StrongBranchSolves:    st.StrongBranchSolves,
+		PseudocostBranches:    st.PseudocostBranches,
+	}
 }
 
 // TestBenchSnapshotMILP writes BENCH_milp.json — the branch-and-bound
 // trajectory snapshot CI uploads beside BENCH_lp.json — when
-// BENCH_MILP_SNAPSHOT is set ("1" means ./BENCH_milp.json). It runs
-// the 12-task compact formulation at the 5% gap under {warm,
-// warm-no-tighten, cold} so the presolve/tightening counters and their
-// node-count effect are pinned per commit.
+// BENCH_MILP_SNAPSHOT is set ("1" means ./BENCH_milp.json). Two pinned
+// instances: the 12-task compact formulation runs to the 5% gap under
+// {warm, warm-cuts, warm-no-tighten, pr4-rules, cold}, and the 94-task
+// PaperGraph2 compact formulation runs the fixed 60-node budget from
+// the PR 4 benchmark under the new defaults and under the PR 4 search
+// rules (most-fractional, no cuts), plus a single-node run showing the
+// root cutting-plane bound. Whenever it runs, the test also enforces
+// the node-count regression gates:
+//
+//   - 12-task: the cut+pseudocost search must explore no more nodes
+//     than the PR 4 rules, with or without cuts forced on.
+//   - 94-task: the root cut loop's 1-node bound must already be at
+//     least the bound the PR 4 rules reach after their whole 60-node
+//     budget (this instance's gap never closes, so equal-bound node
+//     counts — not termination — are the honest comparison).
 func TestBenchSnapshotMILP(t *testing.T) {
 	path := os.Getenv("BENCH_MILP_SNAPSHOT")
 	if path == "" {
@@ -219,54 +285,67 @@ func TestBenchSnapshotMILP(t *testing.T) {
 	if path == "1" {
 		path = "BENCH_milp.json"
 	}
-	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
-	plat := platform.Cell(1, 3)
+	small := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	smallPlat := platform.Cell(1, 3)
 	var rows []milpBenchRow
+	byName := map[string]milpBenchRow{}
 	for _, cfg := range []struct {
 		name string
 		opt  milp.Options
 	}{
 		{"warm", milp.Options{}},
+		{"warm-cuts", milp.Options{CutRounds: 8, NodeCutRounds: 2}},
 		{"warm-no-tighten", milp.Options{DisableTightening: true}},
+		{"pr4-rules", milp.Options{DisableCuts: true, BranchMostFractional: true}},
 		{"cold", milp.Options{ColdStart: true}},
 	} {
-		f := core.FormulateCompact(g, plat)
+		f := core.FormulateCompact(small, smallPlat)
 		opt := cfg.opt
 		opt.RelGap = 0.05
 		opt.Workers = 1
-		start := time.Now()
-		res, err := milp.Solve(f.Problem, opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Status != milp.Optimal {
-			t.Fatalf("%s: status %v", cfg.name, res.Status)
-		}
-		st := res.Stats
-		rows = append(rows, milpBenchRow{
-			Config:                cfg.name,
-			WallMS:                float64(time.Since(start).Microseconds()) / 1000,
-			Nodes:                 res.Nodes,
-			Objective:             res.Objective,
-			LPIterations:          st.LPIterations,
-			PivotsPerNode:         float64(st.LPIterations) / float64(res.Nodes),
-			WarmSolves:            st.WarmSolves,
-			WarmFallbacks:         st.WarmFallbacks,
-			PresolvedCols:         st.PresolvedCols,
-			PresolvedRows:         st.PresolvedRows,
-			PresolveSingletonRows: st.PresolveSingletonRows,
-			PresolveSingletonCols: st.PresolveSingletonCols,
-			PresolveDupCols:       st.PresolveDupCols,
-			PresolveTightened:     st.PresolveTightened,
-			PresolvePasses:        st.PresolvePasses,
-			NodeTightenedBounds:   st.NodeTightenedBounds,
-			NodeTightenPrunes:     st.NodeTightenPrunes,
-		})
+		row := milpBenchRun(t, cfg.name, f, opt)
+		rows = append(rows, row)
+		byName[row.Config] = row
 	}
+	for _, name := range []string{"warm", "warm-cuts"} {
+		if got, cap := byName[name].Nodes, byName["pr4-rules"].Nodes; got > cap {
+			t.Errorf("12-task node regression: %s explored %d nodes, pr4-rules %d", name, got, cap)
+		}
+	}
+
+	big := daggen.PaperGraph2(0.775)
+	bigPlat := platform.QS22()
+	bigByName := map[string]milpBenchRow{}
+	for _, cfg := range []struct {
+		name     string
+		maxNodes int
+		opt      milp.Options
+	}{
+		{"94task-warm-lu", 60, milp.Options{}},
+		{"94task-warm-lu-root-only", 1, milp.Options{}},
+		{"94task-pr4-rules", 60, milp.Options{DisableCuts: true, BranchMostFractional: true}},
+	} {
+		f := core.FormulateCompact(big, bigPlat)
+		opt := cfg.opt
+		opt.RelGap = 0.05
+		opt.Workers = 1
+		opt.MaxNodes = cfg.maxNodes
+		row := milpBenchRun(t, cfg.name, f, opt)
+		rows = append(rows, row)
+		bigByName[row.Config] = row
+	}
+	pr4 := bigByName["94task-pr4-rules"]
+	for _, name := range []string{"94task-warm-lu", "94task-warm-lu-root-only"} {
+		if got := bigByName[name].Bound; got < pr4.Bound {
+			t.Errorf("94-task bound regression: %s bound %.9g below pr4-rules' 60-node bound %.9g",
+				name, got, pr4.Bound)
+		}
+	}
+
 	out, err := json.MarshalIndent(struct {
 		Instance string         `json:"instance"`
 		Rows     []milpBenchRow `json:"rows"`
-	}{Instance: "12-task compact formulation, Cell(1,3), 5% gap, 1 worker", Rows: rows}, "", "  ")
+	}{Instance: "12-task compact Cell(1,3) to 5% gap + 94-task PaperGraph2 QS22 at 60-node budget, 1 worker", Rows: rows}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -268,6 +268,11 @@ func BenchmarkMILPWarmVsCold(b *testing.B) {
 		{"cold", small, smallPlat, milp.Options{ColdStart: true}, 0},
 		{"94task/warm-lu", big, bigPlat, milp.Options{Factorization: lp.FactorLU}, 60},
 		{"94task/warm-eta", big, bigPlat, milp.Options{Factorization: lp.FactorEta}, 60},
+		// The PR 4 search rules (most-fractional, no cuts) on the same
+		// budget: the directly comparable continuation of the pre-cut
+		// bench trajectory in BENCH_baseline.
+		{"94task/pr4-rules", big, bigPlat, milp.Options{Factorization: lp.FactorLU,
+			DisableCuts: true, BranchMostFractional: true}, 60},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			f := core.FormulateCompact(cfg.g, cfg.plat)

@@ -215,14 +215,19 @@ func milpStatsLine(st milp.Stats, nodes int) string {
 		"%d FT updates (spike growth %.3g), %d refactorizations (%d periodic, %d unstable, %d restore), "+
 		"warm %d / fell back %d, presolved %d cols %d rows "+
 		"(%d singleton rows, %d singleton cols, %d dup cols, %d tightened, %d passes), "+
-		"node tighten %d bounds / %d prunes",
+		"node tighten %d bounds / %d prunes, "+
+		"cuts %d separated (%d gomory, %d cover) %d active %d retired over %d rounds %d re-solves, "+
+		"branching %d pseudocost / %d strong-branch solves",
 		st.LPIterations, st.DualIterations, st.BoundFlips, nodes,
 		st.FTUpdates, st.MaxSpikeGrowth,
 		st.Refactorizations, st.RefactorPeriodic, st.RefactorUnstable, st.RefactorRestore,
 		st.WarmSolves, st.WarmFallbacks, st.PresolvedCols, st.PresolvedRows,
 		st.PresolveSingletonRows, st.PresolveSingletonCols, st.PresolveDupCols,
 		st.PresolveTightened, st.PresolvePasses,
-		st.NodeTightenedBounds, st.NodeTightenPrunes)
+		st.NodeTightenedBounds, st.NodeTightenPrunes,
+		st.CutsSeparated, st.GomoryCuts, st.CoverCuts, st.CutsActive, st.CutsRetired,
+		st.CutRounds, st.CutResolves,
+		st.PseudocostBranches, st.StrongBranchSolves)
 }
 
 // assignStatsLine formats the -v statistics of the lp (assignment

@@ -49,6 +49,9 @@ func TestSolverStatsGolden(t *testing.T) {
 		PresolveSingletonRows: 40, PresolveSingletonCols: 7, PresolveDupCols: 12,
 		PresolveTightened: 95, PresolvePasses: 33,
 		NodeTightenedBounds: 18, NodeTightenPrunes: 4,
+		CutsSeparated: 26, GomoryCuts: 14, CoverCuts: 12, CutsActive: 9, CutsRetired: 5,
+		CutRounds: 3, CutResolves: 6,
+		PseudocostBranches: 41, StrongBranchSolves: 22,
 	}
 	got := strings.Join([]string{
 		"milp: " + milpStatsLine(full, 60),

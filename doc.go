@@ -73,8 +73,12 @@
 //     ablations. Options.Pricing selects phase-2 pricing: Devex
 //     reference weights (default) or steepest edge with exact initial
 //     norms computed through the factorization, both with a
-//     Bland's-rule fallback under degeneracy. lp.SolveDense keeps the
-//     original dense two-phase tableau as an independent reference.
+//     Bland's-rule fallback under degeneracy. Options.PartialPricing
+//     opts into segmented (rotating-segment Dantzig) pricing of the
+//     primal phases; Options.DualPricing selects the dual simplex's
+//     leaving-row rule — approximate dual steepest edge (default) or
+//     plain largest violation. lp.SolveDense keeps the original dense
+//     two-phase tableau as an independent reference.
 //
 //     Warm starts flow through lp.Basis: every optimal sparse solve
 //     snapshots its basis (Solution.Basis), and Options.WarmStart
@@ -156,6 +160,25 @@
 //     the old cold-solve-every-node behavior for ablations;
 //     Result.Stats aggregates the lp counters across the search.
 //     Cancellation and deadlines arrive via context.Context.
+//
+//     The search is cut-and-branch: a root cutting-plane loop
+//     separates Gomory mixed-integer cuts from the optimal basis
+//     (lp.Solver.GomoryCuts, one BTRAN per basic fractional integer)
+//     and knapsack-cover cuts from the binary capacity rows
+//     (lp.CoverCuts), batches each round's violated cuts into one
+//     lp.Model.AddRow group, re-solves warm across the grown basis
+//     (lp.Basis.GrownBy), and retires cuts whose slack went loose at
+//     the final refactorization boundary (lp.Basis.DropRows). A cut
+//     pool tracks every distinct cut's age and activity; serial
+//     searches may keep separating at node LPs
+//     (milp.Options.NodeCutRounds). Branching is pseudocost-driven
+//     with reliability initialization: a variable is strong-branched
+//     (both child LPs solved on a side lp.Solver context, chained on
+//     one live factorization, capped pivots) until its per-direction
+//     history is trusted, and the table also learns from every real
+//     child-node solve. See "Tuning the search" in ROADMAP.md for the
+//     defaults, the ablation flags (DisableCuts, BranchMostFractional,
+//     ColdStart) and the measurements behind them.
 //
 //   - internal/assign: a combinatorial branch-and-bound in assignment
 //     space for paper-scale graphs, also context-cancellable. Before

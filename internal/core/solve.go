@@ -35,6 +35,13 @@ type SolveOptions struct {
 	// Workers is the number of concurrent branch-and-bound workers
 	// (0 = engine default; 1 forces the deterministic serial search).
 	Workers int
+	// DisableCuts turns off Gomory/cover cut separation in the
+	// branch-and-bound (for ablations and benchmarks).
+	DisableCuts bool
+	// BranchMostFractional restores most-fractional branching instead
+	// of pseudocosts with reliability strong branching (for ablations
+	// and benchmarks).
+	BranchMostFractional bool
 }
 
 // SolveResult is the outcome of SolveMILP.
@@ -108,12 +115,14 @@ func SolveMILPCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, 
 
 	start := time.Now()
 	res, err := milp.SolveCtx(ctx, f.Problem, milp.Options{
-		RelGap:    relGap,
-		TimeLimit: timeLimit,
-		MaxNodes:  opt.MaxNodes,
-		Incumbent: inc,
-		ColdStart: opt.ColdStart,
-		Workers:   opt.Workers,
+		RelGap:               relGap,
+		TimeLimit:            timeLimit,
+		MaxNodes:             opt.MaxNodes,
+		Incumbent:            inc,
+		ColdStart:            opt.ColdStart,
+		Workers:              opt.Workers,
+		DisableCuts:          opt.DisableCuts,
+		BranchMostFractional: opt.BranchMostFractional,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: MILP solve: %w", err)

@@ -1,0 +1,514 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Cutting planes separated from an optimal simplex basis. Two families,
+// both used by the branch-and-bound layer (internal/milp) to strengthen
+// LP relaxations through Model.AddRow:
+//
+//   - Gomory mixed-integer (GMI) cuts, derived from tableau rows of
+//     integer-basic variables with fractional values. The tableau row is
+//     read through the live factorization — one BTRAN of the unit row
+//     vector through the factorEngine seam — so separation costs one
+//     backward solve plus one pass over the nonzeros per cut.
+//   - Knapsack cover cuts, separated combinatorially from ≤-rows over
+//     binary variables (the DMA capacity rows of the mapping
+//     formulations), no factorization needed.
+//
+// Both separators emit rows over STRUCTURAL variables only (slacks are
+// substituted out), valid for every integer-feasible point of the
+// GLOBAL problem — not just the node relaxation they were separated
+// from — so a cut can be shared across the whole search tree.
+
+// CutRow is one separated cutting plane over structural variables,
+// ready for Model.AddRow.
+type CutRow struct {
+	Coefs []Coef
+	Sense Sense
+	RHS   float64
+}
+
+// Violation returns by how much x violates the cut (positive means x is
+// cut off).
+func (c *CutRow) Violation(x []float64) float64 {
+	lhs := 0.0
+	for _, cf := range c.Coefs {
+		lhs += cf.Value * x[cf.Var]
+	}
+	switch c.Sense {
+	case GE:
+		return c.RHS - lhs
+	case LE:
+		return lhs - c.RHS
+	}
+	return math.Abs(lhs - c.RHS)
+}
+
+// GomorySpec describes the integrality side of the problem to the GMI
+// separator. Bounds must be the GLOBAL ones (the root relaxation's, not
+// a node's tightened copies): a GMI cut derived against global bounds is
+// globally valid, and tableau rows where some nonbasic variable rests at
+// a local-only bound are rejected rather than emitted locally-valid.
+type GomorySpec struct {
+	// IsInt marks the integer variables; len NumVars.
+	IsInt []bool
+	// Lo, Up are the global variable bounds; len NumVars.
+	Lo, Up []float64
+	// MaxCuts caps the cuts returned per call; 0 means 8.
+	MaxCuts int
+}
+
+// GMI separation thresholds.
+const (
+	gmiF0Min     = 0.01 // fractionality gate on the source row
+	gmiDynamism  = 1e7  // max |coef| spread within one cut
+	gmiCoefEps   = 1e-12
+	gmiRestTol   = 1e-7 // matching a rest value to a global bound
+	gmiMinViol   = 1e-7 // relative violation at the separation point
+	gomoryMaxDef = 8
+)
+
+// GomoryCuts separates GMI cuts from the optimal basis of the last
+// Solve on this context. It requires a live factorization — the last
+// call must have been warm or cold WITHOUT Presolve and returned
+// Optimal, with no rows added since — and returns nil otherwise.
+//
+// Source rows are the basic integer variables with fractional values,
+// closest-to-half first. For row i with basic variable x_k,
+//
+//	x_k + Σ_j ā_j·x̃_j = b̂,  f0 = frac(b̂)
+//
+// where x̃_j is the nonbasic j shifted to its resting global bound
+// (x−l at lower, u−x at upper — the at-upper shift flips the sign of
+// ā_j), the GMI inequality is Σ_j γ_j·x̃_j ≥ f0 with
+//
+//	γ_j = frac(ā_j)                    integer j, frac(ā_j) ≤ f0
+//	γ_j = f0·(1−frac(ā_j))/(1−f0)      integer j, frac(ā_j) > f0
+//	γ_j = ā_j                          continuous j, ā_j > 0
+//	γ_j = −ā_j·f0/(1−f0)               continuous j, ā_j ≤ 0
+//
+// Slack variables are substituted back to structural space through
+// their row. Cuts failing the quality gates (fractionality, dynamism,
+// violation at the current point) are dropped.
+func (sv *Solver) GomoryCuts(spec GomorySpec) []CutRow {
+	s := sv.s
+	if s == nil || sv.last == nil || s.m != len(sv.p.rows) || s.nStruct != sv.p.n {
+		return nil
+	}
+	maxCuts := spec.MaxCuts
+	if maxCuts == 0 {
+		maxCuts = gomoryMaxDef
+	}
+
+	type cand struct {
+		row  int
+		dist float64 // |frac − ½|
+	}
+	var cands []cand
+	for i := 0; i < s.m; i++ {
+		k := s.basis[i]
+		if k >= s.nStruct || !spec.IsInt[k] {
+			continue
+		}
+		f := s.xB[i] - math.Floor(s.xB[i])
+		if f < gmiF0Min || f > 1-gmiF0Min {
+			continue
+		}
+		cands = append(cands, cand{row: i, dist: math.Abs(f - 0.5)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].row < cands[b].row
+	})
+
+	rho := make([]float64, s.m)
+	ws := make([]float64, s.n)
+	acc := make([]float64, s.nStruct)
+	var cuts []CutRow
+	for _, c := range cands {
+		if len(cuts) >= maxCuts {
+			break
+		}
+		if cut, ok := s.gmiFromRow(sv.p, c.row, spec, rho, ws, acc); ok {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+// gmiFromRow derives one GMI cut from tableau row i, or ok=false when
+// the row is unusable (a nonbasic rests off its global bounds, or a
+// quality gate fails). rho/ws/acc are caller-provided scratch; p
+// provides the constraint rows for slack substitution.
+func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []float64) (CutRow, bool) {
+	for r := range rho {
+		rho[r] = 0
+	}
+	rho[i] = 1
+	s.btran(rho)
+
+	// Pivot row entries for every nonbasic column, and their magnitude
+	// scale for the dust threshold.
+	rowMax := 0.0
+	for q := 0; q < s.n; q++ {
+		if s.state[q] == basic {
+			ws[q] = 0
+			continue
+		}
+		w := s.colDot(q, rho)
+		ws[q] = w
+		if a := math.Abs(w); a > rowMax {
+			rowMax = a
+		}
+	}
+	eps := 1e-11 * math.Max(1, rowMax)
+
+	bhat := s.xB[i]
+	f0 := bhat - math.Floor(bhat)
+	for q := range acc {
+		acc[q] = 0
+	}
+	rhs := f0
+
+	for q := 0; q < s.n; q++ {
+		w := ws[q]
+		if s.state[q] == basic || (w < eps && w > -eps) {
+			continue
+		}
+		// Global bounds of column q: the spec's for structurals, the
+		// sense-derived ones for slacks (never tightened by the search).
+		var glo, gup float64
+		isInt := false
+		if q < s.nStruct {
+			glo, gup = spec.Lo[q], spec.Up[q]
+			isInt = spec.IsInt[q]
+		} else {
+			switch p.rows[q-s.nStruct].sense {
+			case LE:
+				glo, gup = 0, math.Inf(1)
+			case GE:
+				glo, gup = math.Inf(-1), 0
+			default: // EQ: fixed slack contributes nothing
+				continue
+			}
+		}
+		if glo == gup {
+			continue // globally fixed: x̃ ≡ 0
+		}
+		v := s.valueOf(q)
+		var atLo bool
+		switch {
+		case !math.IsInf(glo, -1) && math.Abs(v-glo) <= gmiRestTol*(1+math.Abs(glo)):
+			atLo = true
+		case !math.IsInf(gup, 1) && math.Abs(v-gup) <= gmiRestTol*(1+math.Abs(gup)):
+			atLo = false
+		default:
+			// Resting at a local-only bound (or free at an interior
+			// value): the shifted-variable derivation would only be
+			// valid under the node's bounds. Reject the whole row.
+			return CutRow{}, false
+		}
+		abar := w
+		if !atLo {
+			abar = -w
+		}
+		var gamma float64
+		intShift := isInt
+		if intShift {
+			// x̃ is integral only when the resting bound is.
+			bnd := glo
+			if !atLo {
+				bnd = gup
+			}
+			intShift = bnd == math.Floor(bnd)
+		}
+		if intShift {
+			f := abar - math.Floor(abar)
+			if f <= f0+1e-9 {
+				gamma = f
+			} else {
+				gamma = f0 * (1 - f) / (1 - f0)
+			}
+		} else if abar > 0 {
+			gamma = abar
+		} else {
+			gamma = -abar * f0 / (1 - f0)
+		}
+		if gamma <= gmiCoefEps {
+			// Dropping γ·x̃ (both ≥ 0) from the LHS of a ≥ inequality
+			// needs the RHS reduced by the term's largest value.
+			if rng := gup - glo; !math.IsInf(rng, 1) && gamma*rng <= 1e-9 {
+				rhs -= gamma * rng
+				continue
+			}
+			if gamma == 0 {
+				continue
+			}
+		}
+		// Substitute x̃_q = c0 + Σ c_k·x_k back to structural space:
+		// Σ γ·x̃ ≥ rhs becomes Σ γ·c_k·x_k ≥ rhs − Σ γ·c0.
+		if q < s.nStruct {
+			if atLo {
+				acc[q] += gamma
+				rhs += gamma * glo
+			} else {
+				acc[q] -= gamma
+				rhs -= gamma * gup
+			}
+		} else {
+			r := &p.rows[q-s.nStruct]
+			if atLo { // LE slack at lower: x̃ = b − a·x
+				for _, cf := range r.coefs {
+					acc[cf.Var] -= gamma * cf.Value
+				}
+				rhs -= gamma * r.rhs
+			} else { // GE slack at upper: x̃ = a·x − b
+				for _, cf := range r.coefs {
+					acc[cf.Var] += gamma * cf.Value
+				}
+				rhs += gamma * r.rhs
+			}
+		}
+	}
+
+	// Quality gates in structural space.
+	maxAbs := 0.0
+	for _, v := range acc {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs < 1e-9 {
+		return CutRow{}, false
+	}
+	coefs := make([]Coef, 0, 16)
+	minAbs := math.Inf(1)
+	for q := 0; q < s.nStruct; q++ {
+		v := acc[q]
+		a := math.Abs(v)
+		if a == 0 {
+			continue
+		}
+		if a < gmiCoefEps*maxAbs {
+			// Safe dropping: shrink the RHS by the dropped term's
+			// largest contribution over the global box; an unbounded
+			// direction forces keeping the coefficient.
+			hi := spec.Up[q]
+			lo := spec.Lo[q]
+			var worst float64
+			if v > 0 {
+				worst = v * hi
+			} else {
+				worst = v * lo
+			}
+			if !math.IsInf(worst, 0) {
+				if worst > 0 {
+					rhs -= worst
+				}
+				continue
+			}
+		}
+		if a < minAbs {
+			minAbs = a
+		}
+		coefs = append(coefs, Coef{Var: q, Value: v})
+	}
+	if len(coefs) == 0 || maxAbs/minAbs > gmiDynamism {
+		return CutRow{}, false
+	}
+
+	// The cut must actually cut off the current fractional point.
+	lhs := 0.0
+	for _, cf := range coefs {
+		var xv float64
+		if s.state[cf.Var] == basic {
+			xv = s.xB[s.inRow[cf.Var]]
+		} else {
+			xv = s.valueOf(cf.Var)
+		}
+		lhs += cf.Value * xv
+	}
+	if rhs-lhs < gmiMinViol*(1+maxAbs) {
+		return CutRow{}, false
+	}
+	return CutRow{Coefs: coefs, Sense: GE, RHS: rhs}, true
+}
+
+// GomoryCuts separates GMI cuts from the Model's last optimal solve;
+// see Solver.GomoryCuts.
+func (m *Model) GomoryCuts(spec GomorySpec) []CutRow { return m.sv.GomoryCuts(spec) }
+
+// CoverSpec describes the binary variables to the cover separator.
+type CoverSpec struct {
+	// IsBinary marks variables that are integer with global bounds
+	// {0,1}; len NumVars.
+	IsBinary []bool
+	// MaxRows limits separation to the first MaxRows constraint rows
+	// (the original formulation's, excluding appended cuts); 0 = all.
+	MaxRows int
+	// MaxCuts caps the cuts returned per call; 0 means 8.
+	MaxCuts int
+}
+
+// coverMinViol is the minimum violation at the separation point for a
+// cover cut to be worth a row.
+const coverMinViol = 1e-4
+
+// CoverCuts separates (extended) knapsack cover inequalities from the
+// ≤/≥ rows of p whose support is entirely binary — the DMA capacity
+// rows of the mapping formulations. Negative coefficients are handled
+// by complementing (x → 1−x̄): for a cover C with Σ_{j∈C} ā_j > b̄ the
+// inequality Σ_{j∈C} x̄_j ≤ |C|−1 is valid, is strengthened by greedy
+// minimalization, and extends to every column with ā_j ≥ max_C ā. Cuts
+// are returned most-violated first, de-complemented back to the
+// original variables.
+func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
+	limit := len(p.rows)
+	if spec.MaxRows > 0 && spec.MaxRows < limit {
+		limit = spec.MaxRows
+	}
+	maxCuts := spec.MaxCuts
+	if maxCuts == 0 {
+		maxCuts = 8
+	}
+	type scored struct {
+		cut  CutRow
+		viol float64
+		row  int
+	}
+	var out []scored
+
+	type item struct {
+		v    int     // variable
+		a    float64 // complemented (positive) coefficient
+		neg  bool    // complemented
+		xbar float64 // complemented value at the separation point
+	}
+	var items []item
+	for ri := 0; ri < limit; ri++ {
+		r := &p.rows[ri]
+		var sgn float64
+		switch r.sense {
+		case LE:
+			sgn = 1
+		case GE:
+			sgn = -1
+		default:
+			continue
+		}
+		items = items[:0]
+		b := sgn * r.rhs
+		ok := true
+		total := 0.0
+		for _, cf := range r.coefs {
+			a := sgn * cf.Value
+			if a == 0 {
+				continue
+			}
+			if !spec.IsBinary[cf.Var] {
+				ok = false
+				break
+			}
+			xv := x[cf.Var]
+			if xv < 0 {
+				xv = 0
+			} else if xv > 1 {
+				xv = 1
+			}
+			it := item{v: cf.Var, a: a, xbar: xv}
+			if a < 0 {
+				// a·x = a − a·(1−x): complement to a positive weight.
+				it.a, it.neg, it.xbar = -a, true, 1-xv
+				b -= a
+			}
+			total += it.a
+			items = append(items, it)
+		}
+		if !ok || len(items) == 0 || b < -1e-9 || total <= b+1e-9 {
+			continue
+		}
+		// Greedy cover: take items in increasing (1 − x̄*) — the ones a
+		// cover inequality would most restrict — until the weights
+		// exceed the capacity.
+		sort.Slice(items, func(i, j int) bool {
+			si, sj := 1-items[i].xbar, 1-items[j].xbar
+			if si != sj {
+				return si < sj
+			}
+			return items[i].v < items[j].v
+		})
+		inC := make([]bool, len(items))
+		sum := 0.0
+		last := -1
+		for k := range items {
+			inC[k] = true
+			sum += items[k].a
+			last = k
+			if sum > b+1e-9 {
+				break
+			}
+		}
+		if sum <= b+1e-9 {
+			continue
+		}
+		// Minimalize: walk the cover from the least fractional end and
+		// drop members the cover can spare — each drop shrinks the RHS.
+		for k := last; k >= 0; k-- {
+			if inC[k] && sum-items[k].a > b+1e-9 {
+				inC[k] = false
+				sum -= items[k].a
+			}
+		}
+		size, slackSum, maxA := 0, 0.0, 0.0
+		for k := range items {
+			if inC[k] {
+				size++
+				slackSum += 1 - items[k].xbar
+				if items[k].a > maxA {
+					maxA = items[k].a
+				}
+			}
+		}
+		if size < 2 || slackSum >= 1-coverMinViol {
+			continue // not violated (or trivial)
+		}
+		// Extension: any column at least as heavy as the heaviest cover
+		// member joins with the same RHS.
+		coefs := make([]Coef, 0, size+2)
+		rhs := float64(size - 1)
+		for k := range items {
+			use := inC[k] || items[k].a >= maxA-1e-12
+			if !use {
+				continue
+			}
+			if items[k].neg {
+				coefs = append(coefs, Coef{Var: items[k].v, Value: -1})
+				rhs--
+			} else {
+				coefs = append(coefs, Coef{Var: items[k].v, Value: 1})
+			}
+		}
+		sort.Slice(coefs, func(i, j int) bool { return coefs[i].Var < coefs[j].Var })
+		cut := CutRow{Coefs: coefs, Sense: LE, RHS: rhs}
+		out = append(out, scored{cut: cut, viol: cut.Violation(x), row: ri})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].viol != out[j].viol {
+			return out[i].viol > out[j].viol
+		}
+		return out[i].row < out[j].row
+	})
+	if len(out) > maxCuts {
+		out = out[:maxCuts]
+	}
+	cuts := make([]CutRow, len(out))
+	for i := range out {
+		cuts[i] = out[i].cut
+	}
+	return cuts
+}

@@ -32,6 +32,11 @@ import (
 // dualTol is the dual-feasibility tolerance on reduced costs.
 const dualTol = 1e-7
 
+// dseFloor keeps the approximate dual steepest-edge weights away from
+// zero (a drifting weight must never let one row's violation dominate
+// the scores unboundedly).
+const dseFloor = 1e-8
+
 // dualFeasible reports whether every nonbasic column prices out
 // correctly for its status, i.e. the current basis is dual feasible.
 func (s *revised) dualFeasible() bool {
@@ -83,6 +88,17 @@ func (s *revised) dualPhase() Status {
 	justRefactored := false
 	degen := 0
 	var cands []dualCand
+	// Approximate dual steepest-edge weights: reference start β_i = 1
+	// at phase entry (exact ‖B⁻ᵀe_i‖² norms would cost m BTRANs),
+	// maintained by the Forrest–Goldfarb update below. Devex-style
+	// approximate init is standard practice and keeps the phase-entry
+	// cost at zero.
+	useDSE := s.dualPricing == DualPricingSteepest
+	if useDSE {
+		for i := 0; i < s.m; i++ {
+			s.dseW[i] = 1
+		}
+	}
 	// A healthy warm repair needs far fewer pivots than a cold solve;
 	// a dual phase that keeps pivoting past this budget is churning on
 	// degeneracy — hand it to the primal phases instead of burning the
@@ -96,12 +112,23 @@ func (s *revised) dualPhase() Status {
 			return statusFallback
 		}
 
-		// Leaving row: the basic variable with the largest violation.
+		// Leaving row: the basic variable with the largest violation
+		// (DualPricingMaxViolation), or the largest steepest-edge score
+		// viol²/β_i (the default) — `worst` always carries the chosen
+		// row's VIOLATION, which the long-step walk below consumes.
 		r, sign, worst := -1, 0.0, 0.0
+		bestScore := 0.0
 		for i := 0; i < s.m; i++ {
 			sg, viol := s.infeasibility(s.basis[i], s.xB[i])
-			if sg != 0 && viol > worst {
-				r, sign, worst = i, sg, viol
+			if sg == 0 {
+				continue
+			}
+			score := viol
+			if useDSE {
+				score = viol * viol / s.dseW[i]
+			}
+			if score > bestScore {
+				r, sign, worst, bestScore = i, sg, viol, score
 			}
 		}
 		if r < 0 {
@@ -256,6 +283,43 @@ func (s *revised) dualPhase() Status {
 			s.computeXB()
 			s.computeD()
 			continue
+		}
+
+		// Forrest–Goldfarb update of the dual steepest-edge weights,
+		// computed BEFORE the pivot mutates the factorization: with
+		// τ = B⁻¹ρ_r (ρ_r = B⁻ᵀe_r is already in s.rho — the one extra
+		// FTRAN per pivot this rule costs) and the FTRANed entering
+		// column α in s.alpha,
+		//   β_r' = β_r / α_r²
+		//   β_i' = β_i − 2(α_i/α_r)τ_i + (α_i/α_r)²β_r   (i ≠ r)
+		if useDSE {
+			copy(s.seV, s.rho)
+			s.ftran(s.seV)
+			betaR := s.dseW[r]
+			if betaR < dseFloor {
+				betaR = dseFloor
+			}
+			inv := 1 / we
+			for i := 0; i < s.m; i++ {
+				if i == r {
+					continue
+				}
+				a := s.alpha[i]
+				if a == 0 {
+					continue
+				}
+				q := a * inv
+				w := s.dseW[i] - 2*q*s.seV[i] + q*q*betaR
+				if w < dseFloor {
+					w = dseFloor
+				}
+				s.dseW[i] = w
+			}
+			if w := betaR * inv * inv; w > dseFloor {
+				s.dseW[r] = w
+			} else {
+				s.dseW[r] = dseFloor
+			}
 		}
 
 		// Execute the flips — but only for breakpoints decisively below

@@ -235,6 +235,43 @@ func (b *Basis) grownBy(rows int) *Basis {
 	return &Basis{status: st, nStruct: b.nStruct, m: b.m + rows}
 }
 
+// GrownBy returns a copy of the basis extended for `rows` constraint
+// rows appended to the problem after the snapshot was taken; see
+// grownBy. It lets callers that append rows outside Model.AddRow (the
+// branch-and-bound cut adoption path) keep a node basis warm-startable.
+func (b *Basis) GrownBy(rows int) *Basis { return b.grownBy(rows) }
+
+// RowSlackBasic reports whether the slack of constraint row i is basic.
+// A cut row whose slack is basic and loose at an optimum is inactive
+// there; the cut-and-branch layer uses this to retire such rows.
+func (b *Basis) RowSlackBasic(i int) bool {
+	return b.status[b.nStruct+i] == int8(basic)
+}
+
+// DropRows returns a copy of b for the problem obtained by deleting
+// every constraint row i with keep[i] == false. Each dropped row's
+// slack must be basic — deleting a (row, basic slack) pair keeps the
+// remaining basis square and nonsingular, since the slack column is a
+// unit column in its own row. It returns nil if any dropped row's
+// slack is nonbasic.
+func (b *Basis) DropRows(keep []bool) *Basis {
+	if len(keep) != b.m {
+		return nil
+	}
+	st := make([]int8, 0, len(b.status))
+	st = append(st, b.status[:b.nStruct]...)
+	m := 0
+	for i := 0; i < b.m; i++ {
+		if keep[i] {
+			st = append(st, b.status[b.nStruct+i])
+			m++
+		} else if b.status[b.nStruct+i] != int8(basic) {
+			return nil
+		}
+	}
+	return &Basis{status: st, nStruct: b.nStruct, m: m}
+}
+
 // NumBasic returns the number of basic columns (== rows when healthy).
 func (b *Basis) NumBasic() int {
 	c := 0
@@ -342,6 +379,33 @@ func (p Pricing) String() string {
 		return "steepest-edge"
 	}
 	return "devex"
+}
+
+// DualPricing selects the leaving-row rule of the warm-start dual
+// simplex phase.
+type DualPricing int
+
+const (
+	// DualPricingSteepest (the default) weights each infeasible row's
+	// bound violation by an approximate dual steepest-edge norm
+	// β_i ≈ ‖B⁻ᵀe_i‖², choosing the row maximizing viol²/β_i. Norms are
+	// initialized to 1 at every dual-phase entry (the Devex-style
+	// reference start) and maintained by the Forrest–Goldfarb update,
+	// which reuses the pivot row ρ = B⁻ᵀe_r the phase already computes
+	// plus one extra FTRAN per pivot. Fewer, better dual pivots on the
+	// long warm chains of branch-and-bound.
+	DualPricingSteepest DualPricing = iota
+	// DualPricingMaxViolation is the pre-PR 7 rule — leave the row with
+	// the largest bound violation — kept selectable for ablations.
+	DualPricingMaxViolation
+)
+
+// String implements fmt.Stringer.
+func (p DualPricing) String() string {
+	if p == DualPricingMaxViolation {
+		return "max-violation"
+	}
+	return "dual-steepest-edge"
 }
 
 // Stats carries per-solve solver statistics, for observability and for
@@ -471,6 +535,23 @@ type Options struct {
 	// Pricing selects the phase-2 entering rule: Devex (default) or
 	// exact-initialized steepest edge.
 	Pricing Pricing
+	// DualPricing selects the dual-simplex leaving-row rule:
+	// approximate dual steepest edge (default) or the plain
+	// largest-violation rule.
+	DualPricing DualPricing
+	// PartialPricing controls segmented pricing of the primal phases.
+	// 0 or negative (the default) disables it; a positive value
+	// enables it with that segment size (minimum 64). Under partial
+	// pricing each iteration BTRANs the phase multipliers and prices
+	// one rotating segment of nonbasic columns at a time (Dantzig
+	// within the segment), instead of maintaining reduced costs and
+	// Devex/steepest-edge weights across all n columns. Optimality is
+	// still exact: it is only declared after a full wrap over every
+	// segment finds no candidate, and the Bland anti-cycling fallback
+	// reverts to full scans. Strictly opt-in: on the 94-task mapping
+	// formulations (~7000 columns) the segment scans cost 3x the
+	// pivots Devex needs — see partialSegment in sparse.go.
+	PartialPricing int
 }
 
 // Solve optimizes the problem with the sparse revised simplex and

@@ -117,6 +117,8 @@ func (sv *Solver) refresh(opt Options, tol float64) {
 		s.maxIter = 200*(s.m+s.n) + 10000
 	}
 	s.pricing = opt.Pricing
+	s.dualPricing = opt.DualPricing
+	s.partialSeg = partialSegment(opt.PartialPricing, s.n)
 	if factorKind(s.fe) != opt.Factorization {
 		s.fe = newFactorEngine(opt.Factorization, s.m)
 		sv.last = nil

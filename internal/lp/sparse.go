@@ -42,6 +42,24 @@ const (
 	rescuePivRel = 1e-11
 )
 
+// partialSegment resolves Options.PartialPricing into a segment size;
+// 0 disables partial pricing. Partial pricing is strictly opt-in: an
+// earlier auto-enable above 3000 columns tripled total pivots on the
+// 94-task mapping formulation (~7000 columns, 7.5k → 21k iterations
+// per 60-node search) because the rotating Dantzig segments give up
+// Devex's reference weights exactly where they pay most. The BTRAN-
+// per-iteration saving only wins when a single pricing scan dominates
+// the pivot, which these formulations never reach.
+func partialSegment(opt, n int) int {
+	if opt <= 0 {
+		return 0
+	}
+	if opt < 64 {
+		return 64 // segments below this price too little per BTRAN
+	}
+	return opt
+}
+
 // rescueTol is the rescue-scan pivot threshold for a column whose
 // largest entry is colMax: elimination noise scales with the column,
 // genuine small entries do not.
@@ -217,6 +235,19 @@ type revised struct {
 	pricing Pricing
 	seReady bool // steepest-edge norms are exact for the current basis
 
+	// Partial (segmented) pricing: seg > 0 prices rotating segments of
+	// that size in the primal phases instead of full n-scans; pCursor
+	// is the rotation point, persisted across iterations (and solves of
+	// the same context) for locality.
+	partialSeg int
+	pCursor    int
+
+	// Dual steepest-edge row weights β_i ≈ ‖B⁻ᵀe_i‖², reinitialized to
+	// 1 at every dual-phase entry and maintained by the
+	// Forrest–Goldfarb update (see dual.go).
+	dualPricing DualPricing
+	dseW        []float64
+
 	fe factorEngine
 
 	tol     float64
@@ -283,6 +314,9 @@ func newRevised(p *Problem, opt Options) *revised {
 		pricing: opt.Pricing,
 		fe:      newFactorEngine(opt.Factorization, m),
 	}
+	s.partialSeg = partialSegment(opt.PartialPricing, n)
+	s.dualPricing = opt.DualPricing
+	s.dseW = make([]float64, m)
 	s.maxIter = opt.MaxIter
 	if s.maxIter == 0 {
 		s.maxIter = 200*(m+n) + 10000
@@ -574,7 +608,7 @@ func (s *revised) finishSolve(p *Problem, opt Options, warmed bool) (*Solution, 
 // feasible) basis and assembles the final Solution.
 func (s *revised) runPhase2(p *Problem, opt Options) (*Solution, error) {
 	for round := 0; ; round++ {
-		switch st := s.phase2(); st {
+		switch st := s.runPrimal2(); st {
 		case statusFallback:
 			return s.denseFallback(p, opt)
 		case IterLimit:
@@ -982,15 +1016,23 @@ func (s *revised) phase1() Status {
 			return Optimal // primal feasible
 		}
 		s.btran(s.y)
-		for j := 0; j < s.n; j++ {
-			if s.state[j] == basic {
-				s.d[j] = 0
-				continue
+		var e int
+		var dir float64
+		if s.partialSeg > 0 && !s.bland {
+			// Segmented pricing: same per-iteration y rebuild, but only
+			// one rotating segment of reduced costs is computed.
+			e, dir = s.priceSegmented(false)
+		} else {
+			for j := 0; j < s.n; j++ {
+				if s.state[j] == basic {
+					s.d[j] = 0
+					continue
+				}
+				// Phase-1 costs of nonbasic columns are zero.
+				s.d[j] = -s.colDot(j, s.y)
 			}
-			// Phase-1 costs of nonbasic columns are zero.
-			s.d[j] = -s.colDot(j, s.y)
+			e, dir = s.chooseEntering(false)
 		}
-		e, dir := s.chooseEntering(false)
 		if e < 0 {
 			// Tolerance budget of the residual violations: each violated
 			// row contributes relative to the bound it violates and to
@@ -1178,6 +1220,147 @@ func (s *revised) initSteepestNorms() {
 		s.w[j] = g
 	}
 	s.seReady = true
+}
+
+// priceSegmented prices nonbasic columns in rotating segments of
+// s.partialSeg columns, computing reduced costs on the fly from the
+// BTRANed phase multipliers in s.y (phase 2 prices c_j − a_j·y, phase 1
+// prices −a_j·y). It returns the best candidate (Dantzig within the
+// segment) of the first segment in rotation order containing any, or
+// (-1, 0) after a full wrap over every column — the exact optimality
+// certificate of the full scan, just discovered incrementally. The
+// cursor stays on a productive segment so consecutive pivots reprice
+// the columns most recently in play.
+func (s *revised) priceSegmented(ph2 bool) (int, float64) {
+	seg := s.partialSeg
+	if seg > s.n {
+		seg = s.n // one segment covers everything; the wrap below assumes seg ≤ n
+	}
+	if seg == 0 {
+		return -1, 0 // fully presolved-away model: nothing to price
+	}
+	segs := (s.n + seg - 1) / seg
+	tol := s.tol
+	for k := 0; k < segs; k++ {
+		start := s.pCursor
+		bestJ, bestDir, bestScore := -1, 0.0, 0.0
+		for t := 0; t < seg; t++ {
+			j := start + t
+			if j >= s.n {
+				j -= s.n
+			}
+			if s.state[j] == basic || s.lo[j] == s.up[j] {
+				continue
+			}
+			var dj float64
+			if ph2 {
+				dj = s.cost[j] - s.colDot(j, s.y)
+			} else {
+				dj = -s.colDot(j, s.y)
+			}
+			s.d[j] = dj
+			var dir float64
+			switch s.state[j] {
+			case atLower:
+				if dj < -tol {
+					dir = 1
+				} else if math.IsInf(s.lo[j], -1) && dj > tol {
+					dir = -1
+				} else {
+					continue
+				}
+			case atUpper:
+				if dj > tol {
+					dir = -1
+				} else {
+					continue
+				}
+			default:
+				continue
+			}
+			if score := dj * dj; score > bestScore {
+				bestJ, bestDir, bestScore = j, dir, score
+			}
+		}
+		if bestJ >= 0 {
+			return bestJ, bestDir
+		}
+		s.pCursor += seg
+		if s.pCursor >= s.n {
+			s.pCursor = 0
+		}
+	}
+	return -1, 0
+}
+
+// phase2p is the partial-pricing variant of phase 2: each iteration
+// BTRANs y = c_B·B⁻¹ once and prices rotating segments via
+// priceSegmented, skipping the O(n) incremental reduced-cost and
+// pricing-weight updates entirely. Degeneracy stalls hand the solve to
+// the full-scan phase2 whose Bland's rule is finite.
+func (s *revised) phase2p() Status {
+	justRefactored := false
+	for {
+		if s.iters >= s.maxIter {
+			return IterLimit
+		}
+		if s.bland {
+			return s.phase2()
+		}
+		for i := 0; i < s.m; i++ {
+			s.y[i] = s.cost[s.basis[i]]
+		}
+		s.btran(s.y)
+		e, dir := s.priceSegmented(true)
+		if e < 0 {
+			return Optimal
+		}
+		s.loadCol(e, s.alpha)
+		s.ftran(s.alpha)
+		leave, t, toUpper, st := s.ratioTest(e, dir)
+		if st == Unbounded {
+			// Same ray re-verification as phase2: only trust the
+			// certificate on a fresh factorization.
+			if !justRefactored && s.fe.updates() > 0 {
+				if !s.refactorCause(refUnstable) {
+					return statusFallback
+				}
+				s.computeXB()
+				justRefactored = true
+				continue
+			}
+			return Unbounded
+		}
+		justRefactored = false
+		if leave >= 0 {
+			if piv := s.alpha[leave]; math.Abs(piv) < 1e-9 && s.fe.updates() > 0 {
+				if !s.refactorCause(refUnstable) {
+					return statusFallback
+				}
+				s.computeXB()
+				continue
+			}
+		}
+		if !s.applyStep(e, dir, leave, t, toUpper) {
+			return statusFallback
+		}
+		if s.fe.updates() >= refactorEvery {
+			if !s.refactorCause(refPeriodic) {
+				return statusFallback
+			}
+			s.computeXB()
+		}
+	}
+}
+
+// runPrimal2 dispatches phase 2 to the partial-pricing variant when
+// enabled (and not under Bland's rule, whose first-index scan must see
+// every column).
+func (s *revised) runPrimal2() Status {
+	if s.partialSeg > 0 && !s.bland {
+		return s.phase2p()
+	}
+	return s.phase2()
 }
 
 // phase2 optimizes the real objective with Devex or steepest-edge

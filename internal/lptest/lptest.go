@@ -42,6 +42,18 @@ var EngineConfigs = []EngineConfig{
 	{"eta-steepest", lp.Options{Factorization: lp.FactorEta, Pricing: lp.PricingSteepest}},
 }
 
+// PricingConfigs are the additional pricing-rule configurations the
+// differential suite exercises on top of EngineConfigs: partial pricing
+// forced on (the differential instances sit far below the automatic
+// column threshold) and the max-violation dual-row ablation — the four
+// EngineConfigs already cover the dual steepest-edge default. Kept out
+// of EngineConfigs so the warm-chain sub-seeds of the long-standing
+// configurations stay stable.
+var PricingConfigs = []EngineConfig{
+	{"lu-devex-partial", lp.Options{Factorization: lp.FactorLU, Pricing: lp.PricingDevex, PartialPricing: 64}},
+	{"lu-devex-maxviol", lp.Options{Factorization: lp.FactorLU, Pricing: lp.PricingDevex, DualPricing: lp.DualPricingMaxViolation}},
+}
+
 // CheckAgreement solves p with the dense reference and every sparse
 // engine configuration, returning an error describing the first
 // disagreement: mismatched status, objectives further apart than Tol
@@ -383,6 +395,181 @@ func RandomPresolveAdversarial(rng *rand.Rand) *lp.Problem {
 		}
 	}
 	return p
+}
+
+// maxCutAssignments caps the integer-assignment enumeration of
+// CheckCutsValid; instances passed to it should keep the integer box
+// product below this.
+const maxCutAssignments = 4096
+
+// CheckCutsValid verifies separated cutting planes against EVERY
+// integer-feasible point of the MILP (p, ints): for each assignment of
+// the integer variables over their bound boxes (finite bounds required;
+// enumeration capped at maxCutAssignments) it optimizes each cut's
+// left-hand side in the adverse direction over the continuous
+// completion with the dense reference solver. A completion beating the
+// cut's RHS — or an explicitly passed point (e.g. the incumbent) that a
+// cut removes — is a validity counterexample. This is an exact validity
+// proof per assignment, not a spot check of the LP optimum.
+func CheckCutsValid(p *lp.Problem, ints []int, cuts []lp.CutRow, points ...[]float64) error {
+	for pi, pt := range points {
+		for ci := range cuts {
+			if v := cuts[ci].Violation(pt); v > FeasTol {
+				return fmt.Errorf("cut %d cuts off point %d by %g", ci, pi, v)
+			}
+		}
+	}
+	if len(cuts) == 0 || len(ints) == 0 {
+		return nil
+	}
+
+	n := p.NumVars()
+	origLo := make([]float64, n)
+	origUp := make([]float64, n)
+	origObj := make([]float64, n)
+	for j := 0; j < n; j++ {
+		origLo[j], origUp[j] = p.Bounds(j)
+		origObj[j] = p.ObjCoef(j)
+	}
+	defer func() {
+		for j := 0; j < n; j++ {
+			p.SetBounds(j, origLo[j], origUp[j])
+			p.SetObj(j, origObj[j])
+		}
+	}()
+
+	lo := make([]int, len(ints))
+	width := make([]int, len(ints))
+	total := 1
+	for k, j := range ints {
+		l, u := p.Bounds(j)
+		if math.IsInf(l, -1) || math.IsInf(u, 1) {
+			return fmt.Errorf("integer variable %d has an infinite bound; cannot enumerate", j)
+		}
+		lo[k] = int(math.Ceil(l - 1e-9))
+		width[k] = int(math.Floor(u+1e-9)) - lo[k] + 1
+		if width[k] < 1 {
+			return nil // empty integer box: no integer-feasible points
+		}
+		if total > maxCutAssignments/width[k] {
+			return fmt.Errorf("integer box too large to enumerate (> %d assignments)", maxCutAssignments)
+		}
+		total *= width[k]
+	}
+
+	vals := make([]int, len(ints))
+	for a := 0; a < total; a++ {
+		rest := a
+		for k := range ints {
+			vals[k] = lo[k] + rest%width[k]
+			rest /= width[k]
+		}
+		for k, j := range ints {
+			v := float64(vals[k])
+			p.SetBounds(j, v, v)
+		}
+		for ci := range cuts {
+			cut := &cuts[ci]
+			// Objective = the cut's LHS, signed so that minimizing it
+			// drives toward a violation.
+			sgn := 1.0
+			if cut.Sense == lp.LE {
+				sgn = -1
+			}
+			for j := 0; j < n; j++ {
+				p.SetObj(j, 0)
+			}
+			for _, cf := range cut.Coefs {
+				p.SetObj(cf.Var, sgn*cf.Value)
+			}
+			sol, err := lp.SolveDense(p)
+			if err != nil {
+				return fmt.Errorf("assignment %v: dense solve: %w", vals, err)
+			}
+			switch sol.Status {
+			case lp.Infeasible:
+				// No completion for this assignment; nothing to cut off.
+			case lp.Optimal:
+				if v := cut.Violation(sol.X); v > FeasTol {
+					return fmt.Errorf("cut %d cuts off integer-feasible completion of %v by %g",
+						ci, vals, v)
+				}
+			case lp.Unbounded:
+				return fmt.Errorf("cut %d: LHS unbounded over completions of %v (cut invalid)", ci, vals)
+			default:
+				return fmt.Errorf("assignment %v: unexpected status %v", vals, sol.Status)
+			}
+			if sol.Status == lp.Infeasible {
+				break // same for every cut of this assignment
+			}
+		}
+	}
+	return nil
+}
+
+// RandomBinaryMILP generates a seeded random MILP shaped like the
+// mapping formulations the cut separators target: binary and small
+// boxed integer variables, ≤ capacity rows with positive weights over
+// the binaries (cover-cut territory), plus general mixed rows and a few
+// continuous variables. It returns the LP relaxation and the integer
+// variable indices; the integer box stays small enough for
+// CheckCutsValid to enumerate.
+func RandomBinaryMILP(rng *rand.Rand) (*lp.Problem, []int) {
+	n := 4 + rng.Intn(4) // 4..7 variables
+	p := lp.New(n)
+	var ints []int
+	for j := 0; j < n; j++ {
+		if rng.Intn(4) > 0 {
+			p.SetObj(j, math.Round(rng.NormFloat64()*5))
+		}
+		switch rng.Intn(4) {
+		case 0: // small boxed integer
+			lo := float64(rng.Intn(2))
+			p.SetBounds(j, lo, lo+float64(1+rng.Intn(2)))
+			ints = append(ints, j)
+		case 1: // boxed continuous
+			lo := -float64(rng.Intn(3))
+			p.SetBounds(j, lo, lo+float64(1+rng.Intn(6)))
+		default: // binary
+			p.SetBounds(j, 0, 1)
+			ints = append(ints, j)
+		}
+	}
+	// Capacity rows over the binaries/integers: positive weights, RHS
+	// strictly inside the total weight so covers exist.
+	caps := 1 + rng.Intn(3)
+	for i := 0; i < caps; i++ {
+		var coefs []lp.Coef
+		total := 0.0
+		for _, j := range ints {
+			if rng.Intn(3) > 0 {
+				w := float64(1 + rng.Intn(4))
+				coefs = append(coefs, lp.Coef{Var: j, Value: w})
+				total += w
+			}
+		}
+		if len(coefs) < 2 {
+			continue
+		}
+		rhs := math.Max(1, math.Round(total*(0.3+0.4*rng.Float64())))
+		p.AddRow(coefs, lp.LE, rhs)
+	}
+	// General mixed rows.
+	m := 1 + rng.Intn(3)
+	for i := 0; i < m; i++ {
+		var coefs []lp.Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) > 0 {
+				coefs = append(coefs, lp.Coef{Var: j, Value: math.Round(rng.NormFloat64() * 3)})
+			}
+		}
+		if len(coefs) == 0 {
+			coefs = []lp.Coef{{Var: rng.Intn(n), Value: 1}}
+		}
+		sense := []lp.Sense{lp.LE, lp.GE}[rng.Intn(2)]
+		p.AddRow(coefs, sense, math.Round(rng.NormFloat64()*6))
+	}
+	return p, ints
 }
 
 // Random generates a seeded random LP exercising the full model

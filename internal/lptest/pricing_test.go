@@ -1,0 +1,76 @@
+package lptest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellstream/internal/core"
+	"cellstream/internal/daggen"
+	"cellstream/internal/lp"
+	"cellstream/internal/platform"
+)
+
+// TestDifferentialPricingConfigs runs the dense-vs-sparse agreement
+// check for the PR 7 pricing rules — forced partial pricing and the
+// max-violation dual-row ablation — over the random generator.
+func TestDifferentialPricingConfigs(t *testing.T) {
+	for _, cfg := range PricingConfigs {
+		rng := rand.New(rand.NewSource(23))
+		for trial := 0; trial < 200; trial++ {
+			p := Random(rng)
+			if err := CheckAgreementOpts(p, cfg.Opt); err != nil {
+				t.Fatalf("%s: trial %d: %v", cfg.Name, trial, err)
+			}
+		}
+	}
+}
+
+// TestWarmChainPricingConfigs drives warm re-solve chains under the new
+// pricing rules against the cold dense reference.
+func TestWarmChainPricingConfigs(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	for _, cfg := range PricingConfigs {
+		for _, warm := range []bool{true, false} {
+			rng := rand.New(rand.NewSource(29))
+			for trial := 0; trial < trials; trial++ {
+				p := Random(rng)
+				sub := rand.New(rand.NewSource(rng.Int63()))
+				if err := CheckWarmChainOpts(p, sub, 8, cfg.Opt, warm); err != nil {
+					t.Fatalf("%s warm=%v: trial %d: %v", cfg.Name, warm, trial, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialPricingSegmentsAgree solves the paper's compact mapping
+// formulation under several forced segment sizes (and the automatic
+// threshold) and requires the optimal objective to match the full-scan
+// solve — partial pricing changes the pivot path, never the optimum.
+func TestPartialPricingSegmentsAgree(t *testing.T) {
+	g := daggen.Generate(daggen.Params{Tasks: 12, Seed: 5, CCR: 1})
+	plat := platform.Cell(1, 3)
+	p := core.FormulateCompact(g, plat).Problem.LP
+
+	ref, err := lp.SolveOpts(p, lp.Options{PartialPricing: -1})
+	if err != nil || ref.Status != lp.Optimal {
+		t.Fatalf("reference solve: err=%v status=%v", err, ref.Status)
+	}
+	for _, seg := range []int{64, 256, 1024, 0} {
+		sol, err := lp.SolveOpts(p, lp.Options{PartialPricing: seg})
+		if err != nil {
+			t.Fatalf("segment %d: %v", seg, err)
+		}
+		if sol.Status != lp.Optimal {
+			t.Fatalf("segment %d: status %v", seg, sol.Status)
+		}
+		scale := 1 + math.Abs(ref.Objective)
+		if diff := math.Abs(sol.Objective - ref.Objective); diff > Tol*scale {
+			t.Fatalf("segment %d: objective %.12g vs reference %.12g", seg, sol.Objective, ref.Objective)
+		}
+	}
+}

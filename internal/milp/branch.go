@@ -1,0 +1,280 @@
+// Pseudocost branching with reliability initialization, replacing the
+// most-fractional rule. Each integer variable carries per-direction
+// average objective gains per unit of fractionality, learned from the
+// child LP solves the search performs anyway. Until a variable's
+// pseudocosts are reliable (seen at least reliabilityK times per
+// direction) the worker strong-branches it: both child LPs are solved
+// on a separate lp.Solver context sharing the worker's problem — the
+// main solver's pointer-identity warm hot path stays undisturbed — with
+// a pivot cap, warm-started from the node basis. Strong branching that
+// proves a child infeasible prunes that child outright.
+package milp
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"cellstream/internal/lp"
+)
+
+const (
+	// defReliabilityK is how many observations per direction make a
+	// variable's pseudocosts trusted. Kept at one probe per direction
+	// because the table also learns from every real child solve; on
+	// the 12-task instance K=4 doubled strong-branch solves for no
+	// node reduction.
+	defReliabilityK = 1
+	// sbPerNode caps strong-branch candidates examined at one node.
+	sbPerNode = 2
+	// sbIterCap bounds pivots per strong-branch child solve.
+	sbIterCap = 40
+	// sbMaxTotal caps strong-branch LP solves per search; after the
+	// budget is spent the table's estimates stand on their own.
+	sbMaxTotal = 1000
+	// sbDepth restricts strong branching to nodes at most this deep.
+	// Shallow decisions shape the whole tree and deserve probes; deep
+	// nodes ride on the pseudocosts those probes initialized.
+	sbDepth = 8
+	// pcEps floors pseudocost estimates in the product score so a
+	// zero-gain direction cannot erase the other direction's signal.
+	pcEps = 1e-6
+)
+
+// pcEntry is one variable's learned branching statistics.
+type pcEntry struct {
+	downSum, upSum float64 // objective gain per unit fractionality
+	downCnt, upCnt int
+}
+
+// pcTable is the pseudocost table shared by all workers.
+type pcTable struct {
+	mu sync.Mutex
+	e  []pcEntry
+	// global running averages, the estimate for unseen variables
+	gDownSum, gUpSum float64
+	gDownCnt, gUpCnt int
+	sbSolves         int // strong-branch budget spent
+}
+
+func newPCTable(n int) *pcTable { return &pcTable{e: make([]pcEntry, n)} }
+
+// update records an observed per-unit gain for branching v in the
+// given direction (down = toward floor).
+func (t *pcTable) update(v int, down bool, gain float64) {
+	if gain < 0 {
+		gain = 0
+	}
+	t.mu.Lock()
+	if down {
+		t.e[v].downSum += gain
+		t.e[v].downCnt++
+		t.gDownSum += gain
+		t.gDownCnt++
+	} else {
+		t.e[v].upSum += gain
+		t.e[v].upCnt++
+		t.gUpSum += gain
+		t.gUpCnt++
+	}
+	t.mu.Unlock()
+}
+
+// estimates returns the per-unit gain estimates for v, falling back to
+// the global averages (then 1) for unseen directions, plus how many
+// times the scarcer direction has been observed.
+func (t *pcTable) estimates(v int) (down, up float64, minCnt int) {
+	t.mu.Lock()
+	e := t.e[v]
+	down, up = 1.0, 1.0
+	if e.downCnt > 0 {
+		down = e.downSum / float64(e.downCnt)
+	} else if t.gDownCnt > 0 {
+		down = t.gDownSum / float64(t.gDownCnt)
+	}
+	if e.upCnt > 0 {
+		up = e.upSum / float64(e.upCnt)
+	} else if t.gUpCnt > 0 {
+		up = t.gUpSum / float64(t.gUpCnt)
+	}
+	minCnt = e.downCnt
+	if e.upCnt < minCnt {
+		minCnt = e.upCnt
+	}
+	t.mu.Unlock()
+	return down, up, minCnt
+}
+
+// takeSB reserves n strong-branch solves from the global budget,
+// returning how many were granted.
+func (t *pcTable) takeSB(n int) int {
+	t.mu.Lock()
+	if left := sbMaxTotal - t.sbSolves; left < n {
+		n = left
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sbSolves += n
+	t.mu.Unlock()
+	return n
+}
+
+// fractionalCands returns the integer variables fractional at x beyond
+// tol, in variable order.
+func fractionalCands(x []float64, ints []int, tol float64) []int {
+	var out []int
+	for _, v := range ints {
+		f := x[v] - math.Floor(x[v])
+		if math.Min(f, 1-f) > tol {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sbChild solves one strong-branch child (v restricted to one side) on
+// the worker's side solver and reports the child objective.
+// feasible=false means the child LP is infeasible — a proof, usable
+// for pruning. known=false means the solve told us nothing (pivot cap,
+// numerical trouble). The returned basis, when non-nil, is the probe's
+// final basis: passing it as the next probe's warm start keeps the
+// side solver's pointer-identity hot path alive, so a node's whole
+// probe sequence shares one factorization instead of reinverting per
+// probe (every probe is a small bound perturbation of the same LP).
+func (w *worker) sbChild(v int, lo, up float64, basis *lp.Basis, opt Options) (obj float64, feasible, known bool, next *lp.Basis) {
+	oldLo, oldUp := w.prob.Bounds(v)
+	w.prob.SetBounds(v, lo, up)
+	sol, err := w.sb.Solve(lp.Options{
+		Factorization: opt.Factorization, Pricing: opt.Pricing,
+		DualPricing: lp.DualPricingMaxViolation,
+		WarmStart:   basis, MaxIter: sbIterCap,
+	})
+	w.prob.SetBounds(v, oldLo, oldUp)
+	if err != nil {
+		return 0, true, false, nil
+	}
+	w.s.mu.Lock()
+	w.s.stats.add(sol.Stats)
+	w.s.stats.StrongBranchSolves++
+	w.s.mu.Unlock()
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Objective, true, true, sol.Basis
+	case lp.Infeasible:
+		return 0, false, true, sol.Basis
+	default:
+		return 0, true, false, nil
+	}
+}
+
+// chooseBranch picks the branching variable for a node whose
+// relaxation solved to sol with fractional candidates cands (nonempty).
+// It returns the variable and whether either child is already proven
+// infeasible by strong branching (such children are not pushed; both
+// proven infeasible prunes the node).
+func (w *worker) chooseBranch(nd *node, sol *lp.Solution, cands []int, opt Options) (v int, downInf, upInf bool) {
+	s := w.s
+	if len(cands) == 1 {
+		return cands[0], false, false
+	}
+	if opt.BranchMostFractional || opt.ColdStart {
+		return mostFractional(sol.X, s.p.Integer, s.intTol), false, false
+	}
+
+	relK := opt.ReliabilityK
+	if relK == 0 {
+		relK = defReliabilityK
+	}
+
+	// Reliability pass: strong-branch the most fractional not-yet-
+	// reliable candidates (deterministic order: fractionality desc,
+	// variable index asc).
+	type sbInfo struct{ downInf, upInf bool }
+	proven := map[int]sbInfo{}
+	if relK > 0 && sol.Basis != nil && len(nd.changes) <= sbDepth {
+		// w.prob still holds the exact bounds sol.Basis was solved
+		// under (node bounds plus any lp.TightenBounds implications —
+		// the worker runs branching before the rounding heuristic,
+		// which would fix every integer). Probing on them is valid:
+		// tightening removes no feasible point, so a child infeasible
+		// here is infeasible for the node's child too.
+		order := append([]int(nil), cands...)
+		dist := func(v int) float64 {
+			f := sol.X[v] - math.Floor(sol.X[v])
+			return math.Min(f, 1-f)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := dist(order[i]), dist(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+		tried := 0
+		probeBasis := sol.Basis // chained: each probe warms from the last
+		for _, c := range order {
+			if tried >= sbPerNode {
+				break
+			}
+			if _, _, cnt := s.pc.estimates(c); cnt >= relK {
+				continue
+			}
+			if s.pc.takeSB(2) < 2 {
+				break
+			}
+			tried++
+			val := sol.X[c]
+			f := val - math.Floor(val)
+			lo, up := w.prob.Bounds(c)
+			var info sbInfo
+			if obj, feas, known, next := w.sbChild(c, lo, math.Floor(val), probeBasis, opt); known {
+				if next != nil {
+					probeBasis = next
+				}
+				if !feas {
+					info.downInf = true
+				} else if f > 1e-9 {
+					s.pc.update(c, true, (obj-sol.Objective)/f)
+				}
+			}
+			if obj, feas, known, next := w.sbChild(c, math.Ceil(val), up, probeBasis, opt); known {
+				if next != nil {
+					probeBasis = next
+				}
+				if !feas {
+					info.upInf = true
+				} else if 1-f > 1e-9 {
+					s.pc.update(c, false, (obj-sol.Objective)/(1-f))
+				}
+			}
+			if info.downInf || info.upInf {
+				proven[c] = info
+			}
+		}
+	}
+
+	// Product-rule pseudocost scoring; ties break to the lowest
+	// variable index (cands is already in variable order).
+	best, bestScore := -1, math.Inf(-1)
+	for _, c := range cands {
+		// A child proven infeasible is the strongest outcome there
+		// is: branching on c instantly halves the subtree.
+		if info, ok := proven[c]; ok && (info.downInf || info.upInf) {
+			best = c
+			break
+		}
+		f := sol.X[c] - math.Floor(sol.X[c])
+		dEst, uEst, _ := s.pc.estimates(c)
+		score := math.Max(dEst*f, pcEps) * math.Max(uEst*(1-f), pcEps)
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	v = best
+	s.mu.Lock()
+	s.stats.PseudocostBranches++
+	s.mu.Unlock()
+	info := proven[v]
+	return v, info.downInf, info.upInf
+}

@@ -1,0 +1,418 @@
+// Cut-and-branch: Gomory mixed-integer and knapsack-cover cut
+// separation wired into the branch-and-bound search.
+//
+// Cuts are separated at the root from the optimal LP basis (a cutting-
+// plane loop batching each round's violated cuts into one lp.Model
+// AddRow group per re-solve) and, on serial searches, at node LPs. A
+// shared pool records every distinct cut with its age and activity;
+// cuts that go slack at the root optimum are retired from the search
+// problem at the loop's final refactorization boundary but stay in the
+// pool, so a later node whose relaxation violates them again can
+// re-adopt them. Every cut is globally valid — derived from the
+// original rows and the root integrality/bound data only — so adopted
+// rows may stay in a worker's model for the rest of the search and
+// node bases transfer onto them with Basis.GrownBy.
+package milp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cellstream/internal/lp"
+)
+
+const (
+	// cutAutoCols is the column count above which cut separation is on
+	// by default (Options.CutRounds > 0 forces it below). See the
+	// Options.CutRounds comment for the measurements behind the gate.
+	cutAutoCols = 2000
+	// defCutRounds is the default number of root cutting-plane rounds.
+	defCutRounds = 8
+	// rootGomoryMax/rootCoverMax cap each root round's batch per family.
+	rootGomoryMax = 12
+	rootCoverMax  = 12
+	// nodeGomoryMax/nodeCoverMax cap node-level separation (serial only).
+	nodeGomoryMax = 4
+	nodeCoverMax  = 4
+	// nodeCutDepth disables Gomory separation below this tree depth —
+	// deep-node tableau cuts are dense and rarely pay for themselves.
+	nodeCutDepth = 6
+	// maxWorkerCuts caps the cut rows a worker's model accumulates.
+	maxWorkerCuts = 150
+	// maxPoolCuts caps the pool; offers beyond it are dropped.
+	maxPoolCuts = 256
+	// poolMissLimit retires a pooled cut after this many adoption scans
+	// found it satisfied (it never pulled its weight).
+	poolMissLimit = 8
+	// cutTailOff stops the root loop after two rounds whose bound
+	// improvement falls below this relative threshold.
+	cutTailOff = 1e-7
+	// cutViolTol is the minimum relative violation for adopting a
+	// pooled cut at a node.
+	cutViolTol = 1e-6
+)
+
+// pooledCut is one distinct cut with its bookkeeping.
+type pooledCut struct {
+	id      int
+	row     lp.CutRow
+	gomory  bool
+	inBase  bool // baked into the search base problem (root keeps)
+	adopted bool // added to the serial worker's model
+	misses  int  // adoption scans that found it satisfied
+	hits    int  // times it was violated and adopted
+	retired bool
+}
+
+// cutPool holds every distinct cut separated during a run, in
+// insertion order. The index map is used for duplicate lookup only and
+// is never iterated, keeping the pool's behavior seed-stable. The pool
+// is touched by the root loop (before workers start) and by node-level
+// separation, which runs only on serial searches — so no mutex.
+type cutPool struct {
+	cuts  []*pooledCut
+	index map[string]int
+}
+
+func newCutPool() *cutPool {
+	return &cutPool{index: make(map[string]int)}
+}
+
+// cutKey canonicalizes a cut for duplicate detection: coefficients
+// sorted by variable, values and RHS rounded to 9 significant digits.
+func cutKey(c lp.CutRow) string {
+	coefs := append([]lp.Coef(nil), c.Coefs...)
+	sort.Slice(coefs, func(i, j int) bool { return coefs[i].Var < coefs[j].Var })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%.9g", c.Sense, c.RHS)
+	for _, cf := range coefs {
+		fmt.Fprintf(&b, "|%d:%.9g", cf.Var, cf.Value)
+	}
+	return b.String()
+}
+
+// offer adds a cut to the pool unless it is a duplicate or the pool is
+// full. It returns the pool entry and whether it was newly added.
+func (cp *cutPool) offer(c lp.CutRow, gomory bool) (*pooledCut, bool) {
+	key := cutKey(c)
+	if i, ok := cp.index[key]; ok {
+		return cp.cuts[i], false
+	}
+	if len(cp.cuts) >= maxPoolCuts {
+		return nil, false
+	}
+	e := &pooledCut{id: len(cp.cuts), row: c, gomory: gomory}
+	cp.index[key] = len(cp.cuts)
+	cp.cuts = append(cp.cuts, e)
+	return e, true
+}
+
+// adoptScan walks the pool in id order and returns up to max entries
+// that are live, not yet in the model, and violated at x, marking them
+// adopted. When countMiss is set (once per node), satisfied entries
+// age; entries that miss poolMissLimit times retire. It returns the
+// batch and the number of entries retired by this scan.
+func (cp *cutPool) adoptScan(x []float64, max int, countMiss bool) (batch []*pooledCut, retired int) {
+	for _, e := range cp.cuts {
+		if e.retired || e.adopted || e.inBase {
+			continue
+		}
+		scale := 1 + math.Abs(e.row.RHS)
+		if len(batch) < max && e.row.Violation(x) > cutViolTol*scale {
+			e.adopted = true
+			e.hits++
+			batch = append(batch, e)
+		} else if countMiss {
+			e.misses++
+			if e.misses > poolMissLimit {
+				e.retired = true
+				retired++
+			}
+		}
+	}
+	return batch, retired
+}
+
+// integralAt reports whether every integer variable is integral at x.
+func integralAt(x []float64, ints []int, tol float64) bool {
+	for _, v := range ints {
+		if math.Abs(x[v]-math.Round(x[v])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildKept returns a copy of p containing only the rows marked in
+// keep (bounds and objective unchanged).
+func rebuildKept(p *lp.Problem, keep []bool) *lp.Problem {
+	n := p.NumVars()
+	out := lp.New(n)
+	for j := 0; j < n; j++ {
+		out.SetObj(j, p.ObjCoef(j))
+		lo, up := p.Bounds(j)
+		out.SetBounds(j, lo, up)
+	}
+	for i := 0; i < p.NumRows(); i++ {
+		if keep[i] {
+			coefs, sense, rhs := p.Row(i)
+			out.AddRow(coefs, sense, rhs)
+		}
+	}
+	return out
+}
+
+// rowSlack returns the slack of row i of p at x (≥ 0 when satisfied;
+// 0 for EQ rows, which are never trimmed).
+func rowSlack(p *lp.Problem, i int, x []float64) float64 {
+	coefs, sense, rhs := p.Row(i)
+	act := 0.0
+	for _, c := range coefs {
+		act += c.Value * x[c.Var]
+	}
+	switch sense {
+	case lp.GE:
+		return act - rhs
+	case lp.LE:
+		return rhs - act
+	default:
+		return 0
+	}
+}
+
+// rootCuts runs the root cutting-plane loop and returns the root node
+// for the search. It may replace s.base with a cut-augmented (and
+// re-trimmed) problem, seed the root node with the final bound and
+// basis, and populate the cut pool. On any trouble it falls back to
+// the plain root, which the search then solves itself.
+func (s *search) rootCuts(opt Options) *node {
+	root := &node{bound: math.Inf(-1), rows: s.baseRows, pcV: -1}
+	rounds := opt.CutRounds
+	if rounds == 0 {
+		rounds = defCutRounds
+	}
+	if rounds < 0 {
+		return root
+	}
+
+	work := s.p.LP.Clone()
+	model := lp.ModelFor(work)
+	o := lp.Options{Factorization: opt.Factorization, Pricing: opt.Pricing, DualPricing: lp.DualPricingMaxViolation}
+
+	// First solve: cold, through presolve. Presolve kills the live
+	// factorization, so the loop's warm re-solves run un-presolved —
+	// that is what leaves a live basis inverse for the Gomory BTRAN.
+	first := o
+	first.Presolve = true
+	sol, err := model.Solve(first)
+	if err != nil || sol.Status != lp.Optimal {
+		return root // let the search rediscover the root status
+	}
+	s.stats.add(sol.Stats)
+
+	// rowEntry[i-baseRows] is the pool entry behind appended row i.
+	var rowEntry []*pooledCut
+	var final *lp.Solution // optimum consistent with ALL current rows
+	prev := math.Inf(-1)
+	stall := 0
+	for r := 0; ; r++ {
+		sol, err = model.Solve(o)
+		if err != nil || sol.Status != lp.Optimal {
+			final = nil
+			break
+		}
+		s.stats.add(sol.Stats)
+		s.stats.CutResolves++
+		final = sol
+		imp := sol.Objective - prev
+		prev = sol.Objective
+		if r >= rounds {
+			break
+		}
+		if r > 0 {
+			if imp <= cutTailOff*(1+math.Abs(sol.Objective)) {
+				stall++
+				if stall >= 2 {
+					break
+				}
+			} else {
+				stall = 0
+			}
+		}
+		if integralAt(sol.X, s.p.Integer, s.intTol) {
+			break
+		}
+
+		gspec := s.gomSpec
+		gspec.MaxCuts = rootGomoryMax
+		gom := model.GomoryCuts(gspec)
+		cov := lp.CoverCuts(work, lp.CoverSpec{
+			IsBinary: s.isBin, MaxRows: s.baseRows, MaxCuts: rootCoverMax,
+		}, sol.X)
+
+		var batch []*pooledCut
+		for _, c := range gom {
+			if e, fresh := s.pool.offer(c, true); fresh {
+				s.stats.CutsSeparated++
+				s.stats.GomoryCuts++
+				batch = append(batch, e)
+			}
+		}
+		for _, c := range cov {
+			if e, fresh := s.pool.offer(c, false); fresh {
+				s.stats.CutsSeparated++
+				s.stats.CoverCuts++
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, e := range batch {
+			model.AddRow(e.row.Coefs, e.row.Sense, e.row.RHS)
+			e.inBase = true
+			rowEntry = append(rowEntry, e)
+		}
+		s.stats.CutRounds++
+		final = nil // rows changed; re-solve before trusting
+	}
+
+	if len(rowEntry) == 0 {
+		if final != nil {
+			root.bound = final.Objective
+			root.basis = final.Basis
+		}
+		return root
+	}
+	if final == nil {
+		// A re-solve failed after rows were added. The added rows are
+		// valid, so keep them baked, but there is no basis or bound.
+		s.base = work
+		s.baseRows = work.NumRows()
+		root.rows = s.baseRows
+		s.stats.CutsActive += len(rowEntry)
+		return root
+	}
+
+	// Retirement at the loop's final refactorization boundary: drop
+	// appended rows whose slack is basic and loose at the optimum —
+	// they are inactive there, and deleting a (row, basic slack) pair
+	// keeps the remaining basis square. Dropped cuts return to the
+	// pool for possible re-adoption at nodes.
+	base := s.p.LP.NumRows()
+	keep := make([]bool, work.NumRows())
+	dropped := 0
+	for i := range keep {
+		keep[i] = true
+		if i < base {
+			continue
+		}
+		_, _, rhs := work.Row(i)
+		if final.Basis.RowSlackBasic(i) && rowSlack(work, i, final.X) > 1e-7*(1+math.Abs(rhs)) {
+			keep[i] = false
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		if nb := final.Basis.DropRows(keep); nb != nil {
+			trimmed := rebuildKept(work, keep)
+			for i, e := range rowEntry {
+				if !keep[base+i] {
+					e.inBase = false // back to the pool, re-adoptable
+				}
+			}
+			s.stats.CutsRetired += dropped
+			s.base = trimmed
+			s.baseRows = trimmed.NumRows()
+			root.rows = s.baseRows
+			root.bound = final.Objective // still valid: cuts cut no integer point
+			root.basis = nb
+			s.stats.CutsActive += s.baseRows - base
+			return root
+		}
+	}
+	s.base = work
+	s.baseRows = work.NumRows()
+	root.rows = s.baseRows
+	root.bound = final.Objective
+	root.basis = final.Basis
+	s.stats.CutsActive += len(rowEntry)
+	return root
+}
+
+// nodeCuts runs up to Options.NodeCutRounds separate→adopt→re-solve rounds at
+// a node of a serial search. It returns the latest solution (whose
+// status the caller re-dispatches on) or an error from the LP layer.
+// Fresh cuts are offered to the pool first, then the whole pool is
+// scanned so cuts separated elsewhere in the tree get re-adopted; the
+// adopted batch lands in this worker's model as one AddRow group with
+// the node basis grown across it.
+func (w *worker) nodeCuts(nd *node, sol *lp.Solution) (*lp.Solution, error) {
+	s := w.s
+	for round := 0; round < w.opt.NodeCutRounds; round++ {
+		if w.rows-s.baseRows >= maxWorkerCuts {
+			return sol, nil
+		}
+		if integralAt(sol.X, s.p.Integer, s.intTol) {
+			return sol, nil
+		}
+
+		// Fresh separation: covers always (cheap, original rows only);
+		// Gomory only near the top of the tree.
+		var gom, cov []lp.CutRow
+		if len(nd.changes) <= nodeCutDepth {
+			gspec := s.gomSpec
+			gspec.MaxCuts = nodeGomoryMax
+			gom = w.solver.GomoryCuts(gspec)
+		}
+		cov = lp.CoverCuts(w.prob, lp.CoverSpec{
+			IsBinary: s.isBin, MaxRows: s.p.LP.NumRows(), MaxCuts: nodeCoverMax,
+		}, sol.X)
+
+		sep, gomN, covN := 0, 0, 0
+		for _, c := range gom {
+			if _, fresh := s.pool.offer(c, true); fresh {
+				sep++
+				gomN++
+			}
+		}
+		for _, c := range cov {
+			if _, fresh := s.pool.offer(c, false); fresh {
+				sep++
+				covN++
+			}
+		}
+
+		room := maxWorkerCuts - (w.rows - s.baseRows)
+		batch, retired := s.pool.adoptScan(sol.X, room, round == 0)
+
+		s.mu.Lock()
+		s.stats.CutsSeparated += sep
+		s.stats.GomoryCuts += gomN
+		s.stats.CoverCuts += covN
+		s.stats.CutsRetired += retired
+		s.stats.CutsActive += len(batch)
+		if len(batch) > 0 {
+			s.stats.CutResolves++
+		}
+		s.mu.Unlock()
+
+		if len(batch) == 0 {
+			return sol, nil
+		}
+		for _, e := range batch {
+			w.prob.AddRow(e.row.Coefs, e.row.Sense, e.row.RHS)
+		}
+		basis := sol.Basis.GrownBy(len(batch))
+		w.rows += len(batch)
+
+		nsol, err := w.solveNode(nd.changes, basis)
+		if err != nil || nsol.Status != lp.Optimal {
+			return nsol, err
+		}
+		sol = nsol
+	}
+	return sol, nil
+}

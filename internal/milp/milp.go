@@ -9,12 +9,21 @@
 // sharing one best-first node heap (smallest parent bound first, so the
 // global lower bound is always near the top) and one incumbent guarded
 // by a mutex; each worker re-solves LP relaxations on its own clone of
-// the problem, so bound tightening never races. Branching selects the
-// most fractional integer variable. A rounding heuristic (fix integers
-// to the nearest integral point, re-solve the LP for the continuous
-// variables) finds incumbents early. Cancellation and deadlines arrive
-// through a context.Context; SolveCtx returns the best incumbent and a
-// proven global bound when interrupted.
+// the problem, so bound tightening never races.
+//
+// The search is cut-and-branch: a root cutting-plane loop separates
+// Gomory mixed-integer cuts from the optimal basis and cover cuts from
+// the capacity rows, batching each round's violated cuts into one
+// lp.Model.AddRow group per re-solve; serial searches keep separating
+// at node LPs through a shared cut pool with age/activity retirement.
+// Branching is pseudocost-driven with reliability initialization
+// (strong-branch a variable until its history is trusted), falling
+// back to most-fractional under Options.BranchMostFractional or
+// ColdStart. A rounding heuristic (fix integers to the nearest
+// integral point, re-solve the LP for the continuous variables) finds
+// incumbents early. Cancellation and deadlines arrive through a
+// context.Context; SolveCtx returns the best incumbent and a proven
+// global bound when interrupted.
 package milp
 
 import (
@@ -125,6 +134,40 @@ type Options struct {
 	// Pricing selects the LP phase-2 pricing rule for every node
 	// re-solve (default lp.PricingDevex).
 	Pricing lp.Pricing
+	// DisableCuts turns off Gomory/cover cut separation (root cutting-
+	// plane loop and node-level adoption), for ablations. Cuts are also
+	// off under ColdStart, which reproduces the pre-cut search exactly.
+	DisableCuts bool
+	// CutRounds bounds the root cutting-plane rounds. 0 (the default)
+	// auto-sizes: cuts run (8 rounds) only when the formulation has at
+	// least cutAutoCols columns. Measured on the paper instances, the
+	// root loop's cold solve plus re-solves cost ~20ms on the 12-task
+	// compact formulation (half its whole search) for no bound gain,
+	// while on the 94-task formulation one cut round lifts the root
+	// bound past what the PR 4 search rules reached after 60 nodes. A
+	// positive value forces that many rounds at any size; negative
+	// disables the root loop.
+	CutRounds int
+	// NodeCutRounds enables cut separation and pool adoption at node
+	// LPs of serial searches, with that many separate→re-solve rounds
+	// per node. Off (0) by default: on the 94-task formulation node
+	// cuts grew the worker model by ~160 rows and made a 20-node
+	// search 7x slower without moving the global bound — best-first
+	// search keeps its frontier at the root bound, which locally valid
+	// progress at other nodes cannot lift. Root cuts (CutRounds) are
+	// where the bound is won; use this only to study node separation.
+	NodeCutRounds int
+	// BranchMostFractional restores the pre-pseudocost branching rule,
+	// for ablations. ColdStart implies it.
+	BranchMostFractional bool
+	// ReliabilityK is how many per-direction pseudocost observations a
+	// variable needs before strong branching stops probing it (0 =
+	// default 1, negative = trust pseudocosts immediately, i.e. no
+	// strong branching). The default is deliberately low: pseudocosts
+	// also learn from every real child-node solve, so one probe per
+	// direction plus the tree's own solves converge quickly, and each
+	// probe costs a capped dual re-solve.
+	ReliabilityK int
 }
 
 // Stats aggregates LP-solver counters across every node re-solve of a
@@ -176,6 +219,28 @@ type Stats struct {
 	// NodeTightenPrunes counts nodes proven infeasible by that pass
 	// alone — pruned without an LP solve.
 	NodeTightenPrunes int
+	// CutsSeparated counts distinct cuts entered into the pool, split
+	// by family below.
+	CutsSeparated int
+	GomoryCuts    int
+	CoverCuts     int
+	// CutsActive counts cut rows actually added to a solving model:
+	// root-loop rows kept in the search base plus node-level adoptions.
+	CutsActive int
+	// CutsRetired counts cuts dropped from the search base at the root
+	// loop's final trim plus pooled cuts aged out unadopted.
+	CutsRetired int
+	// CutRounds counts root cutting-plane rounds that added cuts.
+	CutRounds int
+	// CutResolves counts LP re-solves triggered by cut batches (root
+	// loop re-solves and node-level re-solves; not counted in Nodes).
+	CutResolves int
+	// StrongBranchSolves counts child LPs solved to initialize
+	// pseudocosts (reliability branching).
+	StrongBranchSolves int
+	// PseudocostBranches counts branchings decided by pseudocost
+	// scores (vs the most-fractional fallback).
+	PseudocostBranches int
 }
 
 // Merge accumulates another aggregate o into st — the cross-solve
@@ -205,6 +270,15 @@ func (st *Stats) Merge(o Stats) {
 	st.PresolveTightened += o.PresolveTightened
 	st.NodeTightenedBounds += o.NodeTightenedBounds
 	st.NodeTightenPrunes += o.NodeTightenPrunes
+	st.CutsSeparated += o.CutsSeparated
+	st.GomoryCuts += o.GomoryCuts
+	st.CoverCuts += o.CoverCuts
+	st.CutsActive += o.CutsActive
+	st.CutsRetired += o.CutsRetired
+	st.CutRounds += o.CutRounds
+	st.CutResolves += o.CutResolves
+	st.StrongBranchSolves += o.StrongBranchSolves
+	st.PseudocostBranches += o.PseudocostBranches
 }
 
 func (st *Stats) add(s lp.Stats) {
@@ -254,7 +328,15 @@ type node struct {
 	bound   float64 // parent LP objective (lower bound for the subtree)
 	changes []boundChange
 	basis   *lp.Basis // parent's optimal basis for a warm dual re-solve
+	rows    int       // row count of the model basis was snapshotted on
 	id      int
+	// Pseudocost learning: which branching created this node. pcV < 0
+	// for the root; pcFrac is the branched variable's distance to the
+	// bound it was pushed toward, so (LP objective - bound)/pcFrac is
+	// the observed per-unit degradation.
+	pcV    int
+	pcDown bool
+	pcFrac float64
 }
 
 type nodeHeap []*node
@@ -290,6 +372,21 @@ type search struct {
 	relGap float64
 
 	rootLo, rootUp []float64
+
+	// Cut-and-branch state. base is the LP the workers clone — the
+	// original relaxation, possibly augmented with root cut rows.
+	// serialCuts enables node-level separation/adoption
+	// (Options.NodeCutRounds), which is restricted to single-worker
+	// searches so that bases pushed by one worker always fit another's
+	// row set.
+	base       *lp.Problem
+	baseRows   int
+	cutsOn     bool
+	serialCuts bool
+	pool       *cutPool
+	pc         *pcTable
+	gomSpec    lp.GomorySpec
+	isBin      []bool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -360,7 +457,36 @@ func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 		}
 	}
 
-	s.heap = nodeHeap{{bound: math.Inf(-1)}}
+	// Cut-and-branch setup. Cuts are globally valid rows derived from
+	// the root data, so the search base may safely carry them; under
+	// ColdStart (the ablation baseline) everything stays off.
+	s.base = p.LP
+	s.baseRows = p.LP.NumRows()
+	s.cutsOn = !opt.DisableCuts && !opt.ColdStart && len(p.Integer) > 0 &&
+		(opt.CutRounds > 0 || n >= cutAutoCols)
+	s.serialCuts = s.cutsOn && workers == 1 && opt.NodeCutRounds > 0
+	s.pool = newCutPool()
+	s.pc = newPCTable(n)
+	if s.cutsOn {
+		s.gomSpec = lp.GomorySpec{
+			IsInt: make([]bool, n),
+			Lo:    append([]float64(nil), s.rootLo...),
+			Up:    append([]float64(nil), s.rootUp...),
+		}
+		s.isBin = make([]bool, n)
+		for _, v := range p.Integer {
+			s.gomSpec.IsInt[v] = true
+			if s.rootLo[v] == 0 && s.rootUp[v] == 1 {
+				s.isBin[v] = true
+			}
+		}
+	}
+
+	root := &node{bound: math.Inf(-1), rows: s.baseRows, pcV: -1}
+	if s.cutsOn && ctx.Err() == nil {
+		root = s.rootCuts(opt)
+	}
+	s.heap = nodeHeap{root}
 	heap.Init(&s.heap)
 
 	// A watcher flips stopped when the context ends so that sleeping
@@ -398,61 +524,100 @@ func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	return s.finish(), nil
 }
 
+// worker holds one branch-and-bound worker's private solve state: its
+// clone of the (cut-augmented) search base, the persistent solver
+// context, a second solver for strong branching on the same problem —
+// so strong-branch probes never evict the main context's factorization
+// — and the count of cut rows its model has accumulated.
+type worker struct {
+	s      *search
+	prob   *lp.Problem
+	solver *lp.Solver
+	sb     *lp.Solver
+	rows   int
+	opt    Options
+}
+
+// solveNode re-solves the relaxation for a node's bound-delta on the
+// worker's persistent solver context. With a parent basis the solve
+// warm-starts through the dual simplex — and when the parent was the
+// previous solve on this worker (the common DFS-ish pop order), the
+// context still holds its factorization and skips the reinversion too;
+// a cheap bound-tightening pass first propagates the branching change
+// through the constraints, pruning provably empty nodes without an LP
+// solve (implied bounds cut no feasible point, so the relaxation
+// optimum — and the warm basis — survive). Without a basis — the
+// root, the rounding heuristic, cold-start mode — it cold-solves, with
+// the presolve pipeline eliminating the columns the delta chain has
+// fixed (and everything that cascades from them).
+// setNodeBounds resets the worker problem's variable bounds to a
+// node's (root bounds plus its branching delta chain). solveNode does
+// this before every solve. Strong-branch probes rely on these bounds
+// (plus the tightening pass below) still being in place, which is why
+// the worker loop branches before running the rounding heuristic.
+func (w *worker) setNodeBounds(changes []boundChange) {
+	s := w.s
+	for j := 0; j < s.n; j++ {
+		w.prob.SetBounds(j, s.rootLo[j], s.rootUp[j])
+	}
+	for _, ch := range changes {
+		w.prob.SetBounds(ch.v, ch.lo, ch.up)
+	}
+}
+
+func (w *worker) solveNode(changes []boundChange, basis *lp.Basis) (*lp.Solution, error) {
+	s, opt := w.s, w.opt
+	w.setNodeBounds(changes)
+	// Node re-solves pin the dual simplex to the plain largest-
+	// violation row rule. Dual steepest edge (the lp default) pays an
+	// extra FTRAN per pivot to steer long dual runs, but node re-solves
+	// are short repair sequences after one bound change — on the
+	// 12-task instance DSE tripled the most-fractional search's node
+	// count by landing on different (worse for branching) optimal
+	// vertices, and its per-pivot overhead never amortizes here.
+	o := lp.Options{Factorization: opt.Factorization, Pricing: opt.Pricing,
+		DualPricing: lp.DualPricingMaxViolation}
+	if !opt.ColdStart {
+		if basis != nil {
+			o.WarmStart = basis
+			if !opt.DisableTightening {
+				nt, infeas := lp.TightenBounds(w.prob, 1)
+				if nt > 0 || infeas {
+					s.mu.Lock()
+					s.stats.NodeTightenedBounds += nt
+					if infeas {
+						s.stats.NodeTightenPrunes++
+					}
+					s.mu.Unlock()
+				}
+				if infeas {
+					return &lp.Solution{Status: lp.Infeasible}, nil
+				}
+			}
+		} else {
+			o.Presolve = true
+		}
+	}
+	sol, err := w.solver.Solve(o)
+	if err == nil {
+		s.mu.Lock()
+		s.stats.add(sol.Stats)
+		s.mu.Unlock()
+	}
+	return sol, err
+}
+
 // worker pops nodes, solves their LP relaxations on a private clone of
 // the problem, and pushes children, until the heap drains or a limit or
 // cancellation stops the search.
 func (s *search) worker(ctx context.Context, opt Options) {
-	prob := s.p.LP.Clone()
-	solver := lp.NewSolver(prob)
-	// solveWith re-solves the relaxation for a node's bound-delta on
-	// the worker's persistent solver context. With a parent basis the
-	// solve warm-starts through the dual simplex — and when the parent
-	// was the previous solve on this worker (the common DFS-ish pop
-	// order), the context still holds its factorization and skips the
-	// reinversion too; a cheap bound-tightening pass first propagates
-	// the branching change through the constraints, pruning provably
-	// empty nodes without an LP solve (implied bounds cut no feasible
-	// point, so the relaxation optimum — and the warm basis — survive).
-	// Without a basis — the root, the rounding heuristic, cold-start
-	// mode — it cold-solves, with the presolve pipeline eliminating
-	// the columns the delta chain has fixed (and everything that
-	// cascades from them).
-	solveWith := func(changes []boundChange, basis *lp.Basis) (*lp.Solution, error) {
-		for j := 0; j < s.n; j++ {
-			prob.SetBounds(j, s.rootLo[j], s.rootUp[j])
-		}
-		for _, ch := range changes {
-			prob.SetBounds(ch.v, ch.lo, ch.up)
-		}
-		o := lp.Options{Factorization: opt.Factorization, Pricing: opt.Pricing}
-		if !opt.ColdStart {
-			if basis != nil {
-				o.WarmStart = basis
-				if !opt.DisableTightening {
-					nt, infeas := lp.TightenBounds(prob, 1)
-					if nt > 0 || infeas {
-						s.mu.Lock()
-						s.stats.NodeTightenedBounds += nt
-						if infeas {
-							s.stats.NodeTightenPrunes++
-						}
-						s.mu.Unlock()
-					}
-					if infeas {
-						return &lp.Solution{Status: lp.Infeasible}, nil
-					}
-				}
-			} else {
-				o.Presolve = true
-			}
-		}
-		sol, err := solver.Solve(o)
-		if err == nil {
-			s.mu.Lock()
-			s.stats.add(sol.Stats)
-			s.mu.Unlock()
-		}
-		return sol, err
+	prob := s.base.Clone()
+	w := &worker{
+		s: s, prob: prob,
+		solver: lp.NewSolver(prob),
+		sb:     lp.NewSolver(prob),
+		rows:   prob.NumRows(),
+		opt:    opt,
 	}
 
 	for {
@@ -500,7 +665,27 @@ func (s *search) worker(ctx context.Context, opt Options) {
 		nodeSeq := s.nodes
 		s.mu.Unlock()
 
-		sol, err := solveWith(nd.changes, nd.basis)
+		// Fit the node basis to this worker's row set: rows only ever
+		// grow (cut adoption), and every row beyond the snapshot's
+		// count was appended after it, so extending with basic slacks
+		// is exact. A shrunken model (never happens today) would make
+		// the basis unusable — fall back to a cold solve.
+		basis := nd.basis
+		if basis != nil && nd.rows != w.rows {
+			if nd.rows < w.rows {
+				basis = basis.GrownBy(w.rows - nd.rows)
+			} else {
+				basis = nil
+			}
+		}
+
+		sol, err := w.solveNode(nd.changes, basis)
+		if err == nil && sol.Status == lp.Optimal && s.serialCuts {
+			// Serial searches separate and adopt cuts at the node LP;
+			// the loop re-solves on this worker's context and returns
+			// the final solution, whose status is re-dispatched below.
+			sol, err = w.nodeCuts(nd, sol)
+		}
 		if err != nil {
 			s.mu.Lock()
 			s.err = err
@@ -540,23 +725,33 @@ func (s *search) worker(ctx context.Context, opt Options) {
 			}
 		}
 
-		frac := mostFractional(sol.X, s.p.Integer, s.intTol)
-		if frac < 0 {
+		// Pseudocost learning from the node solve the search performs
+		// anyway: this node exists because its parent branched pcV in
+		// one direction, and the LP degradation per unit of
+		// fractionality is exactly the pseudocost observable. Learning
+		// here (not just in strong-branch probes) is what makes
+		// variables reach reliability without extra LP solves.
+		if nd.pcV >= 0 && !opt.BranchMostFractional && !opt.ColdStart && !math.IsInf(nd.bound, -1) {
+			s.pc.update(nd.pcV, nd.pcDown, (sol.Objective-nd.bound)/nd.pcFrac)
+		}
+
+		cands := fractionalCands(sol.X, s.p.Integer, s.intTol)
+		if len(cands) == 0 {
 			// Integral: candidate incumbent; subtree is fully explored.
 			s.offerIncumbent(sol.X, sol.Objective)
 			s.retire(sol.Objective)
 			continue
 		}
 
-		// Rounding heuristic: fix every integer to its nearest value and
-		// re-solve for the continuous variables.
-		if !opt.DisableRounding && nodeSeq%16 == 1 {
-			if x, obj, ok := roundAndRepair(s.p, sol.X, solveWith, nd.changes, s.intTol); ok {
-				s.offerIncumbent(x, obj)
-			}
+		// Branch variable selection: pseudocosts with reliability
+		// strong branching (most-fractional under the ablations). A
+		// child the strong-branch probe proved infeasible is pruned
+		// without ever being pushed.
+		v, downInf, upInf := w.chooseBranch(nd, sol, cands, opt)
+		if downInf && upInf {
+			s.retire(math.Inf(1))
+			continue
 		}
-
-		v := frac
 		val := sol.X[v]
 		lo, up := s.rootLo[v], s.rootUp[v]
 		for _, ch := range nd.changes {
@@ -564,8 +759,6 @@ func (s *search) worker(ctx context.Context, opt Options) {
 				lo, up = ch.lo, ch.up
 			}
 		}
-		down := append(append([]boundChange(nil), nd.changes...), boundChange{v, lo, math.Floor(val)})
-		upN := append(append([]boundChange(nil), nd.changes...), boundChange{v, math.Ceil(val), up})
 		// Children inherit this node's optimal basis: they differ from
 		// it by exactly one bound change, the textbook dual-simplex
 		// warm start.
@@ -574,13 +767,32 @@ func (s *search) worker(ctx context.Context, opt Options) {
 			childBasis = sol.Basis
 		}
 		s.mu.Lock()
-		heap.Push(&s.heap, &node{bound: sol.Objective, changes: down, basis: childBasis, id: s.nextID})
-		s.nextID++
-		heap.Push(&s.heap, &node{bound: sol.Objective, changes: upN, basis: childBasis, id: s.nextID})
-		s.nextID++
+		fracV := val - math.Floor(val)
+		if !downInf {
+			down := append(append([]boundChange(nil), nd.changes...), boundChange{v, lo, math.Floor(val)})
+			heap.Push(&s.heap, &node{bound: sol.Objective, changes: down, basis: childBasis, rows: w.rows,
+				id: s.nextID, pcV: v, pcDown: true, pcFrac: fracV})
+			s.nextID++
+		}
+		if !upInf {
+			upN := append(append([]boundChange(nil), nd.changes...), boundChange{v, math.Ceil(val), up})
+			heap.Push(&s.heap, &node{bound: sol.Objective, changes: upN, basis: childBasis, rows: w.rows,
+				id: s.nextID, pcV: v, pcDown: false, pcFrac: 1 - fracV})
+			s.nextID++
+		}
 		s.inflight--
 		s.cond.Broadcast()
 		s.mu.Unlock()
+
+		// Rounding heuristic: fix every integer to its nearest value
+		// and re-solve for the continuous variables. It runs after
+		// branching because it rewrites every integer bound on w.prob,
+		// which strong branching needs intact.
+		if !opt.DisableRounding && nodeSeq%16 == 1 {
+			if x, obj, ok := roundAndRepair(s.p, sol.X, w.solveNode, nd.changes, s.intTol); ok {
+				s.offerIncumbent(x, obj)
+			}
+		}
 	}
 }
 

@@ -76,6 +76,13 @@ type Config struct {
 	// ColdStart disables warm starts and presolve inside the solvers
 	// (ablations and benchmarks).
 	ColdStart bool
+	// DisableCuts turns off Gomory/cover cut separation inside the
+	// MILP branch-and-bound (ablations and benchmarks).
+	DisableCuts bool
+	// BranchMostFractional restores most-fractional branching instead
+	// of pseudocost branching with reliability strong branching inside
+	// the MILP branch-and-bound (ablations and benchmarks).
+	BranchMostFractional bool
 	// SeedIters / SeedRestarts tune the local-search seeding of
 	// OpMap/OpSweep (defaults 20000 / 4); DisableSeeding skips it.
 	SeedIters      int
@@ -118,6 +125,16 @@ func WithLiteralFormulation() Option { return func(c *Config) { c.Literal = true
 
 // WithColdStart disables warm starts and presolve (ablations).
 func WithColdStart() Option { return func(c *Config) { c.ColdStart = true } }
+
+// WithoutCuts turns off Gomory/cover cut separation in the MILP
+// branch-and-bound (ablations).
+func WithoutCuts() Option { return func(c *Config) { c.DisableCuts = true } }
+
+// WithMostFractionalBranching restores the most-fractional branching
+// rule in the MILP branch-and-bound (ablations).
+func WithMostFractionalBranching() Option {
+	return func(c *Config) { c.BranchMostFractional = true }
+}
 
 // WithSeeding tunes the heuristic seeding (iters, restarts); pass
 // (0, 0) to keep the defaults.

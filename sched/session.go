@@ -315,14 +315,16 @@ func (s *Session) doMap(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	if s.solverOf() == SolverMILP {
 		sres, err := core.SolveMILPCtx(ctx, req.Graph, s.cfg.Platform, core.SolveOptions{
-			RelGap:    s.gapOf(req),
-			Exact:     s.cfg.Exact,
-			TimeLimit: s.limitOf(req),
-			MaxNodes:  s.cfg.MaxNodes,
-			Literal:   s.cfg.Literal,
-			Seed:      req.Seed,
-			ColdStart: s.cfg.ColdStart,
-			Workers:   s.cfg.SolverWorkers,
+			RelGap:               s.gapOf(req),
+			Exact:                s.cfg.Exact,
+			TimeLimit:            s.limitOf(req),
+			MaxNodes:             s.cfg.MaxNodes,
+			Literal:              s.cfg.Literal,
+			Seed:                 req.Seed,
+			ColdStart:            s.cfg.ColdStart,
+			Workers:              s.cfg.SolverWorkers,
+			DisableCuts:          s.cfg.DisableCuts,
+			BranchMostFractional: s.cfg.BranchMostFractional,
 		})
 		if err != nil {
 			return nil, err
@@ -418,14 +420,16 @@ func (s *Session) doSweep(ctx context.Context, req Request) (*Result, error) {
 		}
 		if useMILP {
 			sres, err := core.SolveMILPCtx(ctx, req.Graph, plat, core.SolveOptions{
-				RelGap:    s.gapOf(req),
-				Exact:     s.cfg.Exact,
-				TimeLimit: s.limitOf(req),
-				MaxNodes:  s.cfg.MaxNodes,
-				Literal:   s.cfg.Literal,
-				Seed:      req.Seed, // unusable at reduced counts → core drops it
-				ColdStart: s.cfg.ColdStart,
-				Workers:   s.cfg.SolverWorkers,
+				RelGap:               s.gapOf(req),
+				Exact:                s.cfg.Exact,
+				TimeLimit:            s.limitOf(req),
+				MaxNodes:             s.cfg.MaxNodes,
+				Literal:              s.cfg.Literal,
+				Seed:                 req.Seed, // unusable at reduced counts → core drops it
+				ColdStart:            s.cfg.ColdStart,
+				Workers:              s.cfg.SolverWorkers,
+				DisableCuts:          s.cfg.DisableCuts,
+				BranchMostFractional: s.cfg.BranchMostFractional,
 			})
 			if err != nil {
 				return nil, err
