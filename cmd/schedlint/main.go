@@ -1,0 +1,136 @@
+// Command schedlint is the multichecker enforcing the solver's
+// machine-checked invariants. It bundles the five analyzers of
+// internal/analysis — floatcmp, statuscmp, ctxflow, detsearch,
+// statssync — with the production scoping (which packages each
+// invariant binds) and runs them over the module:
+//
+//	go run ./cmd/schedlint ./...          # everything (the CI gate)
+//	go run ./cmd/schedlint ./internal/lp  # one package
+//	go run ./cmd/schedlint -only floatcmp,detsearch ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error. Suppressions
+// use //lint:allow <analyzer> <justification> on or directly above the
+// flagged line; see internal/analysis for the directive's semantics.
+// Test files are never analyzed — each invariant deliberately binds
+// only production code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cellstream/internal/analysis"
+	"cellstream/internal/analysis/ctxflow"
+	"cellstream/internal/analysis/detsearch"
+	"cellstream/internal/analysis/floatcmp"
+	"cellstream/internal/analysis/statssync"
+	"cellstream/internal/analysis/statuscmp"
+)
+
+// analyzers builds the suite with the production scoping. The solver
+// numerical kernel (lp, milp) carries the float and determinism
+// invariants; every non-main package carries the context invariant;
+// status and stats classification bind module-wide with the solver
+// layers themselves allowed (the codes and counters are their inner
+// protocol).
+func analyzers() []*analysis.Analyzer {
+	solverPkgs := []string{
+		"cellstream/internal/lp",
+		"cellstream/internal/milp",
+	}
+	return []*analysis.Analyzer{
+		floatcmp.New(floatcmp.Config{Packages: solverPkgs}),
+		statuscmp.New(statuscmp.Config{AllowPackages: []string{
+			// The B&B layer dispatches on lp.Status as its inner
+			// protocol; the differential harness asserts status
+			// agreement between engines by design.
+			"cellstream/internal/milp",
+			"cellstream/internal/lptest",
+		}}),
+		ctxflow.New(ctxflow.Config{}),
+		detsearch.New(detsearch.Config{Packages: solverPkgs}),
+		statssync.New(statssync.Config{}),
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: schedlint [-only a,b] [packages]\n\npackages default to ./... relative to the module root\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite := analyzers()
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fail(fmt.Errorf("unknown analyzer %q", n))
+		}
+		suite = filtered
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fail(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fail(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fail(err)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "schedlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedlint:", err)
+	os.Exit(2)
+}

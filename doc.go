@@ -205,6 +205,55 @@
 // every `go test` and pin the minimized input behind each bug the
 // fuzzer has found.
 //
+// # Machine-checked invariants
+//
+// Five solver-specific conventions are load-bearing enough that prose
+// alone cannot hold them: they are enforced by static analyzers in
+// internal/analysis, packaged as the cmd/schedlint multichecker and run
+// as a blocking CI step:
+//
+//		go run ./cmd/schedlint ./...
+//
+//	  - floatcmp: no bare == / != between computed solver floats, and no
+//	    inline magic epsilon literals inside internal/lp and
+//	    internal/milp. internal/num is the single source of truth for
+//	    every named tolerance (FeasTol, PivTol, DualTol, IntegralityTol,
+//	    ...) plus the EqAbs/EqRel/IsZero comparison helpers; a test pins
+//	    the relative ordering of the tolerances so a loosened constant
+//	    cannot silently reorder solve trajectories.
+//
+//	  - statuscmp: outside the solver layers, lp.Status and milp.Status
+//	    are never compared or switched on directly — callers classify
+//	    through errors.Is on the sentinel errors (lp.ErrInfeasible,
+//	    lp.ErrUnbounded, lp.ErrIterLimit) via Status.Err, or through
+//	    milp.Status.Proved for "gap proven optimal". This keeps new
+//	    status codes from silently falling through caller branches.
+//
+//	  - ctxflow: library code never mints context.Background or
+//	    context.TODO (the caller owns cancellation), and every exported
+//	    blocking Solve* entry point either takes a ctx or has a Ctx
+//	    sibling. The handful of deliberate detachments (budget-bounded LP
+//	    kernels cancelled at milp node granularity, compatibility
+//	    wrappers) each carry a //lint:allow ctxflow line with the
+//	    justification.
+//
+//	  - detsearch: no nondeterminism sources in the solver packages —
+//	    unordered map iteration, time.Now in decision paths, global
+//	    math/rand. This is what backs the byte-for-byte determinism
+//	    suites: the same instance must replay to the identical Result.
+//
+//	  - statssync: the search-layer counters on milp.Stats are mutated
+//	    only through the approved note* aggregation methods (and
+//	    lp.Stats only inside internal/lp), so the locking discipline
+//	    around shared stats lives in one reviewable place.
+//
+// False positives are suppressed inline with
+// "//lint:allow <analyzer> <justification>", which covers its own line
+// and the next; each analyzer ships an analysistest suite under
+// internal/analysis/<name>/testdata with fixtures for the violations,
+// the approved patterns, the escape hatch, and a regression case
+// reproducing a real finding from the pre-analyzer codebase.
+//
 // # Test and benchmark suites
 //
 // "go test ./..." runs everything at full fidelity; "go test -short

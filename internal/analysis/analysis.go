@@ -1,0 +1,217 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface the schedlint suite needs: an
+// Analyzer is a named check with a Run function, a Pass hands it one
+// type-checked package, and diagnostics are position + message pairs.
+// It exists because this module is deliberately stdlib-only; the five
+// analyzers under internal/analysis/* and the cmd/schedlint
+// multichecker drive it, and internal/analysis/analysistest runs
+// want-comment fixture suites against it, mirroring the x/tools
+// workflow closely enough that a later migration would be mechanical.
+//
+// The escape hatch: a comment of the form
+//
+//	//lint:allow <name>[,<name>...] [justification]
+//
+// suppresses diagnostics of the named analyzers on the comment's own
+// line and on the line directly below it (so it works both as a
+// trailing comment and as a standalone comment above the finding).
+// Allow comments are for documented, deliberate deviations — the
+// justification text is required by convention and reviewed like code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in lint:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and
+	// the approved fix.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's non-test files
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow  map[string]map[int][]string // filename -> line -> analyzer names
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a lint:allow comment
+// suppresses this analyzer there.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAllow indexes every lint:allow comment of the package: the
+// named analyzers are suppressed on the comment's line and the next.
+func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	allow := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allow[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					allow[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+				m[pos.Line+1] = append(m[pos.Line+1], names...)
+			}
+		}
+	}
+	return allow
+}
+
+// parseAllow extracts the analyzer names from a "//lint:allow a,b why"
+// comment, or nil if the comment is not an allow directive.
+func parseAllow(text string) []string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "lint:allow")
+	if !ok {
+		return nil
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	first := strings.Fields(rest)[0]
+	var names []string
+	for _, n := range strings.Split(first, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// Run applies the analyzers to the package and returns their findings
+// sorted by position then analyzer name.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllow(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			allow:     allow,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// --- shared type helpers used by the analyzer packages ---
+
+// IsNamedType reports whether t (after stripping one pointer) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsFloat reports whether t's underlying type is a floating-point
+// basic type (typed or untyped).
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// FuncFullName resolves a call expression to the full name of the
+// static callee ("time.Now", "(*sync.Mutex).Lock"), or "" when the
+// callee is not a statically known function.
+func FuncFullName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over want-comment fixture
+// packages, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the module's own stdlib-only driver. A fixture package lives
+// in testdata/src/<name>/ and marks each expected finding with a
+// trailing comment:
+//
+//	x := a == b // want "computed float"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; several "..." on one comment expect several
+// diagnostics on that line. The suite fails on unexpected diagnostics
+// AND on unmatched wants, so fixtures double as both positive and
+// negative tests — in particular the //lint:allow escape-hatch path is
+// proven by a violation line that carries an allow comment and no
+// want.
+//
+// Fixture packages may import the real module packages (the statuscmp
+// and statssync regression fixtures import internal/lp and
+// internal/milp to reproduce pre-sweep findings against the real
+// types).
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cellstream/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package under dir/src and checks the
+// analyzer's diagnostics against its want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	loader.ExtraRoots = map[string]string{}
+	for _, fx := range fixtures {
+		loader.ExtraRoots[fx] = filepath.Join(src, fx)
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx, func(t *testing.T) {
+			pkg, err := loader.Load(fx)
+			if err != nil {
+				t.Fatalf("load fixture %s: %v", fx, err)
+			}
+			diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", a.Name, err)
+			}
+			wants, err := parseWants(pkg.Dir)
+			if err != nil {
+				t.Fatalf("parse wants: %v", err)
+			}
+			for _, d := range diags {
+				if !claim(wants, d) {
+					t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// claim marks the first unmatched want satisfied by d.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if !w.matched && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants scans every fixture file for want comments.
+func parseWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+				pat := strings.ReplaceAll(q[1], `\"`, `"`)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re, raw: pat})
+			}
+		}
+	}
+	return wants, nil
+}

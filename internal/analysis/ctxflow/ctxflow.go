@@ -1,0 +1,148 @@
+// Package ctxflow implements the schedlint analyzer guarding
+// end-to-end context propagation. The solver stack is built so a
+// caller's context flows from the sched facade through core and milp
+// down to every node re-solve; a context.Background() (or TODO())
+// buried in library code silently detaches that chain, making a
+// "cancellable" service uncancellable. Two rules:
+//
+//  1. context.Background()/context.TODO() in library code — any
+//     non-main package; test files are never analyzed — is a finding.
+//     Thread the caller's ctx. The deliberate exceptions (the no-ctx
+//     convenience wrappers like milp.Solve) carry a documented
+//     //lint:allow ctxflow.
+//  2. An exported function or method whose name starts with "Solve"
+//     (the blocking entry-point convention of this codebase) must
+//     either take a context.Context parameter or have a same-scope
+//     sibling named <Name>Ctx that does. The budget-bounded simplex
+//     kernels that deliberately stop at iteration granularity carry a
+//     //lint:allow ctxflow explaining that design.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"cellstream/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages restricts findings to the listed import paths; empty
+	// means every package analyzed.
+	Packages []string
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc:  "flags context.Background()/TODO() in library code and exported Solve entry points with no ctx parameter or Ctx sibling",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if len(cfg.Packages) > 0 {
+		ok := false
+		for _, p := range cfg.Packages {
+			if p == pass.Pkg.Path() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
+
+	// Pass 1: collect every function/method name per receiver so the
+	// <Name>Ctx sibling lookup works across files.
+	// Key: receiver base type name ("" for package functions).
+	declared := map[string]map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if declared[recv] == nil {
+				declared[recv] = map[string]bool{}
+			}
+			declared[recv][fd.Name.Name] = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		// Rule 1: detached contexts.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch analysis.FuncFullName(pass.TypesInfo, call) {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(),
+					"%s in library code detaches the caller's cancellation; thread ctx through, or document the detachment with //lint:allow ctxflow",
+					analysis.FuncFullName(pass.TypesInfo, call))
+			}
+			return true
+		})
+
+		// Rule 2: exported blocking Solve entry points.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !strings.HasPrefix(fd.Name.Name, "Solve") {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Ctx") || hasCtxParam(pass, fd) {
+				continue
+			}
+			if declared[recvTypeName(fd)][fd.Name.Name+"Ctx"] {
+				continue // the ctx-taking variant exists beside it
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported blocking entry point %s has no context.Context parameter and no %sCtx sibling; cancellation cannot reach it",
+				fd.Name.Name, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the receiver's base type name, or "" for a
+// package-level function.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// hasCtxParam reports whether any parameter of fd is a
+// context.Context.
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && tv.Type != nil {
+			if analysis.IsNamedType(tv.Type, "context", "Context") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"cellstream/internal/analysis/analysistest"
+	"cellstream/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.New(ctxflow.Config{}), "ctxfix")
+}

@@ -1,0 +1,47 @@
+// Package ctxfix seeds ctxflow violations and approved patterns.
+package ctxfix
+
+import "context"
+
+func detached() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx // threading the caller's ctx: approved
+}
+
+func allowedDetach() context.Context {
+	//lint:allow ctxflow escape hatch fixture: documented detachment
+	return context.Background()
+}
+
+// SolveBlocking is an exported blocking entry point with no ctx and no
+// Ctx sibling.
+func SolveBlocking(x int) int { // want "exported blocking entry point SolveBlocking"
+	return x
+}
+
+// SolveWith takes a ctx parameter: approved.
+func SolveWith(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// SolvePaired has a ctx-taking sibling below: approved.
+func SolvePaired(x int) int { return SolvePairedCtx(context.TODO(), x) } // want "context.TODO in library code"
+
+// SolvePairedCtx is the cancellable variant of SolvePaired.
+func SolvePairedCtx(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+type engine struct{}
+
+// Solve on a receiver with no ctx and no sibling.
+func (engine) Solve(x int) int { return x } // want "exported blocking entry point Solve"

@@ -1,0 +1,22 @@
+package ctxfix
+
+import "context"
+
+// Regression: the pre-sweep milp.Solve convenience wrapper (milp.go)
+// called context.Background() with no justification comment; the sweep
+// kept the wrapper but documented the detachment with //lint:allow.
+
+type problem struct{}
+type result struct{}
+
+// SolveWrapper mirrors the wrapper shape: the Ctx sibling satisfies
+// rule 2, but the undocumented Background() still trips rule 1.
+func SolveWrapper(p *problem) (*result, error) {
+	return SolveWrapperCtx(context.Background(), p) // want "context.Background in library code"
+}
+
+// SolveWrapperCtx is the cancellable variant.
+func SolveWrapperCtx(ctx context.Context, p *problem) (*result, error) {
+	_ = ctx
+	return &result{}, nil
+}

@@ -1,0 +1,94 @@
+// Package detsearch implements the schedlint analyzer protecting the
+// byte-for-byte determinism of the branch-and-bound search at the
+// source level. The determinism suite (internal/milp's byte-for-byte
+// tests, sched's concurrent-vs-serial race hammer) pins the property
+// at the output; this analyzer pins the three source patterns that
+// historically threaten it inside the solver packages:
+//
+//  1. range over a map — Go randomizes iteration order, so any map
+//     iteration feeding branching, cut, or presolve decisions (or
+//     even just the order of postsolve records) makes two runs
+//     diverge. Sort the keys first, or iterate a slice.
+//  2. time.Now — wall-clock in search code turns node selection and
+//     budgets into a race with the scheduler. Deadlines belong to the
+//     context at the layer above.
+//  3. the global math/rand source (rand.Intn, rand.Float64, ... as
+//     package functions) — unseeded and process-global. Use an
+//     explicitly seeded *rand.Rand threaded through the search state.
+//
+// A provably order-insensitive map iteration (pure accumulation into
+// a commutative reduction) may carry a //lint:allow detsearch with
+// the proof sketch in the justification.
+package detsearch
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cellstream/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages restricts findings to the listed import paths; empty
+	// means every package analyzed.
+	Packages []string
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "detsearch",
+		Doc:  "flags nondeterminism sources in search code: unordered map iteration, time.Now, and the global math/rand source",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if len(cfg.Packages) > 0 {
+		ok := false
+		for _, p := range cfg.Packages {
+			if p == pass.Pkg.Path() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Range,
+						"iteration over an unordered map in search code; sort the keys first so results replay byte-for-byte")
+				}
+			case *ast.CallExpr:
+				full := analysis.FuncFullName(pass.TypesInfo, n)
+				switch {
+				case full == "time.Now":
+					pass.Reportf(n.Pos(),
+						"time.Now in search code makes node selection wall-clock dependent; use context deadlines at the caller")
+				case strings.HasPrefix(full, "math/rand."):
+					name := strings.TrimPrefix(full, "math/rand.")
+					// Constructors of explicitly seeded generators are
+					// the approved pattern; everything else on the
+					// package is the shared global source.
+					if name != "New" && name != "NewSource" && !strings.Contains(name, ")") {
+						pass.Reportf(n.Pos(),
+							"math/rand.%s uses the process-global source; thread an explicitly seeded *rand.Rand through the search", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detsearch_test
+
+import (
+	"testing"
+
+	"cellstream/internal/analysis/analysistest"
+	"cellstream/internal/analysis/detsearch"
+)
+
+func TestDetsearch(t *testing.T) {
+	analysistest.Run(t, "testdata", detsearch.New(detsearch.Config{}), "detfix")
+}

@@ -1,0 +1,47 @@
+// Package detfix seeds detsearch violations and approved patterns.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapIteration(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "iteration over an unordered map"
+		sum += v
+	}
+	return sum
+}
+
+func sliceIteration(s []float64) float64 {
+	sum := 0.0
+	for _, v := range s { // slices iterate in order: approved
+		sum += v
+	}
+	return sum
+}
+
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	//lint:allow detsearch order-insensitive key collection; the slice is sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in search code"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn uses the process-global source"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42)) // explicit seeded generator: approved
+	return r.Intn(10)                 // method on *rand.Rand: approved
+}

@@ -1,0 +1,17 @@
+package detfix
+
+// Regression: the pre-sweep duplicate-column merge of
+// internal/lp/presolve.go bucketed columns by a row-pattern hash and
+// then ranged over the bucket map directly — making the merge order,
+// and with it the postsolve record stack, differ between otherwise
+// identical runs. The sweep sorts the keys first.
+
+func dupColumnMerge(buckets map[uint64][]int, merge func(j, k int)) {
+	for _, cand := range buckets { // want "iteration over an unordered map"
+		for a := 0; a < len(cand); a++ {
+			for b := a + 1; b < len(cand); b++ {
+				merge(cand[a], cand[b])
+			}
+		}
+	}
+}

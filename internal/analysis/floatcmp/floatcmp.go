@@ -1,0 +1,135 @@
+// Package floatcmp implements the schedlint analyzer guarding the
+// solver's float-comparison discipline. The PR 3/4 fuzz campaigns
+// traced several real bugs to ad-hoc epsilons and exact comparisons on
+// computed values, so the rule is machine-enforced:
+//
+//  1. ==/!= between two non-constant floating-point operands is a
+//     finding. Compare through a named tolerance (internal/num's
+//     helpers, or an explicit |a-b| <= tol) instead; genuinely exact
+//     comparisons — heap tie-breaks, stored-bound identity — carry a
+//     //lint:allow floatcmp justification.
+//  2. An inline "magic epsilon" literal (0 < |v| < 1e-3) anywhere
+//     outside a const declaration is a finding. Name it: the shared
+//     tolerances live in internal/num; genuinely local thresholds get
+//     a package const, which keeps them greppable and documented.
+//
+// Comparisons against constants (x == 0, f > pivTol) are exempt from
+// rule 1: comparing to an exact stored constant is well-defined, and
+// named-constant thresholds are the approved pattern.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"math"
+
+	"cellstream/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// Packages restricts findings to the listed import paths; empty
+	// means every package analyzed (used by the fixture tests).
+	Packages []string
+	// ExemptPackages are analyzed-but-exempt paths (internal/num
+	// itself: it is the approved home of tolerance literals).
+	ExemptPackages []string
+	// EpsilonMax is the exclusive upper bound on |v| for a float
+	// literal to count as a magic epsilon (0 picks the default 1e-3).
+	EpsilonMax float64
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	if cfg.EpsilonMax == 0 {
+		cfg.EpsilonMax = 1e-3
+	}
+	return &analysis.Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags exact ==/!= on computed floats and inline magic epsilon literals in solver code; tolerances belong in internal/num",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func inScope(cfg Config, path string) bool {
+	for _, p := range cfg.ExemptPackages {
+		if p == path {
+			return false
+		}
+	}
+	if len(cfg.Packages) == 0 {
+		return true
+	}
+	for _, p := range cfg.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !inScope(cfg, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Collect const-declaration extents: literals inside them are
+		// named by definition and exempt from the epsilon rule.
+		var constRanges [][2]token.Pos
+		ast.Inspect(file, func(n ast.Node) bool {
+			if d, ok := n.(*ast.GenDecl); ok && d.Tok == token.CONST {
+				constRanges = append(constRanges, [2]token.Pos{d.Pos(), d.End()})
+			}
+			return true
+		})
+		inConst := func(pos token.Pos) bool {
+			for _, r := range constRanges {
+				if pos >= r[0] && pos <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt, yt := pass.TypesInfo.Types[n.X], pass.TypesInfo.Types[n.Y]
+				if xt.Type == nil || yt.Type == nil {
+					return true
+				}
+				if !analysis.IsFloat(xt.Type) && !analysis.IsFloat(yt.Type) {
+					return true
+				}
+				// A constant operand (literal, named const, or constant
+				// expression) makes the comparison well-defined.
+				if xt.Value != nil || yt.Value != nil {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"%s on computed float values; compare within a named tolerance (internal/num) or justify with //lint:allow floatcmp",
+					n.Op)
+			case *ast.BasicLit:
+				if n.Kind != token.FLOAT {
+					return true
+				}
+				if inConst(n.Pos()) {
+					return true
+				}
+				v := constant.MakeFromLiteral(n.Value, token.FLOAT, 0)
+				f, _ := constant.Float64Val(v)
+				f = math.Abs(f)
+				if f > 0 && f < cfg.EpsilonMax {
+					pass.Reportf(n.Pos(),
+						"magic tolerance literal %s; name it as a constant (shared tolerances live in internal/num)", n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

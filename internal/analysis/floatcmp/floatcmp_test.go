@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"cellstream/internal/analysis/analysistest"
+	"cellstream/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", floatcmp.New(floatcmp.Config{}), "floatfix")
+}

@@ -1,0 +1,33 @@
+// Package floatfix seeds floatcmp violations and approved patterns.
+package floatfix
+
+const namedTol = 1e-9 // named in a const decl: approved
+
+func computedCompare(a, b float64) bool {
+	return a == b // want "== on computed float values"
+}
+
+func computedNeq(a, b float64) bool {
+	return a != b // want "!= on computed float values"
+}
+
+func constantCompare(a float64) bool {
+	return a == 0 // comparing to a constant: approved
+}
+
+func namedConstCompare(a, b float64) bool {
+	return a-b < namedTol // named tolerance: approved
+}
+
+func magicEpsilon(a, b float64) bool {
+	return a-b < 1e-9 // want "magic tolerance literal 1e-9"
+}
+
+func bigLiteralOK(a float64) bool {
+	return a < 0.5 // not epsilon-scale: approved
+}
+
+func allowedExact(a, b float64) bool {
+	//lint:allow floatcmp escape hatch fixture: exact comparison is intended here
+	return a == b
+}

@@ -1,0 +1,20 @@
+package floatfix
+
+// Regression: the pre-sweep node-heap comparator of internal/milp
+// (milp.go, nodeHeap.Less) compared bounds with a bare != — a correct
+// exact tie-break that nonetheless must carry its justification so the
+// next reader (and the next editor) knows it is deliberate.
+
+type node struct {
+	bound float64
+	id    int
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound { // want "!= on computed float values"
+		return h[i].bound < h[j].bound
+	}
+	return h[i].id > h[j].id
+}

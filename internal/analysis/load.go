@@ -1,0 +1,299 @@
+// Package loading for the analysis driver. The module is deliberately
+// dependency-free, so instead of go/packages (which lives in x/tools)
+// the loader resolves module-internal import paths by position under
+// the module root, parses every non-test file with go/parser, and
+// type-checks with go/types. Standard-library imports are satisfied by
+// the compiler's source importer, which type-checks GOROOT sources and
+// therefore needs no pre-built export data and no network.
+//
+// Limitations, acceptable for this repository: build constraints are
+// not evaluated (the repo has none), _test.go files are never loaded
+// (every schedlint invariant deliberately exempts tests), and only
+// imports inside the module, under an extra fixture root, or in GOROOT
+// resolve.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of one module (plus optional
+// extra roots, used by analysistest for fixture trees).
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	// ExtraRoots maps additional import-path prefixes to directories;
+	// analysistest points fixture package names at testdata/src.
+	ExtraRoots map[string]string
+
+	Fset *token.FileSet
+	pkgs map[string]*Package
+	std  types.Importer
+	path []string // import stack, for cycle reporting
+}
+
+// NewLoader creates a loader for the module rooted at dir (the
+// directory containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  dir,
+		ModulePath: modPath,
+		Fset:       fset,
+		pkgs:       map[string]*Package{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to the directory holding its sources, or
+// "" when the path belongs to neither the module nor an extra root.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	for prefix, root := range l.ExtraRoots {
+		if path == prefix {
+			return root
+		}
+		if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest))
+		}
+	}
+	return ""
+}
+
+// Load type-checks the package at the given import path (module-
+// internal or under an extra root) and memoizes the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s: %s", path, strings.Join(l.path, " -> "))
+		}
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("import path %q is outside the module and extra roots", path)
+	}
+	l.pkgs[path] = nil // cycle marker
+	l.path = append(l.path, path)
+	defer func() { l.path = l.path[:len(l.path)-1] }()
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable non-test Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		if imp == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if l.dirFor(imp) != "" {
+			p, err := l.Load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.std.Import(imp)
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every buildable non-test .go file of dir, sorted by
+// name for deterministic file order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Expand resolves command-line package patterns ("./...", "./dir/...",
+// "./dir") into the sorted list of module import paths that contain
+// buildable non-test Go files. testdata and hidden directories are
+// skipped, as the go tool does.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" {
+			pat = "./..."
+		}
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		root := filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			p, err := l.importPathOf(root)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				p, err := l.importPathOf(path)
+				if err != nil {
+					return err
+				}
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) importPathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

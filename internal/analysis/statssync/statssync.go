@@ -1,0 +1,131 @@
+// Package statssync implements the schedlint analyzer guarding the
+// solver-statistics aggregation discipline. milp.Stats is shared
+// mutable state: parallel branch-and-bound workers fold their LP
+// counters into one struct, so every write must go through the
+// approved aggregation methods on *Stats (add, Merge, and the note*
+// helpers), which are called at sites that hold the search mutex and
+// are hammered by the -race determinism suite. A bare field write
+// (s.stats.Nodes++) added elsewhere compiles fine and races silently —
+// that is the bug class this analyzer removes at the source level.
+//
+// Rules, per guarded type:
+//
+//   - MethodsOnly (milp.Stats): fields may be written only inside
+//     methods whose receiver is the Stats type itself, in its defining
+//     package.
+//   - package-internal (lp.Stats): the defining package builds its
+//     per-solve Stats single-threaded and may write fields freely;
+//     every other package must aggregate through the exported methods
+//     (Add) instead of poking fields.
+package statssync
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cellstream/internal/analysis"
+)
+
+// TypeRef names one guarded stats type.
+type TypeRef struct {
+	PkgPath string
+	Name    string
+	// MethodsOnly requires even the defining package to write fields
+	// only inside methods with a Stats receiver.
+	MethodsOnly bool
+}
+
+// Config scopes the analyzer.
+type Config struct {
+	// Types are the guarded stats types. Empty picks the solver
+	// defaults: lp.Stats (package-internal) and milp.Stats
+	// (methods-only).
+	Types []TypeRef
+}
+
+// DefaultTypes are the solver stats structs schedlint guards.
+var DefaultTypes = []TypeRef{
+	{PkgPath: "cellstream/internal/lp", Name: "Stats", MethodsOnly: false},
+	{PkgPath: "cellstream/internal/milp", Name: "Stats", MethodsOnly: true},
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	if len(cfg.Types) == 0 {
+		cfg.Types = DefaultTypes
+	}
+	return &analysis.Analyzer{
+		Name: "statssync",
+		Doc:  "flags writes to solver Stats counter fields outside the approved aggregation methods (parallel workers share these structs)",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	path := pass.Pkg.Path()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Writes inside a method on a guarded type (in its defining
+			// package) are the approved aggregation path.
+			exemptAll := false
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok && tv.Type != nil {
+					for _, t := range cfg.Types {
+						if t.PkgPath == path && analysis.IsNamedType(tv.Type, t.PkgPath, t.Name) {
+							exemptAll = true
+						}
+					}
+				}
+			}
+			if exemptAll {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						check(pass, cfg, lhs)
+					}
+				case *ast.IncDecStmt:
+					check(pass, cfg, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// check reports lhs when it is a field selector on a guarded stats
+// type written outside its approved scope.
+func check(pass *analysis.Pass, cfg Config, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Only field writes count; x.method() cannot be an lvalue anyway.
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	path := pass.Pkg.Path()
+	for _, t := range cfg.Types {
+		if !analysis.IsNamedType(tv.Type, t.PkgPath, t.Name) {
+			continue
+		}
+		if t.PkgPath == path && !t.MethodsOnly {
+			return // package-internal construction is approved
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"direct write to %s.%s field %s outside the approved aggregation methods; add or use a method on *%s (workers share this struct)",
+			t.PkgPath, t.Name, sel.Sel.Name, t.Name)
+		return
+	}
+}

@@ -1,0 +1,12 @@
+package statssync_test
+
+import (
+	"testing"
+
+	"cellstream/internal/analysis/analysistest"
+	"cellstream/internal/analysis/statssync"
+)
+
+func TestStatssync(t *testing.T) {
+	analysistest.Run(t, "testdata", statssync.New(statssync.Config{}), "statsfix")
+}

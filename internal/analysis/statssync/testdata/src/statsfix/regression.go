@@ -1,0 +1,24 @@
+package statsfix
+
+import (
+	"sync"
+
+	"cellstream/internal/milp"
+)
+
+// Regression: the pre-sweep strong-branching path of
+// internal/milp/branch.go bumped StrongBranchSolves directly on the
+// shared search stats (correctly under the mutex — but nothing forced
+// the next write site to take the lock). The sweep moved every counter
+// mutation into note* methods on *Stats.
+
+type searchState struct {
+	mu    sync.Mutex
+	stats milp.Stats
+}
+
+func (s *searchState) recordStrongBranch() {
+	s.mu.Lock()
+	s.stats.StrongBranchSolves++ // want "direct write to cellstream/internal/milp.Stats field StrongBranchSolves"
+	s.mu.Unlock()
+}

@@ -1,0 +1,37 @@
+// Package statsfix seeds statssync violations against the real solver
+// stats types.
+package statsfix
+
+import (
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+func directMILPWrite(st *milp.Stats) {
+	st.CutRounds++ // want "direct write to cellstream/internal/milp.Stats field CutRounds"
+}
+
+func directMILPAssign(st *milp.Stats, n int) {
+	st.CutsActive += n // want "direct write to cellstream/internal/milp.Stats field CutsActive"
+}
+
+func directLPWrite(st *lp.Stats) {
+	st.Iterations++ // want "direct write to cellstream/internal/lp.Stats field Iterations"
+}
+
+func mergeApproved(st *milp.Stats, o milp.Stats) {
+	st.Merge(o) // aggregation method: approved
+}
+
+func addApproved(st *lp.Stats, o lp.Stats) {
+	st.Add(o) // aggregation method: approved
+}
+
+func readApproved(st *milp.Stats) int {
+	return st.CutRounds // reads are fine; only writes race
+}
+
+func allowedWrite(st *milp.Stats) {
+	//lint:allow statssync escape hatch fixture: single-threaded setup code
+	st.CutRounds++
+}

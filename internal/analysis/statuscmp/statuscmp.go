@@ -1,0 +1,117 @@
+// Package statuscmp implements the schedlint analyzer finishing the
+// PR 5 error-classification migration. lp.Status and milp.Status are
+// solver-internal result codes; the layers above the solvers (core,
+// assign, sched, the CLIs) must classify outcomes with the typed
+// sentinels — errors.Is(err, lp.ErrInfeasible / ErrUnbounded /
+// ErrIterLimit), Status.Err(), or purpose-named predicates the status
+// types export — never by comparing or switching on Status values.
+// Direct comparisons in consumer code were exactly the
+// status-string-matching disease PR 5 removed: they silently go stale
+// when the status enum grows (milp gained Feasible and NoSolution
+// after the first consumers were written).
+//
+// The defining package of each status type may compare it freely (the
+// solver's own control flow is what the codes are for), as may any
+// package on the configured allow list — the B&B layer dispatches on
+// lp.Status as its inner protocol, and the differential harness
+// asserts status agreement by design.
+package statuscmp
+
+import (
+	"go/ast"
+	"go/token"
+
+	"cellstream/internal/analysis"
+)
+
+// TypeRef names one status type to guard.
+type TypeRef struct {
+	PkgPath string
+	Name    string
+}
+
+// Config scopes the analyzer.
+type Config struct {
+	// Types are the guarded status types. Empty picks the solver
+	// defaults: cellstream/internal/lp.Status and
+	// cellstream/internal/milp.Status.
+	Types []TypeRef
+	// AllowPackages may compare the guarded types in addition to each
+	// type's own defining package.
+	AllowPackages []string
+}
+
+// DefaultTypes are the solver status enums schedlint guards.
+var DefaultTypes = []TypeRef{
+	{PkgPath: "cellstream/internal/lp", Name: "Status"},
+	{PkgPath: "cellstream/internal/milp", Name: "Status"},
+}
+
+// New returns the analyzer for cfg.
+func New(cfg Config) *analysis.Analyzer {
+	if len(cfg.Types) == 0 {
+		cfg.Types = DefaultTypes
+	}
+	return &analysis.Analyzer{
+		Name: "statuscmp",
+		Doc:  "flags ==/!=/switch on solver Status values outside the solver layers; classify with errors.Is on the lp sentinels or Status methods",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	path := pass.Pkg.Path()
+	for _, p := range cfg.AllowPackages {
+		if p == path {
+			return nil
+		}
+	}
+	match := func(e ast.Expr) *TypeRef {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return nil
+		}
+		for i := range cfg.Types {
+			t := &cfg.Types[i]
+			if t.PkgPath == path {
+				continue // the defining package owns its codes
+			}
+			if analysis.IsNamedType(tv.Type, t.PkgPath, t.Name) {
+				return t
+			}
+		}
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if t := match(n.X); t != nil {
+					pass.Reportf(n.OpPos,
+						"comparing %s.%s outside its solver layer; classify with errors.Is on the lp sentinels (or a %s method like Err)",
+						t.PkgPath, t.Name, t.Name)
+					return true
+				}
+				if t := match(n.Y); t != nil {
+					pass.Reportf(n.OpPos,
+						"comparing %s.%s outside its solver layer; classify with errors.Is on the lp sentinels (or a %s method like Err)",
+						t.PkgPath, t.Name, t.Name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := match(n.Tag); t != nil {
+					pass.Reportf(n.Switch,
+						"switching on %s.%s outside its solver layer; classify with errors.Is on the lp sentinels (or a %s method like Err)",
+						t.PkgPath, t.Name, t.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

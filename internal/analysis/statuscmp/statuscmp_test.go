@@ -1,0 +1,13 @@
+package statuscmp_test
+
+import (
+	"testing"
+
+	"cellstream/internal/analysis/analysistest"
+	"cellstream/internal/analysis/statuscmp"
+)
+
+func TestStatuscmp(t *testing.T) {
+	a := statuscmp.New(statuscmp.Config{AllowPackages: []string{"statusallowed"}})
+	analysistest.Run(t, "testdata", a, "statusfix", "statusallowed")
+}

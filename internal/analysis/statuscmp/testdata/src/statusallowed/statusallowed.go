@@ -1,0 +1,10 @@
+// Package statusallowed stands in for a configured protocol layer
+// (like internal/milp over lp.Status): comparisons here are approved by
+// Config.AllowPackages, so this file expects no diagnostics.
+package statusallowed
+
+import "cellstream/internal/lp"
+
+func dispatch(s lp.Status) bool {
+	return s == lp.Optimal // allowed package: no finding
+}

@@ -1,0 +1,19 @@
+package statusfix
+
+import (
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+// Regression: the pre-sweep sched facade (sched/root.go) gated root LP
+// reuse on `sol.Status != lp.Optimal`, and sched/session.go proved a
+// sweep point with `sres.Status == milp.Optimal` — both replaced by
+// Status.Err() / Status.Proved() in the sweep.
+
+func rootRegression(sol *lp.Solution) bool {
+	return sol.Status != lp.Optimal || sol.Basis == nil // want "comparing cellstream/internal/lp.Status"
+}
+
+func sessionRegression(status milp.Status) bool {
+	return status == milp.Optimal // want "comparing cellstream/internal/milp.Status"
+}

@@ -1,0 +1,44 @@
+// Package statusfix seeds statuscmp violations against the real solver
+// status types.
+package statusfix
+
+import (
+	"errors"
+
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+func compareLP(s lp.Status) bool {
+	return s == lp.Optimal // want "comparing cellstream/internal/lp.Status"
+}
+
+func compareLPNeq(s lp.Status) bool {
+	return s != lp.Optimal // want "comparing cellstream/internal/lp.Status"
+}
+
+func switchLP(s lp.Status) string {
+	switch s { // want "switching on cellstream/internal/lp.Status"
+	case lp.Optimal:
+		return "ok"
+	default:
+		return "bad"
+	}
+}
+
+func compareMILP(s milp.Status) bool {
+	return s == milp.Optimal // want "comparing cellstream/internal/milp.Status"
+}
+
+func classifyApproved(s lp.Status) bool {
+	return errors.Is(s.Err(), lp.ErrInfeasible) // sentinel classification: approved
+}
+
+func provedApproved(s milp.Status) bool {
+	return s.Proved() // status method: approved
+}
+
+func allowedCompare(s lp.Status) bool {
+	//lint:allow statuscmp escape hatch fixture: a protocol layer may dispatch on the raw code
+	return s == lp.Optimal
+}

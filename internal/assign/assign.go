@@ -116,6 +116,7 @@ type searcher struct {
 
 // Solve runs the branch-and-bound search with a background context.
 func Solve(g *graph.Graph, plat *platform.Platform, opt Options) (*Result, error) {
+	//lint:allow ctxflow documented no-ctx convenience wrapper; SolveCtx is the cancellable entry point
 	return SolveCtx(context.Background(), g, plat, opt)
 }
 
@@ -226,7 +227,7 @@ func SolveCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, opt 
 		}
 		if runLP {
 			f := core.CachedFormulation(g, plat, false)
-			if sol, lerr := lp.SolveOpts(f.Problem.LP, lp.Options{MaxIter: 20000, Presolve: true}); lerr == nil && sol.Status == lp.Optimal {
+			if sol, lerr := lp.SolveOpts(f.Problem.LP, lp.Options{MaxIter: 20000, Presolve: true}); lerr == nil && sol.Status.Err() == nil {
 				rootLB = sol.Objective
 			}
 		}

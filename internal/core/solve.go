@@ -68,6 +68,7 @@ type SolveResult struct {
 // same objects — mutate a copy (e.g. platform.WithSPEs) instead, as the
 // experiment harness does.
 func SolveMILP(g *graph.Graph, plat *platform.Platform, opt SolveOptions) (*SolveResult, error) {
+	//lint:allow ctxflow documented no-ctx convenience wrapper; SolveMILPCtx is the cancellable entry point
 	return SolveMILPCtx(context.Background(), g, plat, opt)
 }
 

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -104,6 +105,13 @@ func (c *Config) log(format string, args ...interface{}) {
 // incumbent any cheap heuristic can produce (greedy, hill climbing,
 // simulated annealing), so the returned mapping dominates all of them.
 func LPMapping(g *graph.Graph, plat *platform.Platform, cfg Config) (*assign.Result, error) {
+	//lint:allow ctxflow documented no-ctx convenience wrapper; LPMappingCtx is the cancellable entry point
+	return LPMappingCtx(context.Background(), g, plat, cfg)
+}
+
+// LPMappingCtx is LPMapping under a context: cancellation or a deadline
+// stops the branch-and-bound cleanly with the best incumbent found.
+func LPMappingCtx(ctx context.Context, g *graph.Graph, plat *platform.Platform, cfg Config) (*assign.Result, error) {
 	cfg.fill()
 	seed := heuristics.GreedyCPU(g, plat)
 	if alt := heuristics.GreedyMem(g, plat); betterSeed(g, plat, alt, seed) {
@@ -119,7 +127,7 @@ func LPMapping(g *graph.Graph, plat *platform.Platform, cfg Config) (*assign.Res
 	}); err == nil && betterSeed(g, plat, annealed, seed) {
 		seed = annealed
 	}
-	res, err := assign.Solve(g, plat, assign.Options{
+	res, err := assign.SolveCtx(ctx, g, plat, assign.Options{
 		RelGap:    0.05,
 		TimeLimit: cfg.SolveTime,
 		Seed:      seed,
@@ -313,10 +321,17 @@ type SolveTimeRow struct {
 
 // SolveTimes measures the mapping solver on the three paper graphs.
 func SolveTimes(cfg Config) ([]SolveTimeRow, error) {
+	//lint:allow ctxflow documented no-ctx convenience wrapper; SolveTimesCtx is the cancellable entry point
+	return SolveTimesCtx(context.Background(), cfg)
+}
+
+// SolveTimesCtx is SolveTimes under a context; cancellation stops the
+// per-graph solves cleanly.
+func SolveTimesCtx(ctx context.Context, cfg Config) ([]SolveTimeRow, error) {
 	cfg.fill()
 	var out []SolveTimeRow
 	for _, g := range daggen.PaperGraphs(0.775) {
-		res, err := LPMapping(g, cfg.Platform, cfg)
+		res, err := LPMappingCtx(ctx, g, cfg.Platform, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,8 @@ package lp
 import (
 	"math"
 	"sort"
+
+	"cellstream/internal/num"
 )
 
 // Cutting planes separated from an optimal simplex basis. Two families,
@@ -63,11 +65,12 @@ type GomorySpec struct {
 
 // GMI separation thresholds.
 const (
-	gmiF0Min     = 0.01 // fractionality gate on the source row
-	gmiDynamism  = 1e7  // max |coef| spread within one cut
-	gmiCoefEps   = 1e-12
-	gmiRestTol   = 1e-7 // matching a rest value to a global bound
-	gmiMinViol   = 1e-7 // relative violation at the separation point
+	gmiF0Min     = 0.01          // fractionality gate on the source row
+	gmiDynamism  = 1e7           // max |coef| spread within one cut
+	gmiCoefEps   = num.StrictEps // coefficient pruning margin
+	gmiRestTol   = num.LooseFeasTol
+	gmiMinViol   = num.LooseFeasTol // relative violation at the separation point
+	gmiDustRel   = 1e-11            // row-relative dust floor on tableau entries
 	gomoryMaxDef = 8
 )
 
@@ -120,6 +123,7 @@ func (sv *Solver) GomoryCuts(spec GomorySpec) []CutRow {
 		cands = append(cands, cand{row: i, dist: math.Abs(f - 0.5)})
 	}
 	sort.Slice(cands, func(a, b int) bool {
+		//lint:allow floatcmp exact sort tie-break; any consistent order is valid and ties fall through to the row index
 		if cands[a].dist != cands[b].dist {
 			return cands[a].dist < cands[b].dist
 		}
@@ -166,7 +170,7 @@ func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []
 			rowMax = a
 		}
 	}
-	eps := 1e-11 * math.Max(1, rowMax)
+	eps := gmiDustRel * math.Max(1, rowMax)
 
 	bhat := s.xB[i]
 	f0 := bhat - math.Floor(bhat)
@@ -197,6 +201,7 @@ func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []
 				continue
 			}
 		}
+		//lint:allow floatcmp bounds are model data, not computed values; fixed means bitwise-equal bounds
 		if glo == gup {
 			continue // globally fixed: x̃ ≡ 0
 		}
@@ -225,11 +230,12 @@ func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []
 			if !atLo {
 				bnd = gup
 			}
+			//lint:allow floatcmp the integer shift is only valid when the resting bound is exactly integral
 			intShift = bnd == math.Floor(bnd)
 		}
 		if intShift {
 			f := abar - math.Floor(abar)
-			if f <= f0+1e-9 {
+			if f <= f0+num.FeasTol {
 				gamma = f
 			} else {
 				gamma = f0 * (1 - f) / (1 - f0)
@@ -242,7 +248,7 @@ func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []
 		if gamma <= gmiCoefEps {
 			// Dropping γ·x̃ (both ≥ 0) from the LHS of a ≥ inequality
 			// needs the RHS reduced by the term's largest value.
-			if rng := gup - glo; !math.IsInf(rng, 1) && gamma*rng <= 1e-9 {
+			if rng := gup - glo; !math.IsInf(rng, 1) && gamma*rng <= num.FeasTol {
 				rhs -= gamma * rng
 				continue
 			}
@@ -283,7 +289,7 @@ func (s *revised) gmiFromRow(p *Problem, i int, spec GomorySpec, rho, ws, acc []
 			maxAbs = a
 		}
 	}
-	if maxAbs < 1e-9 {
+	if maxAbs < num.FeasTol {
 		return CutRow{}, false
 	}
 	coefs := make([]Coef, 0, 16)
@@ -429,7 +435,7 @@ func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
 			total += it.a
 			items = append(items, it)
 		}
-		if !ok || len(items) == 0 || b < -1e-9 || total <= b+1e-9 {
+		if !ok || len(items) == 0 || b < -num.FeasTol || total <= b+num.FeasTol {
 			continue
 		}
 		// Greedy cover: take items in increasing (1 − x̄*) — the ones a
@@ -437,6 +443,7 @@ func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
 		// exceed the capacity.
 		sort.Slice(items, func(i, j int) bool {
 			si, sj := 1-items[i].xbar, 1-items[j].xbar
+			//lint:allow floatcmp exact sort tie-break; ties fall through to the variable index
 			if si != sj {
 				return si < sj
 			}
@@ -449,17 +456,17 @@ func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
 			inC[k] = true
 			sum += items[k].a
 			last = k
-			if sum > b+1e-9 {
+			if sum > b+num.FeasTol {
 				break
 			}
 		}
-		if sum <= b+1e-9 {
+		if sum <= b+num.FeasTol {
 			continue
 		}
 		// Minimalize: walk the cover from the least fractional end and
 		// drop members the cover can spare — each drop shrinks the RHS.
 		for k := last; k >= 0; k-- {
-			if inC[k] && sum-items[k].a > b+1e-9 {
+			if inC[k] && sum-items[k].a > b+num.FeasTol {
 				inC[k] = false
 				sum -= items[k].a
 			}
@@ -482,7 +489,7 @@ func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
 		coefs := make([]Coef, 0, size+2)
 		rhs := float64(size - 1)
 		for k := range items {
-			use := inC[k] || items[k].a >= maxA-1e-12
+			use := inC[k] || items[k].a >= maxA-num.StrictEps
 			if !use {
 				continue
 			}
@@ -498,6 +505,7 @@ func CoverCuts(p *Problem, spec CoverSpec, x []float64) []CutRow {
 		out = append(out, scored{cut: cut, viol: cut.Violation(x), row: ri})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floatcmp exact sort tie-break; ties fall through to the row index
 		if out[i].viol != out[j].viol {
 			return out[i].viol > out[j].viol
 		}

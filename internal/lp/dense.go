@@ -2,12 +2,16 @@ package lp
 
 import (
 	"math"
+
+	"cellstream/internal/num"
 )
 
 // SolveDense optimizes the problem with the dense two-phase tableau
 // simplex and default options. It is kept as the reference
 // implementation for differential testing against the sparse revised
 // simplex behind Solve; production callers should prefer Solve.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func SolveDense(p *Problem) (*Solution, error) { return SolveDenseOpts(p, Options{}) }
 
 // variable states (shared with the sparse solver)
@@ -38,10 +42,12 @@ type denseSimplex struct {
 }
 
 // SolveDenseOpts optimizes the problem with the dense tableau simplex.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func SolveDenseOpts(p *Problem, opt Options) (*Solution, error) {
 	tol := opt.Tol
 	if tol == 0 {
-		tol = 1e-9
+		tol = num.FeasTol
 	}
 	if sol, err := p.precheck(tol); sol != nil || err != nil {
 		return sol, err
@@ -148,7 +154,7 @@ func SolveDenseOpts(p *Problem, opt Options) (*Solution, error) {
 	if st == IterLimit {
 		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
 	}
-	if s.phaseObjective(phase1) > 1e-7*(1+math.Abs(sumAbs(phase1))) {
+	if s.phaseObjective(phase1) > num.LooseFeasTol*(1+math.Abs(sumAbs(phase1))) {
 		return &Solution{Status: Infeasible, Iterations: s.iters}, nil
 	}
 	// Drive any artificial still basic (at value ~0) out of the basis,
@@ -219,10 +225,10 @@ func (s *denseSimplex) extract() []float64 {
 	}
 	// Clamp tiny violations to the bounds for downstream consumers.
 	for j := range x {
-		if x[j] < s.lo[j] && x[j] > s.lo[j]-1e-6 {
+		if x[j] < s.lo[j] && x[j] > s.lo[j]-num.BoundSnapTol {
 			x[j] = s.lo[j]
 		}
-		if x[j] > s.up[j] && x[j] < s.up[j]+1e-6 {
+		if x[j] > s.up[j] && x[j] < s.up[j]+num.BoundSnapTol {
 			x[j] = s.up[j]
 		}
 	}
@@ -329,8 +335,8 @@ func (s *denseSimplex) pivot(e int, dir float64, c []float64) Status {
 	// left behind by earlier eliminations and must never pivot — a
 	// single 1e-11-scale pivot fills the tableau with 1e16-scale garbage
 	// and silently destroys primal feasibility.
-	const pivTol = 1e-8
-	const feasTol = 1e-9
+	const pivTol = num.PivTol
+	const feasTol = num.FeasTol
 	scan := func(ptol float64) (int, float64, bool) {
 		tLim := tMax
 		for i := 0; i < m; i++ {
@@ -389,7 +395,7 @@ func (s *denseSimplex) pivot(e int, dir float64, c []float64) Status {
 				if s.bland {
 					// Bland's anti-cycling rule wants the smallest basis
 					// index among the minimum-ratio rows.
-					pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+					pick = t < tBest-num.RatioTol || (t <= tBest+num.RatioTol && s.basis[i] < s.basis[leave])
 				} else {
 					pick = math.Abs(s.tab[i][e]) > pivAbs
 				}
@@ -422,7 +428,7 @@ func (s *denseSimplex) pivot(e int, dir float64, c []float64) Status {
 
 	// Degeneracy watchdog: after too many zero-step pivots switch to
 	// Bland's rule, which cannot cycle.
-	if tBest <= 1e-12 {
+	if tBest <= num.RatioTol {
 		s.stall++
 		if s.stall > 2*(s.m+s.n) {
 			s.bland = true
@@ -515,7 +521,7 @@ func (s *denseSimplex) expelArtificials(artStart int) {
 			if s.state[j] == basic {
 				continue
 			}
-			if math.Abs(s.tab[i][j]) > 1e-7 {
+			if math.Abs(s.tab[i][j]) > num.LooseFeasTol {
 				found = j
 				break
 			}

@@ -3,6 +3,8 @@ package lp
 import (
 	"math"
 	"sort"
+
+	"cellstream/internal/num"
 )
 
 // The dual simplex phase behind warm starts. After branch-and-bound
@@ -30,17 +32,18 @@ import (
 // before the solve is declared Infeasible.
 
 // dualTol is the dual-feasibility tolerance on reduced costs.
-const dualTol = 1e-7
+const dualTol = num.DualTol
 
 // dseFloor keeps the approximate dual steepest-edge weights away from
 // zero (a drifting weight must never let one row's violation dominate
 // the scores unboundedly).
-const dseFloor = 1e-8
+const dseFloor = num.DSEFloor
 
 // dualFeasible reports whether every nonbasic column prices out
 // correctly for its status, i.e. the current basis is dual feasible.
 func (s *revised) dualFeasible() bool {
 	for j := 0; j < s.n; j++ {
+		//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 		if s.lo[j] == s.up[j] {
 			continue // fixed column: can never enter, any sign is fine
 		}
@@ -142,6 +145,7 @@ func (s *revised) dualPhase() Status {
 		s.rho[r] = 1
 		s.btran(s.rho)
 		for j := 0; j < s.n; j++ {
+			//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 			if s.state[j] == basic || s.lo[j] == s.up[j] {
 				// Fixed columns (branching and bound tightening fix
 				// many) can never enter or flip; skip their pivot-row
@@ -160,6 +164,7 @@ func (s *revised) dualPhase() Status {
 		// bound, sign·w_j < 0 the same for an atUpper column (t < 0).
 		// Free columns may move either way.
 		candidate := func(j int, ptol float64) (float64, bool) {
+			//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 			if s.state[j] == basic || s.lo[j] == s.up[j] {
 				return 0, false
 			}

@@ -556,9 +556,18 @@ type Options struct {
 
 // Solve optimizes the problem with the sparse revised simplex and
 // default options.
+//
+// The LP kernel entry points deliberately take no context: a single
+// simplex solve is budget-bounded by Options.MaxIter (returning
+// IterLimit cleanly), and cancellation lives one layer up at MILP node
+// granularity, where milp.SolveCtx checks ctx between node solves.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func Solve(p *Problem) (*Solution, error) { return SolveOpts(p, Options{}) }
 
 // SolveOpts optimizes the problem with the sparse revised simplex.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func SolveOpts(p *Problem, opt Options) (*Solution, error) {
 	return solveSparse(p, opt)
 }

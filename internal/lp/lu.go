@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"cellstream/internal/num"
+)
 
 // Sparse LU factorization of the simplex basis with Forrest–Tomlin
 // updates — the production basis-inverse representation behind
@@ -39,10 +43,10 @@ const (
 	// exact Markowitz count per elimination step.
 	markowitzCands = 4
 	// luDropTol drops noise-scale fill-in from U and FT multipliers.
-	luDropTol = 1e-13
+	luDropTol = num.DropTol
 	// ftStabTol rejects a Forrest–Tomlin update whose new diagonal is
 	// this small relative to the spike (the caller refactorizes).
-	ftStabTol = 1e-9
+	ftStabTol = num.StabTol
 )
 
 // factorEngine is the seam between the revised simplex and its basis

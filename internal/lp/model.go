@@ -96,6 +96,8 @@ func (m *Model) SetBasis(b *Basis) { m.basis = b }
 // objective. Options are honored like Solver.Solve; when opt.WarmStart
 // is nil the Model's own warm basis is used. On an Optimal result the
 // returned basis becomes the next solve's warm start.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func (m *Model) Solve(opt Options) (*Solution, error) {
 	if opt.WarmStart == nil {
 		opt.WarmStart = m.basis

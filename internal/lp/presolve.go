@@ -1,6 +1,11 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"sort"
+
+	"cellstream/internal/num"
+)
 
 // Presolve: a multi-pass reduction pipeline iterated to a fixpoint.
 // PR 2 started with fixed-column + empty-row elimination (branch-and-
@@ -45,10 +50,10 @@ const (
 	// are clamped instead of declared infeasible, so noise-scale
 	// tightenings can neither loop the pipeline nor cut a boundary-
 	// feasible point the solvers would accept.
-	preTol = 1e-7
+	preTol = num.LooseFeasTol
 	// preEps is the noise tolerance of exact comparisons (proportional
 	// columns, empty-row consistency).
-	preEps = 1e-9
+	preEps = num.FeasTol
 )
 
 // prow is one constraint row of the presolve working copy: coefficients
@@ -357,7 +362,7 @@ func tightenSweep(mRows int, rowAt func(int) ([]Coef, Sense, float64, bool), lo,
 		}
 		for _, c := range coefs {
 			a := c.Value
-			if a < 1e-8 && a > -1e-8 {
+			if a < num.PivTol && a > -num.PivTol {
 				continue // a noise-scale divisor would amplify, not tighten
 			}
 			j := c.Var
@@ -541,6 +546,7 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 	fixPass := func() bool {
 		changed := false
 		for j := 0; j < n; j++ {
+			//lint:allow floatcmp stored-bound identity: a column is fixed when lo and up are the same stored value
 			if colGone[j] || lo[j] != up[j] {
 				continue
 			}
@@ -619,6 +625,7 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 					up[j] = lo[j]
 				case obj[j] < 0 && !math.IsInf(up[j], 1):
 					lo[j] = up[j]
+				//lint:allow floatcmp stored-bound identity: skip already-fixed columns
 				case obj[j] == 0 && lo[j] != up[j]:
 					v := math.Min(math.Max(0, lo[j]), up[j])
 					lo[j], up[j] = v, v
@@ -642,7 +649,7 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 					aj = c.Value
 				}
 			}
-			if math.Abs(aj) < 1e-8 {
+			if math.Abs(aj) < num.PivTol {
 				continue
 			}
 			if !math.IsInf(lo[j], -1) || !math.IsInf(up[j], 1) {
@@ -682,7 +689,7 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 				// let a substituted value land outside its bounds by a
 				// coefficient-amplified 1e-3, silently improving the
 				// objective (found by FuzzPresolveRoundTrip).
-				margin := 1e-12 * (1 + famag/math.Abs(aj))
+				margin := num.StrictEps * (1 + famag/math.Abs(aj))
 				if !(iLo >= lo[j]-margin && iHi <= up[j]+margin) {
 					continue
 				}
@@ -771,6 +778,7 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 		}
 		buckets := map[uint64][]int{}
 		for j := 0; j < n; j++ {
+			//lint:allow floatcmp stored-bound identity: fixed columns are handled by fixPass, not merged
 			if colGone[j] || len(colsIdx[j]) == 0 || lo[j] == up[j] {
 				continue
 			}
@@ -780,14 +788,26 @@ func presolveProblem(p *Problem) (*presolved, *Solution) {
 			}
 			buckets[h] = append(buckets[h], j)
 		}
-		for _, cand := range buckets {
+		// Visit buckets in sorted key order: map iteration order would
+		// make the merge order — and with it the postsolve record stack —
+		// differ between otherwise identical runs.
+		keys := make([]uint64, 0, len(buckets))
+		//lint:allow detsearch order-insensitive key collection; the slice is sorted before any decision is made
+		for h := range buckets {
+			keys = append(keys, h)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, h := range keys {
+			cand := buckets[h]
 			for a := 0; a < len(cand); a++ {
 				j := cand[a]
+				//lint:allow floatcmp stored-bound identity: a prior merge in this pass may have fixed the column
 				if colGone[j] || lo[j] == up[j] {
 					continue
 				}
 				for b2 := a + 1; b2 < len(cand); b2++ {
 					k := cand[b2]
+					//lint:allow floatcmp stored-bound identity: a prior merge in this pass may have fixed the column
 					if colGone[k] || lo[k] == up[k] {
 						continue
 					}

@@ -1,5 +1,7 @@
 package lp
 
+import "cellstream/internal/num"
+
 // Solver is a reusable solving context for repeated solves of one
 // Problem whose variable bounds change between calls — the access
 // pattern of branch-and-bound node re-solves. Across calls it keeps
@@ -37,10 +39,12 @@ func NewSolver(p *Problem) *Solver { return &Solver{p: p} }
 // into the ORIGINAL column space, so a later warm-started call on this
 // context restores it like any other snapshot — only the
 // pointer-identity reinversion skip is lost.
+//
+//lint:allow ctxflow budget-bounded kernel; cancellation is handled at milp node granularity
 func (sv *Solver) Solve(opt Options) (*Solution, error) {
 	tol := opt.Tol
 	if tol == 0 {
-		tol = 1e-9
+		tol = num.FeasTol
 	}
 	if sol, err := sv.p.precheck(tol); sol != nil || err != nil {
 		return sol, err

@@ -3,6 +3,8 @@ package lp
 import (
 	"math"
 	"sort"
+
+	"cellstream/internal/num"
 )
 
 // The sparse revised simplex. Instead of carrying the full m×n tableau
@@ -27,8 +29,8 @@ import (
 // of the dense solver's O(m·n).
 const (
 	refactorEvery = 64
-	pivTol        = 1e-8 // |alpha| below this never pivots or blocks (noise)
-	feasTol       = 1e-9 // per-step bound relaxation of the Harris ratio test
+	pivTol        = num.PivTol  // |alpha| below this never pivots or blocks (noise)
+	feasTol       = num.FeasTol // per-step bound relaxation of the Harris ratio test
 	// rescuePivRel sets the threshold of the rescue scans that re-admit
 	// sub-pivTol entries when the alternative is declaring Unbounded or
 	// a dual ray: on badly scaled columns (one coefficient 1e8, its
@@ -39,7 +41,7 @@ const (
 	// either misses genuine tiny entries on small columns or, worse,
 	// admits fp elimination dust on large ones — pivoting on dust rode
 	// a genuine ray to 1e15 before declaring a garbage optimum.
-	rescuePivRel = 1e-11
+	rescuePivRel = num.RescuePivRel
 )
 
 // partialSegment resolves Options.PartialPricing into a segment size;
@@ -274,7 +276,7 @@ type revised struct {
 func solveSparse(p *Problem, opt Options) (*Solution, error) {
 	tol := opt.Tol
 	if tol == 0 {
-		tol = 1e-9
+		tol = num.FeasTol
 	}
 	if sol, err := p.precheck(tol); sol != nil || err != nil {
 		return sol, err
@@ -289,7 +291,7 @@ func solveSparse(p *Problem, opt Options) (*Solution, error) {
 func newRevised(p *Problem, opt Options) *revised {
 	tol := opt.Tol
 	if tol == 0 {
-		tol = 1e-9
+		tol = num.FeasTol
 	}
 	m := len(p.rows)
 	n := p.n + m
@@ -752,6 +754,7 @@ func (s *revised) chooseEntering(weighted bool) (int, float64) {
 		if st == basic {
 			continue
 		}
+		//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 		if s.lo[j] == s.up[j] {
 			continue // fixed column can never move
 		}
@@ -883,7 +886,7 @@ func (s *revised) ratioScan(dir, tMax, ptol float64) (int, float64, bool) {
 		pick := leave < 0
 		if !pick {
 			if s.bland {
-				pick = t < tBest-1e-12 || (t <= tBest+1e-12 && bj < s.basis[leave])
+				pick = t < tBest-num.RatioTol || (t <= tBest+num.RatioTol && bj < s.basis[leave])
 			} else {
 				pick = math.Abs(a) > pivAbs
 			}
@@ -902,7 +905,7 @@ func (s *revised) ratioScan(dir, tMax, ptol float64) (int, float64, bool) {
 // and the rebuild found the basis singular (caller falls back).
 func (s *revised) applyStep(e int, dir float64, leave int, t float64, toUpper bool) bool {
 	s.iters++
-	if t <= 1e-12 {
+	if t <= num.RatioTol {
 		s.stall++
 		if s.stall > 2*(s.m+s.n) {
 			s.bland = true
@@ -963,10 +966,10 @@ func (s *revised) extract() []float64 {
 	}
 	// Clamp tiny violations to the bounds for downstream consumers.
 	for j := range x {
-		if x[j] < s.lo[j] && x[j] > s.lo[j]-1e-6 {
+		if x[j] < s.lo[j] && x[j] > s.lo[j]-num.BoundSnapTol {
 			x[j] = s.lo[j]
 		}
-		if x[j] > s.up[j] && x[j] < s.up[j]+1e-6 {
+		if x[j] > s.up[j] && x[j] < s.up[j]+num.BoundSnapTol {
 			x[j] = s.up[j]
 		}
 	}
@@ -976,7 +979,7 @@ func (s *revised) extract() []float64 {
 // ---------------------------------------------------------------- phase 1
 
 // violTol is the per-variable feasibility tolerance of phase 1.
-func violTol(bound float64) float64 { return 1e-9 * (1 + math.Abs(bound)) }
+func violTol(bound float64) float64 { return num.FeasTol * (1 + math.Abs(bound)) }
 
 // infeasibility classifies basic variable bj at value v. It returns the
 // composite phase-1 cost (-1 below its lower bound, +1 above its upper
@@ -1052,7 +1055,7 @@ func (s *revised) phase1() Status {
 				if sign > 0 {
 					bound = s.up[bj]
 				}
-				loose += 1e-7*(1+math.Abs(bound)) + 1e-9*math.Abs(s.xB[i])
+				loose += num.LooseFeasTol*(1+math.Abs(bound)) + num.FeasTol*math.Abs(s.xB[i])
 			}
 			if total <= loose {
 				return Optimal // feasible up to tolerance
@@ -1158,7 +1161,7 @@ func (s *revised) ratioTestPhase1(e int, dir float64) (int, float64, bool, Statu
 			pick := leave < 0
 			if !pick {
 				if s.bland {
-					pick = t < tBest-1e-12 || (t <= tBest+1e-12 && s.basis[i] < s.basis[leave])
+					pick = t < tBest-num.RatioTol || (t <= tBest+num.RatioTol && s.basis[i] < s.basis[leave])
 				} else {
 					pick = aAbs > pivAbs
 				}
@@ -1207,6 +1210,7 @@ func (s *revised) initPricing() {
 // γ_j = 1 + ‖B⁻¹a_j‖² for every movable nonbasic column.
 func (s *revised) initSteepestNorms() {
 	for j := 0; j < s.n; j++ {
+		//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 		if s.state[j] == basic || s.lo[j] == s.up[j] {
 			s.w[j] = 1
 			continue
@@ -1249,6 +1253,7 @@ func (s *revised) priceSegmented(ph2 bool) (int, float64) {
 			if j >= s.n {
 				j -= s.n
 			}
+			//lint:allow floatcmp stored-bound identity: branching fixes columns by assigning lo = up bitwise
 			if s.state[j] == basic || s.lo[j] == s.up[j] {
 				continue
 			}
@@ -1333,7 +1338,7 @@ func (s *revised) phase2p() Status {
 		}
 		justRefactored = false
 		if leave >= 0 {
-			if piv := s.alpha[leave]; math.Abs(piv) < 1e-9 && s.fe.updates() > 0 {
+			if piv := s.alpha[leave]; math.Abs(piv) < num.StabTol && s.fe.updates() > 0 {
 				if !s.refactorCause(refUnstable) {
 					return statusFallback
 				}
@@ -1414,7 +1419,7 @@ func (s *revised) phase2() Status {
 			continue // bound flip: reduced costs and norms unchanged
 		}
 		piv := s.alpha[leave]
-		if math.Abs(piv) < 1e-9 && s.fe.updates() > 0 {
+		if math.Abs(piv) < num.StabTol && s.fe.updates() > 0 {
 			// Pivot degraded by a stale factorization: rebuild and retry.
 			if !s.refactorCause(refUnstable) {
 				return statusFallback

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"cellstream/internal/lp"
+	"cellstream/internal/num"
 )
 
 const (
@@ -156,7 +157,7 @@ func (w *worker) sbChild(v int, lo, up float64, basis *lp.Basis, opt Options) (o
 	}
 	w.s.mu.Lock()
 	w.s.stats.add(sol.Stats)
-	w.s.stats.StrongBranchSolves++
+	w.s.stats.noteStrongBranch()
 	w.s.mu.Unlock()
 	switch sol.Status {
 	case lp.Optimal:
@@ -206,6 +207,7 @@ func (w *worker) chooseBranch(nd *node, sol *lp.Solution, cands []int, opt Optio
 		}
 		sort.Slice(order, func(i, j int) bool {
 			di, dj := dist(order[i]), dist(order[j])
+			//lint:allow floatcmp exact sort tie-break; ties fall through to the variable index
 			if di != dj {
 				return di > dj
 			}
@@ -234,7 +236,7 @@ func (w *worker) chooseBranch(nd *node, sol *lp.Solution, cands []int, opt Optio
 				}
 				if !feas {
 					info.downInf = true
-				} else if f > 1e-9 {
+				} else if f > num.DenomFloor {
 					s.pc.update(c, true, (obj-sol.Objective)/f)
 				}
 			}
@@ -244,7 +246,7 @@ func (w *worker) chooseBranch(nd *node, sol *lp.Solution, cands []int, opt Optio
 				}
 				if !feas {
 					info.upInf = true
-				} else if 1-f > 1e-9 {
+				} else if 1-f > num.DenomFloor {
 					s.pc.update(c, false, (obj-sol.Objective)/(1-f))
 				}
 			}
@@ -273,7 +275,7 @@ func (w *worker) chooseBranch(nd *node, sol *lp.Solution, cands []int, opt Optio
 	}
 	v = best
 	s.mu.Lock()
-	s.stats.PseudocostBranches++
+	s.stats.notePseudocostBranch()
 	s.mu.Unlock()
 	info := proven[v]
 	return v, info.downInf, info.upInf

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"cellstream/internal/lp"
+	"cellstream/internal/num"
 )
 
 const (
@@ -48,10 +49,10 @@ const (
 	poolMissLimit = 8
 	// cutTailOff stops the root loop after two rounds whose bound
 	// improvement falls below this relative threshold.
-	cutTailOff = 1e-7
+	cutTailOff = num.LooseFeasTol
 	// cutViolTol is the minimum relative violation for adopting a
 	// pooled cut at a node.
-	cutViolTol = 1e-6
+	cutViolTol = num.IntegralityTol
 )
 
 // pooledCut is one distinct cut with its bookkeeping.
@@ -224,7 +225,7 @@ func (s *search) rootCuts(opt Options) *node {
 			break
 		}
 		s.stats.add(sol.Stats)
-		s.stats.CutResolves++
+		s.stats.noteCutResolve()
 		final = sol
 		imp := sol.Objective - prev
 		prev = sol.Objective
@@ -255,15 +256,13 @@ func (s *search) rootCuts(opt Options) *node {
 		var batch []*pooledCut
 		for _, c := range gom {
 			if e, fresh := s.pool.offer(c, true); fresh {
-				s.stats.CutsSeparated++
-				s.stats.GomoryCuts++
+				s.stats.noteCutSeparated(true)
 				batch = append(batch, e)
 			}
 		}
 		for _, c := range cov {
 			if e, fresh := s.pool.offer(c, false); fresh {
-				s.stats.CutsSeparated++
-				s.stats.CoverCuts++
+				s.stats.noteCutSeparated(false)
 				batch = append(batch, e)
 			}
 		}
@@ -275,7 +274,7 @@ func (s *search) rootCuts(opt Options) *node {
 			e.inBase = true
 			rowEntry = append(rowEntry, e)
 		}
-		s.stats.CutRounds++
+		s.stats.noteCutRound()
 		final = nil // rows changed; re-solve before trusting
 	}
 
@@ -292,7 +291,7 @@ func (s *search) rootCuts(opt Options) *node {
 		s.base = work
 		s.baseRows = work.NumRows()
 		root.rows = s.baseRows
-		s.stats.CutsActive += len(rowEntry)
+		s.stats.noteCutsActive(len(rowEntry))
 		return root
 	}
 
@@ -310,7 +309,7 @@ func (s *search) rootCuts(opt Options) *node {
 			continue
 		}
 		_, _, rhs := work.Row(i)
-		if final.Basis.RowSlackBasic(i) && rowSlack(work, i, final.X) > 1e-7*(1+math.Abs(rhs)) {
+		if final.Basis.RowSlackBasic(i) && rowSlack(work, i, final.X) > num.LooseFeasTol*(1+math.Abs(rhs)) {
 			keep[i] = false
 			dropped++
 		}
@@ -323,13 +322,13 @@ func (s *search) rootCuts(opt Options) *node {
 					e.inBase = false // back to the pool, re-adoptable
 				}
 			}
-			s.stats.CutsRetired += dropped
+			s.stats.noteCutsRetired(dropped)
 			s.base = trimmed
 			s.baseRows = trimmed.NumRows()
 			root.rows = s.baseRows
 			root.bound = final.Objective // still valid: cuts cut no integer point
 			root.basis = nb
-			s.stats.CutsActive += s.baseRows - base
+			s.stats.noteCutsActive(s.baseRows - base)
 			return root
 		}
 	}
@@ -338,7 +337,7 @@ func (s *search) rootCuts(opt Options) *node {
 	root.rows = s.baseRows
 	root.bound = final.Objective
 	root.basis = final.Basis
-	s.stats.CutsActive += len(rowEntry)
+	s.stats.noteCutsActive(len(rowEntry))
 	return root
 }
 
@@ -371,16 +370,14 @@ func (w *worker) nodeCuts(nd *node, sol *lp.Solution) (*lp.Solution, error) {
 			IsBinary: s.isBin, MaxRows: s.p.LP.NumRows(), MaxCuts: nodeCoverMax,
 		}, sol.X)
 
-		sep, gomN, covN := 0, 0, 0
+		gomN, covN := 0, 0
 		for _, c := range gom {
 			if _, fresh := s.pool.offer(c, true); fresh {
-				sep++
 				gomN++
 			}
 		}
 		for _, c := range cov {
 			if _, fresh := s.pool.offer(c, false); fresh {
-				sep++
 				covN++
 			}
 		}
@@ -389,14 +386,7 @@ func (w *worker) nodeCuts(nd *node, sol *lp.Solution) (*lp.Solution, error) {
 		batch, retired := s.pool.adoptScan(sol.X, room, round == 0)
 
 		s.mu.Lock()
-		s.stats.CutsSeparated += sep
-		s.stats.GomoryCuts += gomN
-		s.stats.CoverCuts += covN
-		s.stats.CutsRetired += retired
-		s.stats.CutsActive += len(batch)
-		if len(batch) > 0 {
-			s.stats.CutResolves++
-		}
+		s.stats.noteNodeCutRound(gomN, covN, retired, len(batch))
 		s.mu.Unlock()
 
 		if len(batch) == 0 {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"cellstream/internal/lp"
+	"cellstream/internal/num"
 )
 
 // Status reports the outcome of a MILP solve.
@@ -85,6 +86,13 @@ func (s Status) Err() error {
 		return nil
 	}
 }
+
+// Proved reports whether the solve proved its incumbent within the
+// requested gap (Status Optimal). It is the classification callers
+// need beside Err: Err answers "is the result usable" (Optimal and
+// Feasible both are), Proved answers "is the gap proven" — Feasible
+// means a limit truncated the search with an unproven incumbent.
+func (s Status) Proved() bool { return s == Optimal }
 
 // Problem couples an LP with the list of integer-constrained variables.
 type Problem struct {
@@ -308,6 +316,65 @@ func (st *Stats) add(s lp.Stats) {
 	st.PresolveTightened += s.PresolveTightened
 }
 
+// The note* helpers below are the only approved write paths for the
+// search-layer counters (the schedlint statssync analyzer enforces
+// this): a shared Stats is mutated only through *Stats methods, so the
+// write sites are enumerable and each caller's locking is auditable.
+// Callers hold the search mutex; the methods themselves do not lock.
+
+// noteNodeTighten records one node bound-tightening pass: n bounds
+// tightened and, when infeas, a node proven infeasible without an LP.
+func (st *Stats) noteNodeTighten(n int, infeas bool) {
+	st.NodeTightenedBounds += n
+	if infeas {
+		st.NodeTightenPrunes++
+	}
+}
+
+// noteCutSeparated counts one fresh cut entering the pool.
+func (st *Stats) noteCutSeparated(gomory bool) {
+	st.CutsSeparated++
+	if gomory {
+		st.GomoryCuts++
+	} else {
+		st.CoverCuts++
+	}
+}
+
+// noteCutResolve counts one LP re-solve triggered by a cut batch.
+func (st *Stats) noteCutResolve() { st.CutResolves++ }
+
+// noteCutRound counts one root cutting-plane round that added cuts.
+func (st *Stats) noteCutRound() { st.CutRounds++ }
+
+// noteCutsActive counts n cut rows entering a solving model.
+func (st *Stats) noteCutsActive(n int) { st.CutsActive += n }
+
+// noteCutsRetired counts n cuts dropped from a search base or aged out.
+func (st *Stats) noteCutsRetired(n int) { st.CutsRetired += n }
+
+// noteNodeCutRound folds one node separate→adopt round's deltas in:
+// fresh cuts by family, pool retirements from the adoption scan, the
+// adopted batch size, and the re-solve the batch forces.
+func (st *Stats) noteNodeCutRound(gom, cov, retired, adopted int) {
+	st.CutsSeparated += gom + cov
+	st.GomoryCuts += gom
+	st.CoverCuts += cov
+	st.CutsRetired += retired
+	st.CutsActive += adopted
+	if adopted > 0 {
+		st.CutResolves++
+	}
+}
+
+// noteStrongBranch counts one child LP solved to initialize
+// pseudocosts.
+func (st *Stats) noteStrongBranch() { st.StrongBranchSolves++ }
+
+// notePseudocostBranch counts one branching decided by pseudocost
+// scores.
+func (st *Stats) notePseudocostBranch() { st.PseudocostBranches++ }
+
 // Result is the outcome of Solve.
 type Result struct {
 	Status    Status
@@ -343,6 +410,7 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//lint:allow floatcmp exact heap tie-break; any consistent order is valid and ties fall through to the node id
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
@@ -361,6 +429,7 @@ func (h *nodeHeap) Pop() interface{} {
 // Solve runs branch-and-bound with a background context. Unlike older
 // revisions it does not mutate p.LP: every worker operates on a clone.
 func Solve(p *Problem, opt Options) (*Result, error) {
+	//lint:allow ctxflow documented no-ctx convenience wrapper; SolveCtx is the cancellable entry point
 	return SolveCtx(context.Background(), p, opt)
 }
 
@@ -412,7 +481,7 @@ type search struct {
 func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	intTol := opt.IntTol
 	if intTol == 0 {
-		intTol = 1e-6
+		intTol = num.IntegralityTol
 	}
 	maxNodes := opt.MaxNodes
 	if maxNodes == 0 {
@@ -584,10 +653,7 @@ func (w *worker) solveNode(changes []boundChange, basis *lp.Basis) (*lp.Solution
 				nt, infeas := lp.TightenBounds(w.prob, 1)
 				if nt > 0 || infeas {
 					s.mu.Lock()
-					s.stats.NodeTightenedBounds += nt
-					if infeas {
-						s.stats.NodeTightenPrunes++
-					}
+					s.stats.noteNodeTighten(nt, infeas)
 					s.mu.Unlock()
 				}
 				if infeas {
@@ -718,8 +784,8 @@ func (s *search) worker(ctx context.Context, opt Options) {
 
 		if !s.better(sol.Objective, incObj) && !math.IsInf(incObj, 1) {
 			// Bound dominated by incumbent: prune (allowing gap).
-			denom := math.Max(math.Abs(incObj), 1e-9)
-			if (incObj-sol.Objective)/denom <= s.relGap+1e-12 {
+			denom := math.Max(math.Abs(incObj), num.DenomFloor)
+			if (incObj-sol.Objective)/denom <= s.relGap+num.StrictEps {
 				s.retire(sol.Objective)
 				continue
 			}
@@ -811,7 +877,7 @@ func (s *search) retire(bound float64) {
 // offerIncumbent installs x as the incumbent if it improves.
 func (s *search) offerIncumbent(x []float64, obj float64) {
 	s.mu.Lock()
-	if obj < s.incObj-1e-9 {
+	if obj < s.incObj-num.ObjImproveEps {
 		s.incX = append(s.incX[:0], x...)
 		s.incObj = obj
 		s.haveInc = true
@@ -819,14 +885,14 @@ func (s *search) offerIncumbent(x []float64, obj float64) {
 	s.mu.Unlock()
 }
 
-func (s *search) better(obj, incObj float64) bool { return obj < incObj-1e-9 }
+func (s *search) better(obj, incObj float64) bool { return obj < incObj-num.ObjImproveEps }
 
 func (s *search) gapClosed(incObj, bound float64) bool {
 	if math.IsInf(incObj, 1) {
 		return false
 	}
-	denom := math.Max(math.Abs(incObj), 1e-9)
-	return (incObj-bound)/denom <= s.relGap+1e-12
+	denom := math.Max(math.Abs(incObj), num.DenomFloor)
+	return (incObj-bound)/denom <= s.relGap+num.StrictEps
 }
 
 // finish assembles the Result after all workers have exited.
@@ -881,7 +947,7 @@ func gap(obj, bound float64) float64 {
 	if math.IsInf(obj, 1) || math.IsInf(bound, -1) {
 		return math.Inf(1)
 	}
-	return (obj - bound) / math.Max(math.Abs(obj), 1e-9)
+	return (obj - bound) / math.Max(math.Abs(obj), num.DenomFloor)
 }
 
 func mostFractional(x []float64, ints []int, tol float64) int {
@@ -908,7 +974,7 @@ func checkIncumbent(p *Problem, x []float64, tol float64) (float64, bool) {
 	obj := 0.0
 	for j := 0; j < p.LP.NumVars(); j++ {
 		lo, up := p.LP.Bounds(j)
-		if x[j] < lo-1e-6 || x[j] > up+1e-6 {
+		if x[j] < lo-num.BoundSnapTol || x[j] > up+num.BoundSnapTol {
 			return 0, false
 		}
 	}

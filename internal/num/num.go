@@ -1,0 +1,122 @@
+// Package num is the single source of truth for the numerical
+// tolerances shared by the solver packages (lp, milp, and their
+// presolve/cut layers). Before this package existed the same handful
+// of epsilons — 1e-6, 1e-7, 1e-8, 1e-9, 1e-12 — were scattered across
+// sixteen-plus files as bare literals, and the PR 3/4 fuzzing
+// campaigns repeatedly traced real solver bugs to ad-hoc choices among
+// them. Every named constant below is value-preserving with respect to
+// the literals it replaced: consolidating them here changed no solve
+// trajectory (the byte-for-byte determinism tests and the
+// BENCH-snapshot node-count gates pin that).
+//
+// The schedlint floatcmp analyzer (internal/analysis/floatcmp) keeps
+// this the single home: inline epsilon literals in lp/milp code are
+// build-breaking findings, and float ==/!= on computed values must go
+// through a tolerance comparison (the helpers below) or carry an
+// explicit //lint:allow floatcmp justification.
+//
+// Two constants sharing a value (e.g. FeasTol and StabTol, both 1e-9)
+// are deliberate: they guard different invariants and may diverge
+// independently; collapsing them would re-create the ambiguity this
+// package removes.
+package num
+
+import "math"
+
+const (
+	// FeasTol is the primal feasibility tolerance: the per-step bound
+	// relaxation of the Harris ratio tests and the default
+	// feasibility/optimality tolerance of both simplex engines
+	// (lp.Options.Tol's zero value resolves to it).
+	FeasTol = 1e-9
+
+	// PivTol is the pivot-magnitude floor: tableau entries below it
+	// never pivot and never block a ratio test (they are elimination
+	// noise, not signal). It also floors coefficient magnitudes in
+	// presolve substitution decisions.
+	PivTol = 1e-8
+
+	// DualTol is the dual feasibility tolerance of the warm-start dual
+	// simplex phase: reduced costs within DualTol of zero are treated
+	// as dual feasible.
+	DualTol = 1e-7
+
+	// IntegralityTol is the MILP integrality tolerance: x is integral
+	// when |x - round(x)| <= IntegralityTol. milp.Options.IntTol's zero
+	// value resolves to it.
+	IntegralityTol = 1e-6
+
+	// RatioTol is the ratio-test tie window and degenerate-step
+	// threshold: steps within RatioTol of the best are ties (broken on
+	// the lowest basis index, for determinism) and steps below it are
+	// degenerate.
+	RatioTol = 1e-12
+
+	// BoundSnapTol is how far a solution value may sit outside a
+	// variable bound and still be snapped onto it when extracting X,
+	// and the bound-violation slack of incumbent checks. Shares
+	// IntegralityTol's value but guards extraction, not integrality.
+	BoundSnapTol = 1e-6
+
+	// LooseFeasTol is the relaxed "feasible up to tolerance" threshold
+	// used where accumulated round-off must be forgiven: phase-1
+	// residual acceptance, warm-start basic-value looseness, and
+	// cut-slack activity tests. Always scaled by the magnitudes
+	// involved at the use site.
+	LooseFeasTol = 1e-7
+
+	// StabTol is the numerical-stability trigger: Forrest–Tomlin drift
+	// checks and degraded-pivot detection refactorize when residuals
+	// pass it. Shares FeasTol's value but guards factorization health,
+	// not feasibility.
+	StabTol = 1e-9
+
+	// DSEFloor floors the approximate dual steepest-edge row norms so
+	// a collapsing weight cannot blow up the viol²/β score.
+	DSEFloor = 1e-8
+
+	// DropTol is the sparse LU elimination drop tolerance: fill-in
+	// below it is discarded during factorization.
+	DropTol = 1e-13
+
+	// RescuePivRel is the column-relative pivot floor of the rescue
+	// ratio-test scan that distinguishes a genuine unbounded ray from
+	// a badly scaled blocking row (PR 4 fuzz find #1).
+	RescuePivRel = 1e-11
+
+	// StrictEps is the strict floating-point margin for decisions that
+	// must not absorb model-scale noise: relative-gap slack,
+	// presolve's fp-margin-only substitution acceptance, and GMI
+	// coefficient pruning.
+	StrictEps = 1e-12
+
+	// DenomFloor floors denominators of relative measures
+	// (gap = (obj-bound)/max(|obj|, DenomFloor), per-unit pseudocost
+	// gains) so tiny objectives cannot inflate them.
+	DenomFloor = 1e-9
+
+	// ObjImproveEps is the minimum objective improvement for a new
+	// MILP incumbent to replace the current one — strict enough to
+	// matter, loose enough that re-deriving the same point never
+	// "improves" by round-off.
+	ObjImproveEps = 1e-9
+)
+
+// EqAbs reports |a-b| <= tol. Use it instead of == on computed floats;
+// tol should be a named tolerance from this package (or derived from
+// one).
+func EqAbs(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// EqRel reports |a-b| <= tol*(1+max(|a|,|b|)): absolute near zero,
+// relative at scale. The standard agreement test of the differential
+// suites.
+func EqRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// IsZero reports |x| <= tol.
+func IsZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}

@@ -1,0 +1,76 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqAbs(t *testing.T) {
+	if !EqAbs(1.0, 1.0+1e-10, FeasTol) {
+		t.Error("EqAbs should accept a difference below tol")
+	}
+	if EqAbs(1.0, 1.0+1e-8, FeasTol) {
+		t.Error("EqAbs should reject a difference above tol")
+	}
+	if !EqAbs(0, 0, 0) {
+		t.Error("EqAbs(0,0,0) must hold")
+	}
+}
+
+func TestEqRel(t *testing.T) {
+	// Absolute near zero.
+	if !EqRel(0, 5e-10, FeasTol) {
+		t.Error("EqRel should be absolute near zero")
+	}
+	// Relative at scale: 1e9 vs 1e9+1 differ by 1, within 1e-9*(1+1e9).
+	if !EqRel(1e9, 1e9+1, FeasTol) {
+		t.Error("EqRel should scale with magnitude")
+	}
+	if EqRel(1e9, 1e9+10, FeasTol) {
+		t.Error("EqRel should reject beyond the scaled window")
+	}
+	// Symmetry.
+	if EqRel(2.0, 1.0, FeasTol) || EqRel(1.0, 2.0, FeasTol) {
+		t.Error("EqRel must reject clearly different values either way")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(-5e-10, FeasTol) || IsZero(2e-9, FeasTol) {
+		t.Error("IsZero window wrong")
+	}
+	if !IsZero(0, 0) {
+		t.Error("IsZero(0,0) must hold")
+	}
+}
+
+// TestToleranceOrdering pins the relationships the solver relies on:
+// a reordering (say FeasTol loosened past IntegralityTol) would change
+// solve trajectories even with every use site untouched.
+func TestToleranceOrdering(t *testing.T) {
+	ordered := []struct {
+		name string
+		lo   float64
+		hi   float64
+	}{
+		{"DropTol < RatioTol", DropTol, RatioTol},
+		{"RatioTol < RescuePivRel", RatioTol, RescuePivRel},
+		{"RescuePivRel < FeasTol", RescuePivRel, FeasTol},
+		{"FeasTol < PivTol", FeasTol, PivTol},
+		{"PivTol < DualTol", PivTol, DualTol},
+		{"DualTol < IntegralityTol", DualTol, IntegralityTol},
+		{"StrictEps < FeasTol", StrictEps, FeasTol},
+	}
+	for _, o := range ordered {
+		if !(o.lo < o.hi) {
+			t.Errorf("%s violated: %g >= %g", o.name, o.lo, o.hi)
+		}
+	}
+	for _, v := range []float64{FeasTol, PivTol, DualTol, IntegralityTol,
+		RatioTol, BoundSnapTol, LooseFeasTol, StabTol, DSEFloor, DropTol,
+		RescuePivRel, StrictEps, DenomFloor, ObjImproveEps} {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("tolerance %g must be a positive finite value", v)
+		}
+	}
+}

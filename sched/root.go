@@ -49,7 +49,7 @@ func (rs *rootState) init(g *graph.Graph, plat *platform.Platform) {
 	// mutates bounds per sweep point.
 	rs.model = lp.ModelFor(rs.f.Problem.LP.Clone())
 	sol, err := rs.model.Solve(lp.Options{MaxIter: rootLPMaxIter, Presolve: true})
-	if err != nil || sol.Status != lp.Optimal || sol.Basis == nil {
+	if err != nil || sol.Status.Err() != nil || sol.Basis == nil {
 		rs.failed = true
 		return
 	}
@@ -92,7 +92,7 @@ func (rs *rootState) bounds(ctx context.Context, g *graph.Graph, plat *platform.
 			}
 		}
 		sol, err := rs.model.Solve(lp.Options{MaxIter: rootLPMaxIter})
-		if err != nil || sol.Status != lp.Optimal {
+		if err != nil || sol.Status.Err() != nil {
 			continue
 		}
 		pts[i].Bound = sol.Objective

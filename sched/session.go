@@ -13,7 +13,6 @@ import (
 	"cellstream/internal/graph"
 	"cellstream/internal/heuristics"
 	"cellstream/internal/lp"
-	"cellstream/internal/milp"
 	"cellstream/internal/platform"
 )
 
@@ -338,7 +337,7 @@ func (s *Session) doMap(ctx context.Context, req Request) (*Result, error) {
 			Nodes:       sres.Nodes,
 			// Only Optimal proves the gap; Feasible means a limit
 			// truncated the search with an unproven incumbent.
-			Proved:    sres.Status == milp.Optimal,
+			Proved:    sres.Status.Proved(),
 			SolveTime: time.Since(start),
 			Stats:     sres.LPStats,
 		}, nil
@@ -439,7 +438,7 @@ func (s *Session) doSweep(ctx context.Context, req Request) (*Result, error) {
 			pt.PeriodBound = sres.PeriodBound
 			pt.Gap = sres.Gap
 			pt.Nodes = sres.Nodes
-			pt.Proved = sres.Status == milp.Optimal
+			pt.Proved = sres.Status.Proved()
 			res.Stats.Merge(sres.LPStats)
 		} else {
 			ares, err := s.solvePoint(ctx, req, plat, pt.RootLPBound)

@@ -38,6 +38,10 @@ func TestSmokeBinaries(t *testing.T) {
 		{"examples/audioencoder", nil, "frames/s"},
 		{"examples/ccrsweep", []string{"-quick"}, "speed-up vs CCR"},
 		{"examples/dualcell", []string{"-quick"}, "2 Cells"},
+		// schedlint prints nothing on a clean package and exits 0; a
+		// finding or a load failure makes the run non-zero, so the smoke
+		// both builds the linter and proves its happy path.
+		{"cmd/schedlint", []string{"-only", "floatcmp", "./internal/num"}, ""},
 	}
 	built := map[string]string{}
 	for _, r := range runs {
