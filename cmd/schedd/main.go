@@ -1,0 +1,115 @@
+// Command schedd serves the scheduling framework over HTTP: a daemon
+// owning a pool of sched.Sessions that maps, sweeps and evaluates
+// streaming task graphs on request (internal/serve is the subsystem,
+// this is its process wrapper).
+//
+// Usage:
+//
+//	schedd [-addr :8080] [-platform qs22|ps3] [-spes N]
+//	       [-concurrent N] [-queue N] [-rate R] [-burst N]
+//	       [-gap G] [-budget D]
+//
+// See cmd/schedd/README.md for the wire API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellstream/internal/platform"
+	"cellstream/internal/serve"
+	"cellstream/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schedd: ")
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	platName := flag.String("platform", "qs22", "default platform preset: qs22 or ps3")
+	spes := flag.Int("spes", -1, "override the default platform's number of SPEs")
+	concurrent := flag.Int("concurrent", 0, "max concurrent solves (0 = min(GOMAXPROCS, 8))")
+	queue := flag.Int("queue", 0, "max requests queued for a solve slot (0 = 64)")
+	rate := flag.Float64("rate", 0, "per-client budget in requests/second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client burst size (0 = derived from -rate)")
+	gap := flag.Float64("gap", 0, "session relative optimality gap (0 = sched default)")
+	budget := flag.Duration("budget", 0, "session per-solve time budget (0 = sched default)")
+	flag.Parse()
+
+	var plat *platform.Platform
+	switch *platName {
+	case "qs22":
+		plat = platform.QS22()
+	case "ps3":
+		plat = platform.PlayStation3()
+	default:
+		log.Fatalf("unknown platform %q", *platName)
+	}
+	if *spes >= 0 {
+		plat = plat.WithSPEs(*spes)
+	}
+	var opts []sched.Option
+	if *gap > 0 {
+		opts = append(opts, sched.WithRelGap(*gap))
+	}
+	if *budget > 0 {
+		opts = append(opts, sched.WithTimeLimit(*budget))
+	}
+
+	// ctx is the server's lifecycle: cancelling it aborts in-flight
+	// solves once graceful shutdown gives up on them.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv, err := serve.New(ctx, serve.Config{
+		DefaultPlatform: plat,
+		SessionOptions:  opts,
+		MaxConcurrent:   *concurrent,
+		MaxQueue:        *queue,
+		ClientRate:      *rate,
+		ClientBurst:     *burst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	log.Printf("listening on %s (platform %v)", ln.Addr(), plat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish,
+	// then cut the lifecycle context so stuck solves abort.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	cancel()
+	srv.Close()
+	log.Printf("bye")
+}

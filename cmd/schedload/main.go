@@ -1,0 +1,102 @@
+// Command schedload replays a deterministic daggen request mix against
+// a schedd server and reports throughput, latency percentiles and the
+// coalesce rate (the serving benchmark behind BENCH_serve.json).
+//
+// Usage:
+//
+//	schedload [-url http://host:port] [-requests N] [-clients N]
+//	          [-graphs N] [-tasks N] [-seed S] [-quick] [-o out.json]
+//
+// With no -url, schedload hosts an in-process schedd on a loopback
+// port and drives that, so one invocation measures the full serving
+// stack without a separate daemon.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"cellstream/internal/platform"
+	"cellstream/internal/serve"
+	"cellstream/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schedload: ")
+	url := flag.String("url", "", "schedd base URL (empty = host an in-process server)")
+	requests := flag.Int("requests", 0, "total requests (0 = 200)")
+	clients := flag.Int("clients", 0, "concurrent clients (0 = 8)")
+	graphs := flag.Int("graphs", 0, "distinct graphs in the mix (0 = 6)")
+	tasks := flag.Int("tasks", 0, "tasks per graph (0 = 12)")
+	seed := flag.Int64("seed", 0, "mix seed (0 = 1)")
+	quick := flag.Bool("quick", false, "small quick run (64 requests, 8-task graphs)")
+	out := flag.String("o", "", "write the report as JSON to this file")
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		BaseURL:  *url,
+		Requests: *requests,
+		Clients:  *clients,
+		Graphs:   *graphs,
+		Tasks:    *tasks,
+		Seed:     *seed,
+	}
+	if *quick {
+		if cfg.Requests == 0 {
+			cfg.Requests = 64
+		}
+		if cfg.Tasks == 0 {
+			cfg.Tasks = 8
+		}
+		if cfg.Graphs == 0 {
+			cfg.Graphs = 4
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if cfg.BaseURL == "" {
+		// Self-hosted run: a small Cell so quick runs stay quick, fast
+		// seeding so the solve cost is the LP, not the search.
+		srv, err := serve.New(ctx, serve.Config{
+			DefaultPlatform: platform.Cell(1, 3),
+			SessionOptions:  []sched.Option{sched.WithSeeding(1500, 1)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		cfg.BaseURL = ts.URL
+		log.Printf("hosting in-process schedd at %s", ts.URL)
+	}
+
+	rep, err := serve.LoadGen(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	if rep.Failed > 0 {
+		log.Fatalf("%d requests failed", rep.Failed)
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}

@@ -6,8 +6,9 @@
 // The root package only anchors the module; the public surface is the
 // session-oriented facade in package sched, the engine lives in the
 // internal packages (graph, platform, core, lp, milp, assign,
-// heuristics, sim, daggen, experiments), and everything is exercised by
-// the executables in cmd/ and the runnable examples in examples/.
+// heuristics, sim, daggen, serve, experiments), and everything is
+// exercised by the executables in cmd/ and the runnable examples in
+// examples/.
 // See README.md for a guided tour and DESIGN.md for the system
 // inventory and per-experiment index.
 //
@@ -55,6 +56,36 @@
 // bumps a version counter on Problem that makes the context re-price
 // against the new costs through the primal phase 2 — the historical
 // stale-objective footgun is gone (Solver detects the edit too).
+//
+// # Serving subsystem: internal/serve and cmd/schedd
+//
+// internal/serve packages the Session facade as a deployable network
+// service (stdlib-only HTTP + JSON): cmd/schedd is the daemon,
+// cmd/schedload the matching load generator. Four POST endpoints —
+// /v1/map, /v1/sweep, /v1/evaluate, /v1/rootbounds — accept a
+// graph.Graph JSON body plus options and return the stable wire
+// encoding of sched.Result / sched.RootPoint (sched/wire.go, with
+// sched.Digest as the graph content digest). The server owns a pool of
+// Sessions sharded by platform configuration and interns parsed graphs
+// by digest, so repeat requests for the same content reach the same
+// *graph.Graph pointer and reuse the cached formulation and warm
+// root-LP state.
+//
+// The serving semantics are deterministic and overload-safe by
+// contract: identical requests produce byte-identical response bodies
+// (wall time travels in the Schedd-Solve-Ms header, never the body);
+// duplicate in-flight requests coalesce onto one solve keyed on
+// (graph digest, platform, op, solver options); admission is a bounded
+// queue (MaxConcurrent slots, MaxQueue waiters) plus optional
+// per-client token budgets, everything beyond shed fast with 429 and
+// Retry-After; per-request deadlines map to context cancellation, with
+// solves running on the server's lifecycle context so a disconnecting
+// client cannot kill a coalesced solve other waiters share. GET
+// /metrics renders Prometheus text: request/latency histograms per
+// operation, coalesce and shed counters, and every lp.Stats/milp.Stats
+// counter aggregated across solves. See cmd/schedd/README.md for the
+// wire API and curl examples; CI replays a deterministic daggen
+// request mix (cmd/schedload -quick) and uploads BENCH_serve.json.
 //
 // # Solver architecture
 //

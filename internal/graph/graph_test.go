@@ -223,6 +223,27 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 	}
 }
 
+// ReadJSON is the wire format of the schedd serving API: a payload
+// carrying anything after the graph object must be rejected, not
+// silently truncated at the first complete value.
+func TestReadJSONRejectsTrailingContent(t *testing.T) {
+	valid := `{"name":"x","tasks":[{"id":0,"name":"a","wppe":1,"wspe":1}],"edges":[]}`
+	for name, in := range map[string]string{
+		"second-object": valid + `{"name":"y"}`,
+		"garbage":       valid + `junk`,
+		"stray-token":   valid + `]`,
+		"number":        valid + ` 42`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: trailing content accepted", name)
+		}
+	}
+	// Trailing whitespace (including the newline Encode emits) is fine.
+	if _, err := ReadJSON(strings.NewReader(valid + "\n  \t")); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}
+
 func TestSaveLoadFile(t *testing.T) {
 	g := Fig3Example()
 	path := t.TempDir() + "/g.json"
@@ -248,6 +269,26 @@ func TestDOTOutput(t *testing.T) {
 	}
 	if strings.Contains(g.DOT(nil), "fillcolor") {
 		t.Error("unmapped DOT should not color nodes")
+	}
+}
+
+// A partial mapping marks unmapped tasks with a negative PE index
+// (assign's in-progress states do exactly this); DOT used to panic on
+// them because Go's % preserves the sign. They must render unfilled,
+// as must tasks beyond the mapping's length.
+func TestDOTUnmappedAndNegativeIndices(t *testing.T) {
+	g := Fig3Example()
+	dot := g.DOT([]int{-1, 5, -3}) // must not panic
+	if strings.Contains(dot, "t0 [label") && strings.Contains(dot, "fillcolor") {
+		// Only t1 (PE 5) may be filled.
+		if n := strings.Count(dot, "fillcolor"); n != 1 {
+			t.Errorf("want exactly 1 filled node, got %d:\n%s", n, dot)
+		}
+	}
+	// Short mapping: tasks past its end render unfilled.
+	short := g.DOT([]int{0})
+	if n := strings.Count(short, "fillcolor"); n != 1 {
+		t.Errorf("short mapping: want 1 filled node, got %d", n)
 	}
 }
 

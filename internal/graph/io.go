@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -15,12 +16,22 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// ReadJSON parses a graph and validates it.
+// ReadJSON parses a graph and validates it. The input must hold
+// exactly one JSON document: trailing content after the graph object
+// (other than whitespace) is an error, so a truncated or concatenated
+// payload cannot silently parse as a valid graph — this is the wire
+// format of the schedd serving API.
 func ReadJSON(r io.Reader) (*Graph, error) {
 	var g Graph
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&g); err != nil {
 		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	if tok, err := dec.Token(); !errors.Is(err, io.EOF) {
+		if err != nil {
+			return nil, fmt.Errorf("graph: trailing content after JSON object: %w", err)
+		}
+		return nil, fmt.Errorf("graph: trailing content after JSON object: %v", tok)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -66,7 +77,11 @@ func (g *Graph) DOT(mapping []int) string {
 			label += "\\nstateful"
 		}
 		attr := ""
-		if mapping != nil && int(t.ID) < len(mapping) {
+		// Only color tasks with an in-range, non-negative PE index: a
+		// partial mapping marks unmapped tasks with -1 (and Go's % keeps
+		// the sign, so a negative index would panic). Unmapped tasks
+		// render unfilled.
+		if mapping != nil && int(t.ID) < len(mapping) && mapping[t.ID] >= 0 {
 			attr = fmt.Sprintf(", style=filled, fillcolor=%q", palette[mapping[t.ID]%len(palette)])
 		}
 		fmt.Fprintf(&b, "  t%d [label=\"%s\"%s];\n", t.ID, label, attr)

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// admission is the server's bounded solve queue: at most `concurrent`
+// requests hold a solve slot, at most `maxQueue` more wait for one,
+// and everything beyond that is shed immediately with 429 — the
+// overload contract is "fail fast and tell the client when to retry",
+// never an unbounded backlog whose latency grows without limit.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int64
+
+	mu     sync.Mutex
+	queued int64
+}
+
+func newAdmission(concurrent int, maxQueue int) *admission {
+	return &admission{sem: make(chan struct{}, concurrent), maxQueue: int64(maxQueue)}
+}
+
+// depth returns the current queue depth (requests waiting on a slot).
+func (a *admission) depth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// tryEnqueue reserves a queue position, reporting false when the queue
+// is full.
+func (a *admission) tryEnqueue() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued >= a.maxQueue {
+		return false
+	}
+	a.queued++
+	return true
+}
+
+func (a *admission) dequeue() {
+	a.mu.Lock()
+	a.queued--
+	a.mu.Unlock()
+}
+
+// acquire obtains a solve slot: immediately when one is free, else by
+// queueing (bounded) until ctx ends. It returns (release, true) on
+// admission and (nil, false) when the queue is full; a ctx error is
+// returned through err with release nil.
+func (a *admission) acquire(ctx context.Context) (release func(), ok bool, err error) {
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, true, nil
+	default:
+	}
+	if !a.tryEnqueue() {
+		return nil, false, nil
+	}
+	defer a.dequeue()
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, true, nil
+	case <-ctx.Done():
+		return nil, true, ctx.Err()
+	}
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// budgets implements per-client token budgets: each client earns
+// `rate` tokens per second up to `burst`, and every request costs one.
+// A client out of tokens is shed with 429 and a Retry-After telling it
+// when the next token lands. Client identity is whatever string the
+// server extracts (the X-Schedd-Client header, falling back to the
+// remote host); the table is capped and evicts oldest-inserted first,
+// which at worst briefly refills an evicted chatterbox's burst.
+type budgets struct {
+	rate  float64
+	burst float64
+	cap   int
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	order   []string
+}
+
+func newBudgets(rate float64, burst int, capClients int) *budgets {
+	return &budgets{
+		rate:    rate,
+		burst:   math.Max(1, float64(burst)),
+		cap:     capClients,
+		clients: map[string]*bucket{},
+	}
+}
+
+// allow spends one token of client's budget at time now. When the
+// budget is exhausted it returns false and the wait until one full
+// token is available again.
+func (b *budgets) allow(client string, now time.Time) (bool, time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk, ok := b.clients[client]
+	if !ok {
+		if len(b.clients) >= b.cap {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			delete(b.clients, oldest)
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.clients[client] = bk
+		b.order = append(b.order, client)
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(b.burst, bk.tokens+dt*b.rate)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / b.rate * float64(time.Second))
+}

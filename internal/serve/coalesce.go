@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// response is one fully materialized HTTP response: what a solve
+// produces and what every coalesced waiter of that solve writes back.
+// Bodies are byte-identical across all waiters by construction.
+type response struct {
+	status     int
+	body       []byte
+	solveMS    float64 // leader's measured solve wall time
+	retryAfter int     // seconds; > 0 only on 429
+}
+
+// flight is one in-flight solve other requests can latch onto.
+type flight struct {
+	done chan struct{}
+	resp *response
+}
+
+// flightGroup coalesces duplicate in-flight requests (singleflight):
+// the first request for a key becomes the leader and runs fn; every
+// request arriving for the same key while the leader runs waits for
+// the leader's response instead of solving again. Unlike a cache,
+// nothing outlives the flight — the next request after completion
+// leads its own solve (results must reflect current server state, and
+// deterministic solves make a response cache redundant anyway).
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do runs fn for key, coalescing concurrent duplicates. It returns the
+// response, whether this request shared another's solve, and a ctx
+// error when the caller gave up waiting for the leader (the leader
+// itself is never interrupted by a follower's ctx — its own solve
+// context bounds it).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *response) (*response, bool, error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.resp = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.resp, false, nil
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+)
+
+// LoadConfig configures LoadGen, the schedd load generator. The zero
+// value of every field selects a default sized for a quick run.
+type LoadConfig struct {
+	// BaseURL is the schedd server to drive, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Requests is the total number of requests to issue (default 200).
+	Requests int
+	// Clients is the number of concurrent clients, each sending with
+	// its own X-Schedd-Client identity (default 8).
+	Clients int
+	// Graphs and Tasks shape the daggen request mix: Graphs distinct
+	// graphs (default 6) of Tasks tasks each (default 12). Fewer
+	// distinct graphs means more coalescing and warm-cache hits.
+	Graphs int
+	Tasks  int
+	// Seed makes the mix reproducible (default 1).
+	Seed int64
+	// EvalShare and BoundsShare are the fractions of requests sent to
+	// /v1/evaluate and /v1/rootbounds; the rest go to /v1/map
+	// (defaults 0.2 and 0.1).
+	EvalShare   float64
+	BoundsShare float64
+}
+
+func (c *LoadConfig) fill() {
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Graphs == 0 {
+		c.Graphs = 6
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.EvalShare == 0 {
+		c.EvalShare = 0.2
+	}
+	if c.BoundsShare == 0 {
+		c.BoundsShare = 0.1
+	}
+}
+
+// LoadReport is the outcome of one LoadGen run; it is the schema of
+// BENCH_serve.json.
+type LoadReport struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`   // 429s: queue, budget or shard cap
+	Failed    int     `json:"failed"` // transport errors and 5xx
+	Coalesced int     `json:"coalesced"`
+	Seconds   float64 `json:"seconds"`
+	// Throughput counts completed (2xx) requests per second.
+	Throughput float64 `json:"throughput_rps"`
+	// Latency percentiles over every request that got a response.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// CoalesceRate is coalesced / ok.
+	CoalesceRate float64 `json:"coalesce_rate"`
+	// ByStatus counts responses per HTTP status code.
+	ByStatus map[string]int `json:"by_status"`
+}
+
+// String renders the one-line human summary.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"%d requests in %.2fs: %d ok, %d shed, %d failed; %.1f req/s, p50 %.1f ms, p99 %.1f ms, coalesce rate %.2f",
+		r.Requests, r.Seconds, r.OK, r.Shed, r.Failed,
+		r.Throughput, r.P50MS, r.P99MS, r.CoalesceRate)
+}
+
+// loadRequest is one pre-built request of the mix.
+type loadRequest struct {
+	path string
+	body []byte
+}
+
+// buildMix pre-builds the deterministic request mix: daggen graphs in
+// the style of the paper's evaluation set, hit with a map/evaluate/
+// rootbounds operation split.
+func buildMix(cfg *LoadConfig) ([]loadRequest, error) {
+	graphs := make([]*graph.Graph, cfg.Graphs)
+	bodies := make([][]byte, cfg.Graphs)
+	for i := range graphs {
+		graphs[i] = daggen.Generate(daggen.Params{
+			Tasks: cfg.Tasks,
+			Seed:  cfg.Seed + int64(i),
+			CCR:   1,
+		})
+		b, err := json.Marshal(graphs[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: encoding mix graph %d: %w", i, err)
+		}
+		bodies[i] = b
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mix := make([]loadRequest, cfg.Requests)
+	for i := range mix {
+		gi := rng.Intn(cfg.Graphs)
+		body := map[string]json.RawMessage{"graph": bodies[gi]}
+		path := "/v1/map"
+		switch p := rng.Float64(); {
+		case p < cfg.EvalShare:
+			path = "/v1/evaluate"
+			m := make([]int, graphs[gi].NumTasks()) // all on PPE 0
+			mb, _ := json.Marshal(m)
+			body["mapping"] = mb
+		case p < cfg.EvalShare+cfg.BoundsShare:
+			path = "/v1/rootbounds"
+		}
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encoding mix request %d: %w", i, err)
+		}
+		mix[i] = loadRequest{path: path, body: b}
+	}
+	return mix, nil
+}
+
+// LoadGen replays a deterministic daggen request mix against a schedd
+// server and reports throughput, latency percentiles and the coalesce
+// rate. ctx bounds the whole run.
+func LoadGen(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("serve: LoadGen needs a BaseURL")
+	}
+	mix, err := buildMix(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type sample struct {
+		status    int
+		coalesced bool
+		ms        float64
+		err       error
+	}
+	samples := make([]sample, len(mix))
+	var next int64 // next mix index to claim
+
+	started := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("loadgen-%d", c)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(mix) || ctx.Err() != nil {
+					return
+				}
+				start := time.Now()
+				req, err := http.NewRequestWithContext(ctx, "POST",
+					cfg.BaseURL+mix[i].path, bytes.NewReader(mix[i].body))
+				if err != nil {
+					samples[i] = sample{err: err}
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Schedd-Client", client)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					samples[i] = sample{err: err}
+					continue
+				}
+				var sink bytes.Buffer
+				sink.ReadFrom(resp.Body)
+				resp.Body.Close()
+				samples[i] = sample{
+					status:    resp.StatusCode,
+					coalesced: resp.Header.Get("Schedd-Coalesced") == "1",
+					ms:        float64(time.Since(start).Microseconds()) / 1000,
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started).Seconds()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &LoadReport{
+		Requests: len(mix),
+		Seconds:  elapsed,
+		ByStatus: map[string]int{},
+	}
+	var lat []float64
+	var sum float64
+	for _, s := range samples {
+		if s.err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.ByStatus[strconv.Itoa(s.status)]++
+		lat = append(lat, s.ms)
+		sum += s.ms
+		switch {
+		case s.status == http.StatusOK:
+			rep.OK++
+			if s.coalesced {
+				rep.Coalesced++
+			}
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case s.status >= 500:
+			rep.Failed++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		rep.P50MS = lat[len(lat)/2]
+		rep.P99MS = lat[(len(lat)*99)/100]
+		rep.MeanMS = sum / float64(len(lat))
+	}
+	if rep.OK > 0 {
+		rep.CoalesceRate = float64(rep.Coalesced) / float64(rep.OK)
+	}
+	return rep, nil
+}

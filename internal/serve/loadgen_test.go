@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadGen runs a small mix against an in-process server and checks
+// the report adds up.
+func TestLoadGen(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	rep, err := LoadGen(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Requests: 32,
+		Clients:  4,
+		Graphs:   3,
+		Tasks:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 32 || rep.Failed != 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.OK+rep.Shed != 32 {
+		t.Fatalf("ok %d + shed %d != 32", rep.OK, rep.Shed)
+	}
+	if rep.OK == 0 || rep.Throughput <= 0 || rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.ByStatus["200"] != rep.OK {
+		t.Fatalf("by_status disagrees with ok: %+v", rep)
+	}
+
+	// The mix is deterministic: the same config builds the same bodies.
+	cfg := LoadConfig{Requests: 16, Graphs: 2, Tasks: 6, Seed: 5}
+	cfg.fill()
+	m1, err1 := buildMix(&cfg)
+	m2, err2 := buildMix(&cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range m1 {
+		if m1[i].path != m2[i].path || string(m1[i].body) != string(m2[i].body) {
+			t.Fatalf("mix request %d not deterministic", i)
+		}
+	}
+
+	// No BaseURL is a configuration error.
+	if _, err := LoadGen(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("LoadGen without BaseURL succeeded")
+	}
+}

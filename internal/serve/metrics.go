@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histograms, Prometheus-style: a solve that takes t seconds counts
+// into every bucket with le >= t plus the implicit +Inf bucket.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []int64 // len(latencyBuckets)+1; the last is the +Inf bucket
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// metrics is the server's hand-rolled metrics registry, rendered in
+// Prometheus text exposition format by write. All mutation happens
+// under mu; render takes a consistent snapshot.
+type metrics struct {
+	mu sync.Mutex
+
+	// requests[op][code] counts finished requests by HTTP status.
+	requests map[string]map[int]int64
+	// latency[op] is the end-to-end request latency histogram
+	// (queueing + solve + serialization), per operation.
+	latency map[string]*histogram
+
+	coalesceHits   int64 // requests served by another request's solve
+	coalesceMisses int64 // requests that ran their own solve
+	shedQueue      int64 // 429s from a full admission queue
+	shedBudget     int64 // 429s from an exhausted client budget
+	shedSessions   int64 // 429s from the platform-shard cap
+
+	queued   int64 // requests waiting for an admission slot (gauge)
+	inflight int64 // requests holding an admission slot (gauge)
+	sessions int64 // live platform-sharded sessions (gauge)
+
+	// Solver counters aggregated across every completed solve: search
+	// totals from milp.Stats, root-LP totals from lp.Stats. Exported
+	// field-by-field via reflection so newly added counters surface
+	// without touching this file.
+	milpTotals milp.Stats
+	lpTotals   lp.Stats
+	nodes      int64 // branch-and-bound nodes across all solves
+	solves     int64 // completed solves (coalesce leaders only)
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]map[int]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+func (m *metrics) observeRequest(op string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests[op] == nil {
+		m.requests[op] = map[int]int64{}
+	}
+	m.requests[op][code]++
+	if m.latency[op] == nil {
+		m.latency[op] = newHistogram()
+	}
+	m.latency[op].observe(seconds)
+}
+
+// observeSolve folds one completed solve's counters into the totals.
+func (m *metrics) observeSolve(nodes int, st milp.Stats, lpst lp.Stats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves++
+	m.nodes += int64(nodes)
+	m.milpTotals.Merge(st)
+	m.lpTotals.Add(lpst)
+}
+
+func (m *metrics) add(field *int64, delta int64) {
+	m.mu.Lock()
+	*field += delta
+	m.mu.Unlock()
+}
+
+// snakeCase converts a Go exported identifier to snake_case:
+// LPIterations → lp_iterations, MaxSpikeGrowth → max_spike_growth.
+func snakeCase(name string) string {
+	var b strings.Builder
+	runes := []rune(name)
+	for i, r := range runes {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && runes[i-1] >= 'a' && runes[i-1] <= 'z'
+			nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r + ('a' - 'A'))
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// writeStats renders every numeric field of a Stats struct as its own
+// metric: ints as counters, floats as gauges; booleans are skipped
+// (they are per-solve outcomes, meaningless summed).
+func writeStats(w io.Writer, prefix string, v reflect.Value) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		name := prefix + snakeCase(f.Name)
+		switch f.Type.Kind() {
+		case reflect.Int:
+			fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, v.Field(i).Int())
+		case reflect.Float64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v.Field(i).Float())
+		}
+	}
+}
+
+// write renders the registry in Prometheus text exposition format.
+// Output order is deterministic: fixed sections, sorted label values.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP schedd_requests_total Finished requests by operation and HTTP status.\n")
+	fmt.Fprintf(w, "# TYPE schedd_requests_total counter\n")
+	ops := make([]string, 0, len(m.requests))
+	for op := range m.requests {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		codes := make([]int, 0, len(m.requests[op]))
+		for c := range m.requests[op] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "schedd_requests_total{op=%q,code=\"%d\"} %d\n", op, c, m.requests[op][c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP schedd_request_seconds End-to-end request latency (queueing + solve).\n")
+	fmt.Fprintf(w, "# TYPE schedd_request_seconds histogram\n")
+	ops = ops[:0]
+	for op := range m.latency {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		h := m.latency[op]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "schedd_request_seconds_bucket{op=%q,le=\"%g\"} %d\n", op, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "schedd_request_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, cum)
+		fmt.Fprintf(w, "schedd_request_seconds_sum{op=%q} %g\n", op, h.sum)
+		fmt.Fprintf(w, "schedd_request_seconds_count{op=%q} %d\n", op, h.total)
+	}
+
+	for _, c := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"schedd_coalesce_hits_total", "Requests served by coalescing onto another in-flight solve.", m.coalesceHits},
+		{"schedd_coalesce_misses_total", "Requests that ran their own solve.", m.coalesceMisses},
+		{"schedd_shed_queue_total", "Requests shed with 429 because the admission queue was full.", m.shedQueue},
+		{"schedd_shed_budget_total", "Requests shed with 429 because the client budget was exhausted.", m.shedBudget},
+		{"schedd_shed_sessions_total", "Requests shed because the platform-shard cap was reached.", m.shedSessions},
+		{"schedd_solves_total", "Completed solves (coalesce leaders only).", m.solves},
+		{"schedd_nodes_total", "Branch-and-bound nodes explored across all solves.", m.nodes},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+	}
+
+	for _, g := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"schedd_queue_depth", "Requests waiting for an admission slot.", m.queued},
+		{"schedd_inflight", "Requests holding an admission slot.", m.inflight},
+		{"schedd_sessions", "Live platform-sharded scheduling sessions.", m.sessions},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
+	}
+
+	writeStats(w, "schedd_milp_", reflect.ValueOf(m.milpTotals))
+	writeStats(w, "schedd_lp_", reflect.ValueOf(m.lpTotals))
+}

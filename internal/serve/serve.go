@@ -1,0 +1,634 @@
+// Package serve is the HTTP serving subsystem over sched.Session: the
+// scheduling framework packaged as a deployable network service
+// (cmd/schedd is the daemon). It is stdlib-only by design.
+//
+// # Wire API
+//
+// Four POST endpoints accept one JSON request body each and return a
+// JSON response:
+//
+//	POST /v1/map        — throughput-optimal mapping (sched.OpMap)
+//	POST /v1/sweep      — per-SPE-count mapping sweep (sched.OpSweep)
+//	POST /v1/evaluate   — analytical evaluation of a fixed mapping
+//	POST /v1/rootbounds — LP-relaxation bounds only ({"points": [...]})
+//
+// The request body carries the graph (graph.Graph JSON, the encoding
+// of internal/graph/io.go), an optional platform (the server default
+// otherwise), and options; responses are the stable wire encoding of
+// sched.Result / sched.RootPoint (sched/wire.go). Identical requests
+// produce byte-identical response bodies: the default search solver is
+// deterministic and the response's solve_ms field is zeroed, with the
+// measured wall time reported in the Schedd-Solve-Ms header instead.
+//
+// GET /metrics exposes Prometheus text-format counters (solver totals
+// from lp.Stats/milp.Stats, queue depth, coalesce hits, shed counts,
+// latency histograms); GET /healthz is the liveness probe.
+//
+// # Production concerns
+//
+// Requests are coalesced: while a solve for (graph digest, platform,
+// op, options) is in flight, duplicates of that key wait for its
+// response instead of solving again — the coalescing key deliberately
+// excludes the transport deadline, so clients with different patience
+// still share one solve. Admission is controlled by a bounded queue
+// (MaxConcurrent solve slots, MaxQueue waiters, everything beyond shed
+// with 429 + Retry-After) and per-client token budgets (ClientRate
+// tokens/second, burst ClientBurst, keyed on the X-Schedd-Client
+// header or the remote host). Each request carries a deadline
+// (timeout_ms, capped at MaxTimeout) mapped to context cancellation.
+// Solves run on the server's lifecycle context, not the individual
+// client connection: a coalesced result may have other waiters, so a
+// disconnecting client stops waiting without killing the shared solve.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+	"cellstream/internal/platform"
+	"cellstream/sched"
+)
+
+// clientCap bounds the number of distinct clients the budget table
+// tracks (oldest-first eviction past it).
+const clientCap = 1024
+
+// graphCacheCap bounds the digest→graph canonicalization table
+// (oldest-first eviction past it, like core's formulation cache).
+const graphCacheCap = 128
+
+// Config tunes a Server. The zero value of every field selects a sane
+// default (see the field comments).
+type Config struct {
+	// DefaultPlatform serves requests that carry no platform of their
+	// own (default platform.QS22, the paper's machine).
+	DefaultPlatform *platform.Platform
+	// SessionOptions are applied to every platform-sharded session the
+	// server creates, before the shard's WithPlatform (so a platform
+	// passed here is overridden) and after the server's own
+	// WithWorkers(MaxConcurrent) (so an explicit WithWorkers wins).
+	SessionOptions []sched.Option
+	// MaxSessions caps the distinct platform configurations served
+	// concurrently; requests for new platforms past the cap are shed
+	// with 429 (default 16).
+	MaxSessions int
+	// MaxConcurrent bounds concurrently running solves (default
+	// min(GOMAXPROCS, 8), the sched session default).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot; a full queue
+	// sheds with 429 + Retry-After (default 64).
+	MaxQueue int
+	// ClientRate/ClientBurst are the per-client token budget: each
+	// request spends one token, clients earn ClientRate tokens/second
+	// up to ClientBurst. ClientRate 0 (default) disables budgets;
+	// ClientBurst defaults to max(1, 2*ClientRate).
+	ClientRate  float64
+	ClientBurst int
+	// DefaultTimeout is the per-request deadline when the request
+	// names none (default 30s); MaxTimeout caps what a request may ask
+	// for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRequestBytes caps the request body (default 8 MiB).
+	MaxRequestBytes int64
+}
+
+func (c *Config) fill() {
+	if c.DefaultPlatform == nil {
+		c.DefaultPlatform = platform.QS22()
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 16
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent > 8 {
+			c.MaxConcurrent = 8
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.ClientBurst == 0 {
+		c.ClientBurst = int(2 * c.ClientRate)
+		if c.ClientBurst < 1 {
+			c.ClientBurst = 1
+		}
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+}
+
+func (c *Config) validate() error {
+	if err := c.DefaultPlatform.Validate(); err != nil {
+		return fmt.Errorf("serve: invalid default platform: %w", err)
+	}
+	if c.MaxSessions < 1 || c.MaxConcurrent < 1 || c.MaxQueue < 0 {
+		return fmt.Errorf("serve: nonsensical limits: sessions %d, concurrent %d, queue %d",
+			c.MaxSessions, c.MaxConcurrent, c.MaxQueue)
+	}
+	if c.ClientRate < 0 || c.MaxRequestBytes < 1 ||
+		c.DefaultTimeout <= 0 || c.MaxTimeout < c.DefaultTimeout {
+		return fmt.Errorf("serve: nonsensical rate, body or timeout limits")
+	}
+	return nil
+}
+
+// Server is the scheduling service: an http.Handler owning a pool of
+// sched.Sessions sharded by platform configuration. Create with New,
+// mount anywhere (httptest, cmd/schedd's http.Server), Close when
+// done.
+type Server struct {
+	cfg     Config
+	baseCtx context.Context // lifecycle: solves outlive individual client connections
+	mux     *http.ServeMux
+	flights *flightGroup
+	adm     *admission
+	budgets *budgets
+	met     *metrics
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*sched.Session // keyed by canonical platform JSON
+
+	// graphs canonicalizes parsed graphs by digest: the session layer
+	// keys its formulation cache and warm root-LP state by *graph.Graph
+	// identity, so repeat requests for the same graph content must
+	// resolve to the same pointer to reuse that state across requests.
+	graphs     map[string]*graph.Graph
+	graphOrder []string // FIFO eviction
+}
+
+// New validates cfg and returns a ready Server. ctx is the server's
+// lifecycle context: cancelling it aborts every in-flight solve
+// (running solves are detached from individual client connections
+// because coalesced responses may have several waiters).
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		mux:      http.NewServeMux(),
+		flights:  newFlightGroup(),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		budgets:  newBudgets(cfg.ClientRate, cfg.ClientBurst, clientCap),
+		met:      newMetrics(),
+		sessions: map[string]*sched.Session{},
+		graphs:   map[string]*graph.Graph{},
+	}
+	s.mux.HandleFunc("POST /v1/map", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, sched.OpMap)
+	})
+	s.mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, sched.OpSweep)
+	})
+	s.mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSolve(w, r, sched.OpEvaluate)
+	})
+	s.mux.HandleFunc("POST /v1/rootbounds", s.handleRootBounds)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts every session down. In-flight solves finish (cancel the
+// lifecycle context passed to New to stop them early); subsequent
+// requests are answered 503.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	sessions := s.sessions
+	s.sessions = map[string]*sched.Session{}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.met.mu.Lock()
+	s.met.sessions = 0
+	s.met.mu.Unlock()
+}
+
+// Request is the wire request body of every /v1 solve endpoint.
+type Request struct {
+	// Graph is the task graph in graph.Graph JSON form; required.
+	Graph json.RawMessage `json:"graph"`
+	// Platform overrides the server's default platform; it selects the
+	// session shard serving the request.
+	Platform *platform.Platform `json:"platform,omitempty"`
+	// SPECounts is the sweep axis (sweep/rootbounds; default full..0).
+	SPECounts []int `json:"spe_counts,omitempty"`
+	// Mapping is the fixed mapping to evaluate (evaluate only).
+	Mapping []int `json:"mapping,omitempty"`
+	// Seed optionally seeds map/sweep solves with an incumbent.
+	Seed []int `json:"seed,omitempty"`
+	// RelGap overrides the session's optimality gap when > 0.
+	RelGap float64 `json:"rel_gap,omitempty"`
+	// TimeLimitMS overrides the per-solve budget when > 0. Part of the
+	// coalescing key (it changes the result).
+	TimeLimitMS float64 `json:"time_limit_ms,omitempty"`
+	// TimeoutMS is the transport deadline of this request (capped at
+	// the server's MaxTimeout). NOT part of the coalescing key.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// apiError is an error with an HTTP mapping.
+type apiError struct {
+	status     int
+	code       string // machine-readable, stable
+	msg        string
+	retryAfter int // seconds, 429 only
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBad(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+func errShed(code, msg string, retryAfter int) *apiError {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	return &apiError{status: http.StatusTooManyRequests, code: code, msg: msg, retryAfter: retryAfter}
+}
+
+// errorBody renders the stable JSON error body.
+func errorBody(code, msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Code string `json:"code"`
+		Err  string `json:"error"`
+	}{code, msg})
+	return append(b, '\n')
+}
+
+// toResponse maps any error from the decode/solve pipeline to a
+// materialized HTTP response. Solver outcomes are classified through
+// the sentinel errors (never by raw status), transport problems by the
+// context errors.
+func toResponse(err error) *response {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return &response{status: ae.status, body: errorBody(ae.code, ae.msg), retryAfter: ae.retryAfter}
+	case errors.Is(err, sched.ErrBadRequest):
+		return &response{status: http.StatusBadRequest, body: errorBody("bad_request", err.Error())}
+	case errors.Is(err, sched.ErrClosed):
+		return &response{status: http.StatusServiceUnavailable, body: errorBody("closing", err.Error())}
+	case errors.Is(err, lp.ErrInfeasible):
+		return &response{status: http.StatusUnprocessableEntity, body: errorBody("infeasible", err.Error())}
+	case errors.Is(err, lp.ErrUnbounded):
+		return &response{status: http.StatusUnprocessableEntity, body: errorBody("unbounded", err.Error())}
+	case errors.Is(err, lp.ErrIterLimit):
+		return &response{status: http.StatusUnprocessableEntity, body: errorBody("iteration_limit", err.Error())}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &response{status: http.StatusGatewayTimeout, body: errorBody("deadline", "solve deadline exceeded")}
+	case errors.Is(err, context.Canceled):
+		return &response{status: http.StatusServiceUnavailable, body: errorBody("cancelled", "solve cancelled")}
+	default:
+		return &response{status: http.StatusInternalServerError, body: errorBody("internal", err.Error())}
+	}
+}
+
+// session returns (creating lazily) the shard serving plat.
+func (s *Server) session(key string, plat *platform.Platform) (*sched.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, sched.ErrClosed
+	}
+	if sess, ok := s.sessions[key]; ok {
+		return sess, nil
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.met.add(&s.met.shedSessions, 1)
+		return nil, errShed("platforms", fmt.Sprintf(
+			"too many distinct platform configurations (cap %d)", s.cfg.MaxSessions), 1)
+	}
+	opts := append([]sched.Option{sched.WithWorkers(s.cfg.MaxConcurrent)}, s.cfg.SessionOptions...)
+	opts = append(opts, sched.WithPlatform(plat))
+	sess, err := sched.NewSession(opts...)
+	if err != nil {
+		return nil, errBad("invalid platform/session config: %v", err)
+	}
+	s.sessions[key] = sess
+	s.met.add(&s.met.sessions, 1)
+	return sess, nil
+}
+
+// parsed is a decoded, validated request plus the derived keys.
+type parsed struct {
+	req      Request
+	g        *graph.Graph
+	plat     *platform.Platform
+	platKey  string // canonical platform JSON
+	digest   string // graph content digest
+	key      string // full coalescing key
+	timeout  time.Duration
+	deadline time.Duration // solve time limit from the wire (0 = session default)
+}
+
+// parse decodes and validates the request body for op.
+func (s *Server) parse(r *http.Request, op string) (*parsed, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	var p parsed
+	if err := dec.Decode(&p.req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+				msg: fmt.Sprintf("request body over %d bytes", s.cfg.MaxRequestBytes)}
+		}
+		return nil, errBad("decoding request: %v", err)
+	}
+	// The same trailing-content discipline as graph.ReadJSON: a second
+	// document after the request object is a malformed request.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return nil, errBad("trailing content after request object")
+	}
+	if len(p.req.Graph) == 0 {
+		return nil, errBad("missing graph")
+	}
+	var g graph.Graph
+	if err := json.Unmarshal(p.req.Graph, &g); err != nil {
+		return nil, errBad("decoding graph: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, errBad("%v", err)
+	}
+	p.g = &g
+	var err error
+	if p.digest, err = sched.Digest(p.g); err != nil {
+		return nil, errBad("%v", err)
+	}
+	p.g = s.canonicalGraph(p.digest, p.g)
+	p.plat = s.cfg.DefaultPlatform
+	if p.req.Platform != nil {
+		if err := p.req.Platform.Validate(); err != nil {
+			return nil, errBad("invalid platform: %v", err)
+		}
+		p.plat = p.req.Platform
+	}
+	pj, err := json.Marshal(p.plat)
+	if err != nil {
+		return nil, errBad("encoding platform: %v", err)
+	}
+	p.platKey = string(pj)
+
+	if p.req.TimeLimitMS < 0 || p.req.TimeoutMS < 0 {
+		return nil, errBad("negative time limit or timeout")
+	}
+	p.deadline = time.Duration(p.req.TimeLimitMS * float64(time.Millisecond))
+	p.timeout = s.cfg.DefaultTimeout
+	if p.req.TimeoutMS > 0 {
+		p.timeout = time.Duration(p.req.TimeoutMS * float64(time.Millisecond))
+	}
+	if p.timeout > s.cfg.MaxTimeout {
+		p.timeout = s.cfg.MaxTimeout
+	}
+
+	// Coalescing key: everything that determines the response body —
+	// op, graph content, platform, solve options. Not the transport
+	// timeout.
+	optJSON, err := json.Marshal(struct {
+		Counts []int   `json:"counts,omitempty"`
+		Map    []int   `json:"map,omitempty"`
+		Seed   []int   `json:"seed,omitempty"`
+		Gap    float64 `json:"gap,omitempty"`
+		TL     float64 `json:"tl,omitempty"`
+	}{p.req.SPECounts, p.req.Mapping, p.req.Seed, p.req.RelGap, p.req.TimeLimitMS})
+	if err != nil {
+		return nil, errBad("encoding options: %v", err)
+	}
+	sum := sha256.Sum256([]byte(op + "\x00" + p.digest + "\x00" + p.platKey + "\x00" + string(optJSON)))
+	p.key = hex.EncodeToString(sum[:])
+	return &p, nil
+}
+
+// canonicalGraph interns g by digest so every request for the same
+// graph content hands the session layer the same *graph.Graph — the
+// pointer identity its formulation cache and warm root-LP state key
+// on.
+func (s *Server) canonicalGraph(digest string, g *graph.Graph) *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.graphs[digest]; ok {
+		return cached
+	}
+	if len(s.graphOrder) >= graphCacheCap {
+		oldest := s.graphOrder[0]
+		s.graphOrder = s.graphOrder[1:]
+		delete(s.graphs, oldest)
+	}
+	s.graphs[digest] = g
+	s.graphOrder = append(s.graphOrder, digest)
+	return g
+}
+
+// client extracts the budget identity of a request.
+func client(r *http.Request) string {
+	if c := r.Header.Get("X-Schedd-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeResponse writes a materialized response plus the per-request
+// headers.
+func writeResponse(w http.ResponseWriter, resp *response, digest string, coalesced bool) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	if digest != "" {
+		h.Set("Schedd-Graph-Digest", digest)
+	}
+	if coalesced {
+		h.Set("Schedd-Coalesced", "1")
+	}
+	if resp.solveMS > 0 {
+		h.Set("Schedd-Solve-Ms", strconv.FormatFloat(resp.solveMS, 'f', 3, 64))
+	}
+	if resp.retryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(resp.retryAfter))
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// handle runs the shared pipeline of every solve endpoint: budget →
+// parse → coalesce → admission → solve, with metrics on every exit
+// path. solve produces the success response for a parsed request.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request, op string,
+	solve func(ctx context.Context, p *parsed, sess *sched.Session) (*response, error)) {
+	start := time.Now()
+	finish := func(resp *response, digest string, coalesced bool) {
+		writeResponse(w, resp, digest, coalesced)
+		s.met.observeRequest(op, resp.status, time.Since(start).Seconds())
+	}
+
+	if ok, wait := s.budgets.allow(client(r), start); !ok {
+		s.met.add(&s.met.shedBudget, 1)
+		finish(toResponse(errShed("budget", "client budget exhausted", int(wait.Seconds()+1))), "", false)
+		return
+	}
+	p, err := s.parse(r, op)
+	if err != nil {
+		finish(toResponse(err), "", false)
+		return
+	}
+
+	// waitCtx bounds THIS request's patience: the client connection
+	// plus its transport deadline. The solve itself runs on the
+	// server's lifecycle context (see New).
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), p.timeout)
+	defer cancelWait()
+
+	resp, coalesced, err := s.flights.do(waitCtx, p.key, func() *response {
+		release, ok, err := s.adm.acquire(waitCtx)
+		if !ok {
+			s.met.add(&s.met.shedQueue, 1)
+			return toResponse(errShed("overload", "solve queue full", 1))
+		}
+		if err != nil {
+			return toResponse(err)
+		}
+		defer release()
+		s.met.add(&s.met.inflight, 1)
+		defer s.met.add(&s.met.inflight, -1)
+
+		solveCtx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
+		defer cancel()
+		sess, err := s.session(p.platKey, p.plat)
+		if err != nil {
+			return toResponse(err)
+		}
+		out, err := solve(solveCtx, p, sess)
+		if err != nil {
+			return toResponse(err)
+		}
+		return out
+	})
+	if err != nil {
+		// Gave up waiting for the coalesced leader.
+		finish(toResponse(err), p.digest, coalesced)
+		return
+	}
+	if coalesced {
+		s.met.add(&s.met.coalesceHits, 1)
+	} else {
+		s.met.add(&s.met.coalesceMisses, 1)
+	}
+	finish(resp, p.digest, coalesced)
+}
+
+// handleSolve serves /v1/map, /v1/sweep and /v1/evaluate.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, op sched.Op) {
+	s.handle(w, r, op.String(), func(ctx context.Context, p *parsed, sess *sched.Session) (*response, error) {
+		res, err := sess.Do(ctx, sched.Request{
+			Op:        op,
+			Graph:     p.g,
+			Mapping:   core.Mapping(p.req.Mapping),
+			SPECounts: p.req.SPECounts,
+			Seed:      core.Mapping(p.req.Seed),
+			RelGap:    p.req.RelGap,
+			TimeLimit: p.deadline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Byte-identical responses for identical requests: the wall
+		// clock moves to a header, the body stays deterministic.
+		solveMS := float64(res.SolveTime.Microseconds()) / 1000
+		res.SolveTime = 0
+		body, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observeSolve(res.Nodes, res.Stats, totalLP(res))
+		return &response{status: http.StatusOK, body: append(body, '\n'), solveMS: solveMS}, nil
+	})
+}
+
+// totalLP sums the root-LP counters a result carries.
+func totalLP(res *sched.Result) lp.Stats {
+	st := res.LP
+	for _, pt := range res.Sweep {
+		st.Add(pt.LP)
+	}
+	return st
+}
+
+// rootBoundsResponse is the wire response of /v1/rootbounds.
+type rootBoundsResponse struct {
+	Points []sched.RootPoint `json:"points"`
+}
+
+// handleRootBounds serves /v1/rootbounds: the bound-only sweep.
+func (s *Server) handleRootBounds(w http.ResponseWriter, r *http.Request) {
+	s.handle(w, r, "rootbounds", func(ctx context.Context, p *parsed, sess *sched.Session) (*response, error) {
+		counts := p.req.SPECounts
+		if len(counts) == 0 {
+			for k := p.plat.NumSPE; k >= 0; k-- {
+				counts = append(counts, k)
+			}
+		}
+		start := time.Now()
+		pts, err := sess.RootBounds(ctx, p.g, counts)
+		if err != nil {
+			return nil, err
+		}
+		solveMS := float64(time.Since(start).Microseconds()) / 1000
+		body, err := json.Marshal(rootBoundsResponse{Points: pts})
+		if err != nil {
+			return nil, err
+		}
+		var st lp.Stats
+		for _, pt := range pts {
+			st.Add(pt.Stats)
+		}
+		s.met.observeSolve(0, milp.Stats{}, st)
+		return &response{status: http.StatusOK, body: append(body, '\n'), solveMS: solveMS}, nil
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the queue-depth gauge from the admission controller.
+	s.met.mu.Lock()
+	s.met.queued = s.adm.depth()
+	s.met.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w)
+}

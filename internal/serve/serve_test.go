@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cellstream/internal/daggen"
+	"cellstream/internal/graph"
+	"cellstream/internal/platform"
+	"cellstream/sched"
+)
+
+// testServer mounts a Server on httptest with fast deterministic
+// seeding and the small Cell(1,3) default platform.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DefaultPlatform == nil {
+		cfg.DefaultPlatform = platform.Cell(1, 3)
+	}
+	if cfg.SessionOptions == nil {
+		cfg.SessionOptions = []sched.Option{sched.WithSeeding(1500, 1)}
+	}
+	srv, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func testGraph(tasks int, seed int64) *graph.Graph {
+	return daggen.Generate(daggen.Params{Tasks: tasks, Seed: seed, CCR: 1})
+}
+
+// body builds a request body for g with extra top-level fields.
+func body(t *testing.T, g *graph.Graph, extra map[string]any) []byte {
+	t.Helper()
+	gb, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]any{"graph": json.RawMessage(gb)}
+	for k, v := range extra {
+		m[k] = v
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func post(t *testing.T, url string, b []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestEndToEndOps(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := testGraph(8, 1)
+
+	resp, b := post(t, ts.URL+"/v1/map", body(t, g, nil))
+	if resp.StatusCode != 200 {
+		t.Fatalf("map: %d: %s", resp.StatusCode, b)
+	}
+	var res sched.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("map: decoding result: %v\n%s", err, b)
+	}
+	if res.Op != sched.OpMap || len(res.Mapping) != 8 || res.Report == nil || !res.Report.Feasible {
+		t.Fatalf("map: bad result: %+v", res)
+	}
+	if res.SolveTime != 0 {
+		t.Errorf("map: solve_ms leaked into the body: %v", res.SolveTime)
+	}
+	if resp.Header.Get("Schedd-Solve-Ms") == "" {
+		t.Error("map: no Schedd-Solve-Ms header")
+	}
+	if len(resp.Header.Get("Schedd-Graph-Digest")) != 64 {
+		t.Error("map: no graph digest header")
+	}
+
+	// Evaluate the mapping the map computed.
+	resp, b = post(t, ts.URL+"/v1/evaluate", body(t, g, map[string]any{"mapping": res.Mapping}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("evaluate: %d: %s", resp.StatusCode, b)
+	}
+	var eres sched.Result
+	if err := json.Unmarshal(b, &eres); err != nil {
+		t.Fatal(err)
+	}
+	if eres.Report == nil || eres.Report.Period <= 0 {
+		t.Fatalf("evaluate: bad report: %+v", eres.Report)
+	}
+
+	resp, b = post(t, ts.URL+"/v1/sweep", body(t, g, map[string]any{"spe_counts": []int{3, 1}}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, b)
+	}
+	var sres sched.Result
+	if err := json.Unmarshal(b, &sres); err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Sweep) != 2 || sres.Sweep[0].NumSPE != 3 || sres.Sweep[1].NumSPE != 1 {
+		t.Fatalf("sweep: bad points: %+v", sres.Sweep)
+	}
+
+	resp, b = post(t, ts.URL+"/v1/rootbounds", body(t, g, nil))
+	if resp.StatusCode != 200 {
+		t.Fatalf("rootbounds: %d: %s", resp.StatusCode, b)
+	}
+	var rb rootBoundsResponse
+	if err := json.Unmarshal(b, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Points) != 4 { // default NumSPE..0 on Cell(1,3)
+		t.Fatalf("rootbounds: %d points, want 4", len(rb.Points))
+	}
+	if rb.Points[0].NumSPE != 3 || rb.Points[0].Bound <= 0 {
+		t.Fatalf("rootbounds: bad first point: %+v", rb.Points[0])
+	}
+}
+
+// TestDeterministicResponses pins the acceptance criterion: the same
+// request body produces the byte-identical response body, repeated and
+// across ops.
+func TestDeterministicResponses(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := testGraph(10, 7)
+	for _, ep := range []struct {
+		path  string
+		extra map[string]any
+	}{
+		{"/v1/map", nil},
+		{"/v1/sweep", map[string]any{"spe_counts": []int{3, 2}}},
+		{"/v1/evaluate", map[string]any{"mapping": make([]int, 10)}},
+		{"/v1/rootbounds", nil},
+	} {
+		req := body(t, g, ep.extra)
+		resp1, b1 := post(t, ts.URL+ep.path, req)
+		resp2, b2 := post(t, ts.URL+ep.path, req)
+		if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+			t.Fatalf("%s: %d/%d: %s", ep.path, resp1.StatusCode, resp2.StatusCode, b1)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: responses differ:\n%s\n%s", ep.path, b1, b2)
+		}
+	}
+}
+
+// doneSignalCtx signals sig the first time Done is called. flightGroup
+// evaluates a follower's ctx.Done() only after finding the flight, so
+// receiving on sig proves the follower latched onto it — the
+// synchronization hook that makes TestFlightGroup race-free.
+type doneSignalCtx struct {
+	context.Context
+	once sync.Once
+	sig  chan struct{}
+}
+
+func (c *doneSignalCtx) Done() <-chan struct{} {
+	c.once.Do(func() { close(c.sig) })
+	return c.Context.Done()
+}
+
+// TestFlightGroup pins the singleflight semantics with a controlled
+// leader: followers arriving while the leader runs share its response;
+// a follower whose ctx ends stops waiting with an error; the key is
+// free again after completion.
+func TestFlightGroup(t *testing.T) {
+	fg := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	want := &response{status: 200, body: []byte("x")}
+
+	type out struct {
+		resp      *response
+		coalesced bool
+		err       error
+	}
+	leaderOut := make(chan out, 1)
+	go func() {
+		resp, co, err := fg.do(context.Background(), "k", func() *response {
+			close(leaderIn)
+			<-release
+			return want
+		})
+		leaderOut <- out{resp, co, err}
+	}()
+	<-leaderIn // leader is inside fn; the flight is registered
+
+	fctx := &doneSignalCtx{Context: context.Background(), sig: make(chan struct{})}
+	followerOut := make(chan out, 1)
+	go func() {
+		resp, co, err := fg.do(fctx, "k", func() *response {
+			t.Error("follower ran its own solve")
+			return nil
+		})
+		followerOut <- out{resp, co, err}
+	}()
+	<-fctx.sig // follower found the flight and is waiting on it
+
+	// A follower that gives up waiting gets its ctx error back.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, co, err := fg.do(cancelled, "k", func() *response { return nil }); err == nil || !co {
+		t.Fatalf("cancelled follower: coalesced=%v err=%v", co, err)
+	}
+
+	// A different key is independent: it runs immediately.
+	if resp, co, err := fg.do(context.Background(), "other", func() *response {
+		return &response{status: 201}
+	}); err != nil || co || resp.status != 201 {
+		t.Fatalf("independent key: %+v co=%v err=%v", resp, co, err)
+	}
+
+	close(release)
+	l, f := <-leaderOut, <-followerOut
+	if l.err != nil || l.coalesced || l.resp != want {
+		t.Fatalf("leader: %+v", l)
+	}
+	if f.err != nil || !f.coalesced || f.resp != want {
+		t.Fatalf("follower: %+v", f)
+	}
+
+	// The flight is gone: the next request leads its own solve.
+	if _, co, _ := fg.do(context.Background(), "k", func() *response { return want }); co {
+		t.Fatal("request after completion still coalesced")
+	}
+}
+
+// TestCoalescing drives coalescing end to end over HTTP. Solves on the
+// small test platform finish in well under a millisecond, so instead
+// of racing real requests the test holds a flight open for the exact
+// key the handler computes: followers fired meanwhile provably latch
+// onto it and share one response byte for byte.
+func TestCoalescing(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	g := testGraph(16, 3)
+	req := body(t, g, nil)
+
+	// The real response, solved once with no flight in the way.
+	resp0, want := post(t, ts.URL+"/v1/map", req)
+	if resp0.StatusCode != 200 {
+		t.Fatalf("direct solve: %d: %s", resp0.StatusCode, want)
+	}
+
+	// Derive the coalescing key exactly as the handler does and hold a
+	// flight open for it.
+	p, err := srv.parse(httptest.NewRequest("POST", "/v1/map", bytes.NewReader(req)), "map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flight{done: make(chan struct{})}
+	srv.flights.mu.Lock()
+	srv.flights.flights[p.key] = f
+	srv.flights.mu.Unlock()
+
+	const followers = 8
+	bodies := make([][]byte, followers)
+	coalesced := make([]bool, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(req))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			if resp.StatusCode != 200 {
+				t.Errorf("follower %d: status %d: %s", i, resp.StatusCode, buf.Bytes())
+			}
+			bodies[i] = buf.Bytes()
+			coalesced[i] = resp.Header.Get("Schedd-Coalesced") == "1"
+		}(i)
+	}
+
+	// Let the followers latch on, then complete the flight with the
+	// captured response. A straggler arriving after the flight closes
+	// leads its own solve and — determinism — produces the same bytes.
+	time.Sleep(200 * time.Millisecond)
+	f.resp = &response{status: 200, body: want, solveMS: 1}
+	srv.flights.mu.Lock()
+	delete(srv.flights.flights, p.key)
+	srv.flights.mu.Unlock()
+	close(f.done)
+	wg.Wait()
+
+	for i, b := range bodies {
+		if !bytes.Equal(want, b) {
+			t.Fatalf("follower %d body differs from the direct solve:\n%s\n%s", i, b, want)
+		}
+	}
+	var nco int64
+	for _, c := range coalesced {
+		if c {
+			nco++
+		}
+	}
+	if nco == 0 {
+		t.Error("no follower coalesced within the 200ms hold")
+	}
+	srv.met.mu.Lock()
+	hits := srv.met.coalesceHits
+	srv.met.mu.Unlock()
+	if hits != nco {
+		t.Errorf("coalesce_hits %d, but %d followers reported Schedd-Coalesced", hits, nco)
+	}
+}
+
+// TestOverloadSheds429 saturates a 1-slot, 1-deep server with slow
+// distinct requests: some must be shed with 429 + Retry-After while
+// the server keeps serving others.
+func TestOverloadSheds429(t *testing.T) {
+	_, ts := testServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	const n = 16
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct graphs: coalescing must not absorb the burst.
+			req := body(t, testGraph(20, int64(100+i)), nil)
+			resp, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader(req))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	var ok, shed int
+	for i, c := range codes {
+		switch c {
+		case 200:
+			ok++
+		case 429:
+			shed++
+			if ra, err := strconv.Atoi(retryAfter[i]); err != nil || ra < 1 {
+				t.Errorf("429 without a usable Retry-After: %q", retryAfter[i])
+			}
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("want both successes and sheds under saturation, got %d ok / %d shed", ok, shed)
+	}
+}
+
+// TestClientBudget: a client with a 1-token budget is shed on its
+// second request, while another client still gets through.
+func TestClientBudget(t *testing.T) {
+	_, ts := testServer(t, Config{ClientRate: 0.0001, ClientBurst: 1})
+	g := testGraph(8, 1)
+	req := body(t, g, nil)
+	do := func(clientID string) int {
+		hreq, err := http.NewRequest("POST", ts.URL+"/v1/map", bytes.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("X-Schedd-Client", clientID)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode == 429 {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+				t.Errorf("budget 429 without usable Retry-After: %q", resp.Header.Get("Retry-After"))
+			}
+		}
+		return resp.StatusCode
+	}
+	if c := do("alice"); c != 200 {
+		t.Fatalf("alice's first request: %d", c)
+	}
+	if c := do("alice"); c != 429 {
+		t.Fatalf("alice's second request: %d, want 429", c)
+	}
+	if c := do("bob"); c != 200 {
+		t.Fatalf("bob's first request: %d", c)
+	}
+}
+
+// TestBadRequests exercises the 400 paths.
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := testGraph(6, 1)
+	valid := body(t, g, nil)
+	cases := map[string][]byte{
+		"not-json":       []byte(`]`),
+		"trailing":       append(append([]byte{}, valid...), []byte(`{"x":1}`)...),
+		"unknown-field":  body(t, g, map[string]any{"spe_count": []int{1}}),
+		"missing-graph":  []byte(`{}`),
+		"invalid-graph":  []byte(`{"graph":{"name":"x","tasks":[{"id":5}]}}`),
+		"negative-limit": body(t, g, map[string]any{"time_limit_ms": -5}),
+		"bad-mapping":    nil, // filled below
+	}
+	cases["bad-mapping"] = body(t, g, map[string]any{"mapping": []int{9, 9, 9, 9, 9, 9}})
+	for name, b := range cases {
+		path := "/v1/map"
+		if name == "bad-mapping" {
+			path = "/v1/evaluate"
+		}
+		resp, rb := post(t, ts.URL+path, b)
+		if resp.StatusCode != 400 {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, rb)
+		}
+		var e struct {
+			Code string `json:"code"`
+			Err  string `json:"error"`
+		}
+		if err := json.Unmarshal(rb, &e); err != nil || e.Err == "" {
+			t.Errorf("%s: unparseable error body: %s", name, rb)
+		}
+	}
+	// Wrong method and unknown path.
+	if resp, err := http.Get(ts.URL + "/v1/map"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/map: %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/nope"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /v1/nope: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestDeadline: a 1ms transport deadline on a graph whose root
+// LP alone takes longer must come back 504, not hang.
+func TestRequestDeadline(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := testGraph(64, 9)
+	resp, b := post(t, ts.URL+"/v1/map", body(t, g, map[string]any{"timeout_ms": 1}))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, b)
+	}
+}
+
+// TestPlatformShardsAndCap: requests may carry their own platform;
+// distinct platforms get distinct sessions, and the shard cap sheds.
+func TestPlatformShardsAndCap(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxSessions: 2})
+	g := testGraph(8, 1)
+
+	resp, b := post(t, ts.URL+"/v1/map", body(t, g, nil))
+	if resp.StatusCode != 200 {
+		t.Fatalf("default platform: %d: %s", resp.StatusCode, b)
+	}
+	resp, b = post(t, ts.URL+"/v1/map", body(t, g, map[string]any{"platform": platform.Cell(1, 2)}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("second platform: %d: %s", resp.StatusCode, b)
+	}
+	srv.mu.Lock()
+	n := len(srv.sessions)
+	srv.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("%d sessions, want 2", n)
+	}
+	resp, b = post(t, ts.URL+"/v1/map", body(t, g, map[string]any{"platform": platform.Cell(1, 1)}))
+	if resp.StatusCode != 429 {
+		t.Fatalf("third platform past cap: %d, want 429: %s", resp.StatusCode, b)
+	}
+	// A mapping solved on platform A must not validate against shard B
+	// state — i.e. shards are isolated: evaluate against the 2-SPE
+	// platform with a PE index only valid on the 3-SPE default.
+	resp, b = post(t, ts.URL+"/v1/evaluate", body(t, g, map[string]any{
+		"platform": platform.Cell(1, 2),
+		"mapping":  []int{3, 0, 0, 0, 0, 0, 0, 0}, // PE 3 does not exist on Cell(1,2)
+	}))
+	if resp.StatusCode != 400 {
+		t.Fatalf("out-of-range mapping: %d, want 400: %s", resp.StatusCode, b)
+	}
+}
+
+// TestMetricsEndpoint: after real traffic, /metrics exposes non-zero
+// solver counters, request counts and latency histograms.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := testGraph(8, 2)
+	if resp, b := post(t, ts.URL+"/v1/map", body(t, g, nil)); resp.StatusCode != 200 {
+		t.Fatalf("map: %d: %s", resp.StatusCode, b)
+	}
+	if resp, b := post(t, ts.URL+"/v1/rootbounds", body(t, g, nil)); resp.StatusCode != 200 {
+		t.Fatalf("rootbounds: %d: %s", resp.StatusCode, b)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	counter := func(name string) float64 {
+		t.Helper()
+		re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+		m := re.FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("metric %s missing:\n%s", name, text)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("metric %s: %v", name, err)
+		}
+		return v
+	}
+	if v := counter("schedd_lp_iterations_total"); v <= 0 {
+		t.Errorf("schedd_lp_iterations_total = %g, want > 0", v)
+	}
+	if v := counter("schedd_solves_total"); v < 2 {
+		t.Errorf("schedd_solves_total = %g, want >= 2", v)
+	}
+	for _, want := range []string{
+		`schedd_requests_total{op="map",code="200"} 1`,
+		`schedd_requests_total{op="rootbounds",code="200"} 1`,
+		`schedd_request_seconds_bucket{op="map",le="+Inf"} 1`,
+		"schedd_coalesce_misses_total 2",
+		"schedd_queue_depth 0",
+		"schedd_sessions 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzAndClose: /healthz answers while open; a closed server
+// answers solves with 503.
+func TestHealthzAndClose(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	g := testGraph(6, 1)
+	if resp, b := post(t, ts.URL+"/v1/map", body(t, g, nil)); resp.StatusCode != 200 {
+		t.Fatalf("pre-close map: %d: %s", resp.StatusCode, b)
+	}
+	srv.Close()
+	resp2, b := post(t, ts.URL+"/v1/map", body(t, g, nil))
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close map: %d, want 503: %s", resp2.StatusCode, b)
+	}
+}
+
+// TestExtremeGraphNever500s: a graph with pathological buffer demands
+// must come back as a classified outcome — a feasible mapping (200,
+// the PPE placement has no store limit) or a classified 422 — never a
+// raw 500.
+func TestExtremeGraphNever500s(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	g := &graph.Graph{Name: "huge"}
+	a := g.AddTask(graph.Task{Name: "a", WPPE: 1, WSPE: 1})
+	b := g.AddTask(graph.Task{Name: "b", WPPE: 1, WSPE: 1, Peek: 1 << 20})
+	g.AddEdge(a, b, 1<<30)
+	resp, rb := post(t, ts.URL+"/v1/map", body(t, g, nil))
+	if resp.StatusCode != 200 && resp.StatusCode != 422 {
+		t.Fatalf("status %d: %s", resp.StatusCode, rb)
+	}
+	if resp.StatusCode == 422 {
+		var e struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(rb, &e); err != nil || e.Code == "" {
+			t.Errorf("422 without a machine-readable code: %s", rb)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseRacingDo hammers Do from several goroutines while Close
+// fires concurrently: every call must either complete with a valid
+// result or fail with ErrClosed — never hang, panic, or surface an
+// unclassified error. Run under -race this also proves the
+// close/acquire ordering is data-race free.
+func TestCloseRacingDo(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		s := testSession(t, WithWorkers(2))
+		g := testGraph(8, 4)
+		// Warm the caches so racing solves are fast and the Close lands
+		// mid-traffic rather than mid-first-formulation.
+		if _, err := s.Map(context.Background(), g); err != nil {
+			t.Fatal(err)
+		}
+
+		var completed, closed atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					res, err := s.Map(context.Background(), g)
+					switch {
+					case err == nil:
+						if res == nil || res.Report == nil || !res.Report.Feasible {
+							t.Errorf("successful Map with bad result: %+v", res)
+							return
+						}
+						completed.Add(1)
+					case errors.Is(err, ErrClosed):
+						closed.Add(1)
+						return
+					default:
+						t.Errorf("Map during Close: unclassified error %v", err)
+						return
+					}
+				}
+			}()
+		}
+		closer := make(chan struct{})
+		go func() {
+			defer close(closer)
+			<-start
+			time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+			s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		<-closer
+
+		if got := closed.Load(); got != 4 {
+			t.Fatalf("round %d: %d workers saw ErrClosed, want 4", round, got)
+		}
+		// After Close everything keeps returning ErrClosed.
+		if _, err := s.Do(context.Background(), Request{Op: OpMap, Graph: g}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Do after Close: %v, want ErrClosed", err)
+		}
+		t.Logf("round %d: %d completions before close", round, completed.Load())
+	}
+}
+
+// TestCloseRacingStream closes the session while streams are live:
+// every stream channel must close promptly (no leaked goroutine keeps
+// feeding it), and new streams must be refused with ErrClosed.
+func TestCloseRacingStream(t *testing.T) {
+	s := testSession(t, WithWorkers(2))
+	g := testGraph(8, 4)
+	if _, err := s.Map(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const streams = 3
+	chans := make([]<-chan *Result, streams)
+	for i := range chans {
+		ch, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	// Every stream must deliver at least one result before the close.
+	for i, ch := range chans {
+		select {
+		case res, ok := <-ch:
+			if !ok || res == nil || res.Err != nil {
+				t.Fatalf("stream %d: bad first result (ok=%v)", i, ok)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("stream %d delivered nothing", i)
+		}
+	}
+
+	// Close concurrently with one more racing stream registration.
+	raceDone := make(chan error, 1)
+	go func() {
+		_, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, time.Millisecond)
+		raceDone <- err
+	}()
+	s.Close() // returns only after every stream goroutine exited
+
+	// Drain: every channel must be closed already or close without
+	// further sends — Close has waited for the goroutines.
+	for _, ch := range chans {
+		for range ch {
+		}
+	}
+	if err := <-raceDone; err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("racing Stream: %v, want nil or ErrClosed", err)
+	}
+	if _, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Stream after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentClose: simultaneous Close calls are safe and all
+// return (the sync.Once + WaitGroup contract).
+func TestConcurrentClose(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(6, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := s.Stream(ctx, Request{Op: OpMap, Graph: g}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,293 @@
+package sched
+
+// The wire encoding of the serving layer (internal/serve, cmd/schedd):
+// a stable JSON form for Result, SweepPoint and RootPoint, plus the
+// graph digest that keys request coalescing. "Stable" means two
+// properties the traffic benchmark and the coalescing cache rely on:
+//
+//   - deterministic bytes: encoding the same value always produces the
+//     identical byte sequence (encoding/json already guarantees this
+//     for struct-only values — field order is declaration order);
+//   - no wall-clock leakage by accident: SolveTime is part of the
+//     encoding (solve_ms), so servers that promise byte-identical
+//     responses for identical requests must zero it and report timing
+//     out of band (schedd moves it to a response header).
+//
+// Solver counters (Result.Stats, Result.LP, the per-point stats) keep
+// their Go field names as JSON keys: lp.Stats and milp.Stats evolve
+// with the solver, and mirroring every counter here would silently
+// drop newly added ones. Everything else uses snake_case tags.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"cellstream/internal/core"
+	"cellstream/internal/graph"
+	"cellstream/internal/lp"
+	"cellstream/internal/milp"
+)
+
+// Digest returns the content digest of g: lowercase-hex SHA-256 over
+// its compact (un-indented) canonical JSON encoding. It is the graph
+// half of the serving layer's coalescing key — two requests whose
+// graphs digest identically are the same workload regardless of how
+// the original payloads were formatted. Encoding fails only on
+// non-finite float costs, which graph.Validate rejects.
+func Digest(g *graph.Graph) (string, error) {
+	b, err := json.Marshal(g)
+	if err != nil {
+		return "", fmt.Errorf("sched: digesting graph: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// reportWire is the stable JSON form of core.Report.
+type reportWire struct {
+	Mapping     core.Mapping `json:"mapping"`
+	Period      float64      `json:"period"`
+	Feasible    bool         `json:"feasible"`
+	Violations  []string     `json:"violations,omitempty"`
+	ComputeLoad []float64    `json:"compute_load,omitempty"`
+	InBytes     []float64    `json:"in_bytes,omitempty"`
+	OutBytes    []float64    `json:"out_bytes,omitempty"`
+	BufferBytes []int64      `json:"buffer_bytes,omitempty"`
+	DMAIn       []int        `json:"dma_in,omitempty"`
+	DMAToPPE    []int        `json:"dma_to_ppe,omitempty"`
+	Bottleneck  string       `json:"bottleneck,omitempty"`
+}
+
+func reportToWire(r *core.Report) *reportWire {
+	if r == nil {
+		return nil
+	}
+	return &reportWire{
+		Mapping:     r.Mapping,
+		Period:      r.Period,
+		Feasible:    r.Feasible,
+		Violations:  r.Violations,
+		ComputeLoad: r.ComputeLoad,
+		InBytes:     r.InBytes,
+		OutBytes:    r.OutBytes,
+		BufferBytes: r.BufferBytes,
+		DMAIn:       r.DMAIn,
+		DMAToPPE:    r.DMAToPPE,
+		Bottleneck:  r.Bottleneck,
+	}
+}
+
+func (w *reportWire) toReport() *core.Report {
+	if w == nil {
+		return nil
+	}
+	return &core.Report{
+		Mapping:     w.Mapping,
+		Period:      w.Period,
+		Feasible:    w.Feasible,
+		Violations:  w.Violations,
+		ComputeLoad: w.ComputeLoad,
+		InBytes:     w.InBytes,
+		OutBytes:    w.OutBytes,
+		BufferBytes: w.BufferBytes,
+		DMAIn:       w.DMAIn,
+		DMAToPPE:    w.DMAToPPE,
+		Bottleneck:  w.Bottleneck,
+	}
+}
+
+// milliseconds renders a duration as fractional milliseconds (the wire
+// unit of every latency field).
+func milliseconds(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+func fromMilliseconds(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// statsOrNil returns a pointer to st unless it is the zero aggregate,
+// so empty counter blocks stay out of the encoding.
+func statsOrNil(st milp.Stats) *milp.Stats {
+	if st == (milp.Stats{}) {
+		return nil
+	}
+	return &st
+}
+
+func lpStatsOrNil(st lp.Stats) *lp.Stats {
+	if st == (lp.Stats{}) {
+		return nil
+	}
+	return &st
+}
+
+// resultWire is the stable JSON form of Result.
+type resultWire struct {
+	Op          string           `json:"op"`
+	Mapping     core.Mapping     `json:"mapping,omitempty"`
+	Report      *reportWire      `json:"report,omitempty"`
+	PeriodBound float64          `json:"period_bound,omitempty"`
+	RootLPBound float64          `json:"root_lp_bound,omitempty"`
+	Gap         float64          `json:"gap,omitempty"`
+	Nodes       int              `json:"nodes,omitempty"`
+	Proved      bool             `json:"proved,omitempty"`
+	SolveMS     float64          `json:"solve_ms,omitempty"`
+	Stats       *milp.Stats      `json:"stats,omitempty"`
+	LP          *lp.Stats        `json:"lp,omitempty"`
+	Sweep       []sweepPointWire `json:"sweep,omitempty"`
+	Err         string           `json:"error,omitempty"`
+}
+
+// sweepPointWire is the stable JSON form of SweepPoint.
+type sweepPointWire struct {
+	NumSPE      int          `json:"num_spe"`
+	Mapping     core.Mapping `json:"mapping,omitempty"`
+	Report      *reportWire  `json:"report,omitempty"`
+	PeriodBound float64      `json:"period_bound,omitempty"`
+	RootLPBound float64      `json:"root_lp_bound,omitempty"`
+	Gap         float64      `json:"gap,omitempty"`
+	Proved      bool         `json:"proved,omitempty"`
+	Nodes       int          `json:"nodes,omitempty"`
+	Warm        bool         `json:"warm,omitempty"`
+	LP          *lp.Stats    `json:"lp,omitempty"`
+}
+
+// rootPointWire is the stable JSON form of RootPoint.
+type rootPointWire struct {
+	NumSPE int       `json:"num_spe"`
+	Bound  float64   `json:"bound"`
+	Warm   bool      `json:"warm,omitempty"`
+	Stats  *lp.Stats `json:"stats,omitempty"`
+}
+
+// parseOp inverts Op.String.
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "map":
+		return OpMap, nil
+	case "sweep":
+		return OpSweep, nil
+	case "evaluate":
+		return OpEvaluate, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown op %q", s)
+	}
+}
+
+// MarshalJSON implements the stable wire encoding (see the package
+// comment of this file). The zero Op encodes as "unknown" and does not
+// round-trip; every Result produced by a Session carries a real Op.
+func (r Result) MarshalJSON() ([]byte, error) {
+	w := resultWire{
+		Op:          r.Op.String(),
+		Mapping:     r.Mapping,
+		Report:      reportToWire(r.Report),
+		PeriodBound: r.PeriodBound,
+		RootLPBound: r.RootLPBound,
+		Gap:         r.Gap,
+		Nodes:       r.Nodes,
+		Proved:      r.Proved,
+		SolveMS:     milliseconds(r.SolveTime),
+		Stats:       statsOrNil(r.Stats),
+		LP:          lpStatsOrNil(r.LP),
+	}
+	if r.Err != nil {
+		w.Err = r.Err.Error()
+	}
+	for _, pt := range r.Sweep {
+		w.Sweep = append(w.Sweep, sweepPointWire{
+			NumSPE:      pt.NumSPE,
+			Mapping:     pt.Mapping,
+			Report:      reportToWire(pt.Report),
+			PeriodBound: pt.PeriodBound,
+			RootLPBound: pt.RootLPBound,
+			Gap:         pt.Gap,
+			Proved:      pt.Proved,
+			Nodes:       pt.Nodes,
+			Warm:        pt.Warm,
+			LP:          lpStatsOrNil(pt.LP),
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON inverts MarshalJSON. A wire error comes back as an
+// opaque error value (the sentinel identity does not survive the
+// trip); clients classify failures by the transport's status code
+// instead.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	op, err := parseOp(w.Op)
+	if err != nil {
+		return err
+	}
+	*r = Result{
+		Op:          op,
+		Mapping:     w.Mapping,
+		Report:      w.Report.toReport(),
+		PeriodBound: w.PeriodBound,
+		RootLPBound: w.RootLPBound,
+		Gap:         w.Gap,
+		Nodes:       w.Nodes,
+		Proved:      w.Proved,
+		SolveTime:   fromMilliseconds(w.SolveMS),
+	}
+	if w.Stats != nil {
+		r.Stats = *w.Stats
+	}
+	if w.LP != nil {
+		r.LP = *w.LP
+	}
+	if w.Err != "" {
+		r.Err = errors.New(w.Err)
+	}
+	for _, pw := range w.Sweep {
+		pt := SweepPoint{
+			NumSPE:      pw.NumSPE,
+			Mapping:     pw.Mapping,
+			Report:      pw.Report.toReport(),
+			PeriodBound: pw.PeriodBound,
+			RootLPBound: pw.RootLPBound,
+			Gap:         pw.Gap,
+			Proved:      pw.Proved,
+			Nodes:       pw.Nodes,
+			Warm:        pw.Warm,
+		}
+		if pw.LP != nil {
+			pt.LP = *pw.LP
+		}
+		r.Sweep = append(r.Sweep, pt)
+	}
+	return nil
+}
+
+// MarshalJSON implements the stable wire encoding of a RootPoint.
+func (p RootPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rootPointWire{
+		NumSPE: p.NumSPE,
+		Bound:  p.Bound,
+		Warm:   p.Warm,
+		Stats:  lpStatsOrNil(p.Stats),
+	})
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (p *RootPoint) UnmarshalJSON(b []byte) error {
+	var w rootPointWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = RootPoint{NumSPE: w.NumSPE, Bound: w.Bound, Warm: w.Warm}
+	if w.Stats != nil {
+		p.Stats = *w.Stats
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestDigestStable pins the digest contract: identical graph content
+// digests identically regardless of payload formatting, and any
+// content change moves the digest.
+func TestDigestStable(t *testing.T) {
+	g := testGraph(8, 1)
+	d1, err := Digest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Digest(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || len(d1) != 64 {
+		t.Fatalf("clone digests differ or wrong length: %q vs %q", d1, d2)
+	}
+	mut := g.Clone()
+	mut.Tasks[0].WPPE *= 2
+	d3, err := Digest(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("content change did not move the digest")
+	}
+}
+
+// TestResultWireRoundTrip serializes a real Map result and a real
+// Sweep result through the wire encoding and back; everything except
+// the error identity must survive.
+func TestResultWireRoundTrip(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(8, 2)
+	ctx := context.Background()
+
+	for name, req := range map[string]Request{
+		"map":   {Op: OpMap, Graph: g},
+		"sweep": {Op: OpSweep, Graph: g, SPECounts: []int{3, 1}},
+	} {
+		res, err := s.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b1, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Result
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: encoding not stable under round trip:\n%s\n%s", name, b1, b2)
+		}
+		if !reflect.DeepEqual(res.Mapping, back.Mapping) {
+			t.Errorf("%s: mapping changed: %v vs %v", name, res.Mapping, back.Mapping)
+		}
+		if res.Report != nil && (back.Report == nil || back.Report.Period != res.Report.Period) {
+			t.Errorf("%s: report period lost", name)
+		}
+		if back.Op != res.Op || back.Nodes != res.Nodes || back.Proved != res.Proved {
+			t.Errorf("%s: scalar fields changed", name)
+		}
+		if back.Stats != res.Stats || back.LP != res.LP {
+			t.Errorf("%s: solver counters changed", name)
+		}
+		if len(back.Sweep) != len(res.Sweep) {
+			t.Fatalf("%s: sweep arity %d vs %d", name, len(back.Sweep), len(res.Sweep))
+		}
+		for i := range res.Sweep {
+			if res.Sweep[i].NumSPE != back.Sweep[i].NumSPE ||
+				res.Sweep[i].PeriodBound != back.Sweep[i].PeriodBound ||
+				res.Sweep[i].Warm != back.Sweep[i].Warm {
+				t.Errorf("%s: sweep point %d changed", name, i)
+			}
+		}
+	}
+}
+
+// TestRootPointWireRoundTrip does the same for the bound-only sweep.
+func TestRootPointWireRoundTrip(t *testing.T) {
+	s := testSession(t)
+	g := testGraph(8, 3)
+	pts, err := s.RootBounds(context.Background(), g, []int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []RootPoint
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, back) {
+		t.Fatalf("root points changed over the wire:\n%+v\n%+v", pts, back)
+	}
+}
+
+// TestResultWireError: streamed per-tick failures carry Err; the wire
+// form keeps the message (identity is transport-level).
+func TestResultWireError(t *testing.T) {
+	res := Result{Op: OpMap, Err: errors.New("boom")}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"error":"boom"`)) {
+		t.Fatalf("error missing from wire form: %s", b)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != "boom" {
+		t.Fatalf("error message lost: %v", back.Err)
+	}
+	// Unknown ops are rejected, not zero-filled.
+	if err := json.Unmarshal([]byte(`{"op":"frobnicate"}`), &back); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

@@ -1,11 +1,20 @@
 package cellstream
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"cellstream/internal/daggen"
 )
 
 // TestSmokeBinaries builds every executable of the repository (cmd/* and
@@ -42,6 +51,9 @@ func TestSmokeBinaries(t *testing.T) {
 		// finding or a load failure makes the run non-zero, so the smoke
 		// both builds the linter and proves its happy path.
 		{"cmd/schedlint", []string{"-only", "floatcmp", "./internal/num"}, ""},
+		// schedload self-hosts a schedd and replays a tiny mix against it,
+		// smoking the whole serving stack in one invocation.
+		{"cmd/schedload", []string{"-quick", "-requests", "24", "-clients", "4"}, "coalesce rate"},
 	}
 	built := map[string]string{}
 	for _, r := range runs {
@@ -68,6 +80,105 @@ func TestSmokeBinaries(t *testing.T) {
 			}
 		})
 	}
+
+	// schedd end to end: start the daemon on a free port, serve one map
+	// request twice (the bodies must be byte-identical — the serving
+	// determinism contract), check the metrics endpoint, and shut down
+	// cleanly on SIGINT.
+	t.Run("cmd_schedd_end_to_end", func(t *testing.T) {
+		bin := build("cmd/schedd")
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-spes", "3")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill() // no-op after a clean exit
+
+		// The daemon announces its bound address on the listening line.
+		sc := bufio.NewScanner(stderr)
+		var addr string
+		listenRE := regexp.MustCompile(`listening on (\S+)`)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addr = m[1]
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("schedd never announced a listening address: %v", sc.Err())
+		}
+		var rest bytes.Buffer
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for sc.Scan() {
+				rest.WriteString(sc.Text() + "\n")
+			}
+		}()
+
+		g := daggen.Generate(daggen.Params{Tasks: 8, Seed: 3, CCR: 1})
+		gb, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqBody, err := json.Marshal(map[string]json.RawMessage{"graph": gb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := func() []byte {
+			resp, err := http.Post("http://"+addr+"/v1/map", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != 200 {
+				t.Fatalf("POST /v1/map: status %d err %v: %s", resp.StatusCode, err, b)
+			}
+			return b
+		}
+		b1, b2 := post(), post()
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("identical requests returned different bodies:\n%s\n%s", b1, b2)
+		}
+		var res struct {
+			Mapping []int `json:"mapping"`
+		}
+		if err := json.Unmarshal(b1, &res); err != nil || len(res.Mapping) != 8 {
+			t.Errorf("implausible map response (err %v): %s", err, b1)
+		}
+
+		mresp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if want := `schedd_requests_total{op="map",code="200"} 2`; !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Fatalf("schedd exited uncleanly: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("schedd did not exit within 15s of SIGINT")
+		}
+		<-drained
+		if !strings.Contains(rest.String(), "shutting down") {
+			t.Errorf("schedd shutdown log missing:\n%s", rest.String())
+		}
+	})
 
 	// daggen round-trip: the generated graph must be loadable.
 	if b, err := os.ReadFile(filepath.Join(outDir, "g.json")); err != nil || len(b) == 0 {
